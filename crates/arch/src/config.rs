@@ -1,0 +1,376 @@
+//! Machine configuration and the paper's presets.
+
+use std::fmt;
+
+use crate::latency::LatencyClass;
+
+/// A set of identical shared buses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BusConfig {
+    /// Number of buses.
+    pub count: usize,
+    /// Transfer latency in core cycles; a bus is busy for this long per
+    /// transfer ("buses run at 1/2 of the core frequency" ⇒ 2 cycles).
+    pub latency: u32,
+}
+
+/// Geometry of the distributed first-level data cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Total capacity across all modules in bytes (paper: 8KB).
+    pub total_bytes: u64,
+    /// Cache block size in bytes (paper: 32).
+    pub block_bytes: u64,
+    /// Set associativity of each module (paper: 2).
+    pub assoc: usize,
+    /// Module access latency in cycles (paper: 1).
+    pub latency: u32,
+}
+
+/// The always-hitting next memory level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NextLevelConfig {
+    /// Number of simultaneous requests serviced per cycle (paper: 4).
+    pub ports: usize,
+    /// Total access latency in cycles (paper: 10).
+    pub latency: u32,
+}
+
+/// Per-cluster Attraction Buffer geometry (paper Section 5: 16-entry,
+/// 2-way set-associative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AttractionBufferConfig {
+    /// Number of subblock entries.
+    pub entries: usize,
+    /// Set associativity.
+    pub assoc: usize,
+}
+
+impl AttractionBufferConfig {
+    /// The paper's evaluated configuration: 16 entries, 2-way.
+    #[must_use]
+    pub fn paper() -> Self {
+        AttractionBufferConfig { entries: 16, assoc: 2 }
+    }
+}
+
+/// Functional units per cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FuMix {
+    /// Integer ALUs.
+    pub integer: usize,
+    /// Floating-point units.
+    pub fp: usize,
+    /// Memory (load/store) units.
+    pub memory: usize,
+}
+
+impl FuMix {
+    /// The paper's mix: one of each per cluster.
+    #[must_use]
+    pub fn paper() -> Self {
+        FuMix { integer: 1, fp: 1, memory: 1 }
+    }
+}
+
+/// Errors reported by [`MachineConfig::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Zero clusters, buses, ports, units or sizes where positives are
+    /// required.
+    ZeroResource(&'static str),
+    /// The cache geometry does not divide evenly across clusters
+    /// (`block_bytes` must be a multiple of `n_clusters × interleave`).
+    UnevenInterleave,
+    /// Total cache capacity does not split evenly into per-cluster modules
+    /// of whole sets.
+    UnevenCapacity,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroResource(what) => write!(f, "{what} must be positive"),
+            ConfigError::UnevenInterleave => write!(
+                f,
+                "cache block size must be a multiple of n_clusters × interleave_bytes"
+            ),
+            ConfigError::UnevenCapacity => {
+                write!(f, "cache capacity must split evenly into per-cluster modules")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Full description of a word-interleaved cache clustered VLIW machine.
+///
+/// Construct via [`MachineConfig::paper_baseline`] (Table 2) or the NOBAL
+/// presets and adjust fields with the `with_*` builders. All runs in this
+/// workspace validate the configuration before use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Number of clusters (paper: 4).
+    pub n_clusters: usize,
+    /// Functional units per cluster.
+    pub fu: FuMix,
+    /// Distributed data cache geometry.
+    pub cache: CacheConfig,
+    /// Register-to-register communication buses.
+    pub reg_buses: BusConfig,
+    /// Memory buses between clusters and cache modules / next level.
+    pub mem_buses: BusConfig,
+    /// The next memory level.
+    pub next_level: NextLevelConfig,
+    /// Interleaving factor in bytes (paper Table 1: 2 or 4 per benchmark).
+    pub interleave_bytes: u64,
+    /// Attraction Buffers, if present (paper Section 5).
+    pub attraction_buffers: Option<AttractionBufferConfig>,
+}
+
+impl MachineConfig {
+    /// The paper's Table 2 configuration with a 4-byte interleave and no
+    /// Attraction Buffers.
+    #[must_use]
+    pub fn paper_baseline() -> Self {
+        MachineConfig {
+            n_clusters: 4,
+            fu: FuMix::paper(),
+            cache: CacheConfig { total_bytes: 8 * 1024, block_bytes: 32, assoc: 2, latency: 1 },
+            reg_buses: BusConfig { count: 4, latency: 2 },
+            mem_buses: BusConfig { count: 4, latency: 2 },
+            next_level: NextLevelConfig { ports: 4, latency: 10 },
+            interleave_bytes: 4,
+            attraction_buffers: None,
+        }
+    }
+
+    /// The unbalanced configuration with more memory than register buses
+    /// (paper Section 4.2, NOBAL+MEM): four 2-cycle memory buses, two
+    /// 4-cycle register buses.
+    #[must_use]
+    pub fn nobal_mem() -> Self {
+        MachineConfig {
+            reg_buses: BusConfig { count: 2, latency: 4 },
+            mem_buses: BusConfig { count: 4, latency: 2 },
+            ..MachineConfig::paper_baseline()
+        }
+    }
+
+    /// The unbalanced configuration with more register than memory buses
+    /// (paper Section 4.2, NOBAL+REG): two 4-cycle memory buses, four
+    /// 2-cycle register buses.
+    #[must_use]
+    pub fn nobal_reg() -> Self {
+        MachineConfig {
+            reg_buses: BusConfig { count: 4, latency: 2 },
+            mem_buses: BusConfig { count: 2, latency: 4 },
+            ..MachineConfig::paper_baseline()
+        }
+    }
+
+    /// Returns the configuration with the given interleaving factor.
+    #[must_use]
+    pub fn with_interleave(mut self, bytes: u64) -> Self {
+        self.interleave_bytes = bytes;
+        self
+    }
+
+    /// Returns the configuration with Attraction Buffers enabled.
+    #[must_use]
+    pub fn with_attraction_buffers(mut self, ab: AttractionBufferConfig) -> Self {
+        self.attraction_buffers = Some(ab);
+        self
+    }
+
+    /// Returns the configuration with the given register-bus setup.
+    #[must_use]
+    pub fn with_reg_buses(mut self, buses: BusConfig) -> Self {
+        self.reg_buses = buses;
+        self
+    }
+
+    /// Returns the configuration with the given memory-bus setup.
+    #[must_use]
+    pub fn with_mem_buses(mut self, buses: BusConfig) -> Self {
+        self.mem_buses = buses;
+        self
+    }
+
+    /// Checks the configuration for internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] describing the first inconsistency.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.n_clusters == 0 {
+            return Err(ConfigError::ZeroResource("n_clusters"));
+        }
+        if self.fu.memory == 0 || self.fu.integer == 0 {
+            return Err(ConfigError::ZeroResource("functional units"));
+        }
+        if self.reg_buses.count == 0 || self.mem_buses.count == 0 {
+            return Err(ConfigError::ZeroResource("buses"));
+        }
+        if self.reg_buses.latency == 0 || self.mem_buses.latency == 0 {
+            return Err(ConfigError::ZeroResource("bus latency"));
+        }
+        if self.next_level.ports == 0 {
+            return Err(ConfigError::ZeroResource("next-level ports"));
+        }
+        if self.interleave_bytes == 0
+            || self.cache.block_bytes == 0
+            || self.cache.total_bytes == 0
+            || self.cache.assoc == 0
+        {
+            return Err(ConfigError::ZeroResource("cache geometry"));
+        }
+        let stripe = self.n_clusters as u64 * self.interleave_bytes;
+        if self.cache.block_bytes % stripe != 0 {
+            return Err(ConfigError::UnevenInterleave);
+        }
+        if self.cache.total_bytes % self.n_clusters as u64 != 0 {
+            return Err(ConfigError::UnevenCapacity);
+        }
+        let module_bytes = self.cache.total_bytes / self.n_clusters as u64;
+        let line = self.subblock_bytes() * self.cache.assoc as u64;
+        if line == 0 || module_bytes % line != 0 {
+            return Err(ConfigError::UnevenCapacity);
+        }
+        Ok(())
+    }
+
+    /// Bytes of each cache block held by one cluster ("subblock", paper
+    /// Section 2.1).
+    #[must_use]
+    pub fn subblock_bytes(&self) -> u64 {
+        self.cache.block_bytes / self.n_clusters as u64
+    }
+
+    /// Per-module capacity in bytes.
+    #[must_use]
+    pub fn module_bytes(&self) -> u64 {
+        self.cache.total_bytes / self.n_clusters as u64
+    }
+
+    /// Number of sets in each cache module.
+    #[must_use]
+    pub fn module_sets(&self) -> usize {
+        (self.module_bytes() / (self.subblock_bytes() * self.cache.assoc as u64)) as usize
+    }
+
+    /// The latency in cycles of an access satisfied with the given class:
+    /// module latency, plus a bus round trip for remote accesses, plus the
+    /// next-level latency for misses.
+    #[must_use]
+    pub fn latency_of(&self, class: LatencyClass) -> u32 {
+        let bus_round_trip = 2 * self.mem_buses.latency;
+        match class {
+            LatencyClass::LocalHit => self.cache.latency,
+            LatencyClass::RemoteHit => self.cache.latency + bus_round_trip,
+            LatencyClass::LocalMiss => self.cache.latency + self.next_level.latency,
+            LatencyClass::RemoteMiss => {
+                self.cache.latency + bus_round_trip + self.next_level.latency
+            }
+        }
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::paper_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_baseline_is_valid_and_matches_table2() {
+        let m = MachineConfig::paper_baseline();
+        assert_eq!(m.validate(), Ok(()));
+        assert_eq!(m.n_clusters, 4);
+        assert_eq!(m.module_bytes(), 2048);
+        assert_eq!(m.subblock_bytes(), 8);
+        // 2KB module / (8B line × 2 ways) = 128 sets.
+        assert_eq!(m.module_sets(), 128);
+    }
+
+    #[test]
+    fn paper_latencies() {
+        let m = MachineConfig::paper_baseline();
+        assert_eq!(m.latency_of(LatencyClass::LocalHit), 1);
+        assert_eq!(m.latency_of(LatencyClass::RemoteHit), 5);
+        assert_eq!(m.latency_of(LatencyClass::LocalMiss), 11);
+        assert_eq!(m.latency_of(LatencyClass::RemoteMiss), 15);
+    }
+
+    #[test]
+    fn nobal_presets() {
+        let mem = MachineConfig::nobal_mem();
+        assert_eq!(mem.validate(), Ok(()));
+        assert_eq!(mem.mem_buses, BusConfig { count: 4, latency: 2 });
+        assert_eq!(mem.reg_buses, BusConfig { count: 2, latency: 4 });
+
+        let reg = MachineConfig::nobal_reg();
+        assert_eq!(reg.validate(), Ok(()));
+        assert_eq!(reg.mem_buses, BusConfig { count: 2, latency: 4 });
+        assert_eq!(reg.reg_buses, BusConfig { count: 4, latency: 2 });
+        // NOBAL+REG remote accesses are slower.
+        assert!(reg.latency_of(LatencyClass::RemoteHit) > mem.latency_of(LatencyClass::RemoteHit));
+    }
+
+    #[test]
+    fn two_byte_interleave_is_valid() {
+        let m = MachineConfig::paper_baseline().with_interleave(2);
+        assert_eq!(m.validate(), Ok(()));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let m = MachineConfig::paper_baseline()
+            .with_interleave(2)
+            .with_attraction_buffers(AttractionBufferConfig::paper())
+            .with_reg_buses(BusConfig { count: 32, latency: 2 });
+        assert_eq!(m.validate(), Ok(()));
+        assert_eq!(m.interleave_bytes, 2);
+        assert_eq!(m.attraction_buffers, Some(AttractionBufferConfig { entries: 16, assoc: 2 }));
+        assert_eq!(m.reg_buses.count, 32);
+    }
+
+    #[test]
+    fn validation_rejects_uneven_interleave() {
+        // 4 clusters × 16-byte interleave = 64 > 32-byte blocks.
+        let m = MachineConfig::paper_baseline().with_interleave(16);
+        assert_eq!(m.validate(), Err(ConfigError::UnevenInterleave));
+    }
+
+    #[test]
+    fn validation_rejects_zero_resources() {
+        let mut m = MachineConfig::paper_baseline();
+        m.n_clusters = 0;
+        assert!(matches!(m.validate(), Err(ConfigError::ZeroResource(_))));
+
+        let mut m = MachineConfig::paper_baseline();
+        m.mem_buses.count = 0;
+        assert!(matches!(m.validate(), Err(ConfigError::ZeroResource(_))));
+
+        let mut m = MachineConfig::paper_baseline();
+        m.interleave_bytes = 0;
+        assert!(matches!(m.validate(), Err(ConfigError::ZeroResource(_))));
+    }
+
+    #[test]
+    fn validation_rejects_uneven_capacity() {
+        let mut m = MachineConfig::paper_baseline();
+        m.cache.total_bytes = 8 * 1024 + 4;
+        assert_eq!(m.validate(), Err(ConfigError::UnevenCapacity));
+    }
+
+    #[test]
+    fn default_is_paper_baseline() {
+        assert_eq!(MachineConfig::default(), MachineConfig::paper_baseline());
+    }
+}

@@ -1,0 +1,146 @@
+//! Latency classes and access classification.
+
+use std::fmt;
+
+/// The four latencies a memory access can be satisfied with (paper
+/// Section 2.1). The scheduler assigns one of these to each memory
+/// instruction; the simulator then observes the access's *actual* class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LatencyClass {
+    /// The address maps to the local cache module and hits.
+    LocalHit,
+    /// The address maps to a remote cache module and hits there.
+    RemoteHit,
+    /// The address maps to the local cache module and misses.
+    LocalMiss,
+    /// The address maps to a remote cache module and misses there.
+    RemoteMiss,
+}
+
+impl LatencyClass {
+    /// All classes ordered from smallest to largest latency under the
+    /// paper's Table 2 parameters.
+    pub const ASCENDING: [LatencyClass; 4] = [
+        LatencyClass::LocalHit,
+        LatencyClass::RemoteHit,
+        LatencyClass::LocalMiss,
+        LatencyClass::RemoteMiss,
+    ];
+}
+
+impl fmt::Display for LatencyClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LatencyClass::LocalHit => "local-hit",
+            LatencyClass::RemoteHit => "remote-hit",
+            LatencyClass::LocalMiss => "local-miss",
+            LatencyClass::RemoteMiss => "remote-miss",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The classification of an executed access used by the evaluation's
+/// Figure 6: the four [`LatencyClass`] outcomes plus *combined* accesses —
+/// "accesses to subblocks that have been already requested and are still
+/// pending, and hence the second request is not issued" (paper
+/// Section 4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessClass {
+    /// Local cache-module hit.
+    LocalHit,
+    /// Remote cache-module hit.
+    RemoteHit,
+    /// Local cache-module miss.
+    LocalMiss,
+    /// Remote cache-module miss.
+    RemoteMiss,
+    /// Piggy-backed on an in-flight request to the same subblock.
+    Combined,
+}
+
+impl AccessClass {
+    /// All classes, in Figure 6's legend order.
+    pub const ALL: [AccessClass; 5] = [
+        AccessClass::LocalHit,
+        AccessClass::RemoteHit,
+        AccessClass::LocalMiss,
+        AccessClass::RemoteMiss,
+        AccessClass::Combined,
+    ];
+
+    /// Dense index matching [`AccessClass::ALL`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            AccessClass::LocalHit => 0,
+            AccessClass::RemoteHit => 1,
+            AccessClass::LocalMiss => 2,
+            AccessClass::RemoteMiss => 3,
+            AccessClass::Combined => 4,
+        }
+    }
+
+    /// Whether the access was satisfied locally (hit or miss).
+    #[must_use]
+    pub fn is_local(self) -> bool {
+        matches!(self, AccessClass::LocalHit | AccessClass::LocalMiss)
+    }
+}
+
+impl From<LatencyClass> for AccessClass {
+    fn from(c: LatencyClass) -> Self {
+        match c {
+            LatencyClass::LocalHit => AccessClass::LocalHit,
+            LatencyClass::RemoteHit => AccessClass::RemoteHit,
+            LatencyClass::LocalMiss => AccessClass::LocalMiss,
+            LatencyClass::RemoteMiss => AccessClass::RemoteMiss,
+        }
+    }
+}
+
+impl fmt::Display for AccessClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessClass::LocalHit => "local-hit",
+            AccessClass::RemoteHit => "remote-hit",
+            AccessClass::LocalMiss => "local-miss",
+            AccessClass::RemoteMiss => "remote-miss",
+            AccessClass::Combined => "combined",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascending_order_is_total_under_paper_latencies() {
+        use crate::MachineConfig;
+        let m = MachineConfig::paper_baseline();
+        let lats: Vec<u32> = LatencyClass::ASCENDING.iter().map(|&c| m.latency_of(c)).collect();
+        assert!(lats.windows(2).all(|w| w[0] <= w[1]), "{lats:?}");
+    }
+
+    #[test]
+    fn access_class_indices_dense() {
+        for (i, c) in AccessClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn locality_predicate() {
+        assert!(AccessClass::LocalHit.is_local());
+        assert!(AccessClass::LocalMiss.is_local());
+        assert!(!AccessClass::RemoteHit.is_local());
+        assert!(!AccessClass::Combined.is_local());
+    }
+
+    #[test]
+    fn conversion_from_latency_class() {
+        assert_eq!(AccessClass::from(LatencyClass::RemoteMiss), AccessClass::RemoteMiss);
+    }
+}

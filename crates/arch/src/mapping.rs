@@ -1,0 +1,112 @@
+//! Address → cluster / block / subblock mapping.
+
+use std::fmt;
+
+use crate::config::MachineConfig;
+
+/// Identifies one cluster's slice of one cache block: the unit cached by
+/// cache modules and transferred to Attraction Buffers (paper Section 5:
+/// "when a cluster issues a remote request to another cluster, the whole
+/// remote subblock is returned").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubblockId {
+    /// The cache block number (`addr / block_bytes`).
+    pub block: u64,
+    /// The cluster owning this slice of the block.
+    pub home: usize,
+}
+
+impl fmt::Display for SubblockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk{}@cl{}", self.block, self.home)
+    }
+}
+
+impl MachineConfig {
+    /// The cluster whose cache module holds `addr` (the access's *home
+    /// cluster*): interleaving units round-robin across clusters.
+    #[must_use]
+    pub fn home_cluster(&self, addr: u64) -> usize {
+        ((addr / self.interleave_bytes) % self.n_clusters as u64) as usize
+    }
+
+    /// The cache block number containing `addr`.
+    #[must_use]
+    pub fn block_of(&self, addr: u64) -> u64 {
+        addr / self.cache.block_bytes
+    }
+
+    /// The subblock containing `addr`.
+    #[must_use]
+    pub fn subblock_of(&self, addr: u64) -> SubblockId {
+        SubblockId { block: self.block_of(addr), home: self.home_cluster(addr) }
+    }
+
+    /// The set index of `block` within a cache module.
+    #[must_use]
+    pub fn module_set_of(&self, block: u64) -> usize {
+        (block % self.module_sets() as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_interleave_round_robins() {
+        let m = MachineConfig::paper_baseline(); // interleave 4B, 4 clusters
+        assert_eq!(m.home_cluster(0), 0);
+        assert_eq!(m.home_cluster(4), 1);
+        assert_eq!(m.home_cluster(8), 2);
+        assert_eq!(m.home_cluster(12), 3);
+        assert_eq!(m.home_cluster(16), 0);
+        // Within one interleave unit the home is constant.
+        assert_eq!(m.home_cluster(5), 1);
+        assert_eq!(m.home_cluster(7), 1);
+    }
+
+    #[test]
+    fn figure1_subblock_example() {
+        // Paper Figure 1: 4 clusters, 8-word blocks, 1-word interleave —
+        // words 0 and 4 of a block both map to cluster 1 (index 0).
+        let m = MachineConfig::paper_baseline();
+        let block_base = 3 * m.cache.block_bytes; // some arbitrary block
+        let w0 = block_base;
+        let w4 = block_base + 16;
+        assert_eq!(m.home_cluster(w0), m.home_cluster(w4));
+        assert_eq!(m.subblock_of(w0), m.subblock_of(w4));
+        // Words 1 and 5 share a different home.
+        let w1 = block_base + 4;
+        let w5 = block_base + 20;
+        assert_eq!(m.subblock_of(w1), m.subblock_of(w5));
+        assert_ne!(m.subblock_of(w0).home, m.subblock_of(w1).home);
+    }
+
+    #[test]
+    fn two_byte_interleave() {
+        let m = MachineConfig::paper_baseline().with_interleave(2);
+        assert_eq!(m.home_cluster(0), 0);
+        assert_eq!(m.home_cluster(2), 1);
+        assert_eq!(m.home_cluster(6), 3);
+        assert_eq!(m.home_cluster(8), 0);
+    }
+
+    #[test]
+    fn blocks_and_sets() {
+        let m = MachineConfig::paper_baseline();
+        assert_eq!(m.block_of(0), 0);
+        assert_eq!(m.block_of(31), 0);
+        assert_eq!(m.block_of(32), 1);
+        // Sets wrap modulo module_sets.
+        assert_eq!(m.module_set_of(0), m.module_set_of(m.module_sets() as u64));
+    }
+
+    #[test]
+    fn same_block_spans_all_clusters() {
+        let m = MachineConfig::paper_baseline();
+        let homes: std::collections::BTreeSet<usize> =
+            (0..m.cache.block_bytes).step_by(4).map(|off| m.home_cluster(off)).collect();
+        assert_eq!(homes.len(), m.n_clusters);
+    }
+}

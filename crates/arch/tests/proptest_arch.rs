@@ -1,0 +1,74 @@
+//! Property tests for the machine model: the address mapping must be a
+//! consistent partition for any valid configuration.
+
+use distvliw_arch::{LatencyClass, MachineConfig};
+use proptest::prelude::*;
+
+fn arb_machine() -> impl Strategy<Value = MachineConfig> {
+    (1usize..3, 0usize..2).prop_map(|(clusters_pow, interleave_pow)| {
+        // 2 or 4 clusters; 2- or 4-byte interleave; block scaled to match.
+        let n = 1 << clusters_pow;
+        let interleave = 2u64 << interleave_pow;
+        MachineConfig {
+            n_clusters: n,
+            interleave_bytes: interleave,
+            ..MachineConfig::paper_baseline()
+        }
+    })
+    .prop_filter("valid geometry", |m| m.validate().is_ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn home_cluster_is_stable_within_an_interleave_unit(m in arb_machine(), addr in 0u64..1 << 24) {
+        let unit_base = addr - addr % m.interleave_bytes;
+        for off in 0..m.interleave_bytes {
+            prop_assert_eq!(m.home_cluster(unit_base + off), m.home_cluster(unit_base));
+        }
+    }
+
+    #[test]
+    fn consecutive_units_round_robin(m in arb_machine(), addr in 0u64..1 << 24) {
+        let unit_base = addr - addr % m.interleave_bytes;
+        let next = unit_base + m.interleave_bytes;
+        prop_assert_eq!(
+            m.home_cluster(next),
+            (m.home_cluster(unit_base) + 1) % m.n_clusters
+        );
+    }
+
+    #[test]
+    fn subblock_is_consistent_with_home_and_block(m in arb_machine(), addr in 0u64..1 << 24) {
+        let sb = m.subblock_of(addr);
+        prop_assert_eq!(sb.home, m.home_cluster(addr));
+        prop_assert_eq!(sb.block, m.block_of(addr));
+        prop_assert!(sb.home < m.n_clusters);
+    }
+
+    #[test]
+    fn every_block_spans_every_cluster(m in arb_machine(), block in 0u64..1 << 16) {
+        let base = block * m.cache.block_bytes;
+        let homes: std::collections::BTreeSet<usize> = (0..m.cache.block_bytes)
+            .step_by(m.interleave_bytes as usize)
+            .map(|off| m.home_cluster(base + off))
+            .collect();
+        prop_assert_eq!(homes.len(), m.n_clusters);
+    }
+
+    #[test]
+    fn latency_classes_are_ordered(m in arb_machine()) {
+        let l = |c| m.latency_of(c);
+        prop_assert!(l(LatencyClass::LocalHit) <= l(LatencyClass::RemoteHit));
+        prop_assert!(l(LatencyClass::LocalHit) <= l(LatencyClass::LocalMiss));
+        prop_assert!(l(LatencyClass::RemoteHit) <= l(LatencyClass::RemoteMiss));
+        prop_assert!(l(LatencyClass::LocalMiss) <= l(LatencyClass::RemoteMiss));
+    }
+
+    #[test]
+    fn module_capacity_is_exact(m in arb_machine()) {
+        let derived = m.module_sets() as u64 * m.subblock_bytes() * m.cache.assoc as u64;
+        prop_assert_eq!(derived, m.module_bytes());
+    }
+}

@@ -1,0 +1,39 @@
+//! Criterion benches for the coherence passes themselves: chain finding,
+//! the DDG transformation and code specialization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use distvliw_coherence::{chain_stats, find_chains, specialize_kernel, transform};
+use std::hint::black_box;
+
+fn bench_coherence(c: &mut Criterion) {
+    let suite = distvliw_mediabench::suite("epicdec").expect("bundled benchmark");
+    let kernel = &suite.kernels[0]; // the 76-memory-op chain loop
+
+    c.bench_function("coherence/find_chains/epicdec", |b| {
+        b.iter(|| find_chains(black_box(&kernel.ddg)));
+    });
+
+    c.bench_function("coherence/ddgt_transform/epicdec", |b| {
+        b.iter(|| {
+            let mut g = kernel.ddg.clone();
+            transform(black_box(&mut g), 4)
+        });
+    });
+
+    c.bench_function("coherence/specialize/epicdec", |b| {
+        b.iter(|| specialize_kernel(black_box(kernel)));
+    });
+
+    c.bench_function("coherence/chain_stats/all_benchmarks", |b| {
+        let suites = distvliw_mediabench::suites();
+        b.iter(|| {
+            suites
+                .iter()
+                .map(|s| chain_stats(black_box(s.kernels.iter())))
+                .collect::<Vec<_>>()
+        });
+    });
+}
+
+criterion_group!(benches, bench_coherence);
+criterion_main!(benches);

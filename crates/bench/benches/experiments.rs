@@ -1,0 +1,80 @@
+//! Criterion benches over the experiment drivers: one full
+//! benchmark-suite pipeline run per paper artifact, exercising the same
+//! code paths as the reproduction binaries (`fig6`, `fig7`, `fig9`,
+//! `table3`, `table4`, `table5`, `nobal`, `loops`) at a reduced
+//! iteration budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use distvliw_arch::{AttractionBufferConfig, MachineConfig};
+use distvliw_core::experiments::{table3, table5};
+use distvliw_core::{Heuristic, Pipeline, Solution};
+use std::hint::black_box;
+
+fn quick_pipeline(machine: MachineConfig) -> Pipeline {
+    Pipeline::new(machine).with_options(distvliw_bench::quick_options())
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+
+    // Figure 6 / Figure 7 path: the three solutions on one benchmark.
+    let suite = distvliw_mediabench::suite("gsmdec").expect("bundled benchmark");
+    group.bench_function("fig6_fig7/gsmdec_all_solutions", |b| {
+        let p = quick_pipeline(MachineConfig::paper_baseline());
+        b.iter(|| {
+            for solution in [Solution::Free, Solution::Mdc, Solution::Ddgt] {
+                let stats =
+                    p.run_suite(black_box(&suite), solution, Heuristic::PrefClus).unwrap();
+                black_box(stats);
+            }
+        });
+    });
+
+    // Figure 9 path: the same with Attraction Buffers.
+    group.bench_function("fig9/gsmdec_mdc_with_abs", |b| {
+        let machine = MachineConfig::paper_baseline()
+            .with_attraction_buffers(AttractionBufferConfig::paper());
+        let p = quick_pipeline(machine);
+        b.iter(|| p.run_suite(black_box(&suite), Solution::Mdc, Heuristic::PrefClus).unwrap());
+    });
+
+    // Table 3 (static analysis over all benchmarks).
+    group.bench_function("table3/all_benchmarks", |b| {
+        b.iter(|| black_box(table3()));
+    });
+
+    // Table 4 path: communication-operation comparison on one benchmark.
+    group.bench_function("table4/pgpenc_comm_ratio", |b| {
+        let p = quick_pipeline(MachineConfig::paper_baseline());
+        let suite = distvliw_mediabench::suite("pgpenc").unwrap();
+        b.iter(|| {
+            let mdc = p.run_suite(&suite, Solution::Mdc, Heuristic::PrefClus).unwrap();
+            let ddgt = p.run_suite(&suite, Solution::Ddgt, Heuristic::PrefClus).unwrap();
+            black_box(ddgt.total.comm_ops as f64 / mdc.total.comm_ops.max(1) as f64)
+        });
+    });
+
+    // Table 5 (code specialization).
+    group.bench_function("table5/specialization", |b| {
+        b.iter(|| black_box(table5()));
+    });
+
+    // NOBAL path: one benchmark on the unbalanced machines.
+    group.bench_function("nobal/rasta_both_configs", |b| {
+        let suite = distvliw_mediabench::suite("rasta").unwrap();
+        let mem = quick_pipeline(MachineConfig::nobal_mem());
+        let reg = quick_pipeline(MachineConfig::nobal_reg());
+        b.iter(|| {
+            for p in [&mem, &reg] {
+                let s = p.run_suite(black_box(&suite), Solution::Ddgt, Heuristic::PrefClus);
+                black_box(s.unwrap());
+            }
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

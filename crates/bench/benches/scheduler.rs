@@ -1,0 +1,60 @@
+//! Criterion benches for the modulo scheduler: the compile-time cost of
+//! each coherence solution on a small and a large chained loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use distvliw_arch::MachineConfig;
+use distvliw_coherence::{find_chains, transform, SchedConstraints};
+use distvliw_ir::profile::preferred_clusters;
+use distvliw_sched::{Heuristic, ModuloScheduler};
+use std::hint::black_box;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let machine = MachineConfig::paper_baseline();
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(10);
+
+    for bench in ["gsmdec", "epicdec"] {
+        let suite = distvliw_mediabench::suite(bench).expect("bundled benchmark");
+        let m = machine.clone().with_interleave(suite.interleave_bytes);
+        let kernel = &suite.kernels[0];
+        let prefs = preferred_clusters(kernel, m.n_clusters, |a| m.home_cluster(a));
+
+        group.bench_function(format!("{bench}/free"), |b| {
+            b.iter(|| {
+                ModuloScheduler::new(&m)
+                    .schedule(
+                        black_box(&kernel.ddg),
+                        &SchedConstraints::none(),
+                        &prefs,
+                        Heuristic::MinComs,
+                    )
+                    .unwrap()
+            });
+        });
+
+        let chains = find_chains(&kernel.ddg);
+        let mdc = SchedConstraints::for_mdc(&chains, &kernel.ddg, Some(&prefs), m.n_clusters);
+        group.bench_function(format!("{bench}/mdc"), |b| {
+            b.iter(|| {
+                ModuloScheduler::new(&m)
+                    .schedule(black_box(&kernel.ddg), &mdc, &prefs, Heuristic::PrefClus)
+                    .unwrap()
+            });
+        });
+
+        let mut ddgt_kernel = kernel.clone();
+        let report = transform(&mut ddgt_kernel.ddg, m.n_clusters);
+        let ddgt = SchedConstraints::for_ddgt(&report);
+        group.bench_function(format!("{bench}/ddgt"), |b| {
+            b.iter(|| {
+                ModuloScheduler::new(&m)
+                    .schedule(black_box(&ddgt_kernel.ddg), &ddgt, &prefs, Heuristic::PrefClus)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benches for the cycle-level simulator: throughput of the
+//! lockstep engine with and without Attraction Buffers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use distvliw_arch::{AttractionBufferConfig, MachineConfig};
+use distvliw_coherence::{find_chains, SchedConstraints};
+use distvliw_ir::profile::preferred_clusters;
+use distvliw_sched::{Heuristic, ModuloScheduler};
+use distvliw_sim::{simulate_kernel, SimOptions};
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let suite = distvliw_mediabench::suite("pgpdec").expect("bundled benchmark");
+    let base = MachineConfig::paper_baseline().with_interleave(suite.interleave_bytes);
+    let with_ab = base.clone().with_attraction_buffers(AttractionBufferConfig::paper());
+    let kernel = &suite.kernels[0];
+    let prefs = preferred_clusters(kernel, base.n_clusters, |a| base.home_cluster(a));
+    let chains = find_chains(&kernel.ddg);
+    let constraints = SchedConstraints::for_mdc(&chains, &kernel.ddg, Some(&prefs), 4);
+    let schedule = ModuloScheduler::new(&base)
+        .schedule(&kernel.ddg, &constraints, &prefs, Heuristic::PrefClus)
+        .expect("schedulable");
+
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+    group.bench_function("pgpdec_mdc/256_iters", |b| {
+        b.iter(|| {
+            simulate_kernel(black_box(&base), kernel, &schedule, SimOptions::default())
+        });
+    });
+    group.bench_function("pgpdec_mdc/256_iters_with_abs", |b| {
+        b.iter(|| {
+            simulate_kernel(black_box(&with_ab), kernel, &schedule, SimOptions::default())
+        });
+    });
+    group.bench_function("pgpdec_mdc/no_violation_detection", |b| {
+        let opts = SimOptions { detect_violations: false, ..SimOptions::default() };
+        b.iter(|| simulate_kernel(black_box(&base), kernel, &schedule, opts));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Ablation studies called out by the paper and by `DESIGN.md`:
+//!
+//! 1. **32 register buses** (paper Section 4.2: "the benchmarks were
+//!    simulated using an upper bound of 32 register-to-register buses and
+//!    compute time was not reduced much") — shows that at 4 buses the
+//!    DDGT bottleneck is the extra stores and edges, not communications.
+//! 2. **Attraction Buffer capacity sweep** on the epicdec chain loop
+//!    (Section 5.4's mechanism: MDC overflows one buffer, DDGT uses all
+//!    four).
+//! 3. **Cache-sensitive latency assignment on/off** — the scheduler's
+//!    compute/stall trade-off (paper Section 2.2 / [21]).
+
+use distvliw_arch::{AttractionBufferConfig, BusConfig, MachineConfig};
+use distvliw_core::{Heuristic, Pipeline, PipelineOptions, Solution};
+
+fn main() {
+    bus_upper_bound();
+    ab_capacity_sweep();
+    latency_assignment();
+}
+
+/// DDGT compute time with 4 vs 32 register buses.
+fn bus_upper_bound() {
+    println!("== Ablation 1: register-bus upper bound (DDGT, PrefClus) ==");
+    println!(
+        "{:<10} | {:>14} {:>14} | {:>9}",
+        "benchmark", "compute @4bus", "compute @32bus", "reduction"
+    );
+    let four = Pipeline::new(MachineConfig::paper_baseline());
+    let many = Pipeline::new(
+        MachineConfig::paper_baseline().with_reg_buses(BusConfig { count: 32, latency: 2 }),
+    );
+    for name in ["epicdec", "pgpdec", "pgpenc", "rasta"] {
+        let suite = distvliw_mediabench::suite(name).expect("bundled benchmark");
+        let a = four.run_suite(&suite, Solution::Ddgt, Heuristic::PrefClus).unwrap();
+        let b = many.run_suite(&suite, Solution::Ddgt, Heuristic::PrefClus).unwrap();
+        let reduction = 1.0 - b.total.compute_cycles as f64 / a.total.compute_cycles.max(1) as f64;
+        println!(
+            "{:<10} | {:>14} {:>14} | {:>8.1}%",
+            name,
+            a.total.compute_cycles,
+            b.total.compute_cycles,
+            reduction * 100.0
+        );
+    }
+    println!();
+}
+
+/// Local-hit ratio of the epicdec chain loop vs AB capacity.
+fn ab_capacity_sweep() {
+    println!("== Ablation 2: Attraction Buffer capacity (epicdec chain loop) ==");
+    println!("{:<10} | {:>14} {:>14}", "entries", "MDC local-hit", "DDGT local-hit");
+    let suite = distvliw_mediabench::suite("epicdec").expect("bundled benchmark");
+    let chained = &suite.kernels[0];
+    for entries in [0usize, 4, 8, 16, 32, 64] {
+        let mut machine =
+            MachineConfig::paper_baseline().with_interleave(suite.interleave_bytes);
+        if entries > 0 {
+            machine = machine
+                .with_attraction_buffers(AttractionBufferConfig { entries, assoc: 2 });
+        }
+        let p = Pipeline::new(machine);
+        let mdc = p.run_kernel(chained, Solution::Mdc, Heuristic::PrefClus).unwrap();
+        let ddgt = p.run_kernel(chained, Solution::Ddgt, Heuristic::PrefClus).unwrap();
+        println!(
+            "{:<10} | {:>13.1}% {:>13.1}%",
+            entries,
+            mdc.stats.local_hit_ratio() * 100.0,
+            ddgt.stats.local_hit_ratio() * 100.0
+        );
+    }
+    println!();
+}
+
+/// Compute/stall with and without the latency-assignment relaxation.
+fn latency_assignment() {
+    println!("== Ablation 3: cache-sensitive latency assignment (MDC, PrefClus) ==");
+    println!(
+        "{:<10} | {:>10} {:>10} | {:>10} {:>10}",
+        "benchmark", "compute+", "stall+", "compute-", "stall-"
+    );
+    let on = Pipeline::new(MachineConfig::paper_baseline());
+    let off = Pipeline::new(MachineConfig::paper_baseline()).with_options(PipelineOptions {
+        relax_latencies: false,
+        ..PipelineOptions::default()
+    });
+    for name in ["gsmdec", "pgpdec", "rasta"] {
+        let suite = distvliw_mediabench::suite(name).expect("bundled benchmark");
+        let a = on.run_suite(&suite, Solution::Mdc, Heuristic::PrefClus).unwrap();
+        let b = off.run_suite(&suite, Solution::Mdc, Heuristic::PrefClus).unwrap();
+        println!(
+            "{:<10} | {:>10} {:>10} | {:>10} {:>10}",
+            name,
+            a.total.compute_cycles,
+            a.total.stall_cycles,
+            b.total.compute_cycles,
+            b.total.stall_cycles
+        );
+    }
+    println!("(+ = relaxation on: larger assumed latencies trade stall for compute)");
+}

@@ -1,0 +1,17 @@
+//! Reproduces **Figure 6**: classification of memory accesses into local
+//! hits, remote hits, local misses, remote misses and combined accesses
+//! under the PrefClus heuristic, for Free / MDC / DDGT.
+
+use distvliw_core::experiments::fig6;
+use distvliw_core::report::render_fig6;
+
+fn main() {
+    let machine = distvliw_bench::paper_machine();
+    match fig6(&machine) {
+        Ok(rows) => print!("{}", render_fig6(&rows)),
+        Err(e) => {
+            eprintln!("fig6 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

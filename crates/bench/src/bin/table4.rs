@@ -1,0 +1,17 @@
+//! Reproduces **Table 4**: the ratio of DDGT to MDC communication
+//! operations and the DDGT speedup on the selected loops (loops with at
+//! least a 10% MDC slowdown versus the Free baseline), under PrefClus.
+
+use distvliw_core::experiments::table4;
+use distvliw_core::report::render_table4;
+
+fn main() {
+    let machine = distvliw_bench::paper_machine();
+    match table4(&machine) {
+        Ok(rows) => print!("{}", render_table4(&rows)),
+        Err(e) => {
+            eprintln!("table4 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Shared helpers for the reproduction binaries and Criterion benches.
+
+#![forbid(unsafe_code)]
+
+use distvliw_arch::MachineConfig;
+use distvliw_core::PipelineOptions;
+use distvliw_sim::SimOptions;
+
+/// The paper's Table 2 machine.
+#[must_use]
+pub fn paper_machine() -> MachineConfig {
+    MachineConfig::paper_baseline()
+}
+
+/// Pipeline options with a reduced iteration cap, for quick benches.
+#[must_use]
+pub fn quick_options() -> PipelineOptions {
+    PipelineOptions {
+        sim: SimOptions { max_iterations: 128, detect_violations: false },
+        ..PipelineOptions::default()
+    }
+}

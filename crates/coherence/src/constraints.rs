@@ -1,0 +1,163 @@
+//! Cluster-assignment constraints handed to the modulo scheduler.
+//!
+//! Both solutions restrict where memory instructions may be scheduled:
+//!
+//! * **MDC** produces *colocation groups* (one per nontrivial chain). With
+//!   the PrefClus heuristic the group's target cluster is precomputed as
+//!   the chain's average preferred cluster; with MinComs the scheduler
+//!   fixes the group's cluster when it schedules the first member.
+//! * **DDGT** produces *pins*: instance `k` of a replicated store must be
+//!   scheduled in cluster `k`, so exactly one instance is local to every
+//!   possible home of the access.
+
+use std::collections::BTreeMap;
+
+use distvliw_ir::{Ddg, NodeId, PrefMap};
+
+use crate::ddgt::DdgtReport;
+use crate::mdc::MemDepChains;
+
+/// Placement constraints for one DDG.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchedConstraints {
+    /// Nodes sharing a value must be scheduled in the same cluster.
+    pub colocate: BTreeMap<NodeId, u32>,
+    /// Pre-decided cluster per colocation group (PrefClus only).
+    pub group_target: BTreeMap<u32, usize>,
+    /// Hard per-node cluster pins (DDGT replica instances).
+    pub pinned: BTreeMap<NodeId, usize>,
+}
+
+impl SchedConstraints {
+    /// No constraints: the unsound "free scheduling" baseline of the
+    /// paper's evaluation.
+    #[must_use]
+    pub fn none() -> Self {
+        SchedConstraints::default()
+    }
+
+    /// Constraints for the MDC solution.
+    ///
+    /// Every nontrivial chain becomes a colocation group. When `prefs` is
+    /// `Some`, each group is targeted at the chain's average preferred
+    /// cluster (the PrefClus strategy); with `None` the target is left to
+    /// the scheduler (the MinComs strategy).
+    #[must_use]
+    pub fn for_mdc(
+        chains: &MemDepChains,
+        ddg: &Ddg,
+        prefs: Option<&PrefMap>,
+        n_clusters: usize,
+    ) -> Self {
+        let mut c = SchedConstraints::default();
+        let mut next_group = 0u32;
+        for (idx, members) in chains.nontrivial() {
+            let group = next_group;
+            next_group += 1;
+            for &n in members {
+                c.colocate.insert(n, group);
+            }
+            if let Some(prefs) = prefs {
+                let target = chains.average_preferred_cluster(idx, ddg, prefs, n_clusters);
+                c.group_target.insert(group, target);
+            }
+        }
+        c
+    }
+
+    /// Constraints for the DDGT solution: pin instance `k` of every
+    /// replica group to cluster `k`.
+    #[must_use]
+    pub fn for_ddgt(report: &DdgtReport) -> Self {
+        let mut c = SchedConstraints::default();
+        for group in &report.replica_groups {
+            for (k, &inst) in group.instances.iter().enumerate() {
+                c.pinned.insert(inst, k);
+            }
+        }
+        c
+    }
+
+    /// Whether node `n` is constrained in any way.
+    #[must_use]
+    pub fn is_constrained(&self, n: NodeId) -> bool {
+        self.colocate.contains_key(&n) || self.pinned.contains_key(&n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddgt::transform;
+    use crate::mdc::find_chains;
+    use distvliw_ir::{DdgBuilder, DepKind, PrefInfo, Width};
+
+    fn chained_graph() -> (Ddg, NodeId, NodeId) {
+        let mut b = DdgBuilder::new();
+        let l = b.load(Width::W4);
+        let s = b.store(Width::W4, &[l]);
+        b.dep(l, s, DepKind::MemAnti, 0);
+        let g = b.finish();
+        (g, l, s)
+    }
+
+    #[test]
+    fn none_is_unconstrained() {
+        let (g, l, s) = chained_graph();
+        let c = SchedConstraints::none();
+        assert!(!c.is_constrained(l));
+        assert!(!c.is_constrained(s));
+        let _ = g;
+    }
+
+    #[test]
+    fn mdc_prefclus_targets_average_cluster() {
+        let (g, l, s) = chained_graph();
+        let chains = find_chains(&g);
+        let mut prefs = PrefMap::new();
+        prefs.insert(g.node(l).mem_id().unwrap(), PrefInfo::from_counts(vec![0, 80, 20, 0]));
+        prefs.insert(g.node(s).mem_id().unwrap(), PrefInfo::from_counts(vec![30, 30, 40, 0]));
+        let c = SchedConstraints::for_mdc(&chains, &g, Some(&prefs), 4);
+        let gl = c.colocate[&l];
+        assert_eq!(gl, c.colocate[&s]);
+        // merged = {30, 110, 60, 0} → cluster 1.
+        assert_eq!(c.group_target[&gl], 1);
+        assert!(c.is_constrained(l));
+    }
+
+    #[test]
+    fn mdc_mincoms_leaves_target_open() {
+        let (g, l, s) = chained_graph();
+        let chains = find_chains(&g);
+        let c = SchedConstraints::for_mdc(&chains, &g, None, 4);
+        assert_eq!(c.colocate[&l], c.colocate[&s]);
+        assert!(c.group_target.is_empty());
+    }
+
+    #[test]
+    fn singleton_chains_are_unconstrained() {
+        let mut b = DdgBuilder::new();
+        let l1 = b.load(Width::W4);
+        let l2 = b.load(Width::W4);
+        let g = b.finish();
+        let chains = find_chains(&g);
+        let c = SchedConstraints::for_mdc(&chains, &g, None, 4);
+        assert!(!c.is_constrained(l1));
+        assert!(!c.is_constrained(l2));
+    }
+
+    #[test]
+    fn ddgt_pins_one_instance_per_cluster() {
+        let (mut g, l, _s) = chained_graph();
+        let report = transform(&mut g, 4);
+        let c = SchedConstraints::for_ddgt(&report);
+        assert_eq!(report.replica_groups.len(), 1);
+        let group = &report.replica_groups[0];
+        let mut clusters: Vec<usize> =
+            group.instances.iter().map(|i| c.pinned[i]).collect();
+        clusters.sort_unstable();
+        assert_eq!(clusters, vec![0, 1, 2, 3]);
+        // Loads stay free.
+        assert!(!c.is_constrained(l));
+    }
+}

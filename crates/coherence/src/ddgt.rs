@@ -1,0 +1,469 @@
+//! Data Dependence Graph Transformations (the DDGT solution, paper
+//! Section 3.3).
+//!
+//! Two transformations applied to the original DDG:
+//!
+//! 1. **Store replication** — every store with a memory dependence is
+//!    replicated `N−1` times (N = clusters); the scheduler pins one
+//!    instance per cluster. At run time only the instance in the access's
+//!    home cluster commits; the rest are nullified. Updates therefore
+//!    always happen locally and memory-flow / memory-output dependences
+//!    need no cross-cluster ordering.
+//! 2. **Load–store synchronization** — each memory-anti dependence
+//!    `load L → store S` is replaced by a SYNC dependence from a consumer
+//!    of `L` to `S`: in a stall-on-use processor, once the consumer has
+//!    issued, `L` has completed, so `S` can safely overwrite the location.
+//!    When the chosen consumer would close an impossible (zero-distance)
+//!    cycle — the paper's `n1/n3/n4` case — a *fake consumer*
+//!    (`add r0 = r0 + r27`) is created instead.
+
+use std::collections::BTreeMap;
+
+use distvliw_ir::{Ddg, DepKind, NodeId, OpKind, Operation};
+
+/// One replicated store: the original node and its clones, one per
+/// cluster. `instances[k]` must be scheduled in cluster `k`; by convention
+/// the original occupies index 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaGroup {
+    /// The original store.
+    pub root: NodeId,
+    /// All N instances (original first).
+    pub instances: Vec<NodeId>,
+}
+
+/// Outcome summary of [`transform`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DdgtReport {
+    /// Store-replication groups (one per memory-dependent store).
+    pub replica_groups: Vec<ReplicaGroup>,
+    /// Fake consumers created while handling MA dependences.
+    pub fake_consumers: Vec<NodeId>,
+    /// Number of SYNC edges added.
+    pub sync_edges: usize,
+    /// Number of MA edges removed (all of them).
+    pub removed_ma: usize,
+    /// MA edges found redundant because a register-flow edge with the
+    /// same distance already orders the pair.
+    pub redundant_ma: usize,
+}
+
+impl DdgtReport {
+    /// The replica group containing `n` (as root or instance), if any.
+    #[must_use]
+    pub fn group_of(&self, n: NodeId) -> Option<&ReplicaGroup> {
+        self.replica_groups
+            .iter()
+            .find(|g| g.root == n || g.instances.contains(&n))
+    }
+}
+
+/// Applies the paper's `transform_DDG()` to `ddg` for an `n_clusters`
+/// machine. After the call the graph contains **no memory-anti edges**,
+/// every memory-dependent store has exactly `n_clusters` instances, and
+/// the graph is still free of zero-distance cycles.
+///
+/// # Panics
+///
+/// Panics if `n_clusters` is zero, or if the input graph already contains
+/// replicas or SYNC edges (the transformation must run once, on an
+/// untransformed graph).
+#[must_use]
+pub fn transform(ddg: &mut Ddg, n_clusters: usize) -> DdgtReport {
+    assert!(n_clusters > 0, "n_clusters must be positive");
+    assert!(
+        ddg.node_ids().all(|n| ddg.replica_of(n).is_none()),
+        "transform must run on an untransformed graph"
+    );
+    assert!(
+        ddg.deps().all(|(_, d)| d.kind != DepKind::Sync),
+        "transform must run on a graph without SYNC edges"
+    );
+
+    let mut report = DdgtReport::default();
+    replicate_stores(ddg, n_clusters, &mut report);
+    synchronize_loads_and_stores(ddg, &mut report);
+
+    debug_assert!(
+        ddg.deps().all(|(_, d)| d.kind != DepKind::MemAnti),
+        "MA edges must all be eliminated"
+    );
+    debug_assert!(!ddg.has_zero_distance_cycle(), "transformation created a cycle");
+    report
+}
+
+/// Store replication: handles MF and MO dependences.
+fn replicate_stores(ddg: &mut Ddg, n_clusters: usize, report: &mut DdgtReport) {
+    // Snapshot the dependent stores and their edges before mutating.
+    let targets: Vec<NodeId> = ddg
+        .stores()
+        .filter(|&s| ddg.is_memory_dependent(s))
+        .collect();
+    let is_target = |n: NodeId| targets.contains(&n);
+
+    // Create the clones first so that inter-group edges can be wired
+    // between same-index instances afterwards.
+    let mut groups: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+    for &s in &targets {
+        let mut instances = vec![s];
+        for _ in 1..n_clusters {
+            instances.push(ddg.clone_node(s));
+        }
+        groups.insert(s, instances);
+    }
+
+    // Replicate edges. For each original edge incident to a replicated
+    // store (snapshot of pre-clone edges):
+    //  * self MO/MA/MF edges (store vs itself across iterations) are
+    //    *redundant* after replication — if two executions alias they run
+    //    in the same home cluster through the same instance, which the
+    //    modulo schedule already serializes (paper: "not to replicate some
+    //    redundant dependences (MO dependences between a store and
+    //    itself)"). They are dropped from the originals too.
+    //  * edges between two replicated stores connect same-index instances
+    //    (paper: "replicate some newly created dependences (dependences
+    //    between a new instance of n3 and a new instance of n4)").
+    //  * edges to non-replicated nodes are cloned once per new instance.
+    let snapshot: Vec<(distvliw_ir::EdgeId, distvliw_ir::Dep)> = ddg.deps().collect();
+    for (e, d) in snapshot {
+        let src_group = is_target(d.src);
+        let dst_group = is_target(d.dst);
+        if !src_group && !dst_group {
+            continue;
+        }
+        if d.src == d.dst {
+            if d.kind.is_memory() {
+                // Redundant self dependence: same instance serializes.
+                ddg.remove_dep(e);
+            } else {
+                // A register recurrence on the store itself: replicate to
+                // each instance.
+                let insts = groups[&d.src].clone();
+                for &i in insts.iter().skip(1) {
+                    ddg.add_dep(i, i, d.kind, d.distance);
+                }
+            }
+            continue;
+        }
+        match (src_group, dst_group) {
+            (true, true) => {
+                let src_insts = groups[&d.src].clone();
+                let dst_insts = groups[&d.dst].clone();
+                for k in 1..n_clusters {
+                    ddg.add_dep(src_insts[k], dst_insts[k], d.kind, d.distance);
+                }
+            }
+            (true, false) => {
+                let src_insts = groups[&d.src].clone();
+                for &i in src_insts.iter().skip(1) {
+                    ddg.add_dep(i, d.dst, d.kind, d.distance);
+                }
+            }
+            (false, true) => {
+                let dst_insts = groups[&d.dst].clone();
+                for &i in dst_insts.iter().skip(1) {
+                    ddg.add_dep(d.src, i, d.kind, d.distance);
+                }
+            }
+            (false, false) => unreachable!(),
+        }
+    }
+
+    report.replica_groups = groups
+        .into_iter()
+        .map(|(root, instances)| ReplicaGroup { root, instances })
+        .collect();
+}
+
+/// Load–store synchronization: handles MA dependences.
+fn synchronize_loads_and_stores(ddg: &mut Ddg, report: &mut DdgtReport) {
+    // Cache of fake consumers per load, so several MA edges from the same
+    // load reuse one fake consumer (their number must stay negligible,
+    // paper Section 4.2 footnote).
+    let mut fake_for: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+
+    let ma_edges: Vec<(distvliw_ir::EdgeId, distvliw_ir::Dep)> = ddg
+        .deps()
+        .filter(|(_, d)| d.kind == DepKind::MemAnti)
+        .collect();
+    for (e, d) in ma_edges {
+        let load = d.src;
+        let store = d.dst;
+        debug_assert!(ddg.node(load).is_load(), "MA source must be a load");
+        debug_assert!(ddg.node(store).is_store(), "MA target must be a store");
+
+        // "if (not exists a register-flow dependence between L and S with
+        // distance dist)": the RF edge already orders the pair.
+        if ddg.has_rf_edge(load, store, d.distance) {
+            report.redundant_ma += 1;
+            ddg.remove_dep(e);
+            report.removed_ma += 1;
+            continue;
+        }
+
+        // "cons = select one consumer of L (if possible, not a store)".
+        let consumers: Vec<NodeId> = ddg.consumers(load).collect();
+        let natural = consumers
+            .iter()
+            .copied()
+            .find(|&c| !ddg.node(c).is_store())
+            .or(consumers.first().copied());
+
+        let cons = match natural {
+            Some(c) if !closes_impossible_cycle(ddg, c, store, d.distance) => c,
+            _ => *fake_for
+                .entry(load)
+                .or_insert_with(|| make_fake_consumer(ddg, load, report)),
+        };
+
+        ddg.add_dep(cons, store, DepKind::Sync, d.distance);
+        report.sync_edges += 1;
+        ddg.remove_dep(e);
+        report.removed_ma += 1;
+    }
+}
+
+/// The paper's guard: the consumer is a memory instruction, sequentially
+/// posterior to the store, and (same-iteration) dependent on it — so a
+/// SYNC edge `cons → store` would demand `store` both before and after
+/// `cons`. Generalized slightly: any zero-distance SYNC edge that closes a
+/// zero-distance cycle is rejected.
+fn closes_impossible_cycle(ddg: &Ddg, cons: NodeId, store: NodeId, dist: u32) -> bool {
+    let papers_condition = ddg.node(cons).is_memory()
+        && ddg.seq(cons) > ddg.seq(store)
+        && ddg.depends_on_zero_dist(cons, store);
+    if papers_condition {
+        return true;
+    }
+    dist == 0 && ddg.depends_on_zero_dist(cons, store)
+}
+
+/// Creates the paper's fake consumer: `add r0 = r0 + rX` where `rX` is the
+/// load's target register — an [`OpKind::FakeConsumer`] integer op.
+fn make_fake_consumer(ddg: &mut Ddg, load: NodeId, report: &mut DdgtReport) -> NodeId {
+    let loaded = ddg.node(load).dest.expect("loads produce a value");
+    let zero = ddg.fresh_vreg(); // stands in for the always-zero r0
+    let fake = ddg.add_operation(Operation::arith(
+        OpKind::FakeConsumer,
+        Some(zero),
+        vec![zero, loaded],
+    ));
+    ddg.add_dep(load, fake, DepKind::RegFlow, 0);
+    report.fake_consumers.push(fake);
+    fake
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distvliw_ir::{DdgBuilder, Width};
+
+    /// The paper's Figure 3 DDG (sequential order n1, n2, n3, n4, n5).
+    fn figure3() -> (Ddg, [NodeId; 5]) {
+        let mut b = DdgBuilder::new();
+        let n1 = b.load(Width::W4);
+        let n2 = b.load(Width::W4);
+        let n3 = b.store(Width::W4, &[]);
+        let n4 = b.store(Width::W4, &[n1]); // RF n1 -> n4
+        let n5 = b.op(OpKind::IntAlu, &[n2]); // RF n2 -> n5
+        b.dep(n1, n3, DepKind::MemAnti, 0);
+        b.dep(n1, n4, DepKind::MemAnti, 0);
+        b.dep(n2, n3, DepKind::MemAnti, 0);
+        b.dep(n2, n4, DepKind::MemAnti, 0);
+        b.dep(n3, n4, DepKind::MemOut, 0);
+        b.dep(n4, n3, DepKind::MemOut, 1);
+        b.dep(n3, n1, DepKind::MemFlow, 1);
+        b.dep(n3, n2, DepKind::MemFlow, 1);
+        b.dep(n4, n1, DepKind::MemFlow, 1);
+        b.dep(n4, n2, DepKind::MemFlow, 1);
+        (b.finish(), [n1, n2, n3, n4, n5])
+    }
+
+    #[test]
+    fn figure3_transform_matches_figure5() {
+        let (mut g, [n1, n2, n3, n4, n5]) = figure3();
+        let report = transform(&mut g, 4);
+
+        // Both stores replicated: "4 copies" in Figure 5.
+        assert_eq!(report.replica_groups.len(), 2);
+        for group in &report.replica_groups {
+            assert_eq!(group.instances.len(), 4);
+            assert!(group.root == n3 || group.root == n4);
+        }
+
+        // One fake consumer for the n1→n3 MA (its natural consumer n4 is
+        // a posterior, dependent store).
+        assert_eq!(report.fake_consumers.len(), 1);
+        let fake = report.fake_consumers[0];
+        assert_eq!(g.node(fake).kind, OpKind::FakeConsumer);
+        assert!(g.has_rf_edge(n1, fake, 0));
+
+        // The n1→n4 MA was redundant (RF n1→n4 exists, distance 0). The
+        // MA and RF edges were both replicated to the four instances of
+        // n4, so the redundancy fires once per instance.
+        assert_eq!(report.redundant_ma, 4);
+
+        // No MA edges left; SYNC edges exist; graph is still schedulable.
+        assert_eq!(g.deps().filter(|(_, d)| d.kind == DepKind::MemAnti).count(), 0);
+        assert!(report.sync_edges >= 2);
+        assert!(!g.has_zero_distance_cycle());
+
+        // n2's MA deps became SYNCs from its consumer n5 to store
+        // instances of n3 and n4.
+        let n5_syncs: Vec<NodeId> = g
+            .out_deps(n5)
+            .filter(|(_, d)| d.kind == DepKind::Sync)
+            .map(|(_, d)| d.dst)
+            .collect();
+        assert!(n5_syncs.iter().any(|&t| g.replica_root(t) == n3));
+        assert!(n5_syncs.iter().any(|&t| g.replica_root(t) == n4));
+        let _ = (n1, n2);
+    }
+
+    #[test]
+    fn replication_clones_memory_site_and_seq() {
+        let (mut g, [_, _, n3, _, _]) = figure3();
+        let report = transform(&mut g, 4);
+        let group = report.group_of(n3).unwrap();
+        for &i in &group.instances {
+            assert_eq!(g.node(i).mem_id(), g.node(n3).mem_id());
+            assert_eq!(g.seq(i), g.seq(n3));
+        }
+    }
+
+    #[test]
+    fn inter_group_mo_connects_same_index_instances() {
+        let (mut g, [_, _, n3, n4, _]) = figure3();
+        let report = transform(&mut g, 4);
+        let g3 = report.group_of(n3).unwrap().instances.clone();
+        let g4 = report.group_of(n4).unwrap().instances.clone();
+        for k in 0..4 {
+            // MO n3[k] -> n4[k] at distance 0 must exist.
+            assert!(
+                g.out_deps(g3[k])
+                    .any(|(_, d)| d.dst == g4[k] && d.kind == DepKind::MemOut && d.distance == 0),
+                "missing MO between instance pair {k}"
+            );
+            // And no cross-index MO.
+            for j in 0..4 {
+                if j != k {
+                    assert!(!g
+                        .out_deps(g3[k])
+                        .any(|(_, d)| d.dst == g4[j] && d.kind == DepKind::MemOut));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn independent_stores_are_not_replicated() {
+        let mut b = DdgBuilder::new();
+        let l = b.load(Width::W4);
+        let _s = b.store(Width::W4, &[l]); // only RF, no memory dependence
+        let mut g = b.finish();
+        let report = transform(&mut g, 4);
+        assert!(report.replica_groups.is_empty());
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn self_output_dependence_is_dropped() {
+        let mut b = DdgBuilder::new();
+        let s = b.store(Width::W4, &[]);
+        let l = b.load(Width::W4);
+        b.dep(s, s, DepKind::MemOut, 1); // store aliases itself across iterations
+        b.dep(s, l, DepKind::MemFlow, 1);
+        let mut g = b.finish();
+        let report = transform(&mut g, 4);
+        assert_eq!(report.replica_groups.len(), 1);
+        // No instance keeps a self MO edge.
+        for &i in &report.replica_groups[0].instances {
+            assert_eq!(g.out_deps(i).filter(|(_, d)| d.dst == i).count(), 0);
+        }
+    }
+
+    #[test]
+    fn ma_with_rf_same_distance_is_simply_removed() {
+        let mut b = DdgBuilder::new();
+        let l = b.load(Width::W4);
+        let s = b.store(Width::W4, &[l]); // RF l→s, d=0
+        b.dep(l, s, DepKind::MemAnti, 0);
+        let mut g = b.finish();
+        let report = transform(&mut g, 2);
+        // One MA per store instance, each redundant through its own
+        // replicated RF edge.
+        assert_eq!(report.redundant_ma, 2);
+        assert_eq!(report.sync_edges, 0);
+        assert!(report.fake_consumers.is_empty());
+    }
+
+    #[test]
+    fn ma_with_rf_different_distance_still_synchronizes() {
+        let mut b = DdgBuilder::new();
+        let l = b.load(Width::W4);
+        let s = b.store(Width::W4, &[l]); // RF l→s at d=0
+        b.dep(l, s, DepKind::MemAnti, 1); // but the MA is loop-carried
+        let mut g = b.finish();
+        let report = transform(&mut g, 2);
+        assert_eq!(report.redundant_ma, 0);
+        // One SYNC per store instance.
+        assert_eq!(report.sync_edges, 2);
+        // The SYNC edge keeps the MA's distance.
+        assert!(g
+            .deps()
+            .any(|(_, d)| d.kind == DepKind::Sync && d.distance == 1));
+    }
+
+    #[test]
+    fn load_without_consumer_gets_fake_consumer() {
+        let mut b = DdgBuilder::new();
+        let l = b.load(Width::W4); // dead load
+        let s = b.store(Width::W4, &[]);
+        b.dep(l, s, DepKind::MemAnti, 0);
+        let mut g = b.finish();
+        let report = transform(&mut g, 2);
+        assert_eq!(report.fake_consumers.len(), 1);
+        // One SYNC per store instance, both through the shared fake consumer.
+        assert_eq!(report.sync_edges, 2);
+    }
+
+    #[test]
+    fn fake_consumer_is_shared_across_ma_edges_of_one_load() {
+        let mut b = DdgBuilder::new();
+        let l = b.load(Width::W4);
+        let s1 = b.store(Width::W4, &[]);
+        let s2 = b.store(Width::W4, &[]);
+        b.dep(l, s1, DepKind::MemAnti, 0);
+        b.dep(l, s2, DepKind::MemAnti, 0);
+        b.dep(s1, s2, DepKind::MemOut, 0);
+        let mut g = b.finish();
+        let report = transform(&mut g, 4);
+        assert_eq!(report.fake_consumers.len(), 1);
+        // Two stores × four instances each.
+        assert_eq!(report.sync_edges, 8);
+    }
+
+    #[test]
+    fn transform_result_has_no_zero_distance_cycle() {
+        let (mut g, _) = figure3();
+        let _ = transform(&mut g, 4);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "untransformed")]
+    fn transform_rejects_double_application() {
+        let (mut g, _) = figure3();
+        let _ = transform(&mut g, 4);
+        let _ = transform(&mut g, 4);
+    }
+
+    #[test]
+    fn two_cluster_replication_count() {
+        let (mut g, _) = figure3();
+        let before = g.node_count();
+        let report = transform(&mut g, 2);
+        // Each of the 2 dependent stores gains 1 clone; plus 1 fake consumer.
+        assert_eq!(g.node_count(), before + 2 + report.fake_consumers.len());
+    }
+}

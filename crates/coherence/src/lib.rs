@@ -1,0 +1,34 @@
+//! The paper's contribution: local scheduling techniques that guarantee
+//! memory coherence on a clustered VLIW processor with a distributed data
+//! cache, **without any extra hardware**.
+//!
+//! Two alternative solutions are provided (paper Section 3):
+//!
+//! * [`mdc`] — *Memory Dependent Chains*: sets of transitively
+//!   memory-dependent instructions are computed and constrained to a
+//!   single cluster, where in-order issue serializes them.
+//! * [`ddgt`] — *Data Dependence Graph Transformations*: *store
+//!   replication* eliminates memory-flow/output dependences by executing
+//!   every dependent store's update in its home cluster, and *load–store
+//!   synchronization* replaces memory-anti dependences by SYNC edges from
+//!   a consumer of the load (possibly a freshly created *fake consumer*).
+//!
+//! [`specialize`] implements the code-specialization extension of paper
+//! Section 6: loop versioning that discards may-alias dependences which
+//! never materialize at run time, shrinking the chains MDC must colocate.
+//!
+//! [`constraints`] packages the output of either solution in the form the
+//! modulo scheduler consumes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constraints;
+pub mod ddgt;
+pub mod mdc;
+pub mod specialize;
+
+pub use constraints::SchedConstraints;
+pub use ddgt::{transform, DdgtReport};
+pub use mdc::{chain_stats, find_chains, ChainStats, MemDepChains};
+pub use specialize::{specialize_kernel, SpecializationReport};

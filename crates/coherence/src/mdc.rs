@@ -1,0 +1,336 @@
+//! Memory Dependent Chains (the MDC solution, paper Section 3.2).
+//!
+//! A *memory dependent chain* is a maximal set of memory instructions
+//! connected (in either direction, transitively) by memory dependence
+//! edges. Scheduling a whole chain in one cluster guarantees serialization
+//! of any aliasing pair: same-cluster memory operations issue in program
+//! order and reach their home cluster in program order too.
+
+use std::collections::BTreeMap;
+
+use distvliw_ir::{Ddg, LoopKernel, NodeId, PrefInfo, PrefMap};
+
+/// Disjoint-set forest over node indices.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect(), rank: vec![0; n] }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        match self.rank[ra as usize].cmp(&self.rank[rb as usize]) {
+            std::cmp::Ordering::Less => self.parent[ra as usize] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb as usize] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb as usize] = ra;
+                self.rank[ra as usize] += 1;
+            }
+        }
+    }
+}
+
+/// The memory dependent chains of one DDG.
+///
+/// Every memory instruction belongs to exactly one chain; instructions
+/// with no memory dependences form singleton chains (which impose no
+/// placement constraint).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemDepChains {
+    chains: Vec<Vec<NodeId>>,
+    by_node: BTreeMap<NodeId, usize>,
+}
+
+impl MemDepChains {
+    /// All chains, each sorted by node id. Includes singletons.
+    #[must_use]
+    pub fn chains(&self) -> &[Vec<NodeId>] {
+        &self.chains
+    }
+
+    /// The chain index of a memory instruction, if it is one.
+    #[must_use]
+    pub fn chain_of(&self, n: NodeId) -> Option<usize> {
+        self.by_node.get(&n).copied()
+    }
+
+    /// The members of chain `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn members(&self, idx: usize) -> &[NodeId] {
+        &self.chains[idx]
+    }
+
+    /// Chains with at least two members — the ones that actually constrain
+    /// the cluster assignment.
+    pub fn nontrivial(&self) -> impl Iterator<Item = (usize, &[NodeId])> + '_ {
+        self.chains
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.len() >= 2)
+            .map(|(i, c)| (i, c.as_slice()))
+    }
+
+    /// Size of the biggest nontrivial chain (0 when there is none), in
+    /// static memory instructions.
+    #[must_use]
+    pub fn biggest_len(&self) -> usize {
+        self.nontrivial().map(|(_, c)| c.len()).max().unwrap_or(0)
+    }
+
+    /// The paper's *average preferred cluster* of a chain: the cluster
+    /// with the highest accumulated profile count over all members
+    /// (Section 3.2: "the average preferred cluster of the whole chain").
+    ///
+    /// Members without profile data contribute nothing; if no member has
+    /// data the result is cluster 0.
+    #[must_use]
+    pub fn average_preferred_cluster(
+        &self,
+        idx: usize,
+        ddg: &Ddg,
+        prefs: &PrefMap,
+        n_clusters: usize,
+    ) -> usize {
+        let mut acc = PrefInfo::new(n_clusters);
+        for &n in self.members(idx) {
+            if let Some(mem) = ddg.node(n).mem_id() {
+                if let Some(info) = prefs.get(&mem) {
+                    acc.merge(info);
+                }
+            }
+        }
+        acc.preferred()
+    }
+}
+
+/// Computes the memory dependent chains of `ddg` by union-find over its
+/// memory dependence edges (MF, MA, MO — SYNC edges do not merge chains).
+#[must_use]
+pub fn find_chains(ddg: &Ddg) -> MemDepChains {
+    let mut uf = UnionFind::new(ddg.node_count());
+    for (_, d) in ddg.mem_dep_edges() {
+        uf.union(d.src.0, d.dst.0);
+    }
+    let mut roots: BTreeMap<u32, usize> = BTreeMap::new();
+    let mut chains: Vec<Vec<NodeId>> = Vec::new();
+    let mut by_node = BTreeMap::new();
+    for n in ddg.mem_nodes().collect::<Vec<_>>() {
+        let root = uf.find(n.0);
+        let idx = *roots.entry(root).or_insert_with(|| {
+            chains.push(Vec::new());
+            chains.len() - 1
+        });
+        chains[idx].push(n);
+        by_node.insert(n, idx);
+    }
+    MemDepChains { chains, by_node }
+}
+
+/// The paper's Table 3 ratios for one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChainStats {
+    /// *Biggest Chain over Memory instructions Ratio*: dynamic memory
+    /// instructions in the biggest chain of each loop over all dynamic
+    /// memory instructions.
+    pub cmr: f64,
+    /// *Biggest Chain over All instructions Ratio*: same numerator over
+    /// all dynamic instructions.
+    pub car: f64,
+}
+
+/// Computes CMR and CAR over a set of weighted loop kernels (paper
+/// Section 4.2, Table 3).
+#[must_use]
+pub fn chain_stats<'a>(kernels: impl IntoIterator<Item = &'a LoopKernel>) -> ChainStats {
+    let mut biggest_dyn = 0u128;
+    let mut mem_dyn = 0u128;
+    let mut all_dyn = 0u128;
+    for k in kernels {
+        let chains = find_chains(&k.ddg);
+        let weight = u128::from(k.dyn_iterations());
+        biggest_dyn += chains.biggest_len() as u128 * weight;
+        mem_dyn += u128::from(k.dyn_mem_accesses());
+        all_dyn += u128::from(k.dyn_ops());
+    }
+    let ratio = |num: u128, den: u128| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+    ChainStats { cmr: ratio(biggest_dyn, mem_dyn), car: ratio(biggest_dyn, all_dyn) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distvliw_ir::{AddressStream, DdgBuilder, DepKind, OpKind, PrefInfo, Width};
+
+    /// The paper's Figure 3 graph: {n1, n2, n3, n4} form one chain, n5 is
+    /// not a memory op.
+    fn figure3() -> (Ddg, [NodeId; 5]) {
+        let mut b = DdgBuilder::new();
+        let n1 = b.load(Width::W4);
+        let n2 = b.load(Width::W4);
+        let n3 = b.store(Width::W4, &[]);
+        let n4 = b.store(Width::W4, &[n1]);
+        let n5 = b.op(OpKind::IntAlu, &[n2]);
+        b.dep(n1, n3, DepKind::MemAnti, 0);
+        b.dep(n1, n4, DepKind::MemAnti, 0);
+        b.dep(n2, n3, DepKind::MemAnti, 0);
+        b.dep(n2, n4, DepKind::MemAnti, 0);
+        b.dep(n3, n4, DepKind::MemOut, 0);
+        b.dep(n4, n3, DepKind::MemOut, 1);
+        b.dep(n3, n1, DepKind::MemFlow, 1);
+        b.dep(n4, n2, DepKind::MemFlow, 1);
+        (b.finish(), [n1, n2, n3, n4, n5])
+    }
+
+    #[test]
+    fn figure3_is_one_chain() {
+        let (g, [n1, n2, n3, n4, n5]) = figure3();
+        let chains = find_chains(&g);
+        assert_eq!(chains.nontrivial().count(), 1);
+        assert_eq!(chains.biggest_len(), 4);
+        let idx = chains.chain_of(n1).unwrap();
+        for n in [n2, n3, n4] {
+            assert_eq!(chains.chain_of(n), Some(idx));
+        }
+        assert_eq!(chains.chain_of(n5), None);
+    }
+
+    #[test]
+    fn independent_mem_ops_form_singletons() {
+        let mut b = DdgBuilder::new();
+        let l1 = b.load(Width::W2);
+        let l2 = b.load(Width::W2);
+        let _ = b.op(OpKind::IntAlu, &[l1, l2]);
+        let g = b.finish();
+        let chains = find_chains(&g);
+        assert_eq!(chains.nontrivial().count(), 0);
+        assert_eq!(chains.biggest_len(), 0);
+        assert_ne!(chains.chain_of(l1), chains.chain_of(l2));
+    }
+
+    #[test]
+    fn two_disjoint_chains() {
+        let mut b = DdgBuilder::new();
+        let a1 = b.load(Width::W4);
+        let a2 = b.store(Width::W4, &[a1]);
+        b.dep(a1, a2, DepKind::MemAnti, 0);
+        let c1 = b.load(Width::W4);
+        let c2 = b.store(Width::W4, &[c1]);
+        b.dep(c2, c1, DepKind::MemFlow, 1);
+        let g = b.finish();
+        let chains = find_chains(&g);
+        assert_eq!(chains.nontrivial().count(), 2);
+        assert_eq!(chains.biggest_len(), 2);
+        assert_ne!(chains.chain_of(a1), chains.chain_of(c1));
+        assert_eq!(chains.chain_of(a1), chains.chain_of(a2));
+    }
+
+    #[test]
+    fn sync_edges_do_not_merge_chains() {
+        let mut b = DdgBuilder::new();
+        let l = b.load(Width::W4);
+        let s = b.store(Width::W4, &[]);
+        b.dep(l, s, DepKind::Sync, 0);
+        let g = b.finish();
+        let chains = find_chains(&g);
+        assert_eq!(chains.nontrivial().count(), 0);
+    }
+
+    #[test]
+    fn figure3_average_preferred_cluster() {
+        // Paper Section 3.2: with PrefClus all of {n1..n4} go to cluster 3
+        // (index 2): merged pref = {90, 90, 150, 70}.
+        let (g, [n1, n2, n3, n4, _]) = figure3();
+        let chains = find_chains(&g);
+        let idx = chains.chain_of(n1).unwrap();
+        let mut prefs = PrefMap::new();
+        prefs.insert(g.node(n1).mem_id().unwrap(), PrefInfo::from_counts(vec![70, 30, 0, 0]));
+        prefs.insert(g.node(n2).mem_id().unwrap(), PrefInfo::from_counts(vec![20, 50, 30, 0]));
+        prefs.insert(g.node(n3).mem_id().unwrap(), PrefInfo::from_counts(vec![0, 0, 100, 0]));
+        prefs.insert(g.node(n4).mem_id().unwrap(), PrefInfo::from_counts(vec![0, 10, 20, 70]));
+        assert_eq!(chains.average_preferred_cluster(idx, &g, &prefs, 4), 2);
+    }
+
+    #[test]
+    fn average_preferred_cluster_without_profile_defaults_to_zero() {
+        let (g, [n1, ..]) = figure3();
+        let chains = find_chains(&g);
+        let idx = chains.chain_of(n1).unwrap();
+        assert_eq!(chains.average_preferred_cluster(idx, &g, &PrefMap::new(), 4), 0);
+    }
+
+    fn weighted_kernel(trip: u64, chained: bool) -> LoopKernel {
+        let mut b = DdgBuilder::new();
+        let l = b.load(Width::W4);
+        let s = b.store(Width::W4, &[l]);
+        let _ = b.op(OpKind::IntAlu, &[l]);
+        if chained {
+            b.dep(l, s, DepKind::MemAnti, 0);
+        }
+        let g = b.finish();
+        let (ml, ms) = (g.node(l).mem_id().unwrap(), g.node(s).mem_id().unwrap());
+        let mut k = LoopKernel::new("w", g, trip);
+        for img in [&mut k.profile, &mut k.exec] {
+            img.insert(ml, AddressStream::Affine { base: 0, stride: 4 });
+            img.insert(ms, AddressStream::Affine { base: 4096, stride: 4 });
+        }
+        k
+    }
+
+    #[test]
+    fn chain_stats_weighting() {
+        // Kernel A (trip 100): chain of 2 among 2 mem ops, 3 ops total.
+        // Kernel B (trip 300): no chain.
+        let a = weighted_kernel(100, true);
+        let b = weighted_kernel(300, false);
+        let stats = chain_stats([&a, &b]);
+        // biggest = 2*100 = 200; mem = 2*100 + 2*300 = 800; all = 3*400 = 1200.
+        assert!((stats.cmr - 200.0 / 800.0).abs() < 1e-12);
+        assert!((stats.car - 200.0 / 1200.0).abs() < 1e-12);
+        // CAR <= CMR by definition.
+        assert!(stats.car <= stats.cmr);
+    }
+
+    #[test]
+    fn chain_stats_empty_is_zero() {
+        let stats = chain_stats(std::iter::empty());
+        assert_eq!(stats.cmr, 0.0);
+        assert_eq!(stats.car, 0.0);
+    }
+
+    #[test]
+    fn union_find_merges_transitively() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(3, 4);
+        assert_eq!(uf.find(0), uf.find(2));
+        assert_ne!(uf.find(0), uf.find(3));
+    }
+}

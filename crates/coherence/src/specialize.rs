@@ -1,0 +1,214 @@
+//! Code specialization (paper Section 6).
+//!
+//! The compiler stays conservative: whenever it cannot prove two memory
+//! instructions independent it adds a may-alias dependence. Code
+//! specialization provides two versions of a loop — a *restrictive* one
+//! honoring all dependences and an *aggressive* one ignoring the
+//! unresolved ones — plus an entry check that picks the valid version at
+//! run time. When the ambiguous accesses never actually overlap, the
+//! aggressive version runs, and the chains the MDC solution must colocate
+//! shrink dramatically (paper Table 5).
+//!
+//! Our ground truth for "actually aliases" is the kernel's *execution*
+//! address streams: a dependence edge is removable exactly when the byte
+//! ranges its endpoints touch are disjoint over the whole loop.
+
+use distvliw_ir::{AddressStream, LoopKernel, Width};
+
+/// Iterations sampled per stream when deciding runtime aliasing; streams
+/// repeat far sooner than this in practice.
+pub const ALIAS_SAMPLE_CAP: u64 = 4096;
+
+/// Outcome of [`specialize_kernel`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpecializationReport {
+    /// Memory dependence edges examined.
+    pub checked: usize,
+    /// Edges removed because their endpoints never alias at run time
+    /// (the aggressive loop version is selected).
+    pub removed: usize,
+}
+
+impl SpecializationReport {
+    /// Whether specialization changed the kernel at all.
+    #[must_use]
+    pub fn changed(&self) -> bool {
+        self.removed > 0
+    }
+}
+
+/// Byte intervals touched by `stream` over `iters` iterations, as sorted,
+/// coalesced `[start, end)` ranges.
+fn touched_ranges(stream: &AddressStream, width: Width, iters: u64) -> Vec<(u64, u64)> {
+    let n = iters.min(ALIAS_SAMPLE_CAP);
+    let mut ranges: Vec<(u64, u64)> = (0..n)
+        .map(|i| {
+            let a = stream.addr_at(i);
+            (a, a + width.bytes())
+        })
+        .collect();
+    ranges.sort_unstable();
+    ranges.dedup();
+    // Coalesce overlapping/adjacent ranges.
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(ranges.len());
+    for (s, e) in ranges {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Whether two sorted range lists intersect.
+fn ranges_overlap(a: &[(u64, u64)], b: &[(u64, u64)]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let (s1, e1) = a[i];
+        let (s2, e2) = b[j];
+        if s1 < e2 && s2 < e1 {
+            return true;
+        }
+        if e1 <= s2 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    false
+}
+
+/// Applies code specialization to `kernel`: removes every memory
+/// dependence edge whose two access sites touch disjoint byte ranges under
+/// the execution input. Returns the specialized kernel (the aggressive
+/// loop version) and a report.
+///
+/// Must run **before** the MDC/DDGT passes (it panics on graphs with
+/// replicated instances, which no longer correspond to single dependence
+/// sites).
+///
+/// # Panics
+///
+/// Panics if the kernel contains replicated store instances.
+#[must_use]
+pub fn specialize_kernel(kernel: &LoopKernel) -> (LoopKernel, SpecializationReport) {
+    assert!(
+        kernel.ddg.node_ids().all(|n| kernel.ddg.replica_of(n).is_none()),
+        "specialization must run before store replication"
+    );
+    let mut out = kernel.clone();
+    let mut report = SpecializationReport::default();
+
+    let edges: Vec<(distvliw_ir::EdgeId, distvliw_ir::Dep)> = out.ddg.mem_dep_edges().collect();
+    for (e, d) in edges {
+        report.checked += 1;
+        let src_ref = out.ddg.node(d.src).mem.expect("memory edge endpoints access memory");
+        let dst_ref = out.ddg.node(d.dst).mem.expect("memory edge endpoints access memory");
+        let (Some(src_stream), Some(dst_stream)) =
+            (out.exec.get(src_ref.mem), out.exec.get(dst_ref.mem))
+        else {
+            continue; // unbound streams stay conservative
+        };
+        let a = touched_ranges(src_stream, src_ref.width, kernel.trip_count);
+        let b = touched_ranges(dst_stream, dst_ref.width, kernel.trip_count);
+        if !ranges_overlap(&a, &b) {
+            out.ddg.remove_dep(e);
+            report.removed += 1;
+        }
+    }
+    if report.changed() {
+        out.name = format!("{}#spec", kernel.name);
+    }
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mdc::find_chains;
+    use distvliw_ir::{DdgBuilder, DepKind, MemImage, Width};
+
+    fn kernel_with_regions(src_base: u64, dst_base: u64) -> LoopKernel {
+        let mut b = DdgBuilder::new();
+        let l = b.load(Width::W4);
+        let s = b.store(Width::W4, &[l]);
+        b.dep(l, s, DepKind::MemAnti, 0);
+        let g = b.finish();
+        let (ml, ms) = (g.node(l).mem_id().unwrap(), g.node(s).mem_id().unwrap());
+        let mut k = LoopKernel::new("spec", g, 64);
+        for img in [&mut k.profile, &mut k.exec] {
+            img.insert(ml, AddressStream::Affine { base: src_base, stride: 4 });
+            img.insert(ms, AddressStream::Affine { base: dst_base, stride: 4 });
+        }
+        k
+    }
+
+    #[test]
+    fn disjoint_regions_drop_the_edge() {
+        let k = kernel_with_regions(0, 1 << 20);
+        let (out, report) = specialize_kernel(&k);
+        assert_eq!(report.checked, 1);
+        assert_eq!(report.removed, 1);
+        assert!(report.changed());
+        assert_eq!(out.ddg.mem_dep_edges().count(), 0);
+        assert!(out.name.ends_with("#spec"));
+        // The chain disappears.
+        assert_eq!(find_chains(&out.ddg).biggest_len(), 0);
+    }
+
+    #[test]
+    fn overlapping_regions_keep_the_edge() {
+        let k = kernel_with_regions(0, 128); // both walk overlapping ranges
+        let (out, report) = specialize_kernel(&k);
+        assert_eq!(report.checked, 1);
+        assert_eq!(report.removed, 0);
+        assert!(!report.changed());
+        assert_eq!(out.ddg.mem_dep_edges().count(), 1);
+        assert_eq!(out.name, k.name);
+    }
+
+    #[test]
+    fn partial_word_overlap_counts_as_alias() {
+        // Store writes 4-byte words at 2-byte offsets from the loads.
+        let mut b = DdgBuilder::new();
+        let l = b.load(Width::W4);
+        let s = b.store(Width::W4, &[l]);
+        b.dep(l, s, DepKind::MemAnti, 0);
+        let g = b.finish();
+        let (ml, ms) = (g.node(l).mem_id().unwrap(), g.node(s).mem_id().unwrap());
+        let mut k = LoopKernel::new("partial", g, 4);
+        for img in [&mut k.profile, &mut k.exec] {
+            img.insert(ml, AddressStream::Affine { base: 0, stride: 16 });
+            img.insert(ms, AddressStream::Affine { base: 2, stride: 16 });
+        }
+        let (_, report) = specialize_kernel(&k);
+        assert_eq!(report.removed, 0);
+    }
+
+    #[test]
+    fn unbound_streams_stay_conservative() {
+        let mut k = kernel_with_regions(0, 1 << 20);
+        k.exec = MemImage::new();
+        let (out, report) = specialize_kernel(&k);
+        assert_eq!(report.removed, 0);
+        assert_eq!(out.ddg.mem_dep_edges().count(), 1);
+    }
+
+    #[test]
+    fn touched_ranges_coalesce() {
+        let s = AddressStream::Affine { base: 0, stride: 4 };
+        let r = touched_ranges(&s, Width::W4, 8);
+        assert_eq!(r, vec![(0, 32)]);
+        let s = AddressStream::Affine { base: 0, stride: 8 };
+        let r = touched_ranges(&s, Width::W4, 3);
+        assert_eq!(r, vec![(0, 4), (8, 12), (16, 20)]);
+    }
+
+    #[test]
+    fn ranges_overlap_cases() {
+        assert!(ranges_overlap(&[(0, 4)], &[(3, 5)]));
+        assert!(!ranges_overlap(&[(0, 4)], &[(4, 8)]));
+        assert!(ranges_overlap(&[(0, 2), (10, 14)], &[(4, 11)]));
+        assert!(!ranges_overlap(&[], &[(0, 1)]));
+    }
+}

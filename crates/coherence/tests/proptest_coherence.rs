@@ -1,0 +1,147 @@
+//! Property tests for the coherence passes on randomly generated graphs.
+
+use distvliw_coherence::{find_chains, specialize_kernel, transform, SchedConstraints};
+use distvliw_ir::{
+    AddressStream, DdgBuilder, DepKind, LoopKernel, NodeId, Width,
+};
+use proptest::prelude::*;
+
+/// A random kernel whose memory ops live on `n_arrays` arrays; ops on one
+/// array share a stream (full aliasing), ops on different arrays never
+/// alias. Conservative edges are declared between all pairs of the same
+/// array plus (false) edges between some cross-array pairs.
+fn arb_kernel() -> impl Strategy<Value = LoopKernel> {
+    (2usize..10, 1usize..4, proptest::collection::vec(any::<u8>(), 8))
+        .prop_map(|(n_mem, n_arrays, entropy)| {
+            let mut b = DdgBuilder::new();
+            let mut loads: Vec<NodeId> = Vec::new();
+            let mut mems: Vec<NodeId> = Vec::new();
+            for i in 0..n_mem {
+                let node = if entropy[i % entropy.len()] % 3 == 0 && !loads.is_empty() {
+                    let src = loads[i % loads.len()];
+                    b.store(Width::W4, &[src])
+                } else {
+                    let l = b.load(Width::W4);
+                    loads.push(l);
+                    l
+                };
+                mems.push(node);
+            }
+            let g = b.graph();
+            let mut edges = Vec::new();
+            for (i, &a) in mems.iter().enumerate() {
+                for (j, &c) in mems.iter().enumerate().skip(i + 1) {
+                    let kind = match (g.node(a).is_store(), g.node(c).is_store()) {
+                        (true, true) => DepKind::MemOut,
+                        (true, false) => DepKind::MemFlow,
+                        (false, true) => DepKind::MemAnti,
+                        (false, false) => continue,
+                    };
+                    let same_array = i % n_arrays == j % n_arrays;
+                    let false_link = entropy[(i * 3 + j) % entropy.len()] % 4 == 0;
+                    if same_array || false_link {
+                        edges.push((a, c, kind, 0u32));
+                    }
+                }
+            }
+            for (a, c, kind, d) in edges {
+                b.dep(a, c, kind, d);
+            }
+            let ddg = b.finish();
+            let sites: Vec<_> =
+                ddg.mem_nodes().map(|n| (n, ddg.node(n).mem_id().unwrap())).collect();
+            let mut k = LoopKernel::new("prop-coherence", ddg, 16);
+            for (idx, &(_, m)) in sites.iter().enumerate() {
+                let base = 4096 + (idx % n_arrays) as u64 * 0x1000;
+                for img in [&mut k.profile, &mut k.exec] {
+                    img.insert(m, AddressStream::Affine { base, stride: 4 });
+                }
+            }
+            k
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn specialization_only_removes_false_edges(kernel in arb_kernel()) {
+        let (out, report) = specialize_kernel(&kernel);
+        prop_assert_eq!(
+            report.checked,
+            kernel.ddg.mem_dep_edges().count(),
+            "every memory edge is examined"
+        );
+        // Remaining edges truly alias; removed edges never did. Since
+        // same-array ops share identical streams and cross-array ops are
+        // 4KB apart, "truly alias" == "same array".
+        for (_, d) in out.ddg.mem_dep_edges() {
+            let a = out.exec.addr(out.ddg.node(d.src).mem_id().unwrap(), 0);
+            let b = out.exec.addr(out.ddg.node(d.dst).mem_id().unwrap(), 0);
+            prop_assert_eq!(a & !0xFFF, b & !0xFFF, "kept edge must be same-array");
+        }
+        prop_assert!(out.ddg.mem_dep_edges().count() + report.removed == report.checked);
+    }
+
+    #[test]
+    fn specialization_is_idempotent(kernel in arb_kernel()) {
+        let (once, first) = specialize_kernel(&kernel);
+        let (_twice, second) = specialize_kernel(&once);
+        prop_assert_eq!(second.removed, 0, "second pass removes nothing");
+        prop_assert_eq!(second.checked, first.checked - first.removed);
+    }
+
+    #[test]
+    fn specialization_never_grows_chains(kernel in arb_kernel()) {
+        let before = find_chains(&kernel.ddg).biggest_len();
+        let (out, _) = specialize_kernel(&kernel);
+        let after = find_chains(&out.ddg).biggest_len();
+        prop_assert!(after <= before, "{after} > {before}");
+    }
+
+    #[test]
+    fn ddgt_constraints_pin_every_instance_distinctly(kernel in arb_kernel()) {
+        let mut g = kernel.ddg.clone();
+        let report = transform(&mut g, 4);
+        let c = SchedConstraints::for_ddgt(&report);
+        for group in &report.replica_groups {
+            let mut pins: Vec<usize> =
+                group.instances.iter().map(|i| c.pinned[i]).collect();
+            pins.sort_unstable();
+            prop_assert_eq!(pins, vec![0, 1, 2, 3]);
+        }
+        // Non-store nodes are never pinned.
+        for n in g.node_ids() {
+            if !g.node(n).is_store() {
+                prop_assert!(!c.pinned.contains_key(&n));
+            }
+        }
+    }
+
+    #[test]
+    fn mdc_constraints_cover_exactly_the_nontrivial_chains(kernel in arb_kernel()) {
+        let chains = find_chains(&kernel.ddg);
+        let c = SchedConstraints::for_mdc(&chains, &kernel.ddg, None, 4);
+        for (idx, members) in chains.chains().iter().enumerate() {
+            for &n in members {
+                prop_assert_eq!(
+                    c.colocate.contains_key(&n),
+                    members.len() >= 2,
+                    "chain {} membership mismatch for {}",
+                    idx,
+                    n
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transform_grows_nodes_by_replicas_and_fakes(kernel in arb_kernel()) {
+        let mut g = kernel.ddg.clone();
+        let before = g.node_count();
+        let report = transform(&mut g, 4);
+        let expected =
+            before + 3 * report.replica_groups.len() + report.fake_consumers.len();
+        prop_assert_eq!(g.node_count(), expected);
+    }
+}

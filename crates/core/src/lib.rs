@@ -1,0 +1,33 @@
+//! End-to-end pipeline and experiment drivers for the CGO'03
+//! reproduction.
+//!
+//! [`Pipeline`] wires the whole toolchain together: profiling, the
+//! coherence pass (MDC chains or DDGT transformations), cluster-aware
+//! modulo scheduling and cycle-level simulation. The [`experiments`]
+//! module regenerates every table and figure of the paper's evaluation;
+//! [`report`] renders them as text.
+//!
+//! # Example
+//!
+//! ```
+//! use distvliw_arch::MachineConfig;
+//! use distvliw_core::{Heuristic, Pipeline, Solution};
+//!
+//! let suite = distvliw_mediabench::suite("jpegenc").expect("known benchmark");
+//! let pipeline = Pipeline::new(MachineConfig::paper_baseline());
+//! let mdc = pipeline.run_suite(&suite, Solution::Mdc, Heuristic::PrefClus)?;
+//! assert_eq!(mdc.total.coherence_violations, 0);
+//! # Ok::<(), distvliw_core::PipelineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod pipeline;
+pub mod report;
+
+pub use distvliw_sched::Heuristic;
+pub use pipeline::{
+    KernelRun, Pipeline, PipelineError, PipelineOptions, Solution, SuiteStats,
+};

@@ -1,0 +1,389 @@
+//! The end-to-end pipeline: coherence pass → cluster-aware modulo
+//! scheduling → cycle-level simulation.
+
+use std::fmt;
+
+use distvliw_arch::MachineConfig;
+use distvliw_coherence::{find_chains, specialize_kernel, transform, SchedConstraints};
+use distvliw_ir::{profile::preferred_clusters, LoopKernel, Suite};
+use distvliw_sched::{Heuristic, ModuloScheduler, Schedule, ScheduleError};
+use distvliw_sim::{simulate_kernel, SimOptions, SimStats};
+
+/// Which coherence solution the pipeline applies (paper Section 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Solution {
+    /// No restriction: the paper's optimistic (unsound) baseline, where
+    /// memory instructions are freely scheduled in any cluster.
+    Free,
+    /// Memory Dependent Chains.
+    Mdc,
+    /// Data Dependence Graph Transformations (store replication +
+    /// load–store synchronization).
+    Ddgt,
+    /// The per-loop hybrid the paper sketches as future work (Section 6):
+    /// "the execution time of a loop with both solutions could be
+    /// estimated at compile time and the best solution could be chosen".
+    /// Both solutions are compiled and estimated; the cheaper one wins,
+    /// loop by loop.
+    Hybrid,
+}
+
+impl fmt::Display for Solution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Solution::Free => f.write_str("Free"),
+            Solution::Mdc => f.write_str("MDC"),
+            Solution::Ddgt => f.write_str("DDGT"),
+            Solution::Hybrid => f.write_str("Hybrid"),
+        }
+    }
+}
+
+/// Pipeline-level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The scheduler failed on a kernel.
+    Schedule {
+        /// Kernel name.
+        kernel: String,
+        /// Underlying error.
+        error: ScheduleError,
+    },
+    /// A kernel failed validation.
+    Kernel {
+        /// Kernel name.
+        kernel: String,
+        /// Description of the defect.
+        error: String,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Schedule { kernel, error } => {
+                write!(f, "scheduling `{kernel}` failed: {error}")
+            }
+            PipelineError::Kernel { kernel, error } => {
+                write!(f, "invalid kernel `{kernel}`: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineOptions {
+    /// Simulator options.
+    pub sim: SimOptions,
+    /// Apply code specialization (paper Section 6) before the coherence
+    /// pass.
+    pub specialize: bool,
+    /// Cache-sensitive latency assignment in the scheduler.
+    pub relax_latencies: bool,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            sim: SimOptions::default(),
+            specialize: false,
+            relax_latencies: true,
+        }
+    }
+}
+
+/// Result of compiling and simulating one loop kernel.
+#[derive(Debug, Clone)]
+pub struct KernelRun {
+    /// Kernel name.
+    pub name: String,
+    /// The initiation interval achieved.
+    pub ii: u32,
+    /// Schedule length (pipeline fill).
+    pub span: u32,
+    /// Static communication (copy) operations per iteration.
+    pub static_comm_ops: usize,
+    /// Simulation statistics (all invocations).
+    pub stats: SimStats,
+}
+
+/// Result of running a whole benchmark suite.
+#[derive(Debug, Clone)]
+pub struct SuiteStats {
+    /// Benchmark name.
+    pub name: String,
+    /// Per-kernel results.
+    pub kernels: Vec<KernelRun>,
+    /// Aggregate over all kernels.
+    pub total: SimStats,
+}
+
+impl SuiteStats {
+    /// Total cycles of the suite.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.total.total_cycles()
+    }
+
+    /// Aggregate local hit ratio.
+    #[must_use]
+    pub fn local_hit_ratio(&self) -> f64 {
+        self.total.local_hit_ratio()
+    }
+}
+
+impl std::ops::Deref for SuiteStats {
+    type Target = SimStats;
+
+    fn deref(&self) -> &SimStats {
+        &self.total
+    }
+}
+
+/// The end-to-end compile-and-simulate pipeline for one machine.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    machine: MachineConfig,
+    options: PipelineOptions,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with default options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine configuration is invalid.
+    #[must_use]
+    pub fn new(machine: MachineConfig) -> Self {
+        machine.validate().expect("valid machine configuration");
+        Pipeline { machine, options: PipelineOptions::default() }
+    }
+
+    /// Replaces the pipeline options.
+    #[must_use]
+    pub fn with_options(mut self, options: PipelineOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The machine this pipeline targets.
+    #[must_use]
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// Compiles and simulates every kernel of `suite` under the given
+    /// solution and heuristic. The machine's interleaving factor is set
+    /// from the suite (paper Table 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first kernel that fails validation or scheduling.
+    pub fn run_suite(
+        &self,
+        suite: &Suite,
+        solution: Solution,
+        heuristic: Heuristic,
+    ) -> Result<SuiteStats, PipelineError> {
+        let machine = self.machine.clone().with_interleave(suite.interleave_bytes);
+        let mut kernels = Vec::with_capacity(suite.kernels.len());
+        let mut total = SimStats::default();
+        for kernel in &suite.kernels {
+            let run = self.run_kernel_on(&machine, kernel, solution, heuristic)?;
+            total += run.stats;
+            kernels.push(run);
+        }
+        Ok(SuiteStats { name: suite.name.clone(), kernels, total })
+    }
+
+    /// Compiles and simulates a single kernel with the pipeline's machine
+    /// (using its configured interleave).
+    ///
+    /// # Errors
+    ///
+    /// Returns the kernel's validation or scheduling failure.
+    pub fn run_kernel(
+        &self,
+        kernel: &LoopKernel,
+        solution: Solution,
+        heuristic: Heuristic,
+    ) -> Result<KernelRun, PipelineError> {
+        self.run_kernel_on(&self.machine, kernel, solution, heuristic)
+    }
+
+    fn run_kernel_on(
+        &self,
+        machine: &MachineConfig,
+        kernel: &LoopKernel,
+        solution: Solution,
+        heuristic: Heuristic,
+    ) -> Result<KernelRun, PipelineError> {
+        // The hybrid works loop by loop: compile and estimate both
+        // solutions, keep the cheaper (paper Section 6; the estimate is
+        // our cycle-level model, standing in for the paper's compile-time
+        // cost model).
+        if solution == Solution::Hybrid {
+            let mdc = self.run_kernel_on(machine, kernel, Solution::Mdc, heuristic)?;
+            let ddgt = self.run_kernel_on(machine, kernel, Solution::Ddgt, heuristic)?;
+            return Ok(if mdc.stats.total_cycles() <= ddgt.stats.total_cycles() {
+                mdc
+            } else {
+                ddgt
+            });
+        }
+
+        kernel.validate().map_err(|e| PipelineError::Kernel {
+            kernel: kernel.name.clone(),
+            error: e.to_string(),
+        })?;
+
+        // Optional code specialization (paper Section 6).
+        let mut kernel = if self.options.specialize {
+            specialize_kernel(kernel).0
+        } else {
+            kernel.clone()
+        };
+
+        // Profile pass: preferred clusters under the profile input.
+        let prefs = preferred_clusters(&kernel, machine.n_clusters, |addr| {
+            machine.home_cluster(addr)
+        });
+
+        // Coherence pass.
+        let constraints = match solution {
+            Solution::Free => SchedConstraints::none(),
+            Solution::Mdc => {
+                let chains = find_chains(&kernel.ddg);
+                let pref_arg =
+                    (heuristic == Heuristic::PrefClus).then_some(&prefs);
+                SchedConstraints::for_mdc(&chains, &kernel.ddg, pref_arg, machine.n_clusters)
+            }
+            Solution::Ddgt => {
+                let report = transform(&mut kernel.ddg, machine.n_clusters);
+                SchedConstraints::for_ddgt(&report)
+            }
+            Solution::Hybrid => unreachable!("handled above"),
+        };
+
+        // Cluster-aware modulo scheduling.
+        let schedule: Schedule = ModuloScheduler::new(machine)
+            .with_latency_relaxation(self.options.relax_latencies)
+            .schedule(&kernel.ddg, &constraints, &prefs, heuristic)
+            .map_err(|error| PipelineError::Schedule {
+                kernel: kernel.name.clone(),
+                error,
+            })?;
+
+        // Cycle-level simulation.
+        let stats = simulate_kernel(machine, &kernel, &schedule, self.options.sim);
+        Ok(KernelRun {
+            name: kernel.name.clone(),
+            ii: schedule.ii,
+            span: schedule.span,
+            static_comm_ops: schedule.comm_ops(),
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> MachineConfig {
+        MachineConfig::paper_baseline()
+    }
+
+    #[test]
+    fn pipeline_runs_a_benchmark_suite() {
+        let suite = distvliw_mediabench::suite("gsmdec").unwrap();
+        let p = Pipeline::new(machine());
+        let stats = p.run_suite(&suite, Solution::Mdc, Heuristic::PrefClus).unwrap();
+        assert_eq!(stats.kernels.len(), suite.kernels.len());
+        assert!(stats.total_cycles() > 0);
+        assert!(stats.total.accesses.total() > 0);
+        assert_eq!(stats.total.coherence_violations, 0);
+    }
+
+    #[test]
+    fn all_solutions_and_heuristics_run() {
+        let suite = distvliw_mediabench::suite("jpegenc").unwrap();
+        let p = Pipeline::new(machine());
+        for solution in [Solution::Free, Solution::Mdc, Solution::Ddgt] {
+            for heuristic in [Heuristic::PrefClus, Heuristic::MinComs] {
+                let stats = p.run_suite(&suite, solution, heuristic).unwrap();
+                assert!(stats.total_cycles() > 0, "{solution}/{heuristic}");
+            }
+        }
+    }
+
+    #[test]
+    fn mdc_and_ddgt_are_always_coherent() {
+        let suite = distvliw_mediabench::suite("pgpdec").unwrap();
+        let p = Pipeline::new(machine());
+        for solution in [Solution::Mdc, Solution::Ddgt] {
+            for heuristic in [Heuristic::PrefClus, Heuristic::MinComs] {
+                let stats = p.run_suite(&suite, solution, heuristic).unwrap();
+                assert_eq!(
+                    stats.total.coherence_violations, 0,
+                    "{solution}/{heuristic} must be coherent"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn specialization_option_changes_chained_benchmarks() {
+        let suite = distvliw_mediabench::suite("rasta").unwrap();
+        let base = Pipeline::new(machine());
+        let spec = Pipeline::new(machine()).with_options(PipelineOptions {
+            specialize: true,
+            ..PipelineOptions::default()
+        });
+        // With MinComs the scheduler can spread the now-independent
+        // segments over clusters: specialization removes the
+        // cross-segment links, shrinking what MDC must serialize and the
+        // chained loop's II with it. (Under PrefClus the segments can
+        // still tie-break into one cluster, so MinComs is the clean
+        // observable.)
+        let plain = base.run_suite(&suite, Solution::Mdc, Heuristic::MinComs).unwrap();
+        let specialized = spec.run_suite(&suite, Solution::Mdc, Heuristic::MinComs).unwrap();
+        let ii_plain = plain.kernels[0].ii;
+        let ii_spec = specialized.kernels[0].ii;
+        assert!(ii_spec <= ii_plain, "II {ii_spec} vs {ii_plain}");
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(Solution::Free.to_string(), "Free");
+        assert_eq!(Solution::Mdc.to_string(), "MDC");
+        assert_eq!(Solution::Ddgt.to_string(), "DDGT");
+        assert_eq!(Solution::Hybrid.to_string(), "Hybrid");
+    }
+
+    #[test]
+    fn hybrid_picks_the_best_solution_per_loop() {
+        // Paper Section 6: the hybrid estimates both solutions per loop
+        // and keeps the winner, so it can never lose to either.
+        let p = Pipeline::new(machine());
+        for name in ["epicdec", "pgpenc", "gsmdec"] {
+            let suite = distvliw_mediabench::suite(name).unwrap();
+            for heuristic in [Heuristic::PrefClus, Heuristic::MinComs] {
+                let mdc = p.run_suite(&suite, Solution::Mdc, heuristic).unwrap();
+                let ddgt = p.run_suite(&suite, Solution::Ddgt, heuristic).unwrap();
+                let hybrid = p.run_suite(&suite, Solution::Hybrid, heuristic).unwrap();
+                assert!(
+                    hybrid.total_cycles() <= mdc.total_cycles().min(ddgt.total_cycles()),
+                    "{name}/{heuristic}: hybrid {} vs MDC {} / DDGT {}",
+                    hybrid.total_cycles(),
+                    mdc.total_cycles(),
+                    ddgt.total_cycles()
+                );
+                assert_eq!(hybrid.total.coherence_violations, 0);
+            }
+        }
+    }
+}

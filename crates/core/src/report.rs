@@ -1,0 +1,274 @@
+//! Plain-text rendering of experiment results, shaped like the paper's
+//! tables and figures.
+
+use std::fmt::Write as _;
+
+use distvliw_arch::AccessClass;
+
+use crate::experiments::{
+    exec_amean, fig6_amean, CaseStudy, ExecRow, Fig6Row, NobalRow, Table3Row, Table4Row,
+    Table5Row,
+};
+
+fn pct(x: f64) -> String {
+    format!("{:5.1}%", x * 100.0)
+}
+
+/// Renders Figure 6 (memory access classification, PrefClus).
+#[must_use]
+pub fn render_fig6(rows: &[Fig6Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 6: classification of memory accesses (PrefClus)\n\
+         columns per solution: local-hit / remote-hit / local-miss / remote-miss / combined"
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} | {:^41} | {:^41} | {:^41}",
+        "benchmark", "Free", "MDC", "DDGT"
+    );
+    let all = AccessClass::ALL;
+    let mut rows_with_mean: Vec<Fig6Row> = rows.to_vec();
+    rows_with_mean.push(fig6_amean(rows));
+    for row in &rows_with_mean {
+        let fmt5 = |b: &crate::experiments::AccessBreakdown| {
+            all.iter()
+                .map(|c| pct(b.fractions[c.index()]))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        let _ = writeln!(
+            out,
+            "{:<10} | {} | {} | {}",
+            row.benchmark,
+            fmt5(&row.free),
+            fmt5(&row.mdc),
+            fmt5(&row.ddgt)
+        );
+    }
+    out
+}
+
+/// Renders Figure 7 / Figure 9 (normalized execution time).
+#[must_use]
+pub fn render_exec(rows: &[ExecRow], title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}\ncolumns: compute+stall = total (normalized to Free/MinComs)");
+    let _ = writeln!(
+        out,
+        "{:<10} | {:^20} | {:^20} | {:^20} | {:^20}",
+        "benchmark", "MDC(PrefClus)", "MDC(MinComs)", "DDGT(PrefClus)", "DDGT(MinComs)"
+    );
+    let mut rows_with_mean: Vec<ExecRow> = rows.to_vec();
+    rows_with_mean.push(exec_amean(rows));
+    for row in &rows_with_mean {
+        let fmt = |b: &crate::experiments::NormalizedBar| {
+            format!("{:.2}+{:.2}={:.2}", b.compute, b.stall, b.total())
+        };
+        let _ = writeln!(
+            out,
+            "{:<10} | {:^20} | {:^20} | {:^20} | {:^20}",
+            row.benchmark,
+            fmt(&row.mdc_pref),
+            fmt(&row.mdc_min),
+            fmt(&row.ddgt_pref),
+            fmt(&row.ddgt_min)
+        );
+    }
+    out
+}
+
+/// Renders Table 3 (CMR / CAR), with the paper's values alongside.
+#[must_use]
+pub fn render_table3(rows: &[Table3Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 3: memory dependent chain ratios");
+    let _ = writeln!(
+        out,
+        "{:<10} | {:>9} {:>9} | {:>9} {:>9}",
+        "benchmark", "CMR", "CAR", "paper CMR", "paper CAR"
+    );
+    for row in rows {
+        let (pc, pa) = row
+            .paper
+            .map_or(("-".to_string(), "-".to_string()), |(c, a)| {
+                (format!("{c:.2}"), format!("{a:.2}"))
+            });
+        let _ = writeln!(
+            out,
+            "{:<10} | {:>9.2} {:>9.2} | {:>9} {:>9}",
+            row.benchmark, row.stats.cmr, row.stats.car, pc, pa
+        );
+    }
+    out
+}
+
+/// Renders Table 4 (Δ communication ops + selected-loop speedups).
+#[must_use]
+pub fn render_table4(rows: &[Table4Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 4: analyzing the DDGT solution (PrefClus)");
+    let _ = writeln!(
+        out,
+        "{:<10} | {:>10} | {:>22}",
+        "benchmark", "Δ com.ops", "speedup selected loops"
+    );
+    for row in rows {
+        let speedup = row
+            .selected_speedup
+            .map_or("-".to_string(), |s| format!("{:+.1}%", s * 100.0));
+        let _ = writeln!(out, "{:<10} | {:>10.2} | {:>22}", row.benchmark, row.comm_ratio, speedup);
+    }
+    out
+}
+
+/// Renders Table 5 (code specialization).
+#[must_use]
+pub fn render_table5(rows: &[Table5Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 5: chain restrictions before/after code specialization");
+    let _ = writeln!(
+        out,
+        "{:<10} | {:>8} {:>8} {:>8} {:>8} | paper: old/new",
+        "benchmark", "old CMR", "old CAR", "new CMR", "new CAR"
+    );
+    for row in rows {
+        let (poc, poa, pnc, pna) = row.paper;
+        let _ = writeln!(
+            out,
+            "{:<10} | {:>8.2} {:>8.2} {:>8.2} {:>8.2} | {poc:.2}/{poa:.2} -> {pnc:.2}/{pna:.2}",
+            row.benchmark, row.old.cmr, row.old.car, row.new.cmr, row.new.car
+        );
+    }
+    out
+}
+
+/// Renders a NOBAL study table.
+#[must_use]
+pub fn render_nobal(rows: &[NobalRow], title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:<10} | {:>12} | {:>12} | {:>14}",
+        "benchmark", "best MDC", "DDGT(Pref)", "DDGT speedup"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} | {:>12} | {:>12} | {:>13.1}%",
+            row.benchmark,
+            row.best_mdc,
+            row.ddgt_pref,
+            row.ddgt_speedup * 100.0
+        );
+    }
+    out
+}
+
+/// Renders a case study.
+#[must_use]
+pub fn render_case_study(cs: &CaseStudy) -> String {
+    format!(
+        "case study {}:\n  MDC : compute={} stall={} local-hit={:.1}%\n  \
+         DDGT: compute={} stall={} local-hit={:.1}%\n  DDGT speedup over MDC: {:+.1}%\n",
+        cs.name,
+        cs.mdc.0,
+        cs.mdc.1,
+        cs.mdc_local * 100.0,
+        cs.ddgt.0,
+        cs.ddgt.1,
+        cs.ddgt_local * 100.0,
+        cs.speedup * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{AccessBreakdown, NormalizedBar};
+    use distvliw_coherence::ChainStats;
+
+    #[test]
+    fn fig6_render_contains_headers_and_amean() {
+        let rows = vec![Fig6Row {
+            benchmark: "toy".into(),
+            free: AccessBreakdown { fractions: [0.5, 0.2, 0.1, 0.1, 0.1] },
+            mdc: AccessBreakdown::default(),
+            ddgt: AccessBreakdown::default(),
+        }];
+        let text = render_fig6(&rows);
+        assert!(text.contains("Figure 6"));
+        assert!(text.contains("toy"));
+        assert!(text.contains("AMEAN"));
+        assert!(text.contains("50.0%"));
+    }
+
+    #[test]
+    fn exec_render_totals() {
+        let rows = vec![ExecRow {
+            benchmark: "toy".into(),
+            mdc_pref: NormalizedBar { compute: 0.8, stall: 0.2 },
+            mdc_min: NormalizedBar { compute: 0.7, stall: 0.2 },
+            ddgt_pref: NormalizedBar { compute: 0.9, stall: 0.1 },
+            ddgt_min: NormalizedBar { compute: 0.9, stall: 0.2 },
+        }];
+        let text = render_exec(&rows, "Figure 7");
+        assert!(text.contains("Figure 7"));
+        assert!(text.contains("0.80+0.20=1.00"));
+    }
+
+    #[test]
+    fn table_renders() {
+        let t3 = render_table3(&[Table3Row {
+            benchmark: "toy".into(),
+            stats: ChainStats { cmr: 0.5, car: 0.25 },
+            paper: Some((0.52, 0.26)),
+        }]);
+        assert!(t3.contains("0.50"));
+        assert!(t3.contains("0.52"));
+
+        let t4 = render_table4(&[Table4Row {
+            benchmark: "toy".into(),
+            comm_ratio: 1.8,
+            selected_speedup: None,
+        }]);
+        assert!(t4.contains("1.80"));
+        assert!(t4.contains('-'));
+
+        let t5 = render_table5(&[Table5Row {
+            benchmark: "toy".into(),
+            old: ChainStats { cmr: 0.6, car: 0.2 },
+            new: ChainStats { cmr: 0.2, car: 0.06 },
+            paper: (0.64, 0.22, 0.20, 0.06),
+        }]);
+        assert!(t5.contains("0.60"));
+
+        let nb = render_nobal(
+            &[NobalRow {
+                benchmark: "toy".into(),
+                best_mdc: 1000,
+                ddgt_pref: 900,
+                ddgt_speedup: 0.111,
+            }],
+            "NOBAL+REG",
+        );
+        assert!(nb.contains("NOBAL+REG"));
+        assert!(nb.contains("11.1%"));
+    }
+
+    #[test]
+    fn case_study_render() {
+        let text = render_case_study(&CaseStudy {
+            name: "gsmdec.chained".into(),
+            mdc: (1_280_000, 701_000),
+            ddgt: (1_280_000, 0),
+            mdc_local: 0.65,
+            ddgt_local: 0.97,
+            speedup: 0.36,
+        });
+        assert!(text.contains("gsmdec.chained"));
+        assert!(text.contains("+36.0%"));
+    }
+}

@@ -1,0 +1,693 @@
+//! The Data Dependence Graph.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::dep::{Dep, DepKind};
+use crate::op::{MemId, OpKind, Operation, VReg, Width};
+
+/// Identifies a node (operation) of a [`Ddg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Dense index of this node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies a dependence edge of a [`Ddg`]. Edge ids remain valid after
+/// other edges are removed (removal leaves a tombstone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub u32);
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Errors reported by [`Ddg::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DdgError {
+    /// An edge references a node id outside the graph.
+    DanglingEdge(EdgeId),
+    /// The graph has a cycle all of whose edges have distance zero, which
+    /// no schedule can satisfy.
+    ZeroDistanceCycle,
+    /// A memory operation misses its memory reference, or vice versa.
+    MalformedMemOp(NodeId),
+}
+
+impl fmt::Display for DdgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DdgError::DanglingEdge(e) => write!(f, "edge {e} references a node outside the graph"),
+            DdgError::ZeroDistanceCycle => {
+                write!(f, "graph contains a cycle with total distance zero")
+            }
+            DdgError::MalformedMemOp(n) => {
+                write!(f, "node {n} mixes memory kind and memory reference inconsistently")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DdgError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct NodeSlot {
+    op: Operation,
+    /// Sequential program order of the *original* code. Replicated
+    /// instances inherit the order of their original so that the paper's
+    /// "sequentially posterior" checks keep working after transformation.
+    seq: u32,
+    /// For nodes created by store replication: the original node.
+    replica_of: Option<NodeId>,
+}
+
+/// A Data Dependence Graph over [`Operation`]s.
+///
+/// Nodes are append-only; edges can be removed (tombstoned), which is what
+/// the DDGT transformation needs when it eliminates memory-anti edges.
+///
+/// # Example
+///
+/// ```
+/// use distvliw_ir::{Ddg, DepKind, MemId, Operation, VReg, Width};
+///
+/// let mut g = Ddg::new();
+/// let st = g.add_operation(Operation::store(MemId(0), Width::W4, vec![]));
+/// let ld = g.add_operation(Operation::load(MemId(1), Width::W4, VReg(0)));
+/// g.add_dep(st, ld, DepKind::MemFlow, 0);
+/// assert_eq!(g.mem_dep_edges().count(), 1);
+/// assert!(g.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Ddg {
+    nodes: Vec<NodeSlot>,
+    edges: Vec<Option<Dep>>,
+    succ: Vec<Vec<EdgeId>>,
+    pred: Vec<Vec<EdgeId>>,
+    next_vreg: u32,
+    next_mem: u32,
+    next_seq: u32,
+}
+
+impl Ddg {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Ddg::default()
+    }
+
+    /// Number of nodes (including replicated instances).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of live (non-removed) edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// The operation at `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a node of this graph.
+    #[must_use]
+    pub fn node(&self, n: NodeId) -> &Operation {
+        &self.nodes[n.index()].op
+    }
+
+    /// Mutable access to the operation at `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a node of this graph.
+    pub fn node_mut(&mut self, n: NodeId) -> &mut Operation {
+        &mut self.nodes[n.index()].op
+    }
+
+    /// Sequential program order index of `n` (replicas inherit their
+    /// original's index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a node of this graph.
+    #[must_use]
+    pub fn seq(&self, n: NodeId) -> u32 {
+        self.nodes[n.index()].seq
+    }
+
+    /// The original node if `n` is a replicated store instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a node of this graph.
+    #[must_use]
+    pub fn replica_of(&self, n: NodeId) -> Option<NodeId> {
+        self.nodes[n.index()].replica_of
+    }
+
+    /// Whether `n` is either an original node or the node itself for
+    /// replica-group purposes: returns the group root.
+    #[must_use]
+    pub fn replica_root(&self, n: NodeId) -> NodeId {
+        self.replica_of(n).unwrap_or(n)
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over `(NodeId, &Operation)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Operation)> + '_ {
+        self.nodes.iter().enumerate().map(|(i, s)| (NodeId(i as u32), &s.op))
+    }
+
+    /// Iterator over memory operations.
+    pub fn mem_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.iter().filter(|(_, op)| op.is_memory()).map(|(n, _)| n)
+    }
+
+    /// Iterator over store operations.
+    pub fn stores(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.iter().filter(|(_, op)| op.is_store()).map(|(n, _)| n)
+    }
+
+    /// Iterator over load operations.
+    pub fn loads(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.iter().filter(|(_, op)| op.is_load()).map(|(n, _)| n)
+    }
+
+    /// Allocates a fresh virtual register, never used by current nodes.
+    pub fn fresh_vreg(&mut self) -> VReg {
+        let r = VReg(self.next_vreg);
+        self.next_vreg += 1;
+        r
+    }
+
+    /// Allocates a fresh memory access site id.
+    pub fn fresh_mem_id(&mut self) -> MemId {
+        let m = MemId(self.next_mem);
+        self.next_mem += 1;
+        m
+    }
+
+    /// Appends an operation, assigning it the next sequential order index.
+    pub fn add_operation(&mut self, op: Operation) -> NodeId {
+        if let Some(d) = op.dest {
+            self.next_vreg = self.next_vreg.max(d.0 + 1);
+        }
+        for s in &op.srcs {
+            self.next_vreg = self.next_vreg.max(s.0 + 1);
+        }
+        if let Some(m) = op.mem {
+            self.next_mem = self.next_mem.max(m.mem.0 + 1);
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.push_node(NodeSlot { op, seq, replica_of: None })
+    }
+
+    /// Appends a bare clone of `n` (same operation, same memory site, same
+    /// sequential order) marked as a replica of `n`, *without* cloning any
+    /// edges. The DDGT store replication uses this and then adds exactly
+    /// the edges the paper prescribes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a node of this graph.
+    pub fn clone_node(&mut self, n: NodeId) -> NodeId {
+        let slot = &self.nodes[n.index()];
+        let root = slot.replica_of.unwrap_or(n);
+        let new = NodeSlot { op: slot.op.clone(), seq: slot.seq, replica_of: Some(root) };
+        self.push_node(new)
+    }
+
+    /// Appends a clone of `n` together with copies of all its live input
+    /// and output edges, including edges to itself (paper Section 3.3:
+    /// "Replicating an instruction of the DDG implies the replication of
+    /// all its input and output dependences and dependences to itself as
+    /// well").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a node of this graph.
+    pub fn replicate(&mut self, n: NodeId) -> NodeId {
+        let new = self.clone_node(n);
+        let in_edges: Vec<Dep> = self.in_deps(n).map(|(_, d)| d).collect();
+        let out_edges: Vec<Dep> = self.out_deps(n).map(|(_, d)| d).collect();
+        for d in in_edges {
+            if d.src == n {
+                // Self edge: handled once below via out_edges.
+                continue;
+            }
+            self.add_dep(d.src, new, d.kind, d.distance);
+        }
+        for d in out_edges {
+            if d.dst == n {
+                // Self edge becomes a self edge on the clone.
+                self.add_dep(new, new, d.kind, d.distance);
+            } else {
+                self.add_dep(new, d.dst, d.kind, d.distance);
+            }
+        }
+        new
+    }
+
+    fn push_node(&mut self, slot: NodeSlot) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(slot);
+        self.succ.push(Vec::new());
+        self.pred.push(Vec::new());
+        id
+    }
+
+    /// Adds a dependence edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is not a node of this graph.
+    pub fn add_dep(&mut self, src: NodeId, dst: NodeId, kind: DepKind, distance: u32) -> EdgeId {
+        assert!(src.index() < self.nodes.len(), "dangling src {src}");
+        assert!(dst.index() < self.nodes.len(), "dangling dst {dst}");
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Some(Dep { src, dst, kind, distance }));
+        self.succ[src.index()].push(id);
+        self.pred[dst.index()].push(id);
+        id
+    }
+
+    /// Removes an edge, returning it if it was still live.
+    pub fn remove_dep(&mut self, e: EdgeId) -> Option<Dep> {
+        self.edges.get_mut(e.0 as usize).and_then(Option::take)
+    }
+
+    /// The edge `e`, if still live.
+    #[must_use]
+    pub fn dep(&self, e: EdgeId) -> Option<Dep> {
+        self.edges.get(e.0 as usize).copied().flatten()
+    }
+
+    /// Iterator over all live edges.
+    pub fn deps(&self) -> impl Iterator<Item = (EdgeId, Dep)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| d.map(|d| (EdgeId(i as u32), d)))
+    }
+
+    /// Iterator over live memory dependence edges (MF, MA, MO).
+    pub fn mem_dep_edges(&self) -> impl Iterator<Item = (EdgeId, Dep)> + '_ {
+        self.deps().filter(|(_, d)| d.kind.is_memory())
+    }
+
+    /// Live outgoing edges of `n`.
+    pub fn out_deps(&self, n: NodeId) -> impl Iterator<Item = (EdgeId, Dep)> + '_ {
+        self.succ[n.index()].iter().filter_map(move |&e| self.dep(e).map(|d| (e, d)))
+    }
+
+    /// Live incoming edges of `n`.
+    pub fn in_deps(&self, n: NodeId) -> impl Iterator<Item = (EdgeId, Dep)> + '_ {
+        self.pred[n.index()].iter().filter_map(move |&e| self.dep(e).map(|d| (e, d)))
+    }
+
+    /// Whether `n` has any live memory dependence edge (in or out).
+    ///
+    /// This is the paper's "stores that are memory dependent on any other
+    /// instruction" predicate from `transform_DDG()`.
+    #[must_use]
+    pub fn is_memory_dependent(&self, n: NodeId) -> bool {
+        self.out_deps(n).any(|(_, d)| d.kind.is_memory())
+            || self.in_deps(n).any(|(_, d)| d.kind.is_memory())
+    }
+
+    /// Whether a register-flow edge `src -> dst` with the given distance
+    /// exists (the redundancy check of the paper's MA handling).
+    #[must_use]
+    pub fn has_rf_edge(&self, src: NodeId, dst: NodeId, distance: u32) -> bool {
+        self.out_deps(src)
+            .any(|(_, d)| d.dst == dst && d.kind == DepKind::RegFlow && d.distance == distance)
+    }
+
+    /// Register-flow consumers of `n` at distance 0, i.e. same-iteration
+    /// reads of the value `n` produces.
+    pub fn consumers(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_deps(n)
+            .filter(|(_, d)| d.kind == DepKind::RegFlow && d.distance == 0)
+            .map(|(_, d)| d.dst)
+    }
+
+    /// Whether `to` is reachable from `from` through live edges whose
+    /// distance is zero (same-iteration dependence). `from == to` counts
+    /// as reachable only through a (zero-distance) cycle.
+    #[must_use]
+    pub fn depends_on_zero_dist(&self, to: NodeId, from: NodeId) -> bool {
+        let mut queue: VecDeque<NodeId> = self
+            .out_deps(from)
+            .filter(|(_, d)| d.distance == 0)
+            .map(|(_, d)| d.dst)
+            .collect();
+        let mut seen = vec![false; self.nodes.len()];
+        while let Some(n) = queue.pop_front() {
+            if n == to {
+                return true;
+            }
+            if std::mem::replace(&mut seen[n.index()], true) {
+                continue;
+            }
+            for (_, d) in self.out_deps(n) {
+                if d.distance == 0 && !seen[d.dst.index()] {
+                    queue.push_back(d.dst);
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether the graph contains a cycle made only of zero-distance
+    /// edges. Such a graph cannot be scheduled.
+    #[must_use]
+    pub fn has_zero_distance_cycle(&self) -> bool {
+        // Kahn's algorithm restricted to distance-0 edges.
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        for (_, d) in self.deps() {
+            if d.distance == 0 {
+                indeg[d.dst.index()] += 1;
+            }
+        }
+        let mut queue: VecDeque<usize> =
+            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut visited = 0usize;
+        while let Some(i) = queue.pop_front() {
+            visited += 1;
+            for (_, d) in self.out_deps(NodeId(i as u32)) {
+                if d.distance == 0 {
+                    let j = d.dst.index();
+                    indeg[j] -= 1;
+                    if indeg[j] == 0 {
+                        queue.push_back(j);
+                    }
+                }
+            }
+        }
+        visited != n
+    }
+
+    /// Checks structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant: dangling edges, inconsistent
+    /// memory operations, or an unschedulable zero-distance cycle.
+    pub fn validate(&self) -> Result<(), DdgError> {
+        for (e, d) in self.deps() {
+            if d.src.index() >= self.nodes.len() || d.dst.index() >= self.nodes.len() {
+                return Err(DdgError::DanglingEdge(e));
+            }
+        }
+        for (n, op) in self.iter() {
+            let needs_mem = op.kind.is_memory();
+            if needs_mem != op.mem.is_some() {
+                return Err(DdgError::MalformedMemOp(n));
+            }
+        }
+        if self.has_zero_distance_cycle() {
+            return Err(DdgError::ZeroDistanceCycle);
+        }
+        Ok(())
+    }
+}
+
+/// Convenience builder for hand-written DDGs (tests, examples and the
+/// synthetic Mediabench kernels).
+///
+/// The builder auto-allocates virtual registers and memory site ids and
+/// wires register-flow edges from the producing node's destination register
+/// to the consuming operation.
+#[derive(Debug, Default)]
+pub struct DdgBuilder {
+    g: Ddg,
+}
+
+impl DdgBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        DdgBuilder::default()
+    }
+
+    /// Adds a load of width `width` from a fresh memory site.
+    pub fn load(&mut self, width: Width) -> NodeId {
+        let m = self.g.fresh_mem_id();
+        self.load_from(m, width)
+    }
+
+    /// Adds a load of width `width` from the given memory site.
+    pub fn load_from(&mut self, mem: MemId, width: Width) -> NodeId {
+        let dest = self.g.fresh_vreg();
+        self.g.add_operation(Operation::load(mem, width, dest))
+    }
+
+    /// Adds a store of width `width` to a fresh memory site, consuming the
+    /// values produced by `srcs` (register-flow edges are added).
+    pub fn store(&mut self, width: Width, srcs: &[NodeId]) -> NodeId {
+        let m = self.g.fresh_mem_id();
+        self.store_to(m, width, srcs)
+    }
+
+    /// Adds a store of width `width` to the given memory site, consuming
+    /// the values produced by `srcs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any source node produces no value.
+    pub fn store_to(&mut self, mem: MemId, width: Width, srcs: &[NodeId]) -> NodeId {
+        let regs = self.source_regs(srcs);
+        let n = self.g.add_operation(Operation::store(mem, width, regs));
+        self.flow_edges(srcs, n);
+        n
+    }
+
+    /// Adds an arithmetic operation consuming the values produced by
+    /// `srcs`; produces a fresh register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not arithmetic or any source produces no value.
+    pub fn op(&mut self, kind: OpKind, srcs: &[NodeId]) -> NodeId {
+        let regs = self.source_regs(srcs);
+        let dest = self.g.fresh_vreg();
+        let n = self.g.add_operation(Operation::arith(kind, Some(dest), regs));
+        self.flow_edges(srcs, n);
+        n
+    }
+
+    /// Adds a loop-carried register-flow edge from `src` to `dst` with the
+    /// given distance, wiring `src`'s destination register into `dst`'s
+    /// sources (a recurrence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` produces no value.
+    pub fn recurrence(&mut self, src: NodeId, dst: NodeId, distance: u32) {
+        let r = self.g.node(src).dest.expect("recurrence source must produce a value");
+        self.g.node_mut(dst).srcs.push(r);
+        self.g.add_dep(src, dst, DepKind::RegFlow, distance);
+    }
+
+    /// Adds an arbitrary dependence edge.
+    pub fn dep(&mut self, src: NodeId, dst: NodeId, kind: DepKind, distance: u32) -> EdgeId {
+        self.g.add_dep(src, dst, kind, distance)
+    }
+
+    /// Finishes construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph fails [`Ddg::validate`]; builder-produced graphs
+    /// are expected to be well-formed by construction.
+    #[must_use]
+    pub fn finish(self) -> Ddg {
+        self.g.validate().expect("builder produced an invalid DDG");
+        self.g
+    }
+
+    /// Access to the graph under construction.
+    #[must_use]
+    pub fn graph(&self) -> &Ddg {
+        &self.g
+    }
+
+    fn source_regs(&self, srcs: &[NodeId]) -> Vec<VReg> {
+        srcs.iter()
+            .map(|&s| self.g.node(s).dest.expect("source node must produce a value"))
+            .collect()
+    }
+
+    fn flow_edges(&mut self, srcs: &[NodeId], dst: NodeId) {
+        for &s in srcs {
+            self.g.add_dep(s, dst, DepKind::RegFlow, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the paper's Figure 3 example DDG.
+    fn figure3() -> (Ddg, [NodeId; 5]) {
+        let mut b = DdgBuilder::new();
+        let n1 = b.load(Width::W4);
+        let n2 = b.load(Width::W4);
+        let n3 = b.store(Width::W4, &[]);
+        let n4 = b.store(Width::W4, &[n1]);
+        let n5 = b.op(OpKind::IntAlu, &[n2]);
+        // Memory dependences from the figure.
+        b.dep(n1, n3, DepKind::MemAnti, 0);
+        b.dep(n1, n4, DepKind::MemAnti, 0);
+        b.dep(n2, n3, DepKind::MemAnti, 0);
+        b.dep(n2, n4, DepKind::MemAnti, 0);
+        b.dep(n3, n4, DepKind::MemOut, 0);
+        b.dep(n4, n3, DepKind::MemOut, 1);
+        b.dep(n3, n1, DepKind::MemFlow, 1);
+        b.dep(n3, n2, DepKind::MemFlow, 1);
+        b.dep(n4, n1, DepKind::MemFlow, 1);
+        b.dep(n4, n2, DepKind::MemFlow, 1);
+        (b.finish(), [n1, n2, n3, n4, n5])
+    }
+
+    #[test]
+    fn figure3_shape() {
+        let (g, [n1, n2, n3, n4, n5]) = figure3();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.mem_dep_edges().count(), 10);
+        assert!(g.is_memory_dependent(n3));
+        assert!(g.is_memory_dependent(n4));
+        assert!(g.is_memory_dependent(n1));
+        assert!(!g.is_memory_dependent(n5));
+        assert_eq!(g.seq(n1), 0);
+        assert!(g.seq(n3) < g.seq(n4));
+        let _ = n2;
+    }
+
+    #[test]
+    fn sequential_posterior_and_dependence_checks() {
+        let (g, [n1, _n2, n3, n4, _n5]) = figure3();
+        // n4 consumes n1's value.
+        assert!(g.has_rf_edge(n1, n4, 0));
+        assert!(!g.has_rf_edge(n1, n3, 0));
+        // n4 is memory dependent on n3 within the iteration (MO d=0).
+        assert!(g.depends_on_zero_dist(n4, n3));
+        assert!(!g.depends_on_zero_dist(n3, n4)); // only via d=1
+    }
+
+    #[test]
+    fn consumers_iterator() {
+        let (g, [n1, n2, _n3, n4, n5]) = figure3();
+        let c1: Vec<_> = g.consumers(n1).collect();
+        assert_eq!(c1, vec![n4]);
+        let c2: Vec<_> = g.consumers(n2).collect();
+        assert_eq!(c2, vec![n5]);
+    }
+
+    #[test]
+    fn edge_removal_tombstones() {
+        let (mut g, _) = figure3();
+        let before = g.edge_count();
+        let (e, d) = g.mem_dep_edges().next().unwrap();
+        assert_eq!(g.remove_dep(e), Some(d));
+        assert_eq!(g.remove_dep(e), None);
+        assert_eq!(g.edge_count(), before - 1);
+        // Adjacency iterators skip the tombstone.
+        assert!(g.out_deps(d.src).all(|(id, _)| id != e));
+        assert!(g.in_deps(d.dst).all(|(id, _)| id != e));
+    }
+
+    #[test]
+    fn clone_node_inherits_identity_without_edges() {
+        let (mut g, [_, _, n3, _, _]) = figure3();
+        let c = g.clone_node(n3);
+        assert_eq!(g.replica_of(c), Some(n3));
+        assert_eq!(g.replica_root(c), n3);
+        assert_eq!(g.seq(c), g.seq(n3));
+        assert_eq!(g.node(c).mem_id(), g.node(n3).mem_id());
+        assert_eq!(g.out_deps(c).count(), 0);
+        assert_eq!(g.in_deps(c).count(), 0);
+        // Cloning a clone still points at the root.
+        let cc = g.clone_node(c);
+        assert_eq!(g.replica_of(cc), Some(n3));
+    }
+
+    #[test]
+    fn replicate_copies_all_edges_including_self_loops() {
+        let mut g = Ddg::new();
+        let s = g.add_operation(Operation::store(MemId(0), Width::W4, vec![]));
+        let l = g.add_operation(Operation::load(MemId(1), Width::W4, VReg(0)));
+        g.add_dep(s, l, DepKind::MemFlow, 0);
+        g.add_dep(l, s, DepKind::MemAnti, 1);
+        g.add_dep(s, s, DepKind::MemOut, 1); // self loop
+        let c = g.replicate(s);
+        // Clone has: out MF to l, in MA from l, and a self MO loop.
+        assert_eq!(g.out_deps(c).filter(|(_, d)| d.dst == l).count(), 1);
+        assert_eq!(g.in_deps(c).filter(|(_, d)| d.src == l).count(), 1);
+        assert_eq!(g.out_deps(c).filter(|(_, d)| d.dst == c).count(), 1);
+    }
+
+    #[test]
+    fn zero_distance_cycle_detection() {
+        let mut g = Ddg::new();
+        let a = g.add_operation(Operation::arith(OpKind::IntAlu, Some(VReg(0)), vec![]));
+        let b = g.add_operation(Operation::arith(OpKind::IntAlu, Some(VReg(1)), vec![VReg(0)]));
+        g.add_dep(a, b, DepKind::RegFlow, 0);
+        assert!(!g.has_zero_distance_cycle());
+        g.add_dep(b, a, DepKind::RegFlow, 1);
+        assert!(!g.has_zero_distance_cycle()); // distance 1 breaks the cycle
+        g.add_dep(b, a, DepKind::Sync, 0);
+        assert!(g.has_zero_distance_cycle());
+        assert_eq!(g.validate(), Err(DdgError::ZeroDistanceCycle));
+    }
+
+    #[test]
+    fn validate_catches_malformed_mem_ops() {
+        let mut g = Ddg::new();
+        let n = g.add_operation(Operation::arith(OpKind::IntAlu, Some(VReg(0)), vec![]));
+        g.node_mut(n).kind = OpKind::Load; // now memory kind without MemRef
+        assert_eq!(g.validate(), Err(DdgError::MalformedMemOp(n)));
+    }
+
+    #[test]
+    fn fresh_ids_do_not_collide_with_explicit_ones() {
+        let mut g = Ddg::new();
+        g.add_operation(Operation::load(MemId(7), Width::W2, VReg(9)));
+        assert!(g.fresh_mem_id().0 > 7);
+        assert!(g.fresh_vreg().0 > 9);
+    }
+
+    #[test]
+    fn builder_recurrence_adds_loop_carried_rf() {
+        let mut b = DdgBuilder::new();
+        let acc = b.op(OpKind::IntAlu, &[]);
+        let add = b.op(OpKind::IntAlu, &[acc]);
+        b.recurrence(add, acc, 1);
+        let g = b.finish();
+        assert!(g.has_rf_edge(add, acc, 1));
+        assert!(!g.has_zero_distance_cycle());
+    }
+}

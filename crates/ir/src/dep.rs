@@ -1,0 +1,115 @@
+//! Dependence kinds and edges.
+
+use std::fmt;
+
+use crate::ddg::NodeId;
+
+/// The kind of a dependence edge (paper Section 3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// Register flow dependence (RF): producer to consumer through a
+    /// virtual register.
+    RegFlow,
+    /// Memory flow dependence (MF): a store followed by a load that may
+    /// read the stored location.
+    MemFlow,
+    /// Memory anti dependence (MA): a load followed by a store that may
+    /// overwrite the loaded location.
+    MemAnti,
+    /// Memory output dependence (MO): two stores that may write the same
+    /// location.
+    MemOut,
+    /// Synchronization dependence (SYNC), introduced by the DDGT
+    /// load–store synchronization: the target store must be scheduled at
+    /// or after the source consumer (paper Section 3.3).
+    Sync,
+}
+
+impl DepKind {
+    /// Whether this is one of the three memory dependence kinds
+    /// (MF, MA, MO). SYNC edges are *not* memory dependences: they are the
+    /// residue left after a memory-anti dependence has been handled.
+    #[must_use]
+    pub fn is_memory(self) -> bool {
+        matches!(self, DepKind::MemFlow | DepKind::MemAnti | DepKind::MemOut)
+    }
+
+    /// Minimum issue-cycle separation implied by the edge, before adding
+    /// the producer latency for register-flow edges.
+    ///
+    /// * MF and MO require strict ordering at the memory system, hence a
+    ///   one-cycle separation inside a cluster.
+    /// * MA and SYNC only require *not-before* ordering (the paper: "the
+    ///   store must be scheduled after or at least at the same time as the
+    ///   consumer"), hence zero.
+    #[must_use]
+    pub fn min_separation(self) -> u32 {
+        match self {
+            DepKind::MemFlow | DepKind::MemOut => 1,
+            DepKind::MemAnti | DepKind::Sync => 0,
+            // For RegFlow the scheduler adds the producer's latency.
+            DepKind::RegFlow => 0,
+        }
+    }
+}
+
+impl fmt::Display for DepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DepKind::RegFlow => "RF",
+            DepKind::MemFlow => "MF",
+            DepKind::MemAnti => "MA",
+            DepKind::MemOut => "MO",
+            DepKind::Sync => "SYNC",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dependence edge of the DDG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dep {
+    /// Source node (must execute first, modulo `distance`).
+    pub src: NodeId,
+    /// Target node.
+    pub dst: NodeId,
+    /// Dependence kind.
+    pub kind: DepKind,
+    /// Loop-carried distance in iterations (`d` in the paper's figures).
+    /// Zero means both endpoints belong to the same iteration.
+    pub distance: u32,
+}
+
+impl fmt::Display for Dep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} --{}(d={})--> {}", self.src, self.kind, self.distance, self.dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_kinds() {
+        assert!(DepKind::MemFlow.is_memory());
+        assert!(DepKind::MemAnti.is_memory());
+        assert!(DepKind::MemOut.is_memory());
+        assert!(!DepKind::RegFlow.is_memory());
+        assert!(!DepKind::Sync.is_memory());
+    }
+
+    #[test]
+    fn separations() {
+        assert_eq!(DepKind::MemFlow.min_separation(), 1);
+        assert_eq!(DepKind::MemOut.min_separation(), 1);
+        assert_eq!(DepKind::MemAnti.min_separation(), 0);
+        assert_eq!(DepKind::Sync.min_separation(), 0);
+    }
+
+    #[test]
+    fn display() {
+        let d = Dep { src: NodeId(0), dst: NodeId(1), kind: DepKind::MemFlow, distance: 1 };
+        assert_eq!(d.to_string(), "n0 --MF(d=1)--> n1");
+    }
+}

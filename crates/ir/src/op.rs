@@ -1,0 +1,366 @@
+//! Operations, virtual registers and memory references.
+
+use std::fmt;
+
+/// A virtual register name.
+///
+/// Virtual registers carry register-flow values between operations. They
+/// are renamed freely by passes (e.g. the fake consumers introduced by the
+/// DDGT load–store synchronization read a fresh register).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VReg(pub u32);
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Identity of a *memory access site*.
+///
+/// Replicated store instances produced by the DDGT transformation share the
+/// `MemId` of the store they were cloned from: all instances compute the
+/// same address stream, and only the instance scheduled in the home cluster
+/// commits. Address streams in a [`crate::MemImage`] are keyed by `MemId`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MemId(pub u32);
+
+impl fmt::Display for MemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Access width in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Width {
+    /// 1-byte access.
+    W1,
+    /// 2-byte access.
+    W2,
+    /// 4-byte access.
+    W4,
+    /// 8-byte access.
+    W8,
+}
+
+impl Width {
+    /// The width in bytes.
+    #[must_use]
+    pub fn bytes(self) -> u64 {
+        match self {
+            Width::W1 => 1,
+            Width::W2 => 2,
+            Width::W4 => 4,
+            Width::W8 => 8,
+        }
+    }
+
+    /// Construct from a byte count.
+    ///
+    /// Returns `None` for anything other than 1, 2, 4 or 8.
+    #[must_use]
+    pub fn from_bytes(bytes: u64) -> Option<Self> {
+        match bytes {
+            1 => Some(Width::W1),
+            2 => Some(Width::W2),
+            4 => Some(Width::W4),
+            8 => Some(Width::W8),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B", self.bytes())
+    }
+}
+
+/// A memory reference attached to a load or store operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// The access site this operation reads or writes.
+    pub mem: MemId,
+    /// Access width.
+    pub width: Width,
+}
+
+/// The kind of an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Memory load. Produces a value after its assigned latency class.
+    Load,
+    /// Memory store. Consumes address and data, produces nothing.
+    Store,
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Floating-point add/sub/compare.
+    FpAlu,
+    /// Floating-point multiply.
+    FpMul,
+    /// Inter-cluster register copy, inserted by the scheduler. Occupies a
+    /// register-to-register bus rather than a functional unit.
+    Copy,
+    /// A *fake consumer* (`add r0 = r0 + rX`) created by the DDGT
+    /// load–store synchronization when the natural consumer of a load
+    /// would close an impossible cycle (paper Section 3.3).
+    FakeConsumer,
+}
+
+impl OpKind {
+    /// Whether this operation accesses memory.
+    #[must_use]
+    pub fn is_memory(self) -> bool {
+        matches!(self, OpKind::Load | OpKind::Store)
+    }
+
+    /// Whether this operation is an arithmetic (non-memory, non-copy) op.
+    #[must_use]
+    pub fn is_arith(self) -> bool {
+        matches!(
+            self,
+            OpKind::IntAlu | OpKind::IntMul | OpKind::FpAlu | OpKind::FpMul | OpKind::FakeConsumer
+        )
+    }
+
+    /// The functional-unit class that executes this operation, or `None`
+    /// for copies (which occupy buses, not functional units).
+    #[must_use]
+    pub fn fu_class(self) -> Option<FuClass> {
+        match self {
+            OpKind::Load | OpKind::Store => Some(FuClass::Memory),
+            OpKind::IntAlu | OpKind::IntMul | OpKind::FakeConsumer => Some(FuClass::Integer),
+            OpKind::FpAlu | OpKind::FpMul => Some(FuClass::Fp),
+            OpKind::Copy => None,
+        }
+    }
+
+    /// Default producer latency in cycles for register-flow consumers.
+    ///
+    /// Loads do not have a fixed latency; the scheduler assigns one of the
+    /// architecture's latency classes (paper Section 2.2), so this returns
+    /// the optimistic local-hit latency for them.
+    #[must_use]
+    pub fn base_latency(self) -> u32 {
+        match self {
+            OpKind::Load => 1,
+            OpKind::Store => 1,
+            OpKind::IntAlu | OpKind::FakeConsumer => 1,
+            OpKind::IntMul => 2,
+            OpKind::FpAlu => 2,
+            OpKind::FpMul => 4,
+            OpKind::Copy => 2,
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpKind::Load => "load",
+            OpKind::Store => "store",
+            OpKind::IntAlu => "ialu",
+            OpKind::IntMul => "imul",
+            OpKind::FpAlu => "falu",
+            OpKind::FpMul => "fmul",
+            OpKind::Copy => "copy",
+            OpKind::FakeConsumer => "fake",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Functional-unit classes of the clustered VLIW datapath (paper Table 2:
+/// one of each per cluster).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    /// Integer unit.
+    Integer,
+    /// Floating-point unit.
+    Fp,
+    /// Memory (load/store) unit.
+    Memory,
+}
+
+impl FuClass {
+    /// All functional-unit classes, in a fixed order.
+    pub const ALL: [FuClass; 3] = [FuClass::Integer, FuClass::Fp, FuClass::Memory];
+
+    /// Dense index of this class, matching the order of [`FuClass::ALL`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            FuClass::Integer => 0,
+            FuClass::Fp => 1,
+            FuClass::Memory => 2,
+        }
+    }
+}
+
+impl fmt::Display for FuClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuClass::Integer => "int",
+            FuClass::Fp => "fp",
+            FuClass::Memory => "mem",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One operation of a loop body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operation {
+    /// What the operation does.
+    pub kind: OpKind,
+    /// Destination register, if the operation produces a value.
+    pub dest: Option<VReg>,
+    /// Source registers.
+    pub srcs: Vec<VReg>,
+    /// Memory reference for loads and stores.
+    pub mem: Option<MemRef>,
+}
+
+impl Operation {
+    /// A load from access site `mem` with width `width` into `dest`.
+    #[must_use]
+    pub fn load(mem: MemId, width: Width, dest: VReg) -> Self {
+        Operation {
+            kind: OpKind::Load,
+            dest: Some(dest),
+            srcs: Vec::new(),
+            mem: Some(MemRef { mem, width }),
+        }
+    }
+
+    /// A store to access site `mem` of width `width`, reading `srcs`.
+    #[must_use]
+    pub fn store(mem: MemId, width: Width, srcs: Vec<VReg>) -> Self {
+        Operation {
+            kind: OpKind::Store,
+            dest: None,
+            srcs,
+            mem: Some(MemRef { mem, width }),
+        }
+    }
+
+    /// An arithmetic operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is a memory operation or a copy; use the dedicated
+    /// constructors for those.
+    #[must_use]
+    pub fn arith(kind: OpKind, dest: Option<VReg>, srcs: Vec<VReg>) -> Self {
+        assert!(kind.is_arith(), "arith() requires an arithmetic kind, got {kind}");
+        Operation { kind, dest, srcs, mem: None }
+    }
+
+    /// Whether this operation is a memory access.
+    #[must_use]
+    pub fn is_memory(&self) -> bool {
+        self.kind.is_memory()
+    }
+
+    /// Whether this operation is a load.
+    #[must_use]
+    pub fn is_load(&self) -> bool {
+        self.kind == OpKind::Load
+    }
+
+    /// Whether this operation is a store.
+    #[must_use]
+    pub fn is_store(&self) -> bool {
+        self.kind == OpKind::Store
+    }
+
+    /// The memory access site, if this is a memory operation.
+    #[must_use]
+    pub fn mem_id(&self) -> Option<MemId> {
+        self.mem.map(|m| m.mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_roundtrip() {
+        for w in [Width::W1, Width::W2, Width::W4, Width::W8] {
+            assert_eq!(Width::from_bytes(w.bytes()), Some(w));
+        }
+        assert_eq!(Width::from_bytes(3), None);
+        assert_eq!(Width::from_bytes(16), None);
+    }
+
+    #[test]
+    fn fu_class_mapping() {
+        assert_eq!(OpKind::Load.fu_class(), Some(FuClass::Memory));
+        assert_eq!(OpKind::Store.fu_class(), Some(FuClass::Memory));
+        assert_eq!(OpKind::IntAlu.fu_class(), Some(FuClass::Integer));
+        assert_eq!(OpKind::FpMul.fu_class(), Some(FuClass::Fp));
+        assert_eq!(OpKind::Copy.fu_class(), None);
+        assert_eq!(OpKind::FakeConsumer.fu_class(), Some(FuClass::Integer));
+    }
+
+    #[test]
+    fn fu_class_indices_are_dense_and_distinct() {
+        let mut seen = [false; 3];
+        for c in FuClass::ALL {
+            assert!(!seen[c.index()]);
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn operation_constructors() {
+        let ld = Operation::load(MemId(3), Width::W2, VReg(7));
+        assert!(ld.is_load() && ld.is_memory() && !ld.is_store());
+        assert_eq!(ld.mem_id(), Some(MemId(3)));
+        assert_eq!(ld.dest, Some(VReg(7)));
+
+        let st = Operation::store(MemId(4), Width::W4, vec![VReg(7)]);
+        assert!(st.is_store() && st.is_memory());
+        assert_eq!(st.dest, None);
+
+        let add = Operation::arith(OpKind::IntAlu, Some(VReg(9)), vec![VReg(7)]);
+        assert!(!add.is_memory());
+        assert_eq!(add.mem_id(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "arithmetic kind")]
+    fn arith_rejects_memory_kind() {
+        let _ = Operation::arith(OpKind::Load, None, vec![]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(VReg(4).to_string(), "r4");
+        assert_eq!(MemId(2).to_string(), "m2");
+        assert_eq!(Width::W8.to_string(), "8B");
+        assert_eq!(OpKind::FpMul.to_string(), "fmul");
+        assert_eq!(FuClass::Memory.to_string(), "mem");
+    }
+
+    #[test]
+    fn base_latencies_are_positive() {
+        for k in [
+            OpKind::Load,
+            OpKind::Store,
+            OpKind::IntAlu,
+            OpKind::IntMul,
+            OpKind::FpAlu,
+            OpKind::FpMul,
+            OpKind::Copy,
+            OpKind::FakeConsumer,
+        ] {
+            assert!(k.base_latency() >= 1);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Profiling pass: preferred-cluster computation.
+//!
+//! The paper's PrefClus heuristic schedules each memory instruction in the
+//! cluster it accesses most, *computed through profiling* (Section 2.2,
+//! footnote 1). This module walks a kernel's **profile** address streams
+//! through a caller-supplied address→cluster mapping and tallies, per
+//! memory site, how often each cluster is the home of the accessed word —
+//! the `pref = {70 30 0 0}` annotations of the paper's Figure 3.
+
+use std::collections::BTreeMap;
+
+use crate::kernel::LoopKernel;
+use crate::op::MemId;
+
+/// Per-memory-site preferred-cluster histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefInfo {
+    counts: Vec<u64>,
+}
+
+impl PrefInfo {
+    /// Creates a histogram with one bucket per cluster.
+    #[must_use]
+    pub fn new(n_clusters: usize) -> Self {
+        PrefInfo { counts: vec![0; n_clusters] }
+    }
+
+    /// Builds a histogram directly from counts (useful in tests).
+    #[must_use]
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        PrefInfo { counts }
+    }
+
+    /// Records one access whose home is `cluster`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn record(&mut self, cluster: usize) {
+        self.counts[cluster] += 1;
+    }
+
+    /// The access count per cluster.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total profiled accesses.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The preferred cluster: the one accessed most, lowest index on ties.
+    #[must_use]
+    pub fn preferred(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &c)| (c, usize::MAX - i))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// The fraction of accesses whose home is `cluster` (0 if unprofiled).
+    #[must_use]
+    pub fn fraction(&self, cluster: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.counts[cluster] as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another histogram into this one (used to compute the
+    /// *average preferred cluster* of an MDC chain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster counts differ.
+    pub fn merge(&mut self, other: &PrefInfo) {
+        assert_eq!(self.counts.len(), other.counts.len(), "cluster count mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+/// Preferred-cluster information for every memory site of a kernel.
+pub type PrefMap = BTreeMap<MemId, PrefInfo>;
+
+/// Maximum profiled iterations per loop; profiling is a sampling pass, so
+/// long loops are truncated for speed (the distribution converges long
+/// before this).
+pub const PROFILE_ITERATION_CAP: u64 = 4096;
+
+/// Profiles `kernel` under its *profile* input, mapping each accessed
+/// address to its home cluster with `home`.
+///
+/// Replicated store instances share the [`MemId`] of their original, so a
+/// transformed graph profiles identically to the original.
+pub fn preferred_clusters(
+    kernel: &LoopKernel,
+    n_clusters: usize,
+    mut home: impl FnMut(u64) -> usize,
+) -> PrefMap {
+    let iters = kernel.trip_count.min(PROFILE_ITERATION_CAP);
+    let mut map = PrefMap::new();
+    for (mem, stream) in kernel.profile.iter() {
+        let info = map.entry(mem).or_insert_with(|| PrefInfo::new(n_clusters));
+        for i in 0..iters {
+            info.record(home(stream.addr_at(i)));
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddg::DdgBuilder;
+    use crate::kernel::AddressStream;
+    use crate::op::Width;
+
+    #[test]
+    fn pref_info_basics() {
+        let p = PrefInfo::from_counts(vec![20, 50, 30, 0]);
+        assert_eq!(p.preferred(), 1);
+        assert_eq!(p.total(), 100);
+        assert!((p.fraction(1) - 0.5).abs() < 1e-12);
+        assert_eq!(p.fraction(3), 0.0);
+    }
+
+    #[test]
+    fn pref_info_tie_breaks_low_index() {
+        let p = PrefInfo::from_counts(vec![5, 5, 1, 5]);
+        assert_eq!(p.preferred(), 0);
+    }
+
+    #[test]
+    fn pref_info_empty_is_safe() {
+        let p = PrefInfo::new(4);
+        assert_eq!(p.preferred(), 0);
+        assert_eq!(p.fraction(2), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PrefInfo::from_counts(vec![1, 2, 3, 4]);
+        a.merge(&PrefInfo::from_counts(vec![4, 3, 2, 1]));
+        assert_eq!(a.counts(), &[5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn profiling_counts_homes() {
+        let mut b = DdgBuilder::new();
+        let ld = b.load(Width::W4);
+        let g = b.finish();
+        let mem = g.node(ld).mem_id().unwrap();
+        let mut k = LoopKernel::new("p", g, 16);
+        // Walks words 0,1,2,3,0,1,... under a 4-cluster word-interleaved map.
+        k.profile.insert(mem, AddressStream::Affine { base: 0, stride: 4 });
+        k.exec.insert(mem, AddressStream::Affine { base: 0, stride: 4 });
+        let map = preferred_clusters(&k, 4, |addr| ((addr / 4) % 4) as usize);
+        let info = &map[&mem];
+        assert_eq!(info.total(), 16);
+        assert_eq!(info.counts(), &[4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn profiling_single_cluster_stride() {
+        let mut b = DdgBuilder::new();
+        let ld = b.load(Width::W4);
+        let g = b.finish();
+        let mem = g.node(ld).mem_id().unwrap();
+        let mut k = LoopKernel::new("p", g, 64);
+        // Stride 16 = 4 clusters × 4-byte interleave: always the same home.
+        k.profile.insert(mem, AddressStream::Affine { base: 8, stride: 16 });
+        k.exec.insert(mem, AddressStream::Affine { base: 8, stride: 16 });
+        let map = preferred_clusters(&k, 4, |addr| ((addr / 4) % 4) as usize);
+        assert_eq!(map[&mem].preferred(), 2);
+        assert_eq!(map[&mem].fraction(2), 1.0);
+    }
+
+    #[test]
+    fn profiling_respects_iteration_cap() {
+        let mut b = DdgBuilder::new();
+        let ld = b.load(Width::W4);
+        let g = b.finish();
+        let mem = g.node(ld).mem_id().unwrap();
+        let mut k = LoopKernel::new("p", g, u64::MAX);
+        k.profile.insert(mem, AddressStream::Affine { base: 0, stride: 4 });
+        k.exec.insert(mem, AddressStream::Affine { base: 0, stride: 4 });
+        let map = preferred_clusters(&k, 4, |addr| ((addr / 4) % 4) as usize);
+        assert_eq!(map[&mem].total(), PROFILE_ITERATION_CAP);
+    }
+}

@@ -1,0 +1,315 @@
+//! Loop unrolling.
+//!
+//! The paper's scheduling framework unrolls loops "so that the number of
+//! instructions with a stride multiple of N×I is maximized (where N is the
+//! number of clusters and I is the interleaving factor expressed in
+//! bytes)" (Section 2.2). Such instructions touch a single cluster for the
+//! whole loop, which is what makes the PrefClus heuristic profitable.
+//!
+//! [`choose_factor`] picks the unroll factor with that objective and
+//! [`unroll`] performs the transformation: the body is replicated, virtual
+//! registers and memory sites are renamed per copy, address streams are
+//! re-based (`copy k` of an affine stream starts at `base + k·stride` and
+//! strides by `factor·stride`), and loop-carried dependences are rewired
+//! between copies with reduced distances.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::ddg::{Ddg, NodeId};
+use crate::kernel::{AddressStream, LoopKernel, MemImage};
+use crate::op::{MemId, VReg};
+
+/// Upper bound on unroll factors considered by [`choose_factor`]; larger
+/// factors blow up the schedule without improving locality further.
+pub const MAX_UNROLL: u32 = 8;
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Picks the unroll factor (1..=[`MAX_UNROLL`]) that maximizes the number
+/// of affine memory streams whose unrolled stride is a multiple of
+/// `n_clusters × interleave_bytes`; smallest factor wins ties. Streams
+/// with stride zero already stay in one cluster and vote for factor 1.
+#[must_use]
+pub fn choose_factor(kernel: &LoopKernel, n_clusters: u64, interleave_bytes: u64) -> u32 {
+    let period = n_clusters * interleave_bytes;
+    if period == 0 {
+        return 1;
+    }
+    let strides: Vec<u64> = kernel
+        .profile
+        .iter()
+        .filter_map(|(_, s)| s.stride())
+        .map(i64::unsigned_abs)
+        .collect();
+    let max = u64::from(MAX_UNROLL).min(kernel.trip_count.max(1));
+    let mut best = (0usize, 1u32);
+    for factor in 1..=max as u32 {
+        let hits = strides
+            .iter()
+            .filter(|&&s| (s * u64::from(factor)) % period == 0)
+            .count();
+        if hits > best.0 {
+            best = (hits, factor);
+        }
+    }
+    best.1
+}
+
+/// The minimal factor that makes a single stride periodic over
+/// `n_clusters × interleave_bytes`, capped at [`MAX_UNROLL`].
+#[must_use]
+pub fn minimal_factor_for_stride(stride: i64, n_clusters: u64, interleave_bytes: u64) -> u32 {
+    let period = n_clusters * interleave_bytes;
+    let s = stride.unsigned_abs();
+    if period == 0 || s == 0 {
+        return 1;
+    }
+    let f = period / gcd(s, period);
+    f.min(u64::from(MAX_UNROLL)) as u32
+}
+
+/// Unrolls `kernel` by `factor`.
+///
+/// The new trip count is `trip_count / factor` (rounded down, min 1); any
+/// remainder iterations would execute in a scalar epilogue outside the
+/// modulo-scheduled region and are not modeled.
+///
+/// # Panics
+///
+/// Panics if `factor` is zero or if the kernel contains replicated store
+/// instances (unrolling must run before the DDGT transformation).
+#[must_use]
+pub fn unroll(kernel: &LoopKernel, factor: u32) -> LoopKernel {
+    assert!(factor > 0, "unroll factor must be positive");
+    if factor == 1 {
+        return kernel.clone();
+    }
+    let src = &kernel.ddg;
+    assert!(
+        src.node_ids().all(|n| src.replica_of(n).is_none()),
+        "unroll must run before store replication"
+    );
+
+    let mut g = Ddg::new();
+    // node_map[k][orig.index()] = new node id for copy k.
+    let mut node_map: Vec<Vec<NodeId>> = Vec::with_capacity(factor as usize);
+    // Memory site of copy k for each original site; copy 0 keeps the
+    // original id so that profile data remains comparable.
+    let mut mem_map: BTreeMap<(MemId, u32), MemId> = BTreeMap::new();
+
+    // Insert copies in copy-major order so sequential program order of the
+    // unrolled body is copy 0's ops, then copy 1's, etc.
+    for k in 0..factor {
+        let mut vreg_map: BTreeMap<VReg, VReg> = BTreeMap::new();
+        let mut ids = Vec::with_capacity(src.node_count());
+        for n in src.node_ids() {
+            let mut op = src.node(n).clone();
+            if let Some(m) = op.mem.as_mut() {
+                let new_mem = if k == 0 {
+                    m.mem
+                } else {
+                    *mem_map.entry((m.mem, k)).or_insert_with(|| g.fresh_mem_id())
+                };
+                mem_map.insert((m.mem, k), new_mem);
+                m.mem = new_mem;
+            }
+            op.dest = op.dest.map(|r| *vreg_map.entry(r).or_insert_with(|| g.fresh_vreg()));
+            for s in op.srcs.iter_mut() {
+                *s = *vreg_map.entry(*s).or_insert_with(|| g.fresh_vreg());
+            }
+            ids.push(g.add_operation(op));
+        }
+        node_map.push(ids);
+    }
+
+    // Rewire dependences: an edge (u → v, d) means "u of iteration i is
+    // needed by v of iteration i+d". With copies a = i mod factor, the
+    // target lands in copy (a+d) mod factor at distance (a+d) div factor.
+    for (_, d) in src.deps() {
+        for a in 0..factor {
+            let t = a + d.distance;
+            let b = t % factor;
+            let q = t / factor;
+            g.add_dep(
+                node_map[a as usize][d.src.index()],
+                node_map[b as usize][d.dst.index()],
+                d.kind,
+                q,
+            );
+        }
+    }
+
+    // Cross-copy register flow: copy k reads values produced in copy k, so
+    // nothing extra is needed — the per-copy vreg renaming keeps copies
+    // independent, and loop-carried RF edges were rewired above. Streams:
+    let rebased = |img: &MemImage| -> MemImage {
+        let mut out = MemImage::new();
+        for (mem, stream) in img.iter() {
+            for k in 0..factor {
+                let Some(&new_mem) = mem_map.get(&(mem, k)) else { continue };
+                let s = match stream {
+                    AddressStream::Affine { base, stride } => AddressStream::Affine {
+                        base: base.wrapping_add_signed(stride * i64::from(k)),
+                        stride: stride * i64::from(factor),
+                    },
+                    AddressStream::Indexed(t) => {
+                        let picked: Vec<u64> = t
+                            .iter()
+                            .copied()
+                            .skip(k as usize)
+                            .step_by(factor as usize)
+                            .collect();
+                        if picked.is_empty() {
+                            AddressStream::Indexed(Arc::from([stream.addr_at(u64::from(k))]))
+                        } else {
+                            AddressStream::Indexed(Arc::from(picked))
+                        }
+                    }
+                };
+                out.insert(new_mem, s);
+            }
+        }
+        out
+    };
+
+    LoopKernel {
+        name: format!("{}@x{}", kernel.name, factor),
+        ddg: g,
+        trip_count: (kernel.trip_count / u64::from(factor)).max(1),
+        invocations: kernel.invocations,
+        profile: rebased(&kernel.profile),
+        exec: rebased(&kernel.exec),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddg::DdgBuilder;
+    use crate::dep::DepKind;
+    use crate::op::{OpKind, Width};
+
+    fn stream_kernel(stride: i64, trip: u64) -> LoopKernel {
+        let mut b = DdgBuilder::new();
+        let ld = b.load(Width::W4);
+        let ad = b.op(OpKind::IntAlu, &[ld]);
+        let st = b.store(Width::W4, &[ad]);
+        b.dep(st, ld, DepKind::MemFlow, 1);
+        let g = b.finish();
+        let m_ld = g.node(ld).mem_id().unwrap();
+        let m_st = g.node(st).mem_id().unwrap();
+        let mut k = LoopKernel::new("s", g, trip);
+        for img in [&mut k.profile, &mut k.exec] {
+            img.insert(m_ld, AddressStream::Affine { base: 0, stride });
+            img.insert(m_st, AddressStream::Affine { base: 1 << 20, stride });
+        }
+        k
+    }
+
+    #[test]
+    fn factor_selection_matches_period() {
+        // 2-byte walk on a 4-cluster × 2-byte machine: period 8, U = 4.
+        let k = stream_kernel(2, 1024);
+        assert_eq!(choose_factor(&k, 4, 2), 4);
+        // 4-byte walk, 4-byte interleave: period 16, U = 4.
+        let k = stream_kernel(4, 1024);
+        assert_eq!(choose_factor(&k, 4, 4), 4);
+        // Already periodic stride.
+        let k = stream_kernel(16, 1024);
+        assert_eq!(choose_factor(&k, 4, 4), 1);
+    }
+
+    #[test]
+    fn minimal_factor() {
+        assert_eq!(minimal_factor_for_stride(2, 4, 2), 4);
+        assert_eq!(minimal_factor_for_stride(4, 4, 4), 4);
+        assert_eq!(minimal_factor_for_stride(8, 4, 4), 2);
+        assert_eq!(minimal_factor_for_stride(0, 4, 4), 1);
+        assert_eq!(minimal_factor_for_stride(-2, 4, 2), 4);
+        // Capped.
+        assert_eq!(minimal_factor_for_stride(1, 4, 4), 8);
+    }
+
+    #[test]
+    fn unroll_by_one_is_identity() {
+        let k = stream_kernel(4, 128);
+        let u = unroll(&k, 1);
+        assert_eq!(u.ddg.node_count(), k.ddg.node_count());
+        assert_eq!(u.trip_count, k.trip_count);
+    }
+
+    #[test]
+    fn unroll_replicates_body_and_divides_trip() {
+        let k = stream_kernel(4, 128);
+        let u = unroll(&k, 4);
+        assert_eq!(u.ddg.node_count(), k.ddg.node_count() * 4);
+        assert_eq!(u.trip_count, 32);
+        assert_eq!(u.invocations, k.invocations);
+        assert!(u.validate().is_ok(), "{:?}", u.validate());
+        // Total dynamic work is preserved.
+        assert_eq!(u.dyn_mem_accesses(), k.dyn_mem_accesses());
+    }
+
+    #[test]
+    fn unroll_rebases_affine_streams() {
+        let k = stream_kernel(4, 128);
+        let u = unroll(&k, 4);
+        // Gather the 4 load streams and check they tile the original walk.
+        let mut addrs: Vec<u64> = Vec::new();
+        for (_, s) in u.exec.iter() {
+            if s.addr_at(0) < 1 << 20 {
+                addrs.push(s.addr_at(0));
+                assert_eq!(s.stride(), Some(16));
+            }
+        }
+        addrs.sort_unstable();
+        assert_eq!(addrs, vec![0, 4, 8, 12]);
+    }
+
+    #[test]
+    fn unroll_rewires_loop_carried_deps() {
+        let k = stream_kernel(4, 128);
+        let u = unroll(&k, 2);
+        // Original MF st->ld d=1 becomes: copy0->copy1 d=0 and copy1->copy0 d=1.
+        let mf: Vec<_> = u
+            .ddg
+            .deps()
+            .filter(|(_, d)| d.kind == DepKind::MemFlow)
+            .map(|(_, d)| d.distance)
+            .collect();
+        assert_eq!(mf.len(), 2);
+        assert!(mf.contains(&0));
+        assert!(mf.contains(&1));
+        assert!(!u.ddg.has_zero_distance_cycle());
+    }
+
+    #[test]
+    fn unroll_indexed_streams_split_round_robin() {
+        let mut b = DdgBuilder::new();
+        let ld = b.load(Width::W2);
+        let g = b.finish();
+        let m = g.node(ld).mem_id().unwrap();
+        let mut k = LoopKernel::new("idx", g, 8);
+        let table: Vec<u64> = (0..8u64).map(|i| i * 2).collect();
+        k.profile.insert(m, AddressStream::Indexed(Arc::from(table.clone())));
+        k.exec.insert(m, AddressStream::Indexed(Arc::from(table)));
+        let u = unroll(&k, 2);
+        let streams: Vec<_> = u.exec.iter().map(|(_, s)| s.clone()).collect();
+        assert_eq!(streams.len(), 2);
+        assert_eq!(streams[0].addr_at(0) % 4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn unroll_zero_panics() {
+        let k = stream_kernel(4, 128);
+        let _ = unroll(&k, 0);
+    }
+}

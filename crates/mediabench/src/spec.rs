@@ -1,0 +1,416 @@
+//! Per-benchmark specifications calibrated to the paper.
+//!
+//! Each benchmark is two (or three) loops: a *chained* loop carrying the
+//! benchmark's memory-dependent work and a *streaming* loop carrying the
+//! dependence-free rest. Segment sizes, instruction padding and loop
+//! weights (invocation counts) are solved from the paper's Table 1 (data
+//! sizes, interleaving factors) and Table 3 (CMR/CAR ratios); the
+//! calibration tests in this crate assert the resulting ratios land in
+//! the published bands.
+
+use distvliw_ir::{Suite, Width};
+
+use crate::alloc::AddressAllocator;
+use crate::gen::{chain_loop, stream_loop, ChainSpec, Locality, StreamSpec};
+
+/// Iterations per invocation used by every synthetic loop.
+pub const TRIP: u64 = 256;
+/// Invocation weight of each benchmark's chained loop.
+pub const CHAIN_INVOCATIONS: u64 = 8;
+
+/// Static description of one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchSpec {
+    /// Benchmark name (paper Table 1).
+    pub name: &'static str,
+    /// Interleaving factor in bytes (paper Table 1).
+    pub interleave: u64,
+    /// Dominant data width (paper Table 1).
+    pub main_width: Width,
+    /// Whether the kernels are floating-point dominated.
+    pub fp: bool,
+    /// Chain-loop segments (empty = no memory-dependent work, as in
+    /// g721dec/g721enc whose Table 3 ratios are zero).
+    pub segments: &'static [usize],
+    /// Arithmetic padding of the chained loop.
+    pub chain_pad: usize,
+    /// Serial recurrence depth carved out of the padding (bounds the II).
+    pub recurrence_depth: usize,
+    /// Byte-granular chain pattern (see [`ChainSpec::byte_pattern`]).
+    pub byte_chain: bool,
+    /// Shared store operands (see [`ChainSpec::shared_store_operands`]).
+    pub shared_store_operands: bool,
+    /// Memory ops in the streaming loop.
+    pub free_mem_ops: usize,
+    /// Arithmetic per memory op in the streaming loop.
+    pub free_arith_per_mem: usize,
+    /// Invocations of the streaming loop (the weight solving Table 3).
+    pub free_invocations: u64,
+    /// Locality mix of the streaming loop.
+    pub locality: &'static [Locality],
+    /// Paper Table 3 targets, when published.
+    pub table3: Option<(f64, f64)>,
+}
+
+use Locality::{Random, Single, Spread};
+
+/// All fourteen benchmarks of paper Table 1.
+pub const BENCHMARKS: &[BenchSpec] = &[
+    BenchSpec {
+        name: "epicdec",
+        interleave: 4,
+        main_width: Width::W4,
+        fp: true,
+        segments: &[24, 18, 18, 18],
+        chain_pad: 93,
+        recurrence_depth: 33,
+        byte_chain: false,
+        shared_store_operands: true,
+        free_mem_ops: 8,
+        free_arith_per_mem: 2,
+        free_invocations: 44,
+        locality: &[Single, Single, Spread],
+        table3: Some((0.64, 0.22)),
+    },
+    BenchSpec {
+        name: "epicenc",
+        interleave: 4,
+        main_width: Width::W4,
+        fp: true,
+        segments: &[12],
+        chain_pad: 28,
+        recurrence_depth: 5,
+        byte_chain: false,
+        shared_store_operands: true,
+        free_mem_ops: 10,
+        free_arith_per_mem: 2,
+        free_invocations: 20,
+        locality: &[Single, Single, Spread],
+        table3: None,
+    },
+    BenchSpec {
+        name: "g721dec",
+        interleave: 2,
+        main_width: Width::W2,
+        fp: false,
+        segments: &[],
+        chain_pad: 0,
+        recurrence_depth: 0,
+        byte_chain: false,
+        shared_store_operands: false,
+        free_mem_ops: 8,
+        free_arith_per_mem: 4,
+        free_invocations: 40,
+        locality: &[Single, Single, Single, Spread],
+        table3: Some((0.0, 0.0)),
+    },
+    BenchSpec {
+        name: "g721enc",
+        interleave: 2,
+        main_width: Width::W2,
+        fp: false,
+        segments: &[],
+        chain_pad: 0,
+        recurrence_depth: 0,
+        byte_chain: false,
+        shared_store_operands: false,
+        free_mem_ops: 8,
+        free_arith_per_mem: 4,
+        free_invocations: 40,
+        locality: &[Single, Single, Single, Spread],
+        table3: Some((0.0, 0.0)),
+    },
+    BenchSpec {
+        name: "gsmdec",
+        interleave: 2,
+        main_width: Width::W2,
+        fp: false,
+        segments: &[6],
+        chain_pad: 24,
+        recurrence_depth: 5,
+        byte_chain: false,
+        shared_store_operands: false,
+        free_mem_ops: 10,
+        free_arith_per_mem: 5,
+        free_invocations: 22,
+        locality: &[Single, Single, Spread],
+        table3: Some((0.18, 0.02)),
+    },
+    BenchSpec {
+        name: "gsmenc",
+        interleave: 2,
+        main_width: Width::W2,
+        fp: false,
+        segments: &[6],
+        chain_pad: 20,
+        recurrence_depth: 5,
+        byte_chain: false,
+        shared_store_operands: false,
+        free_mem_ops: 12,
+        free_arith_per_mem: 4,
+        free_invocations: 46,
+        locality: &[Single, Single, Spread],
+        table3: Some((0.08, 0.01)),
+    },
+    BenchSpec {
+        name: "jpegdec",
+        interleave: 4,
+        main_width: Width::W1,
+        fp: false,
+        segments: &[12],
+        chain_pad: 53,
+        recurrence_depth: 10,
+        byte_chain: true,
+        shared_store_operands: false,
+        free_mem_ops: 8,
+        free_arith_per_mem: 3,
+        free_invocations: 14,
+        locality: &[Spread, Single, Random],
+        table3: Some((0.46, 0.09)),
+    },
+    BenchSpec {
+        name: "jpegenc",
+        interleave: 4,
+        main_width: Width::W4,
+        fp: false,
+        segments: &[6],
+        chain_pad: 29,
+        recurrence_depth: 5,
+        byte_chain: false,
+        shared_store_operands: false,
+        free_mem_ops: 12,
+        free_arith_per_mem: 1,
+        free_invocations: 53,
+        locality: &[Single, Spread, Single],
+        table3: Some((0.07, 0.03)),
+    },
+    BenchSpec {
+        name: "mpeg2dec",
+        interleave: 4,
+        main_width: Width::W8,
+        fp: true,
+        segments: &[6],
+        chain_pad: 28,
+        recurrence_depth: 2,
+        byte_chain: false,
+        shared_store_operands: false,
+        free_mem_ops: 12,
+        free_arith_per_mem: 1,
+        free_invocations: 27,
+        locality: &[Single, Spread, Single],
+        table3: Some((0.13, 0.05)),
+    },
+    BenchSpec {
+        name: "pegwitdec",
+        interleave: 2,
+        main_width: Width::W2,
+        fp: false,
+        segments: &[6],
+        chain_pad: 41,
+        recurrence_depth: 5,
+        byte_chain: false,
+        shared_store_operands: false,
+        free_mem_ops: 10,
+        free_arith_per_mem: 1,
+        free_invocations: 13,
+        locality: &[Single, Random, Single],
+        table3: Some((0.27, 0.07)),
+    },
+    BenchSpec {
+        name: "pegwitenc",
+        interleave: 2,
+        main_width: Width::W2,
+        fp: false,
+        segments: &[12],
+        chain_pad: 64,
+        recurrence_depth: 10,
+        byte_chain: false,
+        shared_store_operands: false,
+        free_mem_ops: 10,
+        free_arith_per_mem: 1,
+        free_invocations: 18,
+        locality: &[Single, Random, Single],
+        table3: Some((0.35, 0.09)),
+    },
+    BenchSpec {
+        name: "pgpdec",
+        interleave: 4,
+        main_width: Width::W4,
+        fp: false,
+        segments: &[18, 6],
+        chain_pad: 25,
+        recurrence_depth: 20,
+        byte_chain: false,
+        shared_store_operands: false,
+        free_mem_ops: 8,
+        free_arith_per_mem: 2,
+        free_invocations: 9,
+        locality: &[Single, Single, Spread],
+        table3: Some((0.73, 0.24)),
+    },
+    BenchSpec {
+        name: "pgpenc",
+        interleave: 4,
+        main_width: Width::W4,
+        fp: false,
+        segments: &[12, 6],
+        chain_pad: 18,
+        recurrence_depth: 15,
+        byte_chain: false,
+        shared_store_operands: false,
+        free_mem_ops: 8,
+        free_arith_per_mem: 2,
+        free_invocations: 11,
+        locality: &[Single, Single, Spread],
+        table3: Some((0.63, 0.21)),
+    },
+    BenchSpec {
+        name: "rasta",
+        interleave: 4,
+        main_width: Width::W4,
+        fp: true,
+        segments: &[6, 6, 6, 6],
+        chain_pad: 10,
+        recurrence_depth: 10,
+        byte_chain: false,
+        shared_store_operands: false,
+        free_mem_ops: 8,
+        free_arith_per_mem: 1,
+        free_invocations: 22,
+        locality: &[Single, Single, Spread],
+        table3: Some((0.52, 0.26)),
+    },
+];
+
+/// Builds the suite for one benchmark spec.
+#[must_use]
+pub fn build_suite(spec: &BenchSpec) -> Suite {
+    let mut suite = Suite::new(spec.name, spec.interleave);
+    let mut alloc = AddressAllocator::new();
+    let seed = spec
+        .name
+        .bytes()
+        .fold(0xCBF2_9CE4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3));
+
+    if !spec.segments.is_empty() {
+        let chain = ChainSpec {
+            name: "chained",
+            segments: spec.segments.to_vec(),
+            interleave: spec.interleave,
+            arith_pad: spec.chain_pad,
+            recurrence_depth: spec.recurrence_depth,
+            byte_pattern: spec.byte_chain,
+            shared_store_operands: spec.shared_store_operands,
+            fp: spec.fp,
+            trip: TRIP,
+            invocations: CHAIN_INVOCATIONS,
+        };
+        suite.kernels.push(chain_loop(&chain, &mut alloc));
+    }
+
+    let free = StreamSpec {
+        name: "streaming",
+        mem_ops: spec.free_mem_ops,
+        store_every: 3,
+        width: spec.main_width,
+        interleave: spec.interleave,
+        locality: spec.locality.to_vec(),
+        arith_per_mem: spec.free_arith_per_mem,
+        fp: spec.fp,
+        trip: TRIP,
+        invocations: spec.free_invocations,
+        seed,
+    };
+    suite.kernels.push(stream_loop(&free, &mut alloc, 4));
+    suite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distvliw_coherence::chain_stats;
+
+    #[test]
+    fn all_fourteen_benchmarks_build_and_validate() {
+        assert_eq!(BENCHMARKS.len(), 14);
+        for spec in BENCHMARKS {
+            let suite = build_suite(spec);
+            assert!(!suite.kernels.is_empty(), "{}", spec.name);
+            for k in &suite.kernels {
+                assert!(k.validate().is_ok(), "{}/{}: {:?}", spec.name, k.name, k.validate());
+            }
+        }
+    }
+
+    #[test]
+    fn interleaving_factors_match_table1() {
+        for spec in BENCHMARKS {
+            let expected = match spec.name {
+                "g721dec" | "g721enc" | "gsmdec" | "gsmenc" | "pegwitdec" | "pegwitenc" => 2,
+                _ => 4,
+            };
+            assert_eq!(spec.interleave, expected, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn chain_ratios_land_in_table3_bands() {
+        for spec in BENCHMARKS {
+            let Some((cmr, car)) = spec.table3 else { continue };
+            let suite = build_suite(spec);
+            let stats = chain_stats(suite.kernels.iter());
+            assert!(
+                (stats.cmr - cmr).abs() <= 0.08,
+                "{}: CMR {:.3} vs paper {:.2}",
+                spec.name,
+                stats.cmr,
+                cmr
+            );
+            assert!(
+                (stats.car - car).abs() <= 0.05,
+                "{}: CAR {:.3} vs paper {:.2}",
+                spec.name,
+                stats.car,
+                car
+            );
+            assert!(stats.car <= stats.cmr + 1e-9, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn g721_has_no_chains() {
+        for name in ["g721dec", "g721enc"] {
+            let spec = BENCHMARKS.iter().find(|s| s.name == name).unwrap();
+            let suite = build_suite(spec);
+            let stats = chain_stats(suite.kernels.iter());
+            assert_eq!(stats.cmr, 0.0, "{name}");
+        }
+    }
+
+    #[test]
+    fn epicdec_has_the_paper_sized_chain() {
+        let spec = BENCHMARKS.iter().find(|s| s.name == "epicdec").unwrap();
+        let suite = build_suite(spec);
+        let chained = &suite.kernels[0];
+        let chains = distvliw_coherence::find_chains(&chained.ddg);
+        // Paper Section 5.4: "an important loop consists of 76 memory
+        // instructions which form a huge memory dependent chain".
+        assert!(
+            (70..=84).contains(&chains.biggest_len()),
+            "epicdec chain: {}",
+            chains.biggest_len()
+        );
+    }
+
+    #[test]
+    fn suites_are_deterministic() {
+        let spec = BENCHMARKS.iter().find(|s| s.name == "pegwitdec").unwrap();
+        let a = build_suite(spec);
+        let b = build_suite(spec);
+        let ka = &a.kernels[1];
+        let kb = &b.kernels[1];
+        for (m, s) in ka.exec.iter() {
+            assert_eq!(kb.exec.get(m), Some(s));
+        }
+    }
+}

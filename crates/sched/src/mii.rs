@@ -1,0 +1,249 @@
+//! Minimum initiation interval: resource-constrained (ResMII) and
+//! recurrence-constrained (RecMII) lower bounds.
+
+use std::collections::BTreeMap;
+
+use distvliw_arch::MachineConfig;
+use distvliw_ir::{Ddg, Dep, DepKind, FuClass, NodeId};
+
+/// The latency a dependence edge imposes between the issue cycles of its
+/// endpoints.
+///
+/// * Register flow: the producer's latency (loads use their assigned
+///   latency from `load_lat`).
+/// * MF/MO: one cycle (strict ordering at the memory system).
+/// * MA/SYNC: zero cycles (not-before ordering).
+#[must_use]
+pub fn dep_latency(ddg: &Ddg, dep: &Dep, load_lat: &BTreeMap<NodeId, u32>) -> u32 {
+    match dep.kind {
+        DepKind::RegFlow => {
+            let op = ddg.node(dep.src);
+            if op.is_load() {
+                load_lat.get(&dep.src).copied().unwrap_or_else(|| op.kind.base_latency())
+            } else {
+                op.kind.base_latency()
+            }
+        }
+        _ => dep.kind.min_separation(),
+    }
+}
+
+/// Resource-constrained MII: for each functional-unit class, the ops of
+/// that class divided by total machine capacity.
+#[must_use]
+pub fn res_mii(ddg: &Ddg, machine: &MachineConfig) -> u32 {
+    let mut counts = [0u32; 3];
+    for (_, op) in ddg.iter() {
+        if let Some(class) = op.kind.fu_class() {
+            counts[class.index()] += 1;
+        }
+    }
+    let caps = [
+        machine.fu.integer as u32 * machine.n_clusters as u32,
+        machine.fu.fp as u32 * machine.n_clusters as u32,
+        machine.fu.memory as u32 * machine.n_clusters as u32,
+    ];
+    let mut mii = 1;
+    for class in FuClass::ALL {
+        let i = class.index();
+        if caps[i] == 0 && counts[i] > 0 {
+            // Unschedulable mix; report an absurd bound so scheduling fails
+            // loudly rather than looping forever.
+            return u32::MAX;
+        }
+        if caps[i] > 0 {
+            mii = mii.max(counts[i].div_ceil(caps[i]));
+        }
+    }
+    mii
+}
+
+/// Whether the graph admits a legal schedule at initiation interval `ii`:
+/// no cycle may have positive total weight, where an edge weighs
+/// `latency − ii × distance`.
+///
+/// Uses Bellman–Ford-style longest-path relaxation; divergence beyond
+/// `V` rounds signals a positive cycle.
+#[must_use]
+pub fn feasible_ii(ddg: &Ddg, load_lat: &BTreeMap<NodeId, u32>, ii: u32) -> bool {
+    let n = ddg.node_count();
+    if n == 0 {
+        return true;
+    }
+    let edges: Vec<(usize, usize, i64)> = ddg
+        .deps()
+        .map(|(_, d)| {
+            let w = i64::from(dep_latency(ddg, &d, load_lat)) - i64::from(ii) * i64::from(d.distance);
+            (d.src.index(), d.dst.index(), w)
+        })
+        .collect();
+    let mut dist = vec![0i64; n];
+    for round in 0..=n {
+        let mut changed = false;
+        for &(u, v, w) in &edges {
+            if dist[u] + w > dist[v] {
+                dist[v] = dist[u] + w;
+                changed = true;
+            }
+        }
+        if !changed {
+            return true;
+        }
+        if round == n {
+            return false;
+        }
+    }
+    true
+}
+
+/// Recurrence-constrained MII: the smallest `ii` at which no dependence
+/// cycle is violated, found by binary search over [`feasible_ii`]
+/// (feasibility is monotone in `ii`).
+#[must_use]
+pub fn rec_mii(ddg: &Ddg, load_lat: &BTreeMap<NodeId, u32>) -> u32 {
+    // An upper bound: sum of all edge latencies (a cycle cannot need more).
+    let hi0: i64 = ddg
+        .deps()
+        .map(|(_, d)| i64::from(dep_latency(ddg, &d, load_lat)))
+        .sum::<i64>()
+        .max(1);
+    let mut lo = 1u32;
+    let mut hi = hi0.min(i64::from(u32::MAX - 1)) as u32;
+    if !feasible_ii(ddg, load_lat, hi) {
+        // Zero-distance positive cycle: no II works.
+        return u32::MAX;
+    }
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if feasible_ii(ddg, load_lat, mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+/// `max(ResMII, RecMII)`.
+#[must_use]
+pub fn mii(ddg: &Ddg, machine: &MachineConfig, load_lat: &BTreeMap<NodeId, u32>) -> u32 {
+    res_mii(ddg, machine).max(rec_mii(ddg, load_lat))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distvliw_ir::{DdgBuilder, OpKind, Width};
+
+    #[test]
+    fn res_mii_counts_fu_pressure() {
+        let mut b = DdgBuilder::new();
+        // 9 loads on a 4-cluster machine with 1 mem FU each → ceil(9/4) = 3.
+        for _ in 0..9 {
+            b.load(Width::W4);
+        }
+        let g = b.finish();
+        assert_eq!(res_mii(&g, &MachineConfig::paper_baseline()), 3);
+    }
+
+    #[test]
+    fn res_mii_is_one_for_small_graphs() {
+        let mut b = DdgBuilder::new();
+        let l = b.load(Width::W4);
+        let _ = b.op(OpKind::IntAlu, &[l]);
+        let g = b.finish();
+        assert_eq!(res_mii(&g, &MachineConfig::paper_baseline()), 1);
+    }
+
+    #[test]
+    fn rec_mii_of_simple_recurrence() {
+        // acc = acc + x, loop-carried at distance 1 with 1-cycle add:
+        // cycle weight 1 − ii ≤ 0 → RecMII = 1. With a 2-cycle fp add → 2.
+        let mut b = DdgBuilder::new();
+        let acc = b.op(OpKind::FpAlu, &[]);
+        b.recurrence(acc, acc, 1);
+        let g = b.finish();
+        assert_eq!(rec_mii(&g, &BTreeMap::new()), 2);
+    }
+
+    #[test]
+    fn rec_mii_divides_by_distance() {
+        // A 2-op cycle with total latency 4 spread over distance 2 → II 2.
+        let mut b = DdgBuilder::new();
+        let a = b.op(OpKind::FpAlu, &[]);
+        let c = b.op(OpKind::FpAlu, &[a]);
+        b.recurrence(c, a, 2);
+        let g = b.finish();
+        assert_eq!(rec_mii(&g, &BTreeMap::new()), 2);
+    }
+
+    #[test]
+    fn load_latency_raises_rec_mii() {
+        // load -> add -> store -> (MF d=1) -> load.
+        let mut b = DdgBuilder::new();
+        let l = b.load(Width::W4);
+        let a = b.op(OpKind::IntAlu, &[l]);
+        let s = b.store(Width::W4, &[a]);
+        b.dep(s, l, DepKind::MemFlow, 1);
+        let g = b.finish();
+        // Optimistic (1-cycle load): cycle = 1+1+1 = 3 over distance 1.
+        assert_eq!(rec_mii(&g, &BTreeMap::new()), 3);
+        // Remote-miss load (15 cycles): 15+1+1 = 17.
+        let mut lat = BTreeMap::new();
+        lat.insert(l, 15);
+        assert_eq!(rec_mii(&g, &lat), 17);
+    }
+
+    #[test]
+    fn feasibility_is_monotone() {
+        let mut b = DdgBuilder::new();
+        let l = b.load(Width::W4);
+        let a = b.op(OpKind::IntAlu, &[l]);
+        let s = b.store(Width::W4, &[a]);
+        b.dep(s, l, DepKind::MemFlow, 1);
+        let g = b.finish();
+        let lat = BTreeMap::new();
+        let r = rec_mii(&g, &lat);
+        assert!(!feasible_ii(&g, &lat, r - 1));
+        assert!(feasible_ii(&g, &lat, r));
+        assert!(feasible_ii(&g, &lat, r + 5));
+    }
+
+    #[test]
+    fn acyclic_graph_has_rec_mii_one() {
+        let mut b = DdgBuilder::new();
+        let l = b.load(Width::W8);
+        let m = b.op(OpKind::IntMul, &[l]);
+        let _ = b.store(Width::W8, &[m]);
+        let g = b.finish();
+        assert_eq!(rec_mii(&g, &BTreeMap::new()), 1);
+    }
+
+    #[test]
+    fn mii_takes_max_of_bounds() {
+        let mut b = DdgBuilder::new();
+        // Resource pressure: 9 int ops → ResMII 3; plus a latency-4 1-dist
+        // recurrence → RecMII 4.
+        let first = b.op(OpKind::FpMul, &[]);
+        b.recurrence(first, first, 1);
+        for _ in 0..9 {
+            b.op(OpKind::IntAlu, &[]);
+        }
+        let g = b.finish();
+        let machine = MachineConfig::paper_baseline();
+        assert_eq!(res_mii(&g, &machine), 3);
+        assert_eq!(rec_mii(&g, &BTreeMap::new()), 4);
+        assert_eq!(mii(&g, &machine, &BTreeMap::new()), 4);
+    }
+
+    #[test]
+    fn sync_edges_cost_zero_latency() {
+        let mut b = DdgBuilder::new();
+        let c = b.op(OpKind::IntAlu, &[]);
+        let s = b.store(Width::W4, &[]);
+        b.dep(c, s, DepKind::Sync, 0);
+        let g = b.finish();
+        let d = g.deps().next().unwrap().1;
+        assert_eq!(dep_latency(&g, &d, &BTreeMap::new()), 0);
+    }
+}

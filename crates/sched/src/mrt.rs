@@ -1,0 +1,195 @@
+//! Modulo reservation tables: per-cluster functional units and the shared
+//! register-to-register buses.
+
+use distvliw_arch::MachineConfig;
+use distvliw_ir::FuClass;
+
+/// Tracks resource usage modulo the initiation interval.
+#[derive(Debug, Clone)]
+pub struct Mrt {
+    ii: u32,
+    /// `fu[cluster][class][slot]` = operations issued.
+    fu: Vec<[Vec<u32>; 3]>,
+    fu_cap: [u32; 3],
+    /// `bus[slot]` = register-bus occupancy (a transfer occupies
+    /// `bus_latency` consecutive slots).
+    bus: Vec<u32>,
+    bus_cap: u32,
+    bus_latency: u32,
+}
+
+impl Mrt {
+    /// Creates an empty table for the given machine and II.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii` is zero.
+    #[must_use]
+    pub fn new(machine: &MachineConfig, ii: u32) -> Self {
+        assert!(ii > 0, "II must be positive");
+        let slots = ii as usize;
+        Mrt {
+            ii,
+            fu: (0..machine.n_clusters)
+                .map(|_| [vec![0; slots], vec![0; slots], vec![0; slots]])
+                .collect(),
+            fu_cap: [
+                machine.fu.integer as u32,
+                machine.fu.fp as u32,
+                machine.fu.memory as u32,
+            ],
+            bus: vec![0; slots],
+            bus_cap: machine.reg_buses.count as u32,
+            bus_latency: machine.reg_buses.latency,
+        }
+    }
+
+    /// The initiation interval this table was built for.
+    #[must_use]
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    fn slot(&self, cycle: u32) -> usize {
+        (cycle % self.ii) as usize
+    }
+
+    /// Whether a `class` unit in `cluster` is free at `cycle`.
+    #[must_use]
+    pub fn fu_free(&self, cluster: usize, class: FuClass, cycle: u32) -> bool {
+        let slot = self.slot(cycle);
+        self.fu[cluster][class.index()][slot] < self.fu_cap[class.index()]
+    }
+
+    /// Reserves a `class` unit in `cluster` at `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit is already fully subscribed at that slot.
+    pub fn reserve_fu(&mut self, cluster: usize, class: FuClass, cycle: u32) {
+        assert!(self.fu_free(cluster, class, cycle), "FU oversubscribed");
+        let slot = self.slot(cycle);
+        self.fu[cluster][class.index()][slot] += 1;
+    }
+
+    /// Total operations currently reserved in `cluster` (for workload
+    /// balance in the MinComs cost function).
+    #[must_use]
+    pub fn cluster_load(&self, cluster: usize) -> u32 {
+        self.fu[cluster].iter().map(|row| row.iter().sum::<u32>()).sum()
+    }
+
+    /// Whether a register-bus transfer may start at `cycle` (it occupies
+    /// the bus for the bus latency).
+    #[must_use]
+    pub fn bus_free(&self, cycle: u32) -> bool {
+        (0..self.bus_latency).all(|i| self.bus[self.slot(cycle + i)] < self.bus_cap)
+    }
+
+    /// Reserves a register-bus transfer starting at `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buses are full for any covered slot.
+    pub fn reserve_bus(&mut self, cycle: u32) {
+        assert!(self.bus_free(cycle), "register buses oversubscribed");
+        for i in 0..self.bus_latency {
+            let slot = self.slot(cycle + i);
+            self.bus[slot] += 1;
+        }
+    }
+
+    /// Earliest cycle in `[from, to]` at which a bus transfer can start,
+    /// if any.
+    #[must_use]
+    pub fn find_bus_slot(&self, from: u32, to: u32) -> Option<u32> {
+        if from > to {
+            return None;
+        }
+        // Only II distinct residues exist; searching further is futile.
+        let limit = to.min(from.saturating_add(self.ii));
+        (from..=limit).find(|&c| self.bus_free(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> MachineConfig {
+        MachineConfig::paper_baseline()
+    }
+
+    #[test]
+    fn fu_capacity_is_per_cluster_per_slot() {
+        let mut mrt = Mrt::new(&machine(), 2);
+        assert!(mrt.fu_free(0, FuClass::Memory, 0));
+        mrt.reserve_fu(0, FuClass::Memory, 0);
+        assert!(!mrt.fu_free(0, FuClass::Memory, 0));
+        // Same slot, other cluster: free.
+        assert!(mrt.fu_free(1, FuClass::Memory, 0));
+        // Other slot, same cluster: free.
+        assert!(mrt.fu_free(0, FuClass::Memory, 1));
+        // Modulo wrap: cycle 2 hits slot 0 again.
+        assert!(!mrt.fu_free(0, FuClass::Memory, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "oversubscribed")]
+    fn fu_over_reservation_panics() {
+        let mut mrt = Mrt::new(&machine(), 2);
+        mrt.reserve_fu(0, FuClass::Integer, 0);
+        mrt.reserve_fu(0, FuClass::Integer, 2); // slot 0 again
+    }
+
+    #[test]
+    fn bus_occupies_latency_slots() {
+        let mut mrt = Mrt::new(&machine(), 4);
+        // 4 buses, latency 2: starting at cycle 1 occupies slots 1 and 2.
+        for _ in 0..4 {
+            mrt.reserve_bus(1);
+        }
+        assert!(!mrt.bus_free(1));
+        assert!(!mrt.bus_free(2)); // would need slot 2..3; slot 2 full
+        assert!(mrt.bus_free(3)); // slots 3 and 0 free
+        assert!(mrt.bus_free(0) == false); // slot 0 free but slot 1 full
+    }
+
+    #[test]
+    fn find_bus_slot_scans_window() {
+        let mut mrt = Mrt::new(&machine(), 4);
+        for _ in 0..4 {
+            mrt.reserve_bus(0);
+        }
+        // Slots 0 and 1 are saturated; the first start that fits latency 2
+        // is cycle 2 (slots 2,3).
+        assert_eq!(mrt.find_bus_slot(0, 10), Some(2));
+        assert_eq!(mrt.find_bus_slot(3, 3), None); // would cover slots 3,0
+        assert_eq!(mrt.find_bus_slot(5, 4), None); // empty window
+    }
+
+    #[test]
+    fn cluster_load_counts_all_classes() {
+        let mut mrt = Mrt::new(&machine(), 3);
+        mrt.reserve_fu(2, FuClass::Integer, 0);
+        mrt.reserve_fu(2, FuClass::Memory, 1);
+        mrt.reserve_fu(1, FuClass::Fp, 1);
+        assert_eq!(mrt.cluster_load(2), 2);
+        assert_eq!(mrt.cluster_load(1), 1);
+        assert_eq!(mrt.cluster_load(0), 0);
+    }
+
+    #[test]
+    fn ii_one_bus_wraps() {
+        let mrt = Mrt::new(&machine(), 1);
+        // With II=1 a 2-cycle transfer covers the single slot twice: needs
+        // 2 units of the 4-bus capacity.
+        assert!(mrt.bus_free(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "II must be positive")]
+    fn zero_ii_rejected() {
+        let _ = Mrt::new(&machine(), 0);
+    }
+}

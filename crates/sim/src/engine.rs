@@ -1,0 +1,476 @@
+//! The lockstep, stall-on-use execution engine.
+//!
+//! Executes a modulo [`Schedule`] over the iterations of a [`LoopKernel`]
+//! against the [`MemorySystem`]. Two clocks are kept: the *issue clock*
+//! advances one VLIW row per step (compute time), and the *real clock* is
+//! the issue clock plus all accumulated stalls. In a stall-on-use
+//! processor the whole machine freezes when any issuing operation's
+//! operand has not arrived (paper Section 2.1) — so a stall is simply an
+//! increment of the global stall counter.
+
+use std::collections::HashMap;
+
+use distvliw_arch::MachineConfig;
+use distvliw_ir::{DepKind, LoopKernel, NodeId, OpKind};
+use distvliw_sched::Schedule;
+
+use crate::memsys::MemorySystem;
+use crate::stats::SimStats;
+use crate::violation::ViolationDetector;
+
+/// Simulation options.
+#[derive(Debug, Clone, Copy)]
+pub struct SimOptions {
+    /// Iteration cap per invocation; longer loops are simulated for this
+    /// many iterations and extrapolated linearly.
+    pub max_iterations: u64,
+    /// Whether to run the coherence-violation detector.
+    pub detect_violations: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions { max_iterations: 1024, detect_violations: true }
+    }
+}
+
+/// One issue event: an operation or an inter-cluster copy.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Op(NodeId),
+    Copy(usize),
+}
+
+/// Simulates `schedule` executing `kernel` on `machine` and returns the
+/// aggregate statistics for **all** invocations of the loop (one
+/// invocation is simulated against a cold memory system and scaled; the
+/// attraction buffers are flushed at the loop boundary by construction).
+///
+/// # Panics
+///
+/// Panics if the schedule does not cover the kernel's graph or if a
+/// memory operation misses its execution address stream.
+#[must_use]
+pub fn simulate_kernel(
+    machine: &MachineConfig,
+    kernel: &LoopKernel,
+    schedule: &Schedule,
+    options: SimOptions,
+) -> SimStats {
+    let ddg = &kernel.ddg;
+    let ii = u64::from(schedule.ii.max(1));
+    let span = u64::from(schedule.span);
+    let trip = kernel.trip_count.max(1);
+    let iters = trip.min(options.max_iterations.max(1));
+
+    // Rows: events indexed by absolute start cycle.
+    let mut rows: Vec<Vec<Event>> = vec![Vec::new(); span as usize];
+    for (&n, op) in &schedule.ops {
+        rows[op.start as usize].push(Event::Op(n));
+    }
+    for (k, c) in schedule.copies.iter().enumerate() {
+        rows[c.start as usize].push(Event::Copy(k));
+    }
+
+    // Replica groups: nodes that execute conditionally on the home check.
+    let mut in_group: HashMap<NodeId, ()> = HashMap::new();
+    for n in ddg.node_ids() {
+        if let Some(root) = ddg.replica_of(n) {
+            in_group.insert(n, ());
+            in_group.insert(root, ());
+        }
+    }
+
+    // Per-node RF inputs resolved once: (producer, distance, same-cluster).
+    let mut rf_inputs: HashMap<NodeId, Vec<(NodeId, u32)>> = HashMap::new();
+    for (_, d) in ddg.deps() {
+        if d.kind == DepKind::RegFlow && d.src != d.dst {
+            rf_inputs.entry(d.dst).or_default().push((d.src, d.distance));
+        }
+    }
+
+    let body_seq_span = u64::from(
+        ddg.node_ids().map(|n| ddg.seq(n)).max().unwrap_or(0) + 1,
+    );
+    let po = |n: NodeId, iter: u64| iter * body_seq_span + u64::from(ddg.seq(n));
+
+    let mut ms = MemorySystem::new(machine);
+    let mut detector = ViolationDetector::new();
+    let mut ready: HashMap<(NodeId, u64), u64> = HashMap::new();
+    let mut copy_ready: HashMap<(NodeId, usize, u64), u64> = HashMap::new();
+
+    let resolve = |ready: &HashMap<(NodeId, u64), u64>,
+                   copy_ready: &HashMap<(NodeId, usize, u64), u64>,
+                   schedule: &Schedule,
+                   consumer_cluster: usize,
+                   producer: NodeId,
+                   dist: u32,
+                   iter: u64|
+     -> u64 {
+        let Some(src_iter) = iter.checked_sub(u64::from(dist)) else {
+            return 0; // live-in from before the loop
+        };
+        let pc = schedule.op(producer).cluster;
+        if pc == consumer_cluster {
+            ready.get(&(producer, src_iter)).copied().unwrap_or(0)
+        } else {
+            copy_ready
+                .get(&(producer, consumer_cluster, src_iter))
+                .copied()
+                .unwrap_or(0)
+        }
+    };
+
+    let total_rows = (iters - 1) * ii + span;
+    let mut stall = 0u64;
+    let mut comm_ops = 0u64;
+    let bus_lat = u64::from(machine.reg_buses.latency);
+
+    let mut events: Vec<(Event, u64)> = Vec::new();
+    for t in 0..total_rows {
+        // Gather events issuing at issue-cycle t across pipeline stages.
+        events.clear();
+        let mut s = t % ii;
+        while s <= t && s < span {
+            let i = (t - s) / ii;
+            if i < iters {
+                for &ev in &rows[s as usize] {
+                    events.push((ev, i));
+                }
+            }
+            s += ii;
+        }
+        if events.is_empty() {
+            continue;
+        }
+
+        // Phase 1: stall-on-use — the row issues only once every operand
+        // of every issuing operation has arrived.
+        let now = t + stall;
+        let mut need = now;
+        for &(ev, i) in &events {
+            match ev {
+                Event::Op(n) => {
+                    let cluster = schedule.op(n).cluster;
+                    if let Some(inputs) = rf_inputs.get(&n) {
+                        for &(p, dist) in inputs {
+                            need = need
+                                .max(resolve(&ready, &copy_ready, schedule, cluster, p, dist, i));
+                        }
+                    }
+                }
+                Event::Copy(k) => {
+                    let c = &schedule.copies[k];
+                    need = need.max(ready.get(&(c.producer, i)).copied().unwrap_or(0));
+                }
+            }
+        }
+        stall += need - now;
+        let now = need;
+
+        // Phase 2: execute.
+        for &(ev, i) in &events {
+            match ev {
+                Event::Op(n) => {
+                    let sop = schedule.op(n);
+                    let op = ddg.node(n);
+                    match op.kind {
+                        OpKind::Load => {
+                            let mem = op.mem_id().expect("load has a site");
+                            let width = op.mem.expect("load has a site").width.bytes();
+                            let addr = kernel.exec.addr(mem, i);
+                            let res = ms.load(sop.cluster, addr, now);
+                            ready.insert((n, i), res.ready);
+                            if options.detect_violations {
+                                detector.record_load(addr, width, po(n, i), res.observed, sop.cluster);
+                            }
+                        }
+                        OpKind::Store => {
+                            let mem = op.mem_id().expect("store has a site");
+                            let width = op.mem.expect("store has a site").width.bytes();
+                            let addr = kernel.exec.addr(mem, i);
+                            let executes = !in_group.contains_key(&n)
+                                || machine.home_cluster(addr) == sop.cluster;
+                            if let Some(res) = ms.store(sop.cluster, addr, now, executes) {
+                                if options.detect_violations {
+                                    detector.record_store(addr, width, po(n, i), res.observed, sop.cluster);
+                                }
+                            }
+                        }
+                        kind => {
+                            ready.insert((n, i), now + u64::from(kind.base_latency()));
+                        }
+                    }
+                }
+                Event::Copy(k) => {
+                    let c = &schedule.copies[k];
+                    copy_ready.insert((c.producer, c.to_cluster, i), now + bus_lat);
+                    comm_ops += 1;
+                }
+            }
+        }
+    }
+
+    let mut stats = SimStats {
+        compute_cycles: total_rows,
+        stall_cycles: stall,
+        accesses: ms.counts,
+        coherence_violations: detector.violations(),
+        comm_ops,
+        iterations: iters,
+    };
+
+    // Extrapolate truncated loops linearly, then scale by invocations.
+    if trip > iters {
+        let factor = trip / iters;
+        stats = stats.scaled(factor);
+        // Compute time is exact: the pipeline fills once per invocation.
+        stats.compute_cycles = (trip - 1) * ii + span;
+        stats.iterations = trip;
+    }
+    stats.scaled(kernel.invocations.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distvliw_arch::{AttractionBufferConfig, LatencyClass, MachineConfig};
+    use distvliw_coherence::{find_chains, transform, SchedConstraints};
+    use distvliw_ir::{AddressStream, DdgBuilder, DepKind, PrefMap, Width};
+    use distvliw_sched::{Heuristic, ModuloScheduler};
+
+    fn machine() -> MachineConfig {
+        MachineConfig::paper_baseline()
+    }
+
+    fn schedule_free(kernel: &LoopKernel, m: &MachineConfig) -> Schedule {
+        ModuloScheduler::new(m)
+            .schedule(&kernel.ddg, &SchedConstraints::none(), &PrefMap::new(), Heuristic::MinComs)
+            .expect("schedulable")
+    }
+
+    /// A loop streaming one load per iteration, stride 16 (single home).
+    fn streaming_kernel(trip: u64) -> LoopKernel {
+        let mut b = DdgBuilder::new();
+        let l = b.load(Width::W4);
+        let _a = b.op(distvliw_ir::OpKind::IntAlu, &[l]);
+        let g = b.finish();
+        let mem = g.node(l).mem_id().unwrap();
+        let mut k = LoopKernel::new("stream", g, trip);
+        for img in [&mut k.profile, &mut k.exec] {
+            img.insert(mem, AddressStream::Affine { base: 0, stride: 16 });
+        }
+        k
+    }
+
+    #[test]
+    fn compute_time_matches_formula() {
+        let k = streaming_kernel(100);
+        let m = machine();
+        let s = schedule_free(&k, &m);
+        let stats = simulate_kernel(&m, &k, &s, SimOptions::default());
+        assert_eq!(stats.compute_cycles, s.compute_cycles(100));
+        assert_eq!(stats.iterations, 100);
+        assert_eq!(stats.accesses.total(), 100);
+    }
+
+    #[test]
+    fn streaming_load_mostly_hits_after_cold_miss() {
+        let k = streaming_kernel(64);
+        let m = machine();
+        let s = schedule_free(&k, &m);
+        let stats = simulate_kernel(&m, &k, &s, SimOptions::default());
+        use distvliw_arch::AccessClass;
+        // Stride 16 within 32-byte blocks: one miss per block, one hit.
+        // (All accesses are local if the op landed in cluster 0, remote
+        // otherwise — either way hits+misses+combined == 64.)
+        assert_eq!(stats.accesses.total(), 64);
+        assert!(stats.accesses.get(AccessClass::LocalMiss)
+            + stats.accesses.get(AccessClass::RemoteMiss)
+            >= 16);
+        assert_eq!(stats.coherence_violations, 0);
+    }
+
+    #[test]
+    fn invocations_scale_stats() {
+        let mut k = streaming_kernel(64);
+        let m = machine();
+        let s = schedule_free(&k, &m);
+        let once = simulate_kernel(&m, &k, &s, SimOptions::default());
+        k.invocations = 3;
+        let thrice = simulate_kernel(&m, &k, &s, SimOptions::default());
+        assert_eq!(thrice.total_cycles(), 3 * once.total_cycles());
+        assert_eq!(thrice.accesses.total(), 3 * once.accesses.total());
+    }
+
+    #[test]
+    fn iteration_cap_extrapolates() {
+        let k = streaming_kernel(4096);
+        let m = machine();
+        let s = schedule_free(&k, &m);
+        let opts = SimOptions { max_iterations: 256, detect_violations: true };
+        let stats = simulate_kernel(&m, &k, &s, opts);
+        assert_eq!(stats.iterations, 4096);
+        assert_eq!(stats.compute_cycles, s.compute_cycles(4096));
+        assert_eq!(stats.accesses.total(), 4096);
+    }
+
+    /// The paper's Figure 2 scenario: a store whose home is cluster A is
+    /// scheduled in a *different* cluster, and an aliased load scheduled
+    /// in cluster A issues shortly after. Free scheduling reads stale
+    /// data; MDC colocation fixes it.
+    fn figure2_kernel(trip: u64) -> LoopKernel {
+        let mut b = DdgBuilder::new();
+        let v = b.op(distvliw_ir::OpKind::IntAlu, &[]);
+        let st = b.store(Width::W4, &[v]);
+        let ld = b.load(Width::W4);
+        let _use = b.op(distvliw_ir::OpKind::IntAlu, &[ld]);
+        b.dep(st, ld, DepKind::MemFlow, 0);
+        b.dep(ld, st, DepKind::MemAnti, 1); // next iteration overwrites X
+        let g = b.finish();
+        let (ms_, ml) = (g.node(st).mem_id().unwrap(), g.node(ld).mem_id().unwrap());
+        let mut k = LoopKernel::new("fig2", g, trip);
+        // Both access the same word each iteration (variable X; stride 0).
+        for img in [&mut k.profile, &mut k.exec] {
+            img.insert(ms_, AddressStream::Affine { base: 64, stride: 0 });
+            img.insert(ml, AddressStream::Affine { base: 64, stride: 0 });
+        }
+        k
+    }
+
+    #[test]
+    fn free_scheduling_violates_mdc_does_not() {
+        let m = machine();
+        let k = figure2_kernel(128);
+        // Force the paper's pathological placement: store remote to its
+        // home, load local, scheduled as tightly as the MF edge allows.
+        let mut constraints = SchedConstraints::none();
+        let st = k.ddg.stores().next().unwrap();
+        let ld = k.ddg.loads().next().unwrap();
+        // Address 64 → home cluster 0 (64/4 % 4 == 0).
+        constraints.pinned.insert(st, 3);
+        constraints.pinned.insert(ld, 0);
+        let free = ModuloScheduler::new(&m)
+            .with_latency_relaxation(false)
+            .schedule(&k.ddg, &constraints, &PrefMap::new(), Heuristic::MinComs)
+            .unwrap();
+        let stats = simulate_kernel(&m, &k, &free, SimOptions::default());
+        assert!(
+            stats.coherence_violations > 0,
+            "remote store + tight local load must read stale data: {stats}"
+        );
+
+        // MDC: the chain {st, ld} shares a cluster → no violations.
+        let chains = find_chains(&k.ddg);
+        let mdc = SchedConstraints::for_mdc(&chains, &k.ddg, None, 4);
+        let s = ModuloScheduler::new(&m)
+            .schedule(&k.ddg, &mdc, &PrefMap::new(), Heuristic::MinComs)
+            .unwrap();
+        assert_eq!(s.op(st).cluster, s.op(ld).cluster);
+        let stats = simulate_kernel(&m, &k, &s, SimOptions::default());
+        assert_eq!(stats.coherence_violations, 0, "{stats}");
+    }
+
+    #[test]
+    fn ddgt_store_replication_avoids_violations() {
+        let m = machine();
+        let mut k = figure2_kernel(128);
+        let report = transform(&mut k.ddg, 4);
+        assert_eq!(report.replica_groups.len(), 1);
+        let constraints = SchedConstraints::for_ddgt(&report);
+        let s = ModuloScheduler::new(&m)
+            .schedule(&k.ddg, &constraints, &PrefMap::new(), Heuristic::MinComs)
+            .unwrap();
+        let stats = simulate_kernel(&m, &k, &s, SimOptions::default());
+        assert_eq!(stats.coherence_violations, 0, "{stats}");
+        // Exactly one instance executes per iteration: the store count
+        // equals load count.
+        assert_eq!(stats.accesses.total(), 2 * 128);
+    }
+
+    #[test]
+    fn copies_execute_once_per_iteration() {
+        let m = machine();
+        let mut b = DdgBuilder::new();
+        let p = b.op(distvliw_ir::OpKind::IntAlu, &[]);
+        let c = b.op(distvliw_ir::OpKind::IntAlu, &[p]);
+        let g = b.finish();
+        let mut k = LoopKernel::new("copy", g, 50);
+        let mut constraints = SchedConstraints::none();
+        constraints.pinned.insert(p, 0);
+        constraints.pinned.insert(c, 1);
+        let s = ModuloScheduler::new(&m)
+            .schedule(&k.ddg, &constraints, &PrefMap::new(), Heuristic::MinComs)
+            .unwrap();
+        assert_eq!(s.comm_ops(), 1);
+        k.invocations = 1;
+        let stats = simulate_kernel(&m, &k, &s, SimOptions::default());
+        assert_eq!(stats.comm_ops, 50);
+        assert_eq!(stats.coherence_violations, 0);
+    }
+
+    #[test]
+    fn attraction_buffers_reduce_stall_for_remote_streams() {
+        // A load stream walking all clusters' words: without ABs most
+        // accesses are remote; with ABs each attracted subblock serves a
+        // second access locally.
+        let mut b = DdgBuilder::new();
+        let l = b.load(Width::W4);
+        let _a = b.op(distvliw_ir::OpKind::IntAlu, &[l]);
+        let g = b.finish();
+        let mem = g.node(l).mem_id().unwrap();
+        let mut k = LoopKernel::new("walk", g, 256);
+        for img in [&mut k.profile, &mut k.exec] {
+            img.insert(mem, AddressStream::Affine { base: 0, stride: 4 });
+        }
+        let base = machine();
+        let with_ab = machine().with_attraction_buffers(AttractionBufferConfig::paper());
+        let s = schedule_free(&k, &base);
+        let no_ab = simulate_kernel(&base, &k, &s, SimOptions::default());
+        let ab = simulate_kernel(&with_ab, &k, &s, SimOptions::default());
+        assert!(
+            ab.local_hit_ratio() > no_ab.local_hit_ratio(),
+            "AB {} vs {}",
+            ab.local_hit_ratio(),
+            no_ab.local_hit_ratio()
+        );
+        assert!(ab.total_cycles() <= no_ab.total_cycles());
+    }
+
+    #[test]
+    fn assumed_latency_affects_stall_not_compute_split() {
+        // A load feeding a consumer scheduled 1 cycle later stalls for the
+        // actual latency; compute time stays the schedule's.
+        let k = streaming_kernel(64);
+        let m = machine();
+        let s = ModuloScheduler::new(&m)
+            .with_latency_relaxation(false)
+            .schedule(&k.ddg, &SchedConstraints::none(), &PrefMap::new(), Heuristic::MinComs)
+            .unwrap();
+        let stats = simulate_kernel(&m, &k, &s, SimOptions::default());
+        assert_eq!(stats.compute_cycles, s.compute_cycles(64));
+        assert!(stats.stall_cycles > 0, "cold misses must stall: {stats}");
+    }
+
+    #[test]
+    fn relaxed_latencies_reduce_stall() {
+        let k = streaming_kernel(256);
+        let m = machine();
+        let tight = ModuloScheduler::new(&m)
+            .with_latency_relaxation(false)
+            .schedule(&k.ddg, &SchedConstraints::none(), &PrefMap::new(), Heuristic::MinComs)
+            .unwrap();
+        let relaxed = ModuloScheduler::new(&m)
+            .schedule(&k.ddg, &SchedConstraints::none(), &PrefMap::new(), Heuristic::MinComs)
+            .unwrap();
+        let st_tight = simulate_kernel(&m, &k, &tight, SimOptions::default());
+        let st_relaxed = simulate_kernel(&m, &k, &relaxed, SimOptions::default());
+        assert!(
+            st_relaxed.stall_cycles <= st_tight.stall_cycles,
+            "relaxed {st_relaxed} vs tight {st_tight}"
+        );
+        // The relaxed schedule assumed a larger class for the load.
+        let load = k.ddg.loads().next().unwrap();
+        assert!(relaxed.op(load).assumed_class >= Some(LatencyClass::LocalHit));
+    }
+}

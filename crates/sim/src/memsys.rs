@@ -1,0 +1,535 @@
+//! The distributed memory system: cache modules, attraction buffers,
+//! shared buses, next-level ports and request combining.
+
+use std::collections::HashMap;
+
+use distvliw_arch::{AccessClass, MachineConfig, SubblockId};
+
+use crate::stats::AccessCounts;
+
+/// A set-associative buffer of subblocks with LRU replacement. Used both
+/// for the per-cluster cache modules (which hold their own cluster's
+/// subblocks, keyed by block number) and for Attraction Buffers (which
+/// hold *remote* subblocks, keyed by block and home).
+#[derive(Debug, Clone)]
+pub struct SubblockCache {
+    sets: Vec<Vec<Entry>>,
+    assoc: usize,
+    tick: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    key: (u64, usize),
+    lru: u64,
+}
+
+impl SubblockCache {
+    /// Creates a cache with `sets` sets of `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(sets: usize, assoc: usize) -> Self {
+        assert!(sets > 0 && assoc > 0, "cache dimensions must be positive");
+        SubblockCache { sets: vec![Vec::new(); sets], assoc, tick: 0 }
+    }
+
+    fn set_of(&self, key: (u64, usize)) -> usize {
+        // Mix the home cluster into the index: Attraction Buffers hold
+        // subblocks of the same block from several homes, which would
+        // otherwise all collide in one set.
+        let mixed = key.0.wrapping_add(key.1 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (mixed % self.sets.len() as u64) as usize
+    }
+
+    /// Whether `key` is cached; refreshes LRU on hit.
+    pub fn probe(&mut self, key: (u64, usize)) -> bool {
+        self.tick += 1;
+        let set = self.set_of(key);
+        let tick = self.tick;
+        if let Some(e) = self.sets[set].iter_mut().find(|e| e.key == key) {
+            e.lru = tick;
+            return true;
+        }
+        false
+    }
+
+    /// Whether `key` is cached, without touching LRU state.
+    #[must_use]
+    pub fn contains(&self, key: (u64, usize)) -> bool {
+        self.sets[self.set_of(key)].iter().any(|e| e.key == key)
+    }
+
+    /// Inserts `key`, evicting the LRU way if the set is full. Returns the
+    /// evicted key, if any.
+    pub fn insert(&mut self, key: (u64, usize)) -> Option<(u64, usize)> {
+        self.tick += 1;
+        let set = self.set_of(key);
+        let tick = self.tick;
+        if let Some(e) = self.sets[set].iter_mut().find(|e| e.key == key) {
+            e.lru = tick;
+            return None;
+        }
+        if self.sets[set].len() < self.assoc {
+            self.sets[set].push(Entry { key, lru: tick });
+            return None;
+        }
+        let victim = self
+            .sets[set]
+            .iter_mut()
+            .min_by_key(|e| e.lru)
+            .expect("set is full, so nonempty");
+        let evicted = victim.key;
+        *victim = Entry { key, lru: tick };
+        Some(evicted)
+    }
+
+    /// Empties the cache (Attraction Buffer flush at loop boundaries).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Number of resident entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A pool of identical resources (buses or next-level ports), each busy
+/// for a fixed time per grant; grants pick the earliest-free unit.
+#[derive(Debug, Clone)]
+pub struct ResourcePool {
+    free_at: Vec<u64>,
+    occupancy: u64,
+}
+
+impl ResourcePool {
+    /// `count` units, each busy `occupancy` cycles per grant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` or `occupancy` is zero.
+    #[must_use]
+    pub fn new(count: usize, occupancy: u64) -> Self {
+        assert!(count > 0 && occupancy > 0, "pool dimensions must be positive");
+        ResourcePool { free_at: vec![0; count], occupancy }
+    }
+
+    /// Grants a unit at the earliest time ≥ `now`; returns the grant time.
+    pub fn acquire(&mut self, now: u64) -> u64 {
+        let (idx, &free) = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &t)| t)
+            .expect("pool is nonempty");
+        let start = now.max(free);
+        self.free_at[idx] = start + self.occupancy;
+        start
+    }
+}
+
+/// The full memory system of the simulated machine.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    machine: MachineConfig,
+    /// Per-cluster cache module: holds this cluster's subblocks (keyed by
+    /// block number; the home component of the key is the cluster itself).
+    modules: Vec<SubblockCache>,
+    /// Per-cluster attraction buffer, when configured.
+    abs: Vec<Option<SubblockCache>>,
+    mem_buses: ResourcePool,
+    next_level: ResourcePool,
+    /// In-flight module fills: subblock → ready time.
+    pending_fill: HashMap<SubblockId, u64>,
+    /// In-flight remote reads: (requesting cluster, subblock) → data-back
+    /// time.
+    pending_remote: HashMap<(usize, SubblockId), u64>,
+    /// Access classification counters.
+    pub counts: AccessCounts,
+}
+
+/// Outcome of one memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// When the data is available to the requesting cluster (loads) or the
+    /// home module is updated (stores).
+    pub ready: u64,
+    /// When the home module actually performed the read or write — the
+    /// instant that matters for coherence ordering (see
+    /// [`crate::ViolationDetector`]).
+    pub observed: u64,
+    /// Classification for the Figure 6 statistics.
+    pub class: AccessClass,
+}
+
+impl MemorySystem {
+    /// Creates a cold memory system for `machine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine configuration is invalid.
+    #[must_use]
+    pub fn new(machine: &MachineConfig) -> Self {
+        machine.validate().expect("valid machine configuration");
+        let sets = machine.module_sets();
+        let modules = (0..machine.n_clusters)
+            .map(|_| SubblockCache::new(sets, machine.cache.assoc))
+            .collect();
+        let abs = (0..machine.n_clusters)
+            .map(|_| {
+                machine.attraction_buffers.map(|ab| {
+                    SubblockCache::new((ab.entries / ab.assoc).max(1), ab.assoc)
+                })
+            })
+            .collect();
+        MemorySystem {
+            modules,
+            abs,
+            mem_buses: ResourcePool::new(
+                machine.mem_buses.count,
+                u64::from(machine.mem_buses.latency),
+            ),
+            next_level: ResourcePool::new(machine.next_level.ports, 1),
+            pending_fill: HashMap::new(),
+            pending_remote: HashMap::new(),
+            counts: AccessCounts::new(),
+            machine: machine.clone(),
+        }
+    }
+
+    /// The configured machine.
+    #[must_use]
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// Performs a load from `cluster` at `addr` issued at `now`.
+    /// Returns data-ready time and classification, updating all state.
+    pub fn load(&mut self, cluster: usize, addr: u64, now: u64) -> AccessResult {
+        let sb = self.machine.subblock_of(addr);
+        let cache_lat = u64::from(self.machine.cache.latency);
+        if sb.home == cluster {
+            let result = self.local_access(cluster, sb, now);
+            self.counts.record(result.class);
+            return result;
+        }
+        // Attraction Buffer lookup: a resident remote subblock is served
+        // locally (paper Section 5.1).
+        if let Some(ab) = self.abs[cluster].as_mut() {
+            if ab.probe((sb.block, sb.home)) {
+                let result = AccessResult {
+                    ready: now + cache_lat,
+                    observed: now + cache_lat,
+                    class: AccessClass::LocalHit,
+                };
+                self.counts.record(result.class);
+                return result;
+            }
+        }
+        // Combine with an in-flight remote request to the same subblock.
+        if let Some(&ready) = self.pending_remote.get(&(cluster, sb)) {
+            if ready > now {
+                let result = AccessResult { ready, observed: ready, class: AccessClass::Combined };
+                self.counts.record(result.class);
+                return result;
+            }
+        }
+        // Request bus → home module → response bus.
+        let depart = self.mem_buses.acquire(now);
+        let at_home = depart + u64::from(self.machine.mem_buses.latency);
+        let home_result = self.local_access(sb.home, sb, at_home);
+        let resp = self.mem_buses.acquire(home_result.ready);
+        let ready = resp + u64::from(self.machine.mem_buses.latency);
+        let class = match home_result.class {
+            AccessClass::LocalHit | AccessClass::Combined => AccessClass::RemoteHit,
+            _ => AccessClass::RemoteMiss,
+        };
+        self.pending_remote.insert((cluster, sb), ready);
+        // The response carries the whole subblock: cache it in the AB.
+        if let Some(ab) = self.abs[cluster].as_mut() {
+            ab.insert((sb.block, sb.home));
+        }
+        let result = AccessResult { ready, observed: home_result.observed, class };
+        self.counts.record(result.class);
+        result
+    }
+
+    /// Performs a store from `cluster` at `addr` issued at `now`.
+    ///
+    /// `executes` distinguishes a real (architectural) store from a
+    /// nullified DDGT remote instance: nullified instances only refresh a
+    /// resident Attraction-Buffer copy and are not counted as accesses.
+    pub fn store(&mut self, cluster: usize, addr: u64, now: u64, executes: bool) -> Option<AccessResult> {
+        let sb = self.machine.subblock_of(addr);
+        if !executes {
+            // Nullified replica: update the local AB copy if present so
+            // later local reads see fresh data (paper Section 5.3).
+            if let Some(ab) = self.abs[cluster].as_mut() {
+                if ab.contains((sb.block, sb.home)) {
+                    ab.probe((sb.block, sb.home));
+                }
+            }
+            return None;
+        }
+        let result = if sb.home == cluster {
+            self.local_access(cluster, sb, now)
+        } else {
+            // Remote write: one bus transfer carrying address+data, then
+            // the home module performs the (possibly allocating) write.
+            let depart = self.mem_buses.acquire(now);
+            let at_home = depart + u64::from(self.machine.mem_buses.latency);
+            let home = self.local_access(sb.home, sb, at_home);
+            let class = match home.class {
+                AccessClass::LocalHit | AccessClass::Combined => AccessClass::RemoteHit,
+                _ => AccessClass::RemoteMiss,
+            };
+            AccessResult { ready: home.ready, observed: home.observed, class }
+        };
+        // Keep a resident local AB copy coherent with the update.
+        if let Some(ab) = self.abs[cluster].as_mut() {
+            if ab.contains((sb.block, sb.home)) {
+                ab.probe((sb.block, sb.home));
+            }
+        }
+        self.counts.record(result.class);
+        Some(result)
+    }
+
+    /// Access within the home module: hit, miss (with next-level fill and
+    /// fill combining) or combined-on-pending-fill.
+    fn local_access(&mut self, cluster: usize, sb: SubblockId, now: u64) -> AccessResult {
+        let cache_lat = u64::from(self.machine.cache.latency);
+        // A pending fill wins over a (freshly inserted) tag hit: the data
+        // is only usable once the next level delivers it, and the second
+        // request piggy-backs on the first (the paper's combined class).
+        if let Some(&ready) = self.pending_fill.get(&sb) {
+            if ready > now {
+                self.modules[cluster].probe((sb.block, cluster));
+                return AccessResult { ready, observed: ready, class: AccessClass::Combined };
+            }
+        }
+        if self.modules[cluster].probe((sb.block, cluster)) {
+            let t = now + cache_lat;
+            return AccessResult { ready: t, observed: t, class: AccessClass::LocalHit };
+        }
+        // Miss: one memory-bus transfer to the next level, the next-level
+        // latency (which covers the return), then the module fill.
+        let depart = self.mem_buses.acquire(now + cache_lat);
+        let port = self.next_level.acquire(depart);
+        let ready = port + u64::from(self.machine.next_level.latency);
+        self.pending_fill.insert(sb, ready);
+        self.modules[cluster].insert((sb.block, cluster));
+        AccessResult { ready, observed: ready, class: AccessClass::LocalMiss }
+    }
+
+    /// Flushes every Attraction Buffer (loop boundary, paper Sections
+    /// 5.2–5.3). Home modules are always up to date in this model (stores
+    /// write through to the home), so no write-back traffic is generated.
+    pub fn flush_attraction_buffers(&mut self) {
+        for ab in self.abs.iter_mut().flatten() {
+            ab.flush();
+        }
+    }
+
+    /// Number of subblocks currently resident in `cluster`'s AB.
+    #[must_use]
+    pub fn ab_len(&self, cluster: usize) -> usize {
+        self.abs[cluster].as_ref().map_or(0, SubblockCache::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distvliw_arch::AttractionBufferConfig;
+
+    fn machine() -> MachineConfig {
+        MachineConfig::paper_baseline()
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = SubblockCache::new(1, 2);
+        assert_eq!(c.insert((1, 0)), None);
+        assert_eq!(c.insert((2, 0)), None);
+        assert!(c.probe((1, 0))); // touch 1 → 2 becomes LRU
+        assert_eq!(c.insert((3, 0)), Some((2, 0)));
+        assert!(c.contains((1, 0)));
+        assert!(c.contains((3, 0)));
+        assert!(!c.contains((2, 0)));
+    }
+
+    #[test]
+    fn cache_sets_partition_keys() {
+        // A direct-mapped 2-set cache holds at most one key per set;
+        // inserting a third key must evict exactly one earlier key.
+        let mut c = SubblockCache::new(2, 1);
+        assert_eq!(c.insert((0, 0)), None);
+        let second = c.insert((1, 0));
+        let third = c.insert((2, 0));
+        let evictions = usize::from(second.is_some()) + usize::from(third.is_some());
+        assert!(evictions >= 1, "three keys cannot all fit in two direct-mapped sets");
+        assert!(c.len() <= 2);
+        assert!(c.contains((2, 0)));
+    }
+
+    #[test]
+    fn ab_sets_spread_homes_of_one_block() {
+        // The three remote subblocks of one block must not all collide in
+        // a single 2-way set (the original motivation for home-mixing).
+        let mut c = SubblockCache::new(8, 2);
+        c.insert((0, 1));
+        c.insert((0, 2));
+        c.insert((0, 3));
+        assert_eq!(c.len(), 3, "home-mixed indexing keeps all three resident");
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut c = SubblockCache::new(4, 2);
+        c.insert((7, 1));
+        assert!(!c.is_empty());
+        c.flush();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn resource_pool_arbitrates() {
+        let mut p = ResourcePool::new(2, 2);
+        assert_eq!(p.acquire(0), 0); // bus 0: busy till 2
+        assert_eq!(p.acquire(0), 0); // bus 1: busy till 2
+        assert_eq!(p.acquire(0), 2); // queued
+        assert_eq!(p.acquire(10), 10);
+    }
+
+    #[test]
+    fn local_hit_after_fill() {
+        let mut ms = MemorySystem::new(&machine());
+        // Address 0 is home cluster 0. First access misses.
+        let first = ms.load(0, 0, 0);
+        assert_eq!(first.class, AccessClass::LocalMiss);
+        assert!(first.ready >= 10);
+        // Subsequent access long after is a hit.
+        let second = ms.load(0, 0, first.ready + 1);
+        assert_eq!(second.class, AccessClass::LocalHit);
+        assert_eq!(second.ready, first.ready + 2);
+    }
+
+    #[test]
+    fn combined_access_on_pending_fill() {
+        let mut ms = MemorySystem::new(&machine());
+        let first = ms.load(0, 0, 0);
+        // A second access to the same subblock while the fill is pending
+        // combines (address 16 shares subblock with 0: same block, home 0).
+        let second = ms.load(0, 16, 1);
+        assert_eq!(second.class, AccessClass::Combined);
+        assert_eq!(second.ready, first.ready);
+    }
+
+    #[test]
+    fn remote_hit_latency_includes_bus_round_trip() {
+        let mut ms = MemorySystem::new(&machine());
+        // Warm up cluster 1's module with block 0 (address 4 has home 1).
+        let fill = ms.load(1, 4, 0);
+        assert_eq!(fill.class, AccessClass::LocalMiss);
+        let t0 = fill.ready + 1;
+        let remote = ms.load(0, 4, t0);
+        assert_eq!(remote.class, AccessClass::RemoteHit);
+        // 2 (bus) + 1 (module) + 2 (bus) = 5.
+        assert_eq!(remote.ready, t0 + 5);
+    }
+
+    #[test]
+    fn remote_requests_combine() {
+        let mut ms = MemorySystem::new(&machine());
+        let fill = ms.load(1, 4, 0);
+        let t0 = fill.ready + 1;
+        let first = ms.load(0, 4, t0);
+        let second = ms.load(0, 20, t0 + 1); // same subblock (block 0, home 1)
+        assert_eq!(second.class, AccessClass::Combined);
+        assert_eq!(second.ready, first.ready);
+    }
+
+    #[test]
+    fn attraction_buffer_turns_remote_into_local() {
+        let m = machine().with_attraction_buffers(AttractionBufferConfig::paper());
+        let mut ms = MemorySystem::new(&m);
+        let fill = ms.load(1, 4, 0);
+        let first = ms.load(0, 4, fill.ready + 1);
+        assert_eq!(first.class, AccessClass::RemoteHit);
+        assert_eq!(ms.ab_len(0), 1);
+        // The whole subblock was attracted: address 20 shares it.
+        let second = ms.load(0, 20, first.ready + 1);
+        assert_eq!(second.class, AccessClass::LocalHit);
+        assert_eq!(second.ready, first.ready + 2);
+    }
+
+    #[test]
+    fn ab_flush_restores_remote_accesses() {
+        let m = machine().with_attraction_buffers(AttractionBufferConfig::paper());
+        let mut ms = MemorySystem::new(&m);
+        let fill = ms.load(1, 4, 0);
+        let first = ms.load(0, 4, fill.ready + 1);
+        ms.flush_attraction_buffers();
+        assert_eq!(ms.ab_len(0), 0);
+        let after = ms.load(0, 4, first.ready + 10);
+        assert_eq!(after.class, AccessClass::RemoteHit);
+    }
+
+    #[test]
+    fn stores_classify_like_loads() {
+        let mut ms = MemorySystem::new(&machine());
+        let s1 = ms.store(0, 0, 0, true).unwrap();
+        assert_eq!(s1.class, AccessClass::LocalMiss);
+        let s2 = ms.store(0, 0, s1.ready + 1, true).unwrap();
+        assert_eq!(s2.class, AccessClass::LocalHit);
+        let s3 = ms.store(2, 0, s2.ready + 1, true).unwrap();
+        assert_eq!(s3.class, AccessClass::RemoteHit);
+    }
+
+    #[test]
+    fn nullified_store_is_not_counted() {
+        let mut ms = MemorySystem::new(&machine());
+        assert_eq!(ms.store(3, 0, 0, false), None);
+        assert_eq!(ms.counts.total(), 0);
+    }
+
+    #[test]
+    fn bus_contention_delays_remote_accesses() {
+        let mut ms = MemorySystem::new(&machine());
+        // Warm cluster 1 with the subblocks of addr 4 and 36 (blocks 0, 1).
+        let a = ms.load(1, 4, 0);
+        let b = ms.load(1, 36, 1);
+        let t0 = a.ready.max(b.ready) + 1;
+        // Saturate the 4 buses with 4 simultaneous remote reads from
+        // different clusters to different blocks: the 5th transfer waits.
+        let mut ready_times = Vec::new();
+        for (c, addr) in [(0usize, 4u64), (2, 4), (3, 4), (0, 36), (2, 36)] {
+            ready_times.push(ms.load(c, addr, t0).ready);
+        }
+        let max = ready_times.iter().max().unwrap();
+        let min = ready_times.iter().min().unwrap();
+        assert!(max > min, "contention must spread completion times");
+    }
+
+    #[test]
+    fn two_byte_interleave_homes() {
+        let m = machine().with_interleave(2);
+        let mut ms = MemorySystem::new(&m);
+        // addr 2 lives in cluster 1 under 2-byte interleave.
+        let r = ms.load(1, 2, 0);
+        assert_eq!(r.class, AccessClass::LocalMiss);
+    }
+}

@@ -1,0 +1,223 @@
+//! Simulation statistics.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+use distvliw_arch::AccessClass;
+
+/// Counters for the five access classes of the paper's Figure 6.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessCounts([u64; 5]);
+
+impl AccessCounts {
+    /// All-zero counters.
+    #[must_use]
+    pub fn new() -> Self {
+        AccessCounts::default()
+    }
+
+    /// Records one access of the given class.
+    pub fn record(&mut self, class: AccessClass) {
+        self.0[class.index()] += 1;
+    }
+
+    /// The count for one class.
+    #[must_use]
+    pub fn get(&self, class: AccessClass) -> u64 {
+        self.0[class.index()]
+    }
+
+    /// Total classified accesses.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// Fraction of accesses in `class` (0 when empty).
+    #[must_use]
+    pub fn fraction(&self, class: AccessClass) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.get(class) as f64 / t as f64
+        }
+    }
+
+    /// The paper's *local hit ratio*: local hits over all accesses.
+    #[must_use]
+    pub fn local_hit_ratio(&self) -> f64 {
+        self.fraction(AccessClass::LocalHit)
+    }
+
+    /// Scales every counter (used to extrapolate one simulated invocation
+    /// to the loop's full invocation count).
+    #[must_use]
+    pub fn scaled(mut self, factor: u64) -> Self {
+        for c in &mut self.0 {
+            *c *= factor;
+        }
+        self
+    }
+}
+
+impl Add for AccessCounts {
+    type Output = AccessCounts;
+
+    fn add(mut self, rhs: AccessCounts) -> AccessCounts {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for AccessCounts {
+    fn add_assign(&mut self, rhs: AccessCounts) {
+        for (a, b) in self.0.iter_mut().zip(rhs.0) {
+            *a += b;
+        }
+    }
+}
+
+impl fmt::Display for AccessCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, class) in AccessClass::ALL.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{class}={}", self.get(*class))?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of simulating one loop (or the aggregate of many).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Cycles in which the processor issued (schedule advance).
+    pub compute_cycles: u64,
+    /// Cycles in which the processor was frozen waiting for an operand.
+    pub stall_cycles: u64,
+    /// Classified memory accesses.
+    pub accesses: AccessCounts,
+    /// Stale reads the Free baseline would have performed (always zero
+    /// under MDC/DDGT).
+    pub coherence_violations: u64,
+    /// Dynamic inter-cluster register copies executed.
+    pub comm_ops: u64,
+    /// Loop iterations simulated (after extrapolation).
+    pub iterations: u64,
+}
+
+impl SimStats {
+    /// Total cycles: compute + stall.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.compute_cycles + self.stall_cycles
+    }
+
+    /// The paper's local hit ratio.
+    #[must_use]
+    pub fn local_hit_ratio(&self) -> f64 {
+        self.accesses.local_hit_ratio()
+    }
+
+    /// Scales all counters by `factor` (invocation extrapolation).
+    #[must_use]
+    pub fn scaled(mut self, factor: u64) -> Self {
+        self.compute_cycles *= factor;
+        self.stall_cycles *= factor;
+        self.accesses = self.accesses.scaled(factor);
+        self.coherence_violations *= factor;
+        self.comm_ops *= factor;
+        self.iterations *= factor;
+        self
+    }
+}
+
+impl Add for SimStats {
+    type Output = SimStats;
+
+    fn add(mut self, rhs: SimStats) -> SimStats {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for SimStats {
+    fn add_assign(&mut self, rhs: SimStats) {
+        self.compute_cycles += rhs.compute_cycles;
+        self.stall_cycles += rhs.stall_cycles;
+        self.accesses += rhs.accesses;
+        self.coherence_violations += rhs.coherence_violations;
+        self.comm_ops += rhs.comm_ops;
+        self.iterations += rhs.iterations;
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycles={} (compute={} stall={}) accesses=[{}] violations={} copies={}",
+            self.total_cycles(),
+            self.compute_cycles,
+            self.stall_cycles,
+            self.accesses,
+            self.coherence_violations,
+            self.comm_ops
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate_and_fraction() {
+        let mut c = AccessCounts::new();
+        for _ in 0..3 {
+            c.record(AccessClass::LocalHit);
+        }
+        c.record(AccessClass::RemoteMiss);
+        assert_eq!(c.total(), 4);
+        assert!((c.local_hit_ratio() - 0.75).abs() < 1e-12);
+        assert!((c.fraction(AccessClass::RemoteMiss) - 0.25).abs() < 1e-12);
+        assert_eq!(c.fraction(AccessClass::Combined), 0.0);
+    }
+
+    #[test]
+    fn empty_ratios_are_zero() {
+        let c = AccessCounts::new();
+        assert_eq!(c.local_hit_ratio(), 0.0);
+        assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    fn scaling_and_addition() {
+        let mut a = SimStats {
+            compute_cycles: 10,
+            stall_cycles: 5,
+            coherence_violations: 1,
+            comm_ops: 2,
+            iterations: 4,
+            ..SimStats::default()
+        };
+        a.accesses.record(AccessClass::LocalHit);
+        let doubled = a.scaled(2);
+        assert_eq!(doubled.total_cycles(), 30);
+        assert_eq!(doubled.accesses.get(AccessClass::LocalHit), 2);
+        let sum = doubled + a;
+        assert_eq!(sum.compute_cycles, 30);
+        assert_eq!(sum.iterations, 12);
+    }
+
+    #[test]
+    fn display_mentions_all_classes() {
+        let mut s = SimStats::default();
+        s.accesses.record(AccessClass::Combined);
+        let text = s.to_string();
+        assert!(text.contains("combined=1"));
+        assert!(text.contains("violations=0"));
+    }
+}

@@ -1,0 +1,249 @@
+//! Coherence-violation detection.
+//!
+//! The paper's baseline schedules memory instructions freely and is
+//! therefore "optimistic (not real)": aliased accesses can reach the home
+//! cluster out of sequential program order (paper Section 2.3, Figure 2).
+//! Like the paper's trace-driven simulator, this simulator always returns
+//! architecturally-correct values — but it additionally *counts* the
+//! ordering violations a real machine would have suffered, making the
+//! baseline's unsoundness observable and letting tests assert that MDC
+//! and DDGT eliminate every violation.
+//!
+//! Two hazards are tracked per address:
+//!
+//! * **flow violation** — a load's home-module read happened before the
+//!   program-order-latest prior store's update arrived (stale read);
+//! * **anti violation** — a sequentially *later* store's update reached
+//!   the home module at or before an earlier load's read (the load
+//!   observed a too-new value).
+//!
+//! Accesses issued from the *same* cluster are exempt: in-order issue and
+//! FIFO buses deliver them to the home cluster in program order (the
+//! paper's serialization facts 1–3, Section 3.2); only cross-cluster
+//! pairs can race.
+//!
+//! Detection is byte-range exact at a 2-byte granule: every granule an
+//! access touches is tracked, so partially overlapping accesses of
+//! different widths and alignments are caught.
+
+use std::collections::HashMap;
+
+/// Tracking granule in bytes (the smallest access width).
+const GRANULE: u64 = 2;
+
+/// The granules a `[addr, addr + width)` access touches.
+fn granules(addr: u64, width: u64) -> impl Iterator<Item = u64> {
+    (addr / GRANULE)..(addr + width.max(1)).div_ceil(GRANULE)
+}
+
+/// Sliding window of recent accesses remembered per address; loop kernels
+/// have short dependence distances, so a small window is exact in
+/// practice.
+const WINDOW: usize = 16;
+
+/// One recorded access: program order, home-module time, issuing cluster.
+type Access = (u64, u64, usize);
+
+/// Pushes onto a window, evicting the oldest program-order entry.
+fn push_window(window: &mut Vec<Access>, entry: Access) {
+    window.push(entry);
+    if window.len() > WINDOW {
+        let min_idx = window
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(p, _, _))| p)
+            .map(|(i, _)| i)
+            .expect("window is nonempty");
+        window.swap_remove(min_idx);
+    }
+}
+
+/// Counts memory-ordering violations.
+#[derive(Debug, Clone, Default)]
+pub struct ViolationDetector {
+    /// granule → recent stores.
+    stores: HashMap<u64, Vec<Access>>,
+    /// granule → recent loads.
+    loads: HashMap<u64, Vec<Access>>,
+    violations: u64,
+}
+
+impl ViolationDetector {
+    /// Creates an empty detector.
+    #[must_use]
+    pub fn new() -> Self {
+        ViolationDetector::default()
+    }
+
+    /// Number of ordering violations observed so far.
+    #[must_use]
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Records a store to `addr` with sequential program order `po` whose
+    /// home module performs the write at `write_time`; counts an anti
+    /// violation for every earlier load whose read had not yet been
+    /// performed when this write landed.
+    pub fn record_store(&mut self, addr: u64, width: u64, po: u64, write_time: u64, cluster: usize) {
+        let mut violated = false;
+        for g in granules(addr, width) {
+            if let Some(loads) = self.loads.get(&g) {
+                violated |= loads
+                    .iter()
+                    .any(|&(p, read, c)| c != cluster && p < po && read >= write_time);
+            }
+            push_window(self.stores.entry(g).or_default(), (po, write_time, cluster));
+        }
+        self.violations += u64::from(violated);
+    }
+
+    /// Records a load from `addr` with program order `po` whose home
+    /// module performs the read at `read_time`; counts a flow violation
+    /// if the program-order-latest prior store had not yet written, or an
+    /// anti violation if a later store had already overwritten the value.
+    pub fn record_load(&mut self, addr: u64, width: u64, po: u64, read_time: u64, cluster: usize) {
+        let mut violated = false;
+        for g in granules(addr, width) {
+            if let Some(window) = self.stores.get(&g) {
+                let stale = window
+                    .iter()
+                    .filter(|&&(p, _, _)| p < po)
+                    .max_by_key(|&&(p, _, _)| p)
+                    .is_some_and(|&(_, write, c)| c != cluster && write > read_time);
+                let overwritten = window
+                    .iter()
+                    .any(|&(p, write, c)| c != cluster && p > po && write <= read_time);
+                violated |= stale || overwritten;
+            }
+            push_window(self.loads.entry(g).or_default(), (po, read_time, cluster));
+        }
+        self.violations += u64::from(violated);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_arrival_is_clean() {
+        let mut d = ViolationDetector::new();
+        d.record_store(100, 4, 1, 10, 3);
+        d.record_load(100, 4, 2, 11, 0);
+        assert_eq!(d.violations(), 0);
+    }
+
+    #[test]
+    fn late_store_is_a_flow_violation() {
+        let mut d = ViolationDetector::new();
+        // Store reaches the home module at t=20, but the aliased load read
+        // at t=12: stale value (the paper's Figure 2 scenario).
+        d.record_store(100, 4, 1, 20, 3);
+        d.record_load(100, 4, 2, 12, 0);
+        assert_eq!(d.violations(), 1);
+    }
+
+    #[test]
+    fn early_later_store_is_an_anti_violation_at_load() {
+        let mut d = ViolationDetector::new();
+        // The store is sequentially after the load but its update arrived
+        // first: the load reads a too-new value.
+        d.record_store(100, 4, 5, 1, 3);
+        d.record_load(100, 4, 2, 3, 0);
+        assert_eq!(d.violations(), 1);
+    }
+
+    #[test]
+    fn anti_violation_detected_at_store_time() {
+        let mut d = ViolationDetector::new();
+        // Load (po 2) reads at t=6; a later store (po 5) writes at t=4 —
+        // the load will observe the new value. The load is recorded
+        // first (issue order), the store detects the hazard.
+        d.record_load(100, 4, 2, 6, 0);
+        d.record_store(100, 4, 5, 4, 3);
+        assert_eq!(d.violations(), 1);
+    }
+
+    #[test]
+    fn store_after_load_read_is_clean() {
+        let mut d = ViolationDetector::new();
+        d.record_load(100, 4, 2, 3, 0);
+        d.record_store(100, 4, 5, 4, 3); // writes after the read: fine
+        assert_eq!(d.violations(), 0);
+    }
+
+    #[test]
+    fn loads_before_any_store_are_clean() {
+        let mut d = ViolationDetector::new();
+        d.record_load(100, 4, 0, 5, 0);
+        d.record_store(100, 4, 1, 10, 3);
+        assert_eq!(d.violations(), 0);
+    }
+
+    #[test]
+    fn latest_prior_store_decides_flow() {
+        let mut d = ViolationDetector::new();
+        d.record_store(100, 4, 1, 5, 3); // early store, already arrived
+        d.record_store(100, 4, 3, 50, 3); // the latest prior store is late
+        d.record_load(100, 4, 4, 10, 0);
+        assert_eq!(d.violations(), 1);
+    }
+
+    #[test]
+    fn distinct_addresses_do_not_interact() {
+        let mut d = ViolationDetector::new();
+        d.record_store(100, 4, 1, 100, 3);
+        d.record_load(104, 4, 2, 1, 0);
+        assert_eq!(d.violations(), 0);
+    }
+
+    #[test]
+    fn window_eviction_keeps_recent_program_order() {
+        let mut d = ViolationDetector::new();
+        for po in 0..50 {
+            d.record_store(8, 4, po, po, 3);
+        }
+        // po=49 store wrote at t=49; load at read_time 48 sees it late.
+        d.record_load(8, 4, 50, 48, 0);
+        assert_eq!(d.violations(), 1);
+    }
+
+    #[test]
+    fn partial_overlap_is_detected() {
+        // A 4-byte store at 5 and a 2-byte load at 8 share byte 8.
+        let mut d = ViolationDetector::new();
+        d.record_store(5, 4, 1, 20, 3);
+        d.record_load(8, 2, 2, 12, 0);
+        assert_eq!(d.violations(), 1);
+    }
+
+    #[test]
+    fn disjoint_ranges_do_not_collide() {
+        let mut d = ViolationDetector::new();
+        d.record_store(0, 4, 1, 20, 3);
+        d.record_load(4, 4, 2, 12, 0);
+        assert_eq!(d.violations(), 0);
+    }
+
+    #[test]
+    fn same_cluster_pairs_are_exempt() {
+        // In-order issue serializes same-cluster accesses regardless of
+        // modelled timing (paper Section 3.2, fact 1).
+        let mut d = ViolationDetector::new();
+        d.record_store(100, 4, 1, 20, 2);
+        d.record_load(100, 4, 2, 12, 2);
+        assert_eq!(d.violations(), 0);
+    }
+
+    #[test]
+    fn one_violation_per_offending_load() {
+        let mut d = ViolationDetector::new();
+        // Both a stale prior store and an early later store: still one
+        // violation for this load.
+        d.record_store(100, 4, 1, 30, 3);
+        d.record_store(100, 4, 9, 2, 3);
+        d.record_load(100, 4, 4, 10, 0);
+        assert_eq!(d.violations(), 1);
+    }
+}

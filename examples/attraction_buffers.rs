@@ -1,0 +1,49 @@
+//! The Attraction Buffer study on the epicdec case-study loop (paper
+//! Section 5.4): with MDC the 76-memory-op chain funnels through one
+//! cluster and overflows its 16-entry buffer; DDGT spreads the accesses
+//! so all four buffers work, local hits jump and stall time collapses.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example attraction_buffers
+//! ```
+
+use distvliw::arch::{AttractionBufferConfig, MachineConfig};
+use distvliw::core::{Heuristic, Pipeline, Solution};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let suite = distvliw::mediabench::suite("epicdec").expect("bundled benchmark");
+    let chained = &suite.kernels[0];
+    println!("epicdec chained loop: {} operations", chained.ddg.node_count());
+
+    for (label, machine) in [
+        ("no Attraction Buffers", MachineConfig::paper_baseline()),
+        (
+            "16-entry 2-way Attraction Buffers",
+            MachineConfig::paper_baseline()
+                .with_attraction_buffers(AttractionBufferConfig::paper()),
+        ),
+    ] {
+        println!("\n== {label} ==");
+        let pipeline = Pipeline::new(machine.with_interleave(suite.interleave_bytes));
+        for solution in [Solution::Mdc, Solution::Ddgt] {
+            let run = pipeline.run_kernel(chained, solution, Heuristic::PrefClus)?;
+            println!(
+                "  {:<4} II={:<3} cycles={:>8} (stall {:>6})  local-hit {:>5.1}%",
+                solution.to_string(),
+                run.ii,
+                run.stats.total_cycles(),
+                run.stats.stall_cycles,
+                run.stats.local_hit_ratio() * 100.0,
+            );
+        }
+    }
+
+    println!(
+        "\nPaper Section 5.4: the loop's local hit ratio rises from 65% with\n\
+         MDC to 97% with DDGT once Attraction Buffers are present, and DDGT\n\
+         gains ~24% on the loop — the shape reproduced above."
+    );
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Quickstart: compile and simulate one Mediabench-like benchmark under
+//! both coherence solutions and compare them against the (unsound) free
+//! baseline.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use distvliw::arch::MachineConfig;
+use distvliw::core::{Heuristic, Pipeline, Solution};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's Table 2 machine: 4 clusters, word-interleaved 8KB
+    // distributed cache, 4+4 half-frequency buses.
+    let machine = MachineConfig::paper_baseline();
+    let pipeline = Pipeline::new(machine);
+
+    // One of the fourteen bundled Mediabench-like suites.
+    let suite = distvliw::mediabench::suite("gsmdec").expect("bundled benchmark");
+    println!("benchmark {} ({} loops, interleave {}B)", suite.name, suite.kernels.len(), suite.interleave_bytes);
+
+    for solution in [Solution::Free, Solution::Mdc, Solution::Ddgt] {
+        let stats = pipeline.run_suite(&suite, solution, Heuristic::PrefClus)?;
+        println!(
+            "  {:<4} cycles={:>9} (compute {:>9} + stall {:>7})  local-hit {:>5.1}%  violations {}",
+            solution.to_string(),
+            stats.total.total_cycles(),
+            stats.total.compute_cycles,
+            stats.total.stall_cycles,
+            stats.local_hit_ratio() * 100.0,
+            stats.total.coherence_violations,
+        );
+    }
+
+    println!(
+        "\nThe Free baseline schedules aliased memory operations in any cluster\n\
+         and may read stale data (violations > 0 on alias-heavy loops); the\n\
+         MDC and DDGT solutions are always coherent without extra hardware."
+    );
+    Ok(())
+}

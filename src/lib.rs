@@ -1,0 +1,43 @@
+//! # distvliw
+//!
+//! A from-scratch Rust reproduction of the CGO 2003 paper *"Local
+//! Scheduling Techniques for Memory Coherence in a Clustered VLIW
+//! Processor with a Distributed Data Cache"* (Gibert, Sánchez, González).
+//!
+//! This facade crate re-exports the whole toolchain:
+//!
+//! * [`ir`] — loop-kernel IR and data dependence graphs,
+//! * [`arch`] — the word-interleaved cache clustered VLIW machine model,
+//! * [`coherence`] — the paper's contribution: MDC chains, DDG
+//!   transformations and code specialization,
+//! * [`sched`] — the swing modulo scheduler with PrefClus/MinComs cluster
+//!   assignment,
+//! * [`sim`] — the cycle-level stall-on-use simulator,
+//! * [`mediabench`] — synthetic Mediabench-like benchmark suites,
+//! * [`core`] — the end-to-end pipeline and the experiment drivers that
+//!   regenerate every table and figure of the paper.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use distvliw::arch::MachineConfig;
+//! use distvliw::core::{Heuristic, Pipeline, Solution};
+//!
+//! let machine = MachineConfig::paper_baseline();
+//! let suite = distvliw::mediabench::suite("gsmdec").expect("known benchmark");
+//! let stats = Pipeline::new(machine)
+//!     .run_suite(&suite, Solution::Mdc, Heuristic::PrefClus)
+//!     .expect("pipeline runs");
+//! assert!(stats.total_cycles() > 0);
+//! assert_eq!(stats.coherence_violations, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use distvliw_arch as arch;
+pub use distvliw_coherence as coherence;
+pub use distvliw_core as core;
+pub use distvliw_ir as ir;
+pub use distvliw_mediabench as mediabench;
+pub use distvliw_sched as sched;
+pub use distvliw_sim as sim;

@@ -1,0 +1,112 @@
+//! Cross-crate integration tests: conservation laws and coherence
+//! guarantees that must hold for every benchmark, solution and heuristic.
+
+use distvliw::arch::MachineConfig;
+use distvliw::core::{Heuristic, Pipeline, Solution};
+
+const SAMPLE: [&str; 5] = ["epicdec", "g721dec", "gsmdec", "pgpdec", "pegwitenc"];
+
+fn pipeline() -> Pipeline {
+    Pipeline::new(MachineConfig::paper_baseline())
+}
+
+#[test]
+fn accesses_are_conserved_across_solutions() {
+    // Every architectural access is classified exactly once; replication
+    // must not change the architectural access count.
+    let p = pipeline();
+    for name in SAMPLE {
+        let suite = distvliw::mediabench::suite(name).unwrap();
+        let expected = suite.dyn_mem_accesses();
+        for solution in [Solution::Free, Solution::Mdc, Solution::Ddgt] {
+            let stats = p.run_suite(&suite, solution, Heuristic::PrefClus).unwrap();
+            assert_eq!(
+                stats.total.accesses.total(),
+                expected,
+                "{name}/{solution}: classified accesses must equal dynamic accesses"
+            );
+        }
+    }
+}
+
+#[test]
+fn compute_plus_stall_equals_total() {
+    let p = pipeline();
+    for name in SAMPLE {
+        let suite = distvliw::mediabench::suite(name).unwrap();
+        for solution in [Solution::Mdc, Solution::Ddgt] {
+            let stats = p.run_suite(&suite, solution, Heuristic::MinComs).unwrap();
+            assert_eq!(
+                stats.total.total_cycles(),
+                stats.total.compute_cycles + stats.total.stall_cycles,
+                "{name}/{solution}"
+            );
+            assert!(stats.total.compute_cycles > 0, "{name}/{solution}");
+        }
+    }
+}
+
+#[test]
+fn mdc_and_ddgt_never_violate_coherence() {
+    let p = pipeline();
+    for suite in distvliw::mediabench::suites() {
+        for solution in [Solution::Mdc, Solution::Ddgt] {
+            for heuristic in [Heuristic::PrefClus, Heuristic::MinComs] {
+                let stats = p.run_suite(&suite, solution, heuristic).unwrap();
+                assert_eq!(
+                    stats.total.coherence_violations, 0,
+                    "{}/{solution}/{heuristic}",
+                    suite.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fraction_of_access_classes_sums_to_one() {
+    use distvliw::arch::AccessClass;
+    let p = pipeline();
+    let suite = distvliw::mediabench::suite("rasta").unwrap();
+    let stats = p.run_suite(&suite, Solution::Ddgt, Heuristic::PrefClus).unwrap();
+    let sum: f64 = AccessClass::ALL
+        .iter()
+        .map(|&c| stats.total.accesses.fraction(c))
+        .sum();
+    assert!((sum - 1.0).abs() < 1e-9, "fractions sum to {sum}");
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let p = pipeline();
+    let suite = distvliw::mediabench::suite("jpegdec").unwrap();
+    let a = p.run_suite(&suite, Solution::Ddgt, Heuristic::MinComs).unwrap();
+    let b = p.run_suite(&suite, Solution::Ddgt, Heuristic::MinComs).unwrap();
+    assert_eq!(a.total, b.total, "pipeline must be deterministic");
+}
+
+#[test]
+fn interleave_follows_suite() {
+    // g721dec is a 2-byte interleave benchmark: a 2-byte-aligned access
+    // pattern must classify identically regardless of the pipeline's
+    // default interleave, because run_suite overrides it.
+    let suite = distvliw::mediabench::suite("g721dec").unwrap();
+    let a = Pipeline::new(MachineConfig::paper_baseline())
+        .run_suite(&suite, Solution::Free, Heuristic::PrefClus)
+        .unwrap();
+    let b = Pipeline::new(MachineConfig::paper_baseline().with_interleave(2))
+        .run_suite(&suite, Solution::Free, Heuristic::PrefClus)
+        .unwrap();
+    assert_eq!(a.total, b.total);
+}
+
+#[test]
+fn nobal_machines_run_end_to_end() {
+    let suite = distvliw::mediabench::suite("gsmenc").unwrap();
+    for machine in [MachineConfig::nobal_mem(), MachineConfig::nobal_reg()] {
+        let p = Pipeline::new(machine);
+        let stats = p.run_suite(&suite, Solution::Ddgt, Heuristic::PrefClus).unwrap();
+        assert!(stats.total.total_cycles() > 0);
+        assert_eq!(stats.total.coherence_violations, 0);
+    }
+}
