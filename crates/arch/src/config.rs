@@ -50,7 +50,10 @@ impl AttractionBufferConfig {
     /// The paper's evaluated configuration: 16 entries, 2-way.
     #[must_use]
     pub fn paper() -> Self {
-        AttractionBufferConfig { entries: 16, assoc: 2 }
+        AttractionBufferConfig {
+            entries: 16,
+            assoc: 2,
+        }
     }
 }
 
@@ -69,7 +72,11 @@ impl FuMix {
     /// The paper's mix: one of each per cluster.
     #[must_use]
     pub fn paper() -> Self {
-        FuMix { integer: 1, fp: 1, memory: 1 }
+        FuMix {
+            integer: 1,
+            fp: 1,
+            memory: 1,
+        }
     }
 }
 
@@ -96,7 +103,10 @@ impl fmt::Display for ConfigError {
                 "cache block size must be a multiple of n_clusters × interleave_bytes"
             ),
             ConfigError::UnevenCapacity => {
-                write!(f, "cache capacity must split evenly into per-cluster modules")
+                write!(
+                    f,
+                    "cache capacity must split evenly into per-cluster modules"
+                )
             }
         }
     }
@@ -137,10 +147,24 @@ impl MachineConfig {
         MachineConfig {
             n_clusters: 4,
             fu: FuMix::paper(),
-            cache: CacheConfig { total_bytes: 8 * 1024, block_bytes: 32, assoc: 2, latency: 1 },
-            reg_buses: BusConfig { count: 4, latency: 2 },
-            mem_buses: BusConfig { count: 4, latency: 2 },
-            next_level: NextLevelConfig { ports: 4, latency: 10 },
+            cache: CacheConfig {
+                total_bytes: 8 * 1024,
+                block_bytes: 32,
+                assoc: 2,
+                latency: 1,
+            },
+            reg_buses: BusConfig {
+                count: 4,
+                latency: 2,
+            },
+            mem_buses: BusConfig {
+                count: 4,
+                latency: 2,
+            },
+            next_level: NextLevelConfig {
+                ports: 4,
+                latency: 10,
+            },
             interleave_bytes: 4,
             attraction_buffers: None,
         }
@@ -152,8 +176,14 @@ impl MachineConfig {
     #[must_use]
     pub fn nobal_mem() -> Self {
         MachineConfig {
-            reg_buses: BusConfig { count: 2, latency: 4 },
-            mem_buses: BusConfig { count: 4, latency: 2 },
+            reg_buses: BusConfig {
+                count: 2,
+                latency: 4,
+            },
+            mem_buses: BusConfig {
+                count: 4,
+                latency: 2,
+            },
             ..MachineConfig::paper_baseline()
         }
     }
@@ -164,8 +194,14 @@ impl MachineConfig {
     #[must_use]
     pub fn nobal_reg() -> Self {
         MachineConfig {
-            reg_buses: BusConfig { count: 4, latency: 2 },
-            mem_buses: BusConfig { count: 2, latency: 4 },
+            reg_buses: BusConfig {
+                count: 4,
+                latency: 2,
+            },
+            mem_buses: BusConfig {
+                count: 2,
+                latency: 4,
+            },
             ..MachineConfig::paper_baseline()
         }
     }
@@ -227,15 +263,19 @@ impl MachineConfig {
             return Err(ConfigError::ZeroResource("cache geometry"));
         }
         let stripe = self.n_clusters as u64 * self.interleave_bytes;
-        if self.cache.block_bytes % stripe != 0 {
+        if !self.cache.block_bytes.is_multiple_of(stripe) {
             return Err(ConfigError::UnevenInterleave);
         }
-        if self.cache.total_bytes % self.n_clusters as u64 != 0 {
+        if !self
+            .cache
+            .total_bytes
+            .is_multiple_of(self.n_clusters as u64)
+        {
             return Err(ConfigError::UnevenCapacity);
         }
         let module_bytes = self.cache.total_bytes / self.n_clusters as u64;
         let line = self.subblock_bytes() * self.cache.assoc as u64;
-        if line == 0 || module_bytes % line != 0 {
+        if line == 0 || !module_bytes.is_multiple_of(line) {
             return Err(ConfigError::UnevenCapacity);
         }
         Ok(())
@@ -311,13 +351,37 @@ mod tests {
     fn nobal_presets() {
         let mem = MachineConfig::nobal_mem();
         assert_eq!(mem.validate(), Ok(()));
-        assert_eq!(mem.mem_buses, BusConfig { count: 4, latency: 2 });
-        assert_eq!(mem.reg_buses, BusConfig { count: 2, latency: 4 });
+        assert_eq!(
+            mem.mem_buses,
+            BusConfig {
+                count: 4,
+                latency: 2
+            }
+        );
+        assert_eq!(
+            mem.reg_buses,
+            BusConfig {
+                count: 2,
+                latency: 4
+            }
+        );
 
         let reg = MachineConfig::nobal_reg();
         assert_eq!(reg.validate(), Ok(()));
-        assert_eq!(reg.mem_buses, BusConfig { count: 2, latency: 4 });
-        assert_eq!(reg.reg_buses, BusConfig { count: 4, latency: 2 });
+        assert_eq!(
+            reg.mem_buses,
+            BusConfig {
+                count: 2,
+                latency: 4
+            }
+        );
+        assert_eq!(
+            reg.reg_buses,
+            BusConfig {
+                count: 4,
+                latency: 2
+            }
+        );
         // NOBAL+REG remote accesses are slower.
         assert!(reg.latency_of(LatencyClass::RemoteHit) > mem.latency_of(LatencyClass::RemoteHit));
     }
@@ -333,10 +397,19 @@ mod tests {
         let m = MachineConfig::paper_baseline()
             .with_interleave(2)
             .with_attraction_buffers(AttractionBufferConfig::paper())
-            .with_reg_buses(BusConfig { count: 32, latency: 2 });
+            .with_reg_buses(BusConfig {
+                count: 32,
+                latency: 2,
+            });
         assert_eq!(m.validate(), Ok(()));
         assert_eq!(m.interleave_bytes, 2);
-        assert_eq!(m.attraction_buffers, Some(AttractionBufferConfig { entries: 16, assoc: 2 }));
+        assert_eq!(
+            m.attraction_buffers,
+            Some(AttractionBufferConfig {
+                entries: 16,
+                assoc: 2
+            })
+        );
         assert_eq!(m.reg_buses.count, 32);
     }
 

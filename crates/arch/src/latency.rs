@@ -120,7 +120,10 @@ mod tests {
     fn ascending_order_is_total_under_paper_latencies() {
         use crate::MachineConfig;
         let m = MachineConfig::paper_baseline();
-        let lats: Vec<u32> = LatencyClass::ASCENDING.iter().map(|&c| m.latency_of(c)).collect();
+        let lats: Vec<u32> = LatencyClass::ASCENDING
+            .iter()
+            .map(|&c| m.latency_of(c))
+            .collect();
         assert!(lats.windows(2).all(|w| w[0] <= w[1]), "{lats:?}");
     }
 
@@ -141,6 +144,9 @@ mod tests {
 
     #[test]
     fn conversion_from_latency_class() {
-        assert_eq!(AccessClass::from(LatencyClass::RemoteMiss), AccessClass::RemoteMiss);
+        assert_eq!(
+            AccessClass::from(LatencyClass::RemoteMiss),
+            AccessClass::RemoteMiss
+        );
     }
 }

@@ -39,7 +39,10 @@ impl MachineConfig {
     /// The subblock containing `addr`.
     #[must_use]
     pub fn subblock_of(&self, addr: u64) -> SubblockId {
-        SubblockId { block: self.block_of(addr), home: self.home_cluster(addr) }
+        SubblockId {
+            block: self.block_of(addr),
+            home: self.home_cluster(addr),
+        }
     }
 
     /// The set index of `block` within a cache module.
@@ -105,8 +108,10 @@ mod tests {
     #[test]
     fn same_block_spans_all_clusters() {
         let m = MachineConfig::paper_baseline();
-        let homes: std::collections::BTreeSet<usize> =
-            (0..m.cache.block_bytes).step_by(4).map(|off| m.home_cluster(off)).collect();
+        let homes: std::collections::BTreeSet<usize> = (0..m.cache.block_bytes)
+            .step_by(4)
+            .map(|off| m.home_cluster(off))
+            .collect();
         assert_eq!(homes.len(), m.n_clusters);
     }
 }

@@ -5,17 +5,18 @@ use distvliw_arch::{LatencyClass, MachineConfig};
 use proptest::prelude::*;
 
 fn arb_machine() -> impl Strategy<Value = MachineConfig> {
-    (1usize..3, 0usize..2).prop_map(|(clusters_pow, interleave_pow)| {
-        // 2 or 4 clusters; 2- or 4-byte interleave; block scaled to match.
-        let n = 1 << clusters_pow;
-        let interleave = 2u64 << interleave_pow;
-        MachineConfig {
-            n_clusters: n,
-            interleave_bytes: interleave,
-            ..MachineConfig::paper_baseline()
-        }
-    })
-    .prop_filter("valid geometry", |m| m.validate().is_ok())
+    (1usize..3, 0usize..2)
+        .prop_map(|(clusters_pow, interleave_pow)| {
+            // 2 or 4 clusters; 2- or 4-byte interleave; block scaled to match.
+            let n = 1 << clusters_pow;
+            let interleave = 2u64 << interleave_pow;
+            MachineConfig {
+                n_clusters: n,
+                interleave_bytes: interleave,
+                ..MachineConfig::paper_baseline()
+            }
+        })
+        .prop_filter("valid geometry", |m| m.validate().is_ok())
 }
 
 proptest! {

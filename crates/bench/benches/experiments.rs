@@ -24,8 +24,9 @@ fn bench_experiments(c: &mut Criterion) {
         let p = quick_pipeline(MachineConfig::paper_baseline());
         b.iter(|| {
             for solution in [Solution::Free, Solution::Mdc, Solution::Ddgt] {
-                let stats =
-                    p.run_suite(black_box(&suite), solution, Heuristic::PrefClus).unwrap();
+                let stats = p
+                    .run_suite(black_box(&suite), solution, Heuristic::PrefClus)
+                    .unwrap();
                 black_box(stats);
             }
         });
@@ -36,7 +37,10 @@ fn bench_experiments(c: &mut Criterion) {
         let machine = MachineConfig::paper_baseline()
             .with_attraction_buffers(AttractionBufferConfig::paper());
         let p = quick_pipeline(machine);
-        b.iter(|| p.run_suite(black_box(&suite), Solution::Mdc, Heuristic::PrefClus).unwrap());
+        b.iter(|| {
+            p.run_suite(black_box(&suite), Solution::Mdc, Heuristic::PrefClus)
+                .unwrap()
+        });
     });
 
     // Table 3 (static analysis over all benchmarks).
@@ -49,8 +53,12 @@ fn bench_experiments(c: &mut Criterion) {
         let p = quick_pipeline(MachineConfig::paper_baseline());
         let suite = distvliw_mediabench::suite("pgpenc").unwrap();
         b.iter(|| {
-            let mdc = p.run_suite(&suite, Solution::Mdc, Heuristic::PrefClus).unwrap();
-            let ddgt = p.run_suite(&suite, Solution::Ddgt, Heuristic::PrefClus).unwrap();
+            let mdc = p
+                .run_suite(&suite, Solution::Mdc, Heuristic::PrefClus)
+                .unwrap();
+            let ddgt = p
+                .run_suite(&suite, Solution::Ddgt, Heuristic::PrefClus)
+                .unwrap();
             black_box(ddgt.total.comm_ops as f64 / mdc.total.comm_ops.max(1) as f64)
         });
     });

@@ -48,7 +48,12 @@ fn bench_scheduler(c: &mut Criterion) {
         group.bench_function(format!("{bench}/ddgt"), |b| {
             b.iter(|| {
                 ModuloScheduler::new(&m)
-                    .schedule(black_box(&ddgt_kernel.ddg), &ddgt, &prefs, Heuristic::PrefClus)
+                    .schedule(
+                        black_box(&ddgt_kernel.ddg),
+                        &ddgt,
+                        &prefs,
+                        Heuristic::PrefClus,
+                    )
                     .unwrap()
             });
         });

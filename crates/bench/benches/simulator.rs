@@ -12,7 +12,9 @@ use std::hint::black_box;
 fn bench_simulator(c: &mut Criterion) {
     let suite = distvliw_mediabench::suite("pgpdec").expect("bundled benchmark");
     let base = MachineConfig::paper_baseline().with_interleave(suite.interleave_bytes);
-    let with_ab = base.clone().with_attraction_buffers(AttractionBufferConfig::paper());
+    let with_ab = base
+        .clone()
+        .with_attraction_buffers(AttractionBufferConfig::paper());
     let kernel = &suite.kernels[0];
     let prefs = preferred_clusters(kernel, base.n_clusters, |a| base.home_cluster(a));
     let chains = find_chains(&kernel.ddg);
@@ -24,17 +26,23 @@ fn bench_simulator(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator");
     group.sample_size(20);
     group.bench_function("pgpdec_mdc/256_iters", |b| {
-        b.iter(|| {
-            simulate_kernel(black_box(&base), kernel, &schedule, SimOptions::default())
-        });
+        b.iter(|| simulate_kernel(black_box(&base), kernel, &schedule, SimOptions::default()));
     });
     group.bench_function("pgpdec_mdc/256_iters_with_abs", |b| {
         b.iter(|| {
-            simulate_kernel(black_box(&with_ab), kernel, &schedule, SimOptions::default())
+            simulate_kernel(
+                black_box(&with_ab),
+                kernel,
+                &schedule,
+                SimOptions::default(),
+            )
         });
     });
     group.bench_function("pgpdec_mdc/no_violation_detection", |b| {
-        let opts = SimOptions { detect_violations: false, ..SimOptions::default() };
+        let opts = SimOptions {
+            detect_violations: false,
+            ..SimOptions::default()
+        };
         b.iter(|| simulate_kernel(black_box(&base), kernel, &schedule, opts));
     });
     group.finish();

@@ -27,13 +27,18 @@ fn bus_upper_bound() {
         "benchmark", "compute @4bus", "compute @32bus", "reduction"
     );
     let four = Pipeline::new(MachineConfig::paper_baseline());
-    let many = Pipeline::new(
-        MachineConfig::paper_baseline().with_reg_buses(BusConfig { count: 32, latency: 2 }),
-    );
+    let many = Pipeline::new(MachineConfig::paper_baseline().with_reg_buses(BusConfig {
+        count: 32,
+        latency: 2,
+    }));
     for name in ["epicdec", "pgpdec", "pgpenc", "rasta"] {
         let suite = distvliw_mediabench::suite(name).expect("bundled benchmark");
-        let a = four.run_suite(&suite, Solution::Ddgt, Heuristic::PrefClus).unwrap();
-        let b = many.run_suite(&suite, Solution::Ddgt, Heuristic::PrefClus).unwrap();
+        let a = four
+            .run_suite(&suite, Solution::Ddgt, Heuristic::PrefClus)
+            .unwrap();
+        let b = many
+            .run_suite(&suite, Solution::Ddgt, Heuristic::PrefClus)
+            .unwrap();
         let reduction = 1.0 - b.total.compute_cycles as f64 / a.total.compute_cycles.max(1) as f64;
         println!(
             "{:<10} | {:>14} {:>14} | {:>8.1}%",
@@ -49,19 +54,24 @@ fn bus_upper_bound() {
 /// Local-hit ratio of the epicdec chain loop vs AB capacity.
 fn ab_capacity_sweep() {
     println!("== Ablation 2: Attraction Buffer capacity (epicdec chain loop) ==");
-    println!("{:<10} | {:>14} {:>14}", "entries", "MDC local-hit", "DDGT local-hit");
+    println!(
+        "{:<10} | {:>14} {:>14}",
+        "entries", "MDC local-hit", "DDGT local-hit"
+    );
     let suite = distvliw_mediabench::suite("epicdec").expect("bundled benchmark");
     let chained = &suite.kernels[0];
     for entries in [0usize, 4, 8, 16, 32, 64] {
-        let mut machine =
-            MachineConfig::paper_baseline().with_interleave(suite.interleave_bytes);
+        let mut machine = MachineConfig::paper_baseline().with_interleave(suite.interleave_bytes);
         if entries > 0 {
-            machine = machine
-                .with_attraction_buffers(AttractionBufferConfig { entries, assoc: 2 });
+            machine = machine.with_attraction_buffers(AttractionBufferConfig { entries, assoc: 2 });
         }
         let p = Pipeline::new(machine);
-        let mdc = p.run_kernel(chained, Solution::Mdc, Heuristic::PrefClus).unwrap();
-        let ddgt = p.run_kernel(chained, Solution::Ddgt, Heuristic::PrefClus).unwrap();
+        let mdc = p
+            .run_kernel(chained, Solution::Mdc, Heuristic::PrefClus)
+            .unwrap();
+        let ddgt = p
+            .run_kernel(chained, Solution::Ddgt, Heuristic::PrefClus)
+            .unwrap();
         println!(
             "{:<10} | {:>13.1}% {:>13.1}%",
             entries,
@@ -86,8 +96,12 @@ fn latency_assignment() {
     });
     for name in ["gsmdec", "pgpdec", "rasta"] {
         let suite = distvliw_mediabench::suite(name).expect("bundled benchmark");
-        let a = on.run_suite(&suite, Solution::Mdc, Heuristic::PrefClus).unwrap();
-        let b = off.run_suite(&suite, Solution::Mdc, Heuristic::PrefClus).unwrap();
+        let a = on
+            .run_suite(&suite, Solution::Mdc, Heuristic::PrefClus)
+            .unwrap();
+        let b = off
+            .run_suite(&suite, Solution::Mdc, Heuristic::PrefClus)
+            .unwrap();
         println!(
             "{:<10} | {:>10} {:>10} | {:>10} {:>10}",
             name,

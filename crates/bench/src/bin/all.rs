@@ -21,7 +21,10 @@ fn main() {
 
     println!("\n== Figure 7 ==");
     match experiments::fig7(&machine) {
-        Ok(rows) => print!("{}", report::render_exec(&rows, "normalized execution time")),
+        Ok(rows) => print!(
+            "{}",
+            report::render_exec(&rows, "normalized execution time")
+        ),
         Err(e) => eprintln!("fig7 failed: {e}"),
     }
 
@@ -37,7 +40,10 @@ fn main() {
     println!("\n== Figure 9 ==");
     match experiments::fig9(&machine) {
         Ok(rows) => {
-            print!("{}", report::render_exec(&rows, "normalized execution time with ABs"));
+            print!(
+                "{}",
+                report::render_exec(&rows, "normalized execution time with ABs")
+            );
         }
         Err(e) => eprintln!("fig9 failed: {e}"),
     }
@@ -59,7 +65,10 @@ fn main() {
         Err(e) => eprintln!("gsmdec case study failed: {e}"),
     }
     match experiments::epicdec_ab_case_study(&machine) {
-        Ok(cs) => println!("(with Attraction Buffers)\n{}", report::render_case_study(&cs)),
+        Ok(cs) => println!(
+            "(with Attraction Buffers)\n{}",
+            report::render_case_study(&cs)
+        ),
         Err(e) => eprintln!("epicdec case study failed: {e}"),
     }
 }

@@ -1,0 +1,121 @@
+//! Scheduler / pipeline timing harness: runs the hot-path benchmarks and
+//! writes a `BENCH_sched.json` summary so successive revisions have a
+//! perf trajectory.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p distvliw-bench --bin bench [-- OUT.json]
+//! ```
+//!
+//! The output path defaults to `BENCH_sched.json` in the current
+//! directory. Compare against a previous run with any JSON diff; the
+//! committed `BENCH_sched.baseline.json` holds the timings of the first
+//! green build of the seed scheduler (before the dense-map /
+//! transactional-MRT rewrite).
+
+use std::time::Instant;
+
+use criterion::{results_json, BenchResult};
+use distvliw_arch::MachineConfig;
+use distvliw_coherence::{find_chains, transform, SchedConstraints};
+use distvliw_core::{Heuristic, Pipeline, Solution};
+use distvliw_ir::profile::preferred_clusters;
+use distvliw_sched::ModuloScheduler;
+
+/// Times `f` with calibration: grows the batch until one sample lasts
+/// ≥ 2 ms, then reports the median of `samples` batches.
+fn time_median<F: FnMut()>(id: &str, samples: usize, mut f: F) -> BenchResult {
+    let mut iters: u64 = 1;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if t.elapsed().as_nanos() >= 2_000_000 || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median_ns = per_iter[per_iter.len() / 2];
+    println!("{id}: {:.3} ms/iter", median_ns / 1e6);
+    BenchResult {
+        id: id.to_string(),
+        median_ns,
+        iters_per_sample: iters,
+        samples,
+    }
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sched.json".to_string());
+    // Fail before spending a minute benchmarking if the output path is
+    // unwritable.
+    if let Err(e) = std::fs::write(&out, "[]\n") {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    let mut results: Vec<BenchResult> = Vec::new();
+
+    // Scheduler hot path: the same configurations as the Criterion
+    // `scheduler` bench group.
+    for bench in ["gsmdec", "epicdec"] {
+        let suite = distvliw_mediabench::suite(bench).expect("bundled benchmark");
+        let m = MachineConfig::paper_baseline().with_interleave(suite.interleave_bytes);
+        let kernel = &suite.kernels[0];
+        let prefs = preferred_clusters(kernel, m.n_clusters, |a| m.home_cluster(a));
+
+        let free = SchedConstraints::none();
+        results.push(time_median(&format!("scheduler/{bench}/free"), 10, || {
+            let s = ModuloScheduler::new(&m)
+                .schedule(&kernel.ddg, &free, &prefs, Heuristic::MinComs)
+                .unwrap();
+            std::hint::black_box(s);
+        }));
+
+        let chains = find_chains(&kernel.ddg);
+        let mdc = SchedConstraints::for_mdc(&chains, &kernel.ddg, Some(&prefs), m.n_clusters);
+        results.push(time_median(&format!("scheduler/{bench}/mdc"), 10, || {
+            let s = ModuloScheduler::new(&m)
+                .schedule(&kernel.ddg, &mdc, &prefs, Heuristic::PrefClus)
+                .unwrap();
+            std::hint::black_box(s);
+        }));
+
+        let mut ddgt_kernel = kernel.clone();
+        let report = transform(&mut ddgt_kernel.ddg, m.n_clusters);
+        let ddgt = SchedConstraints::for_ddgt(&report);
+        results.push(time_median(&format!("scheduler/{bench}/ddgt"), 10, || {
+            let s = ModuloScheduler::new(&m)
+                .schedule(&ddgt_kernel.ddg, &ddgt, &prefs, Heuristic::PrefClus)
+                .unwrap();
+            std::hint::black_box(s);
+        }));
+    }
+
+    // Pipeline fan-out: one full suite end to end (kernels run in
+    // parallel; set DISTVLIW_THREADS=1 for the serial reference).
+    let suite = distvliw_mediabench::suite("gsmdec").expect("bundled benchmark");
+    let pipeline = Pipeline::new(MachineConfig::paper_baseline());
+    results.push(time_median("pipeline/gsmdec/mdc_prefclus", 5, || {
+        let stats = pipeline
+            .run_suite(&suite, Solution::Mdc, Heuristic::PrefClus)
+            .unwrap();
+        std::hint::black_box(stats);
+    }));
+
+    std::fs::write(&out, results_json(&results)).expect("write bench json");
+    println!("wrote {out}");
+}

@@ -7,7 +7,10 @@ use distvliw_core::report::render_exec;
 fn main() {
     let machine = distvliw_bench::paper_machine();
     match fig7(&machine) {
-        Ok(rows) => print!("{}", render_exec(&rows, "Figure 7: normalized execution time")),
+        Ok(rows) => print!(
+            "{}",
+            render_exec(&rows, "Figure 7: normalized execution time")
+        ),
         Err(e) => {
             eprintln!("fig7 failed: {e}");
             std::process::exit(1);

@@ -9,7 +9,10 @@ fn main() {
     match fig9(&machine) {
         Ok(rows) => print!(
             "{}",
-            render_exec(&rows, "Figure 9: normalized execution time with Attraction Buffers")
+            render_exec(
+                &rows,
+                "Figure 9: normalized execution time with Attraction Buffers"
+            )
         ),
         Err(e) => {
             eprintln!("fig9 failed: {e}");

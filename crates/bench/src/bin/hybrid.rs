@@ -20,7 +20,11 @@ fn main() {
                 .run_suite(&suite, s, Heuristic::PrefClus)
                 .map(|r| r.total_cycles())
         };
-        match (run(Solution::Mdc), run(Solution::Ddgt), run(Solution::Hybrid)) {
+        match (
+            run(Solution::Mdc),
+            run(Solution::Ddgt),
+            run(Solution::Hybrid),
+        ) {
             (Ok(mdc), Ok(ddgt), Ok(hybrid)) => {
                 let best_pure = mdc.min(ddgt);
                 let gain = best_pure as f64 / hybrid.max(1) as f64 - 1.0;

@@ -9,8 +9,14 @@ use distvliw_core::report::render_nobal;
 
 fn main() {
     for (machine, title) in [
-        (MachineConfig::nobal_mem(), "NOBAL+MEM: more memory buses than register buses"),
-        (MachineConfig::nobal_reg(), "NOBAL+REG: more register buses than memory buses"),
+        (
+            MachineConfig::nobal_mem(),
+            "NOBAL+MEM: more memory buses than register buses",
+        ),
+        (
+            MachineConfig::nobal_reg(),
+            "NOBAL+REG: more register buses than memory buses",
+        ),
     ] {
         match nobal(&machine) {
             Ok(rows) => println!("{}", render_nobal(&rows, title)),

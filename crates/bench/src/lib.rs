@@ -16,7 +16,10 @@ pub fn paper_machine() -> MachineConfig {
 #[must_use]
 pub fn quick_options() -> PipelineOptions {
     PipelineOptions {
-        sim: SimOptions { max_iterations: 128, detect_violations: false },
+        sim: SimOptions {
+            max_iterations: 128,
+            detect_violations: false,
+        },
         ..PipelineOptions::default()
     }
 }

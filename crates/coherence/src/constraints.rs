@@ -50,10 +50,7 @@ impl SchedConstraints {
         n_clusters: usize,
     ) -> Self {
         let mut c = SchedConstraints::default();
-        let mut next_group = 0u32;
-        for (idx, members) in chains.nontrivial() {
-            let group = next_group;
-            next_group += 1;
+        for (group, (idx, members)) in (0u32..).zip(chains.nontrivial()) {
             for &n in members {
                 c.colocate.insert(n, group);
             }
@@ -115,8 +112,14 @@ mod tests {
         let (g, l, s) = chained_graph();
         let chains = find_chains(&g);
         let mut prefs = PrefMap::new();
-        prefs.insert(g.node(l).mem_id().unwrap(), PrefInfo::from_counts(vec![0, 80, 20, 0]));
-        prefs.insert(g.node(s).mem_id().unwrap(), PrefInfo::from_counts(vec![30, 30, 40, 0]));
+        prefs.insert(
+            g.node(l).mem_id().unwrap(),
+            PrefInfo::from_counts(vec![0, 80, 20, 0]),
+        );
+        prefs.insert(
+            g.node(s).mem_id().unwrap(),
+            PrefInfo::from_counts(vec![30, 30, 40, 0]),
+        );
         let c = SchedConstraints::for_mdc(&chains, &g, Some(&prefs), 4);
         let gl = c.colocate[&l];
         assert_eq!(gl, c.colocate[&s]);
@@ -153,8 +156,7 @@ mod tests {
         let c = SchedConstraints::for_ddgt(&report);
         assert_eq!(report.replica_groups.len(), 1);
         let group = &report.replica_groups[0];
-        let mut clusters: Vec<usize> =
-            group.instances.iter().map(|i| c.pinned[i]).collect();
+        let mut clusters: Vec<usize> = group.instances.iter().map(|i| c.pinned[i]).collect();
         clusters.sort_unstable();
         assert_eq!(clusters, vec![0, 1, 2, 3]);
         // Loads stay free.

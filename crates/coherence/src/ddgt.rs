@@ -88,7 +88,10 @@ pub fn transform(ddg: &mut Ddg, n_clusters: usize) -> DdgtReport {
         ddg.deps().all(|(_, d)| d.kind != DepKind::MemAnti),
         "MA edges must all be eliminated"
     );
-    debug_assert!(!ddg.has_zero_distance_cycle(), "transformation created a cycle");
+    debug_assert!(
+        !ddg.has_zero_distance_cycle(),
+        "transformation created a cycle"
+    );
     report
 }
 
@@ -304,7 +307,10 @@ mod tests {
         assert_eq!(report.redundant_ma, 4);
 
         // No MA edges left; SYNC edges exist; graph is still schedulable.
-        assert_eq!(g.deps().filter(|(_, d)| d.kind == DepKind::MemAnti).count(), 0);
+        assert_eq!(
+            g.deps().filter(|(_, d)| d.kind == DepKind::MemAnti).count(),
+            0
+        );
         assert!(report.sync_edges >= 2);
         assert!(!g.has_zero_distance_cycle());
 
@@ -345,11 +351,11 @@ mod tests {
                 "missing MO between instance pair {k}"
             );
             // And no cross-index MO.
-            for j in 0..4 {
+            for (j, &other) in g4.iter().enumerate() {
                 if j != k {
                     assert!(!g
                         .out_deps(g3[k])
-                        .any(|(_, d)| d.dst == g4[j] && d.kind == DepKind::MemOut));
+                        .any(|(_, d)| d.dst == other && d.kind == DepKind::MemOut));
                 }
             }
         }

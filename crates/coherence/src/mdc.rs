@@ -19,7 +19,10 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n as u32).collect(), rank: vec![0; n] }
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
     }
 
     fn find(&mut self, x: u32) -> u32 {
@@ -179,8 +182,17 @@ pub fn chain_stats<'a>(kernels: impl IntoIterator<Item = &'a LoopKernel>) -> Cha
         mem_dyn += u128::from(k.dyn_mem_accesses());
         all_dyn += u128::from(k.dyn_ops());
     }
-    let ratio = |num: u128, den: u128| if den == 0 { 0.0 } else { num as f64 / den as f64 };
-    ChainStats { cmr: ratio(biggest_dyn, mem_dyn), car: ratio(biggest_dyn, all_dyn) }
+    let ratio = |num: u128, den: u128| {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
+    ChainStats {
+        cmr: ratio(biggest_dyn, mem_dyn),
+        car: ratio(biggest_dyn, all_dyn),
+    }
 }
 
 #[cfg(test)]
@@ -270,10 +282,22 @@ mod tests {
         let chains = find_chains(&g);
         let idx = chains.chain_of(n1).unwrap();
         let mut prefs = PrefMap::new();
-        prefs.insert(g.node(n1).mem_id().unwrap(), PrefInfo::from_counts(vec![70, 30, 0, 0]));
-        prefs.insert(g.node(n2).mem_id().unwrap(), PrefInfo::from_counts(vec![20, 50, 30, 0]));
-        prefs.insert(g.node(n3).mem_id().unwrap(), PrefInfo::from_counts(vec![0, 0, 100, 0]));
-        prefs.insert(g.node(n4).mem_id().unwrap(), PrefInfo::from_counts(vec![0, 10, 20, 70]));
+        prefs.insert(
+            g.node(n1).mem_id().unwrap(),
+            PrefInfo::from_counts(vec![70, 30, 0, 0]),
+        );
+        prefs.insert(
+            g.node(n2).mem_id().unwrap(),
+            PrefInfo::from_counts(vec![20, 50, 30, 0]),
+        );
+        prefs.insert(
+            g.node(n3).mem_id().unwrap(),
+            PrefInfo::from_counts(vec![0, 0, 100, 0]),
+        );
+        prefs.insert(
+            g.node(n4).mem_id().unwrap(),
+            PrefInfo::from_counts(vec![0, 10, 20, 70]),
+        );
         assert_eq!(chains.average_preferred_cluster(idx, &g, &prefs, 4), 2);
     }
 
@@ -282,7 +306,10 @@ mod tests {
         let (g, [n1, ..]) = figure3();
         let chains = find_chains(&g);
         let idx = chains.chain_of(n1).unwrap();
-        assert_eq!(chains.average_preferred_cluster(idx, &g, &PrefMap::new(), 4), 0);
+        assert_eq!(
+            chains.average_preferred_cluster(idx, &g, &PrefMap::new(), 4),
+            0
+        );
     }
 
     fn weighted_kernel(trip: u64, chained: bool) -> LoopKernel {
@@ -298,7 +325,13 @@ mod tests {
         let mut k = LoopKernel::new("w", g, trip);
         for img in [&mut k.profile, &mut k.exec] {
             img.insert(ml, AddressStream::Affine { base: 0, stride: 4 });
-            img.insert(ms, AddressStream::Affine { base: 4096, stride: 4 });
+            img.insert(
+                ms,
+                AddressStream::Affine {
+                    base: 4096,
+                    stride: 4,
+                },
+            );
         }
         k
     }

@@ -93,7 +93,10 @@ fn ranges_overlap(a: &[(u64, u64)], b: &[(u64, u64)]) -> bool {
 #[must_use]
 pub fn specialize_kernel(kernel: &LoopKernel) -> (LoopKernel, SpecializationReport) {
     assert!(
-        kernel.ddg.node_ids().all(|n| kernel.ddg.replica_of(n).is_none()),
+        kernel
+            .ddg
+            .node_ids()
+            .all(|n| kernel.ddg.replica_of(n).is_none()),
         "specialization must run before store replication"
     );
     let mut out = kernel.clone();
@@ -102,8 +105,16 @@ pub fn specialize_kernel(kernel: &LoopKernel) -> (LoopKernel, SpecializationRepo
     let edges: Vec<(distvliw_ir::EdgeId, distvliw_ir::Dep)> = out.ddg.mem_dep_edges().collect();
     for (e, d) in edges {
         report.checked += 1;
-        let src_ref = out.ddg.node(d.src).mem.expect("memory edge endpoints access memory");
-        let dst_ref = out.ddg.node(d.dst).mem.expect("memory edge endpoints access memory");
+        let src_ref = out
+            .ddg
+            .node(d.src)
+            .mem
+            .expect("memory edge endpoints access memory");
+        let dst_ref = out
+            .ddg
+            .node(d.dst)
+            .mem
+            .expect("memory edge endpoints access memory");
         let (Some(src_stream), Some(dst_stream)) =
             (out.exec.get(src_ref.mem), out.exec.get(dst_ref.mem))
         else {
@@ -137,8 +148,20 @@ mod tests {
         let (ml, ms) = (g.node(l).mem_id().unwrap(), g.node(s).mem_id().unwrap());
         let mut k = LoopKernel::new("spec", g, 64);
         for img in [&mut k.profile, &mut k.exec] {
-            img.insert(ml, AddressStream::Affine { base: src_base, stride: 4 });
-            img.insert(ms, AddressStream::Affine { base: dst_base, stride: 4 });
+            img.insert(
+                ml,
+                AddressStream::Affine {
+                    base: src_base,
+                    stride: 4,
+                },
+            );
+            img.insert(
+                ms,
+                AddressStream::Affine {
+                    base: dst_base,
+                    stride: 4,
+                },
+            );
         }
         k
     }
@@ -178,8 +201,20 @@ mod tests {
         let (ml, ms) = (g.node(l).mem_id().unwrap(), g.node(s).mem_id().unwrap());
         let mut k = LoopKernel::new("partial", g, 4);
         for img in [&mut k.profile, &mut k.exec] {
-            img.insert(ml, AddressStream::Affine { base: 0, stride: 16 });
-            img.insert(ms, AddressStream::Affine { base: 2, stride: 16 });
+            img.insert(
+                ml,
+                AddressStream::Affine {
+                    base: 0,
+                    stride: 16,
+                },
+            );
+            img.insert(
+                ms,
+                AddressStream::Affine {
+                    base: 2,
+                    stride: 16,
+                },
+            );
         }
         let (_, report) = specialize_kernel(&k);
         assert_eq!(report.removed, 0);

@@ -1,9 +1,7 @@
 //! Property tests for the coherence passes on randomly generated graphs.
 
 use distvliw_coherence::{find_chains, specialize_kernel, transform, SchedConstraints};
-use distvliw_ir::{
-    AddressStream, DdgBuilder, DepKind, LoopKernel, NodeId, Width,
-};
+use distvliw_ir::{AddressStream, DdgBuilder, DepKind, LoopKernel, NodeId, Width};
 use proptest::prelude::*;
 
 /// A random kernel whose memory ops live on `n_arrays` arrays; ops on one
@@ -11,7 +9,11 @@ use proptest::prelude::*;
 /// alias. Conservative edges are declared between all pairs of the same
 /// array plus (false) edges between some cross-array pairs.
 fn arb_kernel() -> impl Strategy<Value = LoopKernel> {
-    (2usize..10, 1usize..4, proptest::collection::vec(any::<u8>(), 8))
+    (
+        2usize..10,
+        1usize..4,
+        proptest::collection::vec(any::<u8>(), 8),
+    )
         .prop_map(|(n_mem, n_arrays, entropy)| {
             let mut b = DdgBuilder::new();
             let mut loads: Vec<NodeId> = Vec::new();
@@ -48,8 +50,10 @@ fn arb_kernel() -> impl Strategy<Value = LoopKernel> {
                 b.dep(a, c, kind, d);
             }
             let ddg = b.finish();
-            let sites: Vec<_> =
-                ddg.mem_nodes().map(|n| (n, ddg.node(n).mem_id().unwrap())).collect();
+            let sites: Vec<_> = ddg
+                .mem_nodes()
+                .map(|n| (n, ddg.node(n).mem_id().unwrap()))
+                .collect();
             let mut k = LoopKernel::new("prop-coherence", ddg, 16);
             for (idx, &(_, m)) in sites.iter().enumerate() {
                 let base = 4096 + (idx % n_arrays) as u64 * 0x1000;

@@ -134,7 +134,10 @@ fn exec_row(pipeline: &Pipeline, suite: &Suite) -> Result<ExecRow, PipelineError
     let baseline = pipeline.run_suite(suite, Solution::Free, Heuristic::MinComs)?;
     let base = baseline.total_cycles();
     let run = |solution, heuristic| -> Result<NormalizedBar, PipelineError> {
-        Ok(NormalizedBar::of(&pipeline.run_suite(suite, solution, heuristic)?, base))
+        Ok(NormalizedBar::of(
+            &pipeline.run_suite(suite, solution, heuristic)?,
+            base,
+        ))
     };
     Ok(ExecRow {
         benchmark: suite.name.clone(),
@@ -153,7 +156,10 @@ fn exec_row(pipeline: &Pipeline, suite: &Suite) -> Result<ExecRow, PipelineError
 /// Propagates the first pipeline failure.
 pub fn fig7(machine: &MachineConfig) -> Result<Vec<ExecRow>, PipelineError> {
     let pipeline = Pipeline::new(machine.clone());
-    figure_suites().iter().map(|s| exec_row(&pipeline, s)).collect()
+    figure_suites()
+        .iter()
+        .map(|s| exec_row(&pipeline, s))
+        .collect()
 }
 
 /// Figure 9: the same bars with 16-entry 2-way Attraction Buffers
@@ -163,7 +169,9 @@ pub fn fig7(machine: &MachineConfig) -> Result<Vec<ExecRow>, PipelineError> {
 ///
 /// Propagates the first pipeline failure.
 pub fn fig9(machine: &MachineConfig) -> Result<Vec<ExecRow>, PipelineError> {
-    let with_ab = machine.clone().with_attraction_buffers(AttractionBufferConfig::paper());
+    let with_ab = machine
+        .clone()
+        .with_attraction_buffers(AttractionBufferConfig::paper());
     fig7(&with_ab)
 }
 
@@ -247,8 +255,7 @@ pub fn table4(machine: &MachineConfig) -> Result<Vec<Table4Row>, PipelineError> 
         let free = pipeline.run_suite(&suite, Solution::Free, h)?;
         let mdc = pipeline.run_suite(&suite, Solution::Mdc, h)?;
         let ddgt = pipeline.run_suite(&suite, Solution::Ddgt, h)?;
-        let comm_ratio =
-            ddgt.total.comm_ops as f64 / (mdc.total.comm_ops.max(1)) as f64;
+        let comm_ratio = ddgt.total.comm_ops as f64 / (mdc.total.comm_ops.max(1)) as f64;
 
         // Selected loops: ≥10% MDC slowdown vs the Free baseline.
         let mut mdc_cycles = 0u64;
@@ -259,10 +266,13 @@ pub fn table4(machine: &MachineConfig) -> Result<Vec<Table4Row>, PipelineError> 
                 ddgt_cycles += d.stats.total_cycles();
             }
         }
-        let selected_speedup = (mdc_cycles > 0).then(|| {
-            mdc_cycles as f64 / ddgt_cycles.max(1) as f64 - 1.0
+        let selected_speedup =
+            (mdc_cycles > 0).then(|| mdc_cycles as f64 / ddgt_cycles.max(1) as f64 - 1.0);
+        rows.push(Table4Row {
+            benchmark: suite.name.clone(),
+            comm_ratio,
+            selected_speedup,
         });
-        rows.push(Table4Row { benchmark: suite.name.clone(), comm_ratio, selected_speedup });
     }
     Ok(rows)
 }
@@ -294,10 +304,14 @@ pub fn table5() -> Vec<Table5Row> {
         .map(|&(name, paper)| {
             let s = suite(name).expect("specialization benchmarks exist");
             let old = chain_stats(s.kernels.iter());
-            let specialized: Vec<_> =
-                s.kernels.iter().map(|k| specialize_kernel(k).0).collect();
+            let specialized: Vec<_> = s.kernels.iter().map(|k| specialize_kernel(k).0).collect();
             let new = chain_stats(specialized.iter());
-            Table5Row { benchmark: name.to_string(), old, new, paper }
+            Table5Row {
+                benchmark: name.to_string(),
+                old,
+                new,
+                paper,
+            }
         })
         .collect()
 }
@@ -360,10 +374,7 @@ pub struct CaseStudy {
     pub speedup: f64,
 }
 
-fn case_study(
-    machine: &MachineConfig,
-    bench: &str,
-) -> Result<CaseStudy, PipelineError> {
+fn case_study(machine: &MachineConfig, bench: &str) -> Result<CaseStudy, PipelineError> {
     let s = suite(bench).expect("case-study benchmark exists");
     let pipeline = Pipeline::new(machine.clone().with_interleave(s.interleave_bytes));
     let chained = &s.kernels[0];
@@ -395,7 +406,9 @@ pub fn gsmdec_case_study(machine: &MachineConfig) -> Result<CaseStudy, PipelineE
 ///
 /// Propagates pipeline failures.
 pub fn epicdec_ab_case_study(machine: &MachineConfig) -> Result<CaseStudy, PipelineError> {
-    let with_ab = machine.clone().with_attraction_buffers(AttractionBufferConfig::paper());
+    let with_ab = machine
+        .clone()
+        .with_attraction_buffers(AttractionBufferConfig::paper());
     case_study(&with_ab, "epicdec")
 }
 
@@ -442,7 +455,17 @@ mod tests {
         let d = AccessBreakdown::of(&ddgt);
         // The paper's ordering: DDGT maximizes local accesses; MDC
         // colocation reduces them below the unrestricted baseline.
-        assert!(d.local_hits() >= m.local_hits(), "DDGT {} vs MDC {}", d.local_hits(), m.local_hits());
-        assert!(f.local_hits() >= m.local_hits(), "Free {} vs MDC {}", f.local_hits(), m.local_hits());
+        assert!(
+            d.local_hits() >= m.local_hits(),
+            "DDGT {} vs MDC {}",
+            d.local_hits(),
+            m.local_hits()
+        );
+        assert!(
+            f.local_hits() >= m.local_hits(),
+            "Free {} vs MDC {}",
+            f.local_hits(),
+            m.local_hits()
+        );
     }
 }

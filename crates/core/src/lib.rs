@@ -24,10 +24,11 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod par;
 mod pipeline;
 pub mod report;
 
 pub use distvliw_sched::Heuristic;
 pub use pipeline::{
-    KernelRun, Pipeline, PipelineError, PipelineOptions, Solution, SuiteStats,
+    KernelRun, MatrixCell, Pipeline, PipelineError, PipelineOptions, Solution, SuiteStats,
 };

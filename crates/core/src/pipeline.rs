@@ -9,6 +9,8 @@ use distvliw_ir::{profile::preferred_clusters, LoopKernel, Suite};
 use distvliw_sched::{Heuristic, ModuloScheduler, Schedule, ScheduleError};
 use distvliw_sim::{simulate_kernel, SimOptions, SimStats};
 
+use crate::par;
+
 /// Which coherence solution the pipeline applies (paper Section 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Solution {
@@ -110,6 +112,20 @@ pub struct KernelRun {
     pub stats: SimStats,
 }
 
+/// One `(suite, solution, heuristic)` cell of an experiment grid run by
+/// [`Pipeline::run_matrix`].
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// Benchmark suite name.
+    pub suite: String,
+    /// Coherence solution of this cell.
+    pub solution: Solution,
+    /// Cluster-assignment heuristic of this cell.
+    pub heuristic: Heuristic,
+    /// The cell's result (or its pipeline failure).
+    pub stats: Result<SuiteStats, PipelineError>,
+}
+
 /// Result of running a whole benchmark suite.
 #[derive(Debug, Clone)]
 pub struct SuiteStats {
@@ -159,7 +175,10 @@ impl Pipeline {
     #[must_use]
     pub fn new(machine: MachineConfig) -> Self {
         machine.validate().expect("valid machine configuration");
-        Pipeline { machine, options: PipelineOptions::default() }
+        Pipeline {
+            machine,
+            options: PipelineOptions::default(),
+        }
     }
 
     /// Replaces the pipeline options.
@@ -179,9 +198,16 @@ impl Pipeline {
     /// solution and heuristic. The machine's interleaving factor is set
     /// from the suite (paper Table 1).
     ///
+    /// Kernels compile and simulate concurrently (schedule and simulation
+    /// are pure functions of the kernel and machine); results are merged
+    /// in kernel order, so the statistics — and which error is reported —
+    /// are identical to a serial run. Set `DISTVLIW_THREADS=1` to force a
+    /// serial run.
+    ///
     /// # Errors
     ///
-    /// Returns the first kernel that fails validation or scheduling.
+    /// Returns the first kernel (in suite order) that fails validation or
+    /// scheduling.
     pub fn run_suite(
         &self,
         suite: &Suite,
@@ -189,14 +215,75 @@ impl Pipeline {
         heuristic: Heuristic,
     ) -> Result<SuiteStats, PipelineError> {
         let machine = self.machine.clone().with_interleave(suite.interleave_bytes);
-        let mut kernels = Vec::with_capacity(suite.kernels.len());
+        let runs = par::par_map(&suite.kernels, |kernel| {
+            self.run_kernel_on(&machine, kernel, solution, heuristic)
+        });
+        Self::merge_runs(&suite.name, runs)
+    }
+
+    /// Folds per-kernel results (in kernel order) into suite statistics,
+    /// reporting the first error. Shared by [`Pipeline::run_suite`] and
+    /// [`Pipeline::run_matrix`] so both merge identically.
+    fn merge_runs(
+        name: &str,
+        runs: Vec<Result<KernelRun, PipelineError>>,
+    ) -> Result<SuiteStats, PipelineError> {
+        let mut kernels = Vec::with_capacity(runs.len());
         let mut total = SimStats::default();
-        for kernel in &suite.kernels {
-            let run = self.run_kernel_on(&machine, kernel, solution, heuristic)?;
+        for run in runs {
+            let run = run?;
             total += run.stats;
             kernels.push(run);
         }
-        Ok(SuiteStats { name: suite.name.clone(), kernels, total })
+        Ok(SuiteStats {
+            name: name.to_string(),
+            kernels,
+            total,
+        })
+    }
+
+    /// Runs a whole experiment grid — every `(suite, solution, heuristic)`
+    /// combination — with the combinations themselves fanned out in
+    /// parallel (each cell runs its kernels serially to avoid
+    /// oversubscribing the worker pool). Results come back in input
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Each cell reports its own pipeline failure independently.
+    pub fn run_matrix(
+        &self,
+        suites: &[Suite],
+        solutions: &[Solution],
+        heuristics: &[Heuristic],
+    ) -> Vec<MatrixCell> {
+        let mut cells: Vec<(usize, Solution, Heuristic)> = Vec::new();
+        for (i, _) in suites.iter().enumerate() {
+            for &solution in solutions {
+                for &heuristic in heuristics {
+                    cells.push((i, solution, heuristic));
+                }
+            }
+        }
+        par::par_map(&cells, |&(i, solution, heuristic)| {
+            let suite = &suites[i];
+            let machine = self.machine.clone().with_interleave(suite.interleave_bytes);
+            let mut runs = Vec::with_capacity(suite.kernels.len());
+            for kernel in &suite.kernels {
+                let run = self.run_kernel_on(&machine, kernel, solution, heuristic);
+                let failed = run.is_err();
+                runs.push(run);
+                if failed {
+                    break;
+                }
+            }
+            MatrixCell {
+                suite: suite.name.clone(),
+                solution,
+                heuristic,
+                stats: Self::merge_runs(&suite.name, runs),
+            }
+        })
     }
 
     /// Compiles and simulates a single kernel with the pipeline's machine
@@ -257,8 +344,7 @@ impl Pipeline {
             Solution::Free => SchedConstraints::none(),
             Solution::Mdc => {
                 let chains = find_chains(&kernel.ddg);
-                let pref_arg =
-                    (heuristic == Heuristic::PrefClus).then_some(&prefs);
+                let pref_arg = (heuristic == Heuristic::PrefClus).then_some(&prefs);
                 SchedConstraints::for_mdc(&chains, &kernel.ddg, pref_arg, machine.n_clusters)
             }
             Solution::Ddgt => {
@@ -301,7 +387,9 @@ mod tests {
     fn pipeline_runs_a_benchmark_suite() {
         let suite = distvliw_mediabench::suite("gsmdec").unwrap();
         let p = Pipeline::new(machine());
-        let stats = p.run_suite(&suite, Solution::Mdc, Heuristic::PrefClus).unwrap();
+        let stats = p
+            .run_suite(&suite, Solution::Mdc, Heuristic::PrefClus)
+            .unwrap();
         assert_eq!(stats.kernels.len(), suite.kernels.len());
         assert!(stats.total_cycles() > 0);
         assert!(stats.total.accesses.total() > 0);
@@ -349,11 +437,64 @@ mod tests {
         // chained loop's II with it. (Under PrefClus the segments can
         // still tie-break into one cluster, so MinComs is the clean
         // observable.)
-        let plain = base.run_suite(&suite, Solution::Mdc, Heuristic::MinComs).unwrap();
-        let specialized = spec.run_suite(&suite, Solution::Mdc, Heuristic::MinComs).unwrap();
+        let plain = base
+            .run_suite(&suite, Solution::Mdc, Heuristic::MinComs)
+            .unwrap();
+        let specialized = spec
+            .run_suite(&suite, Solution::Mdc, Heuristic::MinComs)
+            .unwrap();
         let ii_plain = plain.kernels[0].ii;
         let ii_spec = specialized.kernels[0].ii;
         assert!(ii_spec <= ii_plain, "II {ii_spec} vs {ii_plain}");
+    }
+
+    #[test]
+    fn parallel_run_suite_is_deterministic() {
+        // Kernel fan-out must not perturb the merged statistics: repeated
+        // runs agree exactly, kernel order is preserved.
+        let suite = distvliw_mediabench::suite("epicdec").unwrap();
+        let p = Pipeline::new(machine());
+        let a = p
+            .run_suite(&suite, Solution::Mdc, Heuristic::PrefClus)
+            .unwrap();
+        let b = p
+            .run_suite(&suite, Solution::Mdc, Heuristic::PrefClus)
+            .unwrap();
+        assert_eq!(a.total_cycles(), b.total_cycles());
+        assert_eq!(a.kernels.len(), b.kernels.len());
+        for (x, y) in a.kernels.iter().zip(&b.kernels) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.ii, y.ii);
+            assert_eq!(x.stats.total_cycles(), y.stats.total_cycles());
+        }
+        let names: Vec<&str> = a.kernels.iter().map(|k| k.name.as_str()).collect();
+        let want: Vec<&str> = suite.kernels.iter().map(|k| k.name.as_str()).collect();
+        assert_eq!(names, want);
+    }
+
+    #[test]
+    fn run_matrix_matches_run_suite() {
+        let suites = vec![
+            distvliw_mediabench::suite("gsmdec").unwrap(),
+            distvliw_mediabench::suite("jpegenc").unwrap(),
+        ];
+        let p = Pipeline::new(machine());
+        let cells = p.run_matrix(
+            &suites,
+            &[Solution::Mdc, Solution::Ddgt],
+            &[Heuristic::PrefClus],
+        );
+        assert_eq!(cells.len(), 4);
+        // Cells come back in (suite, solution, heuristic) input order.
+        assert_eq!(cells[0].suite, "gsmdec");
+        assert_eq!(cells[3].suite, "jpegenc");
+        for cell in cells {
+            let suite = suites.iter().find(|s| s.name == cell.suite).unwrap();
+            let direct = p.run_suite(suite, cell.solution, cell.heuristic).unwrap();
+            let got = cell.stats.expect("cell runs");
+            assert_eq!(got.total_cycles(), direct.total_cycles(), "{}", cell.suite);
+            assert_eq!(got.kernels.len(), direct.kernels.len());
+        }
     }
 
     #[test]

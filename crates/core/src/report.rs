@@ -6,8 +6,7 @@ use std::fmt::Write as _;
 use distvliw_arch::AccessClass;
 
 use crate::experiments::{
-    exec_amean, fig6_amean, CaseStudy, ExecRow, Fig6Row, NobalRow, Table3Row, Table4Row,
-    Table5Row,
+    exec_amean, fig6_amean, CaseStudy, ExecRow, Fig6Row, NobalRow, Table3Row, Table4Row, Table5Row,
 };
 
 fn pct(x: f64) -> String {
@@ -54,7 +53,10 @@ pub fn render_fig6(rows: &[Fig6Row]) -> String {
 #[must_use]
 pub fn render_exec(rows: &[ExecRow], title: &str) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{title}\ncolumns: compute+stall = total (normalized to Free/MinComs)");
+    let _ = writeln!(
+        out,
+        "{title}\ncolumns: compute+stall = total (normalized to Free/MinComs)"
+    );
     let _ = writeln!(
         out,
         "{:<10} | {:^20} | {:^20} | {:^20} | {:^20}",
@@ -118,7 +120,11 @@ pub fn render_table4(rows: &[Table4Row]) -> String {
         let speedup = row
             .selected_speedup
             .map_or("-".to_string(), |s| format!("{:+.1}%", s * 100.0));
-        let _ = writeln!(out, "{:<10} | {:>10.2} | {:>22}", row.benchmark, row.comm_ratio, speedup);
+        let _ = writeln!(
+            out,
+            "{:<10} | {:>10.2} | {:>22}",
+            row.benchmark, row.comm_ratio, speedup
+        );
     }
     out
 }
@@ -127,7 +133,10 @@ pub fn render_table4(rows: &[Table4Row]) -> String {
 #[must_use]
 pub fn render_table5(rows: &[Table5Row]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 5: chain restrictions before/after code specialization");
+    let _ = writeln!(
+        out,
+        "Table 5: chain restrictions before/after code specialization"
+    );
     let _ = writeln!(
         out,
         "{:<10} | {:>8} {:>8} {:>8} {:>8} | paper: old/new",
@@ -194,7 +203,9 @@ mod tests {
     fn fig6_render_contains_headers_and_amean() {
         let rows = vec![Fig6Row {
             benchmark: "toy".into(),
-            free: AccessBreakdown { fractions: [0.5, 0.2, 0.1, 0.1, 0.1] },
+            free: AccessBreakdown {
+                fractions: [0.5, 0.2, 0.1, 0.1, 0.1],
+            },
             mdc: AccessBreakdown::default(),
             ddgt: AccessBreakdown::default(),
         }];
@@ -209,10 +220,22 @@ mod tests {
     fn exec_render_totals() {
         let rows = vec![ExecRow {
             benchmark: "toy".into(),
-            mdc_pref: NormalizedBar { compute: 0.8, stall: 0.2 },
-            mdc_min: NormalizedBar { compute: 0.7, stall: 0.2 },
-            ddgt_pref: NormalizedBar { compute: 0.9, stall: 0.1 },
-            ddgt_min: NormalizedBar { compute: 0.9, stall: 0.2 },
+            mdc_pref: NormalizedBar {
+                compute: 0.8,
+                stall: 0.2,
+            },
+            mdc_min: NormalizedBar {
+                compute: 0.7,
+                stall: 0.2,
+            },
+            ddgt_pref: NormalizedBar {
+                compute: 0.9,
+                stall: 0.1,
+            },
+            ddgt_min: NormalizedBar {
+                compute: 0.9,
+                stall: 0.2,
+            },
         }];
         let text = render_exec(&rows, "Figure 7");
         assert!(text.contains("Figure 7"));
@@ -223,7 +246,10 @@ mod tests {
     fn table_renders() {
         let t3 = render_table3(&[Table3Row {
             benchmark: "toy".into(),
-            stats: ChainStats { cmr: 0.5, car: 0.25 },
+            stats: ChainStats {
+                cmr: 0.5,
+                car: 0.25,
+            },
             paper: Some((0.52, 0.26)),
         }]);
         assert!(t3.contains("0.50"));
@@ -240,7 +266,10 @@ mod tests {
         let t5 = render_table5(&[Table5Row {
             benchmark: "toy".into(),
             old: ChainStats { cmr: 0.6, car: 0.2 },
-            new: ChainStats { cmr: 0.2, car: 0.06 },
+            new: ChainStats {
+                cmr: 0.2,
+                car: 0.06,
+            },
             paper: (0.64, 0.22, 0.20, 0.06),
         }]);
         assert!(t5.contains("0.60"));

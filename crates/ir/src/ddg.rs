@@ -55,7 +55,10 @@ impl fmt::Display for DdgError {
                 write!(f, "graph contains a cycle with total distance zero")
             }
             DdgError::MalformedMemOp(n) => {
-                write!(f, "node {n} mixes memory kind and memory reference inconsistently")
+                write!(
+                    f,
+                    "node {n} mixes memory kind and memory reference inconsistently"
+                )
             }
         }
     }
@@ -175,7 +178,10 @@ impl Ddg {
 
     /// Iterator over `(NodeId, &Operation)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Operation)> + '_ {
-        self.nodes.iter().enumerate().map(|(i, s)| (NodeId(i as u32), &s.op))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (NodeId(i as u32), &s.op))
     }
 
     /// Iterator over memory operations.
@@ -220,7 +226,11 @@ impl Ddg {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.push_node(NodeSlot { op, seq, replica_of: None })
+        self.push_node(NodeSlot {
+            op,
+            seq,
+            replica_of: None,
+        })
     }
 
     /// Appends a bare clone of `n` (same operation, same memory site, same
@@ -234,7 +244,11 @@ impl Ddg {
     pub fn clone_node(&mut self, n: NodeId) -> NodeId {
         let slot = &self.nodes[n.index()];
         let root = slot.replica_of.unwrap_or(n);
-        let new = NodeSlot { op: slot.op.clone(), seq: slot.seq, replica_of: Some(root) };
+        let new = NodeSlot {
+            op: slot.op.clone(),
+            seq: slot.seq,
+            replica_of: Some(root),
+        };
         self.push_node(new)
     }
 
@@ -286,7 +300,12 @@ impl Ddg {
         assert!(src.index() < self.nodes.len(), "dangling src {src}");
         assert!(dst.index() < self.nodes.len(), "dangling dst {dst}");
         let id = EdgeId(self.edges.len() as u32);
-        self.edges.push(Some(Dep { src, dst, kind, distance }));
+        self.edges.push(Some(Dep {
+            src,
+            dst,
+            kind,
+            distance,
+        }));
         self.succ[src.index()].push(id);
         self.pred[dst.index()].push(id);
         id
@@ -318,12 +337,16 @@ impl Ddg {
 
     /// Live outgoing edges of `n`.
     pub fn out_deps(&self, n: NodeId) -> impl Iterator<Item = (EdgeId, Dep)> + '_ {
-        self.succ[n.index()].iter().filter_map(move |&e| self.dep(e).map(|d| (e, d)))
+        self.succ[n.index()]
+            .iter()
+            .filter_map(move |&e| self.dep(e).map(|d| (e, d)))
     }
 
     /// Live incoming edges of `n`.
     pub fn in_deps(&self, n: NodeId) -> impl Iterator<Item = (EdgeId, Dep)> + '_ {
-        self.pred[n.index()].iter().filter_map(move |&e| self.dep(e).map(|d| (e, d)))
+        self.pred[n.index()]
+            .iter()
+            .filter_map(move |&e| self.dep(e).map(|d| (e, d)))
     }
 
     /// Whether `n` has any live memory dependence edge (in or out).
@@ -391,8 +414,7 @@ impl Ddg {
                 indeg[d.dst.index()] += 1;
             }
         }
-        let mut queue: VecDeque<usize> =
-            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
         let mut visited = 0usize;
         while let Some(i) = queue.pop_front() {
             visited += 1;
@@ -493,7 +515,9 @@ impl DdgBuilder {
     pub fn op(&mut self, kind: OpKind, srcs: &[NodeId]) -> NodeId {
         let regs = self.source_regs(srcs);
         let dest = self.g.fresh_vreg();
-        let n = self.g.add_operation(Operation::arith(kind, Some(dest), regs));
+        let n = self
+            .g
+            .add_operation(Operation::arith(kind, Some(dest), regs));
         self.flow_edges(srcs, n);
         n
     }
@@ -506,7 +530,11 @@ impl DdgBuilder {
     ///
     /// Panics if `src` produces no value.
     pub fn recurrence(&mut self, src: NodeId, dst: NodeId, distance: u32) {
-        let r = self.g.node(src).dest.expect("recurrence source must produce a value");
+        let r = self
+            .g
+            .node(src)
+            .dest
+            .expect("recurrence source must produce a value");
         self.g.node_mut(dst).srcs.push(r);
         self.g.add_dep(src, dst, DepKind::RegFlow, distance);
     }
@@ -536,7 +564,12 @@ impl DdgBuilder {
 
     fn source_regs(&self, srcs: &[NodeId]) -> Vec<VReg> {
         srcs.iter()
-            .map(|&s| self.g.node(s).dest.expect("source node must produce a value"))
+            .map(|&s| {
+                self.g
+                    .node(s)
+                    .dest
+                    .expect("source node must produce a value")
+            })
             .collect()
     }
 
@@ -654,7 +687,11 @@ mod tests {
     fn zero_distance_cycle_detection() {
         let mut g = Ddg::new();
         let a = g.add_operation(Operation::arith(OpKind::IntAlu, Some(VReg(0)), vec![]));
-        let b = g.add_operation(Operation::arith(OpKind::IntAlu, Some(VReg(1)), vec![VReg(0)]));
+        let b = g.add_operation(Operation::arith(
+            OpKind::IntAlu,
+            Some(VReg(1)),
+            vec![VReg(0)],
+        ));
         g.add_dep(a, b, DepKind::RegFlow, 0);
         assert!(!g.has_zero_distance_cycle());
         g.add_dep(b, a, DepKind::RegFlow, 1);

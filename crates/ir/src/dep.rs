@@ -82,7 +82,11 @@ pub struct Dep {
 
 impl fmt::Display for Dep {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} --{}(d={})--> {}", self.src, self.kind, self.distance, self.dst)
+        write!(
+            f,
+            "{} --{}(d={})--> {}",
+            self.src, self.kind, self.distance, self.dst
+        )
     }
 }
 
@@ -109,7 +113,12 @@ mod tests {
 
     #[test]
     fn display() {
-        let d = Dep { src: NodeId(0), dst: NodeId(1), kind: DepKind::MemFlow, distance: 1 };
+        let d = Dep {
+            src: NodeId(0),
+            dst: NodeId(1),
+            kind: DepKind::MemFlow,
+            distance: 1,
+        };
         assert_eq!(d.to_string(), "n0 --MF(d=1)--> n1");
     }
 }

@@ -114,7 +114,9 @@ impl MemImage {
 
 impl FromIterator<(MemId, AddressStream)> for MemImage {
     fn from_iter<T: IntoIterator<Item = (MemId, AddressStream)>>(iter: T) -> Self {
-        MemImage { streams: iter.into_iter().collect() }
+        MemImage {
+            streams: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -231,7 +233,10 @@ impl LoopKernel {
         for n in self.ddg.mem_nodes() {
             let mem = self.ddg.node(n).mem_id().expect("memory node has a site");
             if self.profile.get(mem).is_none() {
-                return Err(KernelError::MissingStream { mem, image: "profile" });
+                return Err(KernelError::MissingStream {
+                    mem,
+                    image: "profile",
+                });
             }
             if self.exec.get(mem).is_none() {
                 return Err(KernelError::MissingStream { mem, image: "exec" });
@@ -257,7 +262,11 @@ impl Suite {
     /// Creates a suite.
     #[must_use]
     pub fn new(name: impl Into<String>, interleave_bytes: u64) -> Self {
-        Suite { name: name.into(), kernels: Vec::new(), interleave_bytes }
+        Suite {
+            name: name.into(),
+            kernels: Vec::new(),
+            interleave_bytes,
+        }
     }
 
     /// Total dynamic memory accesses across all kernels.
@@ -281,7 +290,10 @@ mod tests {
 
     #[test]
     fn affine_stream_walks_stride() {
-        let s = AddressStream::Affine { base: 1000, stride: 4 };
+        let s = AddressStream::Affine {
+            base: 1000,
+            stride: 4,
+        };
         assert_eq!(s.addr_at(0), 1000);
         assert_eq!(s.addr_at(3), 1012);
         assert_eq!(s.stride(), Some(4));
@@ -289,7 +301,10 @@ mod tests {
 
     #[test]
     fn affine_stream_negative_stride() {
-        let s = AddressStream::Affine { base: 1000, stride: -8 };
+        let s = AddressStream::Affine {
+            base: 1000,
+            stride: -8,
+        };
         assert_eq!(s.addr_at(2), 984);
     }
 
@@ -318,7 +333,13 @@ mod tests {
         let mut k = LoopKernel::new("tiny", g, 100);
         for img in [&mut k.profile, &mut k.exec] {
             img.insert(mem_ld, AddressStream::Affine { base: 0, stride: 4 });
-            img.insert(mem_st, AddressStream::Affine { base: 4096, stride: 4 });
+            img.insert(
+                mem_st,
+                AddressStream::Affine {
+                    base: 4096,
+                    stride: 4,
+                },
+            );
         }
         k
     }
@@ -379,7 +400,13 @@ mod tests {
     fn mem_image_collects() {
         let img: MemImage = vec![
             (MemId(0), AddressStream::Affine { base: 0, stride: 2 }),
-            (MemId(1), AddressStream::Affine { base: 64, stride: 2 }),
+            (
+                MemId(1),
+                AddressStream::Affine {
+                    base: 64,
+                    stride: 2,
+                },
+            ),
         ]
         .into_iter()
         .collect();

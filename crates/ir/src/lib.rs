@@ -45,12 +45,14 @@
 mod ddg;
 mod dep;
 mod kernel;
+mod node_map;
 mod op;
 pub mod profile;
 pub mod unroll;
 
-pub use ddg::{DdgError, Ddg, DdgBuilder, EdgeId, NodeId};
+pub use ddg::{Ddg, DdgBuilder, DdgError, EdgeId, NodeId};
 pub use dep::{Dep, DepKind};
 pub use kernel::{AddressStream, LoopKernel, MemImage, Suite};
+pub use node_map::NodeMap;
 pub use op::{FuClass, MemId, MemRef, OpKind, Operation, VReg, Width};
 pub use profile::{PrefInfo, PrefMap};

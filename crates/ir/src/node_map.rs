@@ -1,0 +1,232 @@
+//! Dense, `NodeId`-indexed side tables.
+//!
+//! [`NodeId`]s are contiguous `u32` indices, so per-node side tables never
+//! need tree- or hash-based maps: a `Vec<Option<T>>` gives O(1) lookup,
+//! insertion and removal with no per-entry allocation and iteration in
+//! ascending `NodeId` order — the same order `BTreeMap<NodeId, T>` would
+//! produce, which keeps algorithms that iterate side tables
+//! deterministic. The scheduling hot path (`distvliw-sched`) stores its
+//! latency classes, latency cycles and placements in `NodeMap`s.
+
+use std::fmt;
+
+use crate::ddg::NodeId;
+
+/// A dense map from [`NodeId`] to `T`, backed by a `Vec`.
+///
+/// # Example
+///
+/// ```
+/// use distvliw_ir::{NodeId, NodeMap};
+///
+/// let mut m: NodeMap<u32> = NodeMap::new();
+/// m.insert(NodeId(2), 40);
+/// m.insert(NodeId(0), 7);
+/// assert_eq!(m.get(NodeId(2)), Some(&40));
+/// assert_eq!(m.len(), 2);
+/// // Iteration is in ascending NodeId order.
+/// let keys: Vec<_> = m.keys().collect();
+/// assert_eq!(keys, vec![NodeId(0), NodeId(2)]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct NodeMap<T> {
+    slots: Vec<Option<T>>,
+    len: usize,
+}
+
+impl<T> NodeMap<T> {
+    /// Creates an empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        NodeMap {
+            slots: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Creates an empty map with room for nodes `0..n` before any
+    /// reallocation.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        let mut slots = Vec::new();
+        slots.reserve_exact(n);
+        NodeMap { slots, len: 0 }
+    }
+
+    /// Number of entries present.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `value` for `n`, returning the previous value if any.
+    pub fn insert(&mut self, n: NodeId, value: T) -> Option<T> {
+        let i = n.index();
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        let old = self.slots[i].replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes the entry for `n`, returning it if present.
+    pub fn remove(&mut self, n: NodeId) -> Option<T> {
+        let old = self.slots.get_mut(n.index()).and_then(Option::take);
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// The value for `n`, if present.
+    #[must_use]
+    pub fn get(&self, n: NodeId) -> Option<&T> {
+        self.slots.get(n.index()).and_then(Option::as_ref)
+    }
+
+    /// Mutable access to the value for `n`, if present.
+    pub fn get_mut(&mut self, n: NodeId) -> Option<&mut T> {
+        self.slots.get_mut(n.index()).and_then(Option::as_mut)
+    }
+
+    /// Whether `n` has an entry.
+    #[must_use]
+    pub fn contains_key(&self, n: NodeId) -> bool {
+        self.get(n).is_some()
+    }
+
+    /// Removes every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+        self.len = 0;
+    }
+
+    /// Entries in ascending `NodeId` order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &T)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (NodeId(i as u32), v)))
+    }
+
+    /// Keys in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.iter().map(|(n, _)| n)
+    }
+
+    /// Values in ascending key order.
+    pub fn values(&self) -> impl Iterator<Item = &T> + '_ {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+}
+
+impl<T> std::ops::Index<NodeId> for NodeMap<T> {
+    type Output = T;
+
+    fn index(&self, n: NodeId) -> &T {
+        self.get(n).unwrap_or_else(|| panic!("no entry for {n}"))
+    }
+}
+
+impl<T> FromIterator<(NodeId, T)> for NodeMap<T> {
+    fn from_iter<I: IntoIterator<Item = (NodeId, T)>>(iter: I) -> Self {
+        let mut m = NodeMap::new();
+        for (n, v) in iter {
+            m.insert(n, v);
+        }
+        m
+    }
+}
+
+impl<T> Extend<(NodeId, T)> for NodeMap<T> {
+    fn extend<I: IntoIterator<Item = (NodeId, T)>>(&mut self, iter: I) {
+        for (n, v) in iter {
+            self.insert(n, v);
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for NodeMap<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m = NodeMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(NodeId(3), "a"), None);
+        assert_eq!(m.insert(NodeId(3), "b"), Some("a"));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(NodeId(3)), Some(&"b"));
+        assert_eq!(m.get(NodeId(99)), None);
+        assert_eq!(m.remove(NodeId(3)), Some("b"));
+        assert_eq!(m.remove(NodeId(3)), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_in_ascending_order() {
+        let mut m = NodeMap::new();
+        for i in [5u32, 1, 9, 0] {
+            m.insert(NodeId(i), i * 10);
+        }
+        let pairs: Vec<_> = m.iter().map(|(n, &v)| (n.0, v)).collect();
+        assert_eq!(pairs, vec![(0, 0), (1, 10), (5, 50), (9, 90)]);
+        let vals: Vec<_> = m.values().copied().collect();
+        assert_eq!(vals, vec![0, 10, 50, 90]);
+    }
+
+    #[test]
+    fn from_iterator_matches_btreemap_semantics() {
+        let m: NodeMap<u32> = [(NodeId(2), 1), (NodeId(2), 2), (NodeId(0), 3)]
+            .into_iter()
+            .collect();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[NodeId(2)], 2); // last write wins
+        assert_eq!(m[NodeId(0)], 3);
+    }
+
+    #[test]
+    fn clear_keeps_allocation() {
+        let mut m = NodeMap::new();
+        m.insert(NodeId(7), 1);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(NodeId(7)), None);
+        m.insert(NodeId(7), 2);
+        assert_eq!(m[NodeId(7)], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no entry")]
+    fn index_panics_on_missing() {
+        let m: NodeMap<u32> = NodeMap::new();
+        let _ = m[NodeId(0)];
+    }
+
+    #[test]
+    fn get_mut_mutates() {
+        let mut m = NodeMap::new();
+        m.insert(NodeId(1), 10);
+        *m.get_mut(NodeId(1)).unwrap() += 5;
+        assert_eq!(m[NodeId(1)], 15);
+        assert!(m.get_mut(NodeId(2)).is_none());
+    }
+}

@@ -255,8 +255,16 @@ impl Operation {
     /// constructors for those.
     #[must_use]
     pub fn arith(kind: OpKind, dest: Option<VReg>, srcs: Vec<VReg>) -> Self {
-        assert!(kind.is_arith(), "arith() requires an arithmetic kind, got {kind}");
-        Operation { kind, dest, srcs, mem: None }
+        assert!(
+            kind.is_arith(),
+            "arith() requires an arithmetic kind, got {kind}"
+        );
+        Operation {
+            kind,
+            dest,
+            srcs,
+            mem: None,
+        }
     }
 
     /// Whether this operation is a memory access.

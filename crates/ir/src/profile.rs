@@ -22,7 +22,9 @@ impl PrefInfo {
     /// Creates a histogram with one bucket per cluster.
     #[must_use]
     pub fn new(n_clusters: usize) -> Self {
-        PrefInfo { counts: vec![0; n_clusters] }
+        PrefInfo {
+            counts: vec![0; n_clusters],
+        }
     }
 
     /// Builds a histogram directly from counts (useful in tests).
@@ -81,7 +83,11 @@ impl PrefInfo {
     ///
     /// Panics if the cluster counts differ.
     pub fn merge(&mut self, other: &PrefInfo) {
-        assert_eq!(self.counts.len(), other.counts.len(), "cluster count mismatch");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "cluster count mismatch"
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
@@ -161,8 +167,10 @@ mod tests {
         let mem = g.node(ld).mem_id().unwrap();
         let mut k = LoopKernel::new("p", g, 16);
         // Walks words 0,1,2,3,0,1,... under a 4-cluster word-interleaved map.
-        k.profile.insert(mem, AddressStream::Affine { base: 0, stride: 4 });
-        k.exec.insert(mem, AddressStream::Affine { base: 0, stride: 4 });
+        k.profile
+            .insert(mem, AddressStream::Affine { base: 0, stride: 4 });
+        k.exec
+            .insert(mem, AddressStream::Affine { base: 0, stride: 4 });
         let map = preferred_clusters(&k, 4, |addr| ((addr / 4) % 4) as usize);
         let info = &map[&mem];
         assert_eq!(info.total(), 16);
@@ -177,8 +185,20 @@ mod tests {
         let mem = g.node(ld).mem_id().unwrap();
         let mut k = LoopKernel::new("p", g, 64);
         // Stride 16 = 4 clusters × 4-byte interleave: always the same home.
-        k.profile.insert(mem, AddressStream::Affine { base: 8, stride: 16 });
-        k.exec.insert(mem, AddressStream::Affine { base: 8, stride: 16 });
+        k.profile.insert(
+            mem,
+            AddressStream::Affine {
+                base: 8,
+                stride: 16,
+            },
+        );
+        k.exec.insert(
+            mem,
+            AddressStream::Affine {
+                base: 8,
+                stride: 16,
+            },
+        );
         let map = preferred_clusters(&k, 4, |addr| ((addr / 4) % 4) as usize);
         assert_eq!(map[&mem].preferred(), 2);
         assert_eq!(map[&mem].fraction(2), 1.0);
@@ -191,8 +211,10 @@ mod tests {
         let g = b.finish();
         let mem = g.node(ld).mem_id().unwrap();
         let mut k = LoopKernel::new("p", g, u64::MAX);
-        k.profile.insert(mem, AddressStream::Affine { base: 0, stride: 4 });
-        k.exec.insert(mem, AddressStream::Affine { base: 0, stride: 4 });
+        k.profile
+            .insert(mem, AddressStream::Affine { base: 0, stride: 4 });
+        k.exec
+            .insert(mem, AddressStream::Affine { base: 0, stride: 4 });
         let map = preferred_clusters(&k, 4, |addr| ((addr / 4) % 4) as usize);
         assert_eq!(map[&mem].total(), PROFILE_ITERATION_CAP);
     }

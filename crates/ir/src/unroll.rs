@@ -115,12 +115,16 @@ pub fn unroll(kernel: &LoopKernel, factor: u32) -> LoopKernel {
                 let new_mem = if k == 0 {
                     m.mem
                 } else {
-                    *mem_map.entry((m.mem, k)).or_insert_with(|| g.fresh_mem_id())
+                    *mem_map
+                        .entry((m.mem, k))
+                        .or_insert_with(|| g.fresh_mem_id())
                 };
                 mem_map.insert((m.mem, k), new_mem);
                 m.mem = new_mem;
             }
-            op.dest = op.dest.map(|r| *vreg_map.entry(r).or_insert_with(|| g.fresh_vreg()));
+            op.dest = op
+                .dest
+                .map(|r| *vreg_map.entry(r).or_insert_with(|| g.fresh_vreg()));
             for s in op.srcs.iter_mut() {
                 *s = *vreg_map.entry(*s).or_insert_with(|| g.fresh_vreg());
             }
@@ -153,7 +157,9 @@ pub fn unroll(kernel: &LoopKernel, factor: u32) -> LoopKernel {
         let mut out = MemImage::new();
         for (mem, stream) in img.iter() {
             for k in 0..factor {
-                let Some(&new_mem) = mem_map.get(&(mem, k)) else { continue };
+                let Some(&new_mem) = mem_map.get(&(mem, k)) else {
+                    continue;
+                };
                 let s = match stream {
                     AddressStream::Affine { base, stride } => AddressStream::Affine {
                         base: base.wrapping_add_signed(stride * i64::from(k)),
@@ -208,7 +214,13 @@ mod tests {
         let mut k = LoopKernel::new("s", g, trip);
         for img in [&mut k.profile, &mut k.exec] {
             img.insert(m_ld, AddressStream::Affine { base: 0, stride });
-            img.insert(m_st, AddressStream::Affine { base: 1 << 20, stride });
+            img.insert(
+                m_st,
+                AddressStream::Affine {
+                    base: 1 << 20,
+                    stride,
+                },
+            );
         }
         k
     }
@@ -298,7 +310,8 @@ mod tests {
         let m = g.node(ld).mem_id().unwrap();
         let mut k = LoopKernel::new("idx", g, 8);
         let table: Vec<u64> = (0..8u64).map(|i| i * 2).collect();
-        k.profile.insert(m, AddressStream::Indexed(Arc::from(table.clone())));
+        k.profile
+            .insert(m, AddressStream::Indexed(Arc::from(table.clone())));
         k.exec.insert(m, AddressStream::Indexed(Arc::from(table)));
         let u = unroll(&k, 2);
         let streams: Vec<_> = u.exec.iter().map(|(_, s)| s.clone()).collect();

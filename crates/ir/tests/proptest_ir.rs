@@ -3,9 +3,7 @@
 
 use std::sync::Arc;
 
-use distvliw_ir::{
-    unroll, AddressStream, DdgBuilder, DepKind, LoopKernel, NodeId, OpKind, Width,
-};
+use distvliw_ir::{unroll, AddressStream, DdgBuilder, DepKind, LoopKernel, NodeId, OpKind, Width};
 use proptest::prelude::*;
 
 fn arb_stream() -> impl Strategy<Value = AddressStream> {
@@ -38,8 +36,11 @@ fn arb_kernel() -> impl Strategy<Value = LoopKernel> {
                 }
             }
             for i in 0..n_arith {
-                let srcs: Vec<NodeId> =
-                    produced.get(i % produced.len().max(1)).copied().into_iter().collect();
+                let srcs: Vec<NodeId> = produced
+                    .get(i % produced.len().max(1))
+                    .copied()
+                    .into_iter()
+                    .collect();
                 let n = b.op(OpKind::IntAlu, &srcs);
                 produced.push(n);
             }
@@ -50,11 +51,20 @@ fn arb_kernel() -> impl Strategy<Value = LoopKernel> {
                 b.dep(mem[0], mem[1], DepKind::MemAnti, 1);
             }
             let ddg = b.finish();
-            let sites: Vec<_> = ddg.mem_nodes().map(|n| ddg.node(n).mem_id().unwrap()).collect();
+            let sites: Vec<_> = ddg
+                .mem_nodes()
+                .map(|n| ddg.node(n).mem_id().unwrap())
+                .collect();
             let mut k = LoopKernel::new("prop-ir", ddg, 8 * trip_scale);
             for (i, &m) in sites.iter().enumerate() {
                 for img in [&mut k.profile, &mut k.exec] {
-                    img.insert(m, AddressStream::Affine { base: 64 * i as u64, stride: 4 });
+                    img.insert(
+                        m,
+                        AddressStream::Affine {
+                            base: 64 * i as u64,
+                            stride: 4,
+                        },
+                    );
                 }
             }
             k

@@ -58,7 +58,9 @@ fn wrap_stream(base: u64, offset: u64, stride: u64) -> AddressStream {
 /// Builds a seeded random stream over `slots` positions of `stride` bytes.
 fn random_stream(base: u64, stride: u64, slots: u64, seed: u64) -> AddressStream {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let table: Vec<u64> = (0..WRAP).map(|_| base + stride * rng.random_range(0..slots)).collect();
+    let table: Vec<u64> = (0..WRAP)
+        .map(|_| base + stride * rng.random_range(0..slots))
+        .collect();
     AddressStream::Indexed(Arc::from(table))
 }
 
@@ -77,7 +79,11 @@ fn streams_overlap(a: &AddressStream, wa: u64, b: &AddressStream, wb: u64, d: u6
 /// the appropriate dependence edge (MF store→load, MA load→store, MO
 /// store→store) when their execution streams actually overlap. Returns
 /// the number of edges added.
-pub fn add_true_mem_deps(ddg: &mut Ddg, kernel_exec: &[(NodeId, MemId)], streams: &dyn Fn(MemId) -> (AddressStream, u64)) -> usize {
+pub fn add_true_mem_deps(
+    ddg: &mut Ddg,
+    kernel_exec: &[(NodeId, MemId)],
+    streams: &dyn Fn(MemId) -> (AddressStream, u64),
+) -> usize {
     let mut added = 0;
     for (ai, &(a, ma)) in kernel_exec.iter().enumerate() {
         for (bi, &(b, mb)) in kernel_exec.iter().enumerate() {
@@ -195,7 +201,10 @@ fn pattern(interleave: u64, byte_pattern: bool) -> Pattern {
 /// Panics if the spec has no segments or zero-sized segments.
 #[must_use]
 pub fn chain_loop(spec: &ChainSpec, alloc: &mut AddressAllocator) -> LoopKernel {
-    assert!(!spec.segments.is_empty(), "chain loop needs at least one segment");
+    assert!(
+        !spec.segments.is_empty(),
+        "chain loop needs at least one segment"
+    );
     let pat = pattern(spec.interleave, spec.byte_pattern);
     let mut b = DdgBuilder::new();
     let mut profile_streams: Vec<(MemId, AddressStream)> = Vec::new();
@@ -230,12 +239,16 @@ pub fn chain_loop(spec: &ChainSpec, alloc: &mut AddressAllocator) -> LoopKernel 
             // register-bus pressure ("each instance of a given store
             // receives all its source operands by register-to-register
             // communication operations", Section 5.3).
-            let kind = if spec.fp { OpKind::FpAlu } else { OpKind::IntAlu };
+            let kind = if spec.fp {
+                OpKind::FpAlu
+            } else {
+                OpKind::IntAlu
+            };
             let t0 = b.op(kind, &[loads[0], loads[1]]);
             let t1 = b.op(kind, &[loads[2], loads[3]]);
-            let shared = spec.shared_store_operands.then(|| {
-                (b.op(kind, &[t0, t1]), b.op(OpKind::IntAlu, &[]))
-            });
+            let shared = spec
+                .shared_store_operands
+                .then(|| (b.op(kind, &[t0, t1]), b.op(OpKind::IntAlu, &[])));
             for (si, &off) in pat.store_offsets.iter().enumerate() {
                 let (value, addr) = match shared {
                     Some(pair) => pair,
@@ -262,7 +275,11 @@ pub fn chain_loop(spec: &ChainSpec, alloc: &mut AddressAllocator) -> LoopKernel 
 
     // The filter accumulator: a serial loop-carried recurrence that
     // bounds the II of every solution alike.
-    let rec_kind = if spec.fp { OpKind::FpAlu } else { OpKind::IntAlu };
+    let rec_kind = if spec.fp {
+        OpKind::FpAlu
+    } else {
+        OpKind::IntAlu
+    };
     let depth = spec.recurrence_depth.min(spec.arith_pad);
     if depth > 0 {
         let first = b.op(rec_kind, &[]);
@@ -351,7 +368,10 @@ pub struct StreamSpec {
 #[must_use]
 pub fn stream_loop(spec: &StreamSpec, alloc: &mut AddressAllocator, n_clusters: u64) -> LoopKernel {
     assert!(spec.mem_ops > 0, "stream loop needs memory operations");
-    assert!(!spec.locality.is_empty(), "locality pattern must be nonempty");
+    assert!(
+        !spec.locality.is_empty(),
+        "locality pattern must be nonempty"
+    );
     let mut b = DdgBuilder::new();
     let mut profile_streams: Vec<(MemId, AddressStream)> = Vec::new();
     let mut exec_streams: Vec<(MemId, AddressStream)> = Vec::new();
@@ -398,8 +418,16 @@ pub fn stream_loop(spec: &StreamSpec, alloc: &mut AddressAllocator, n_clusters: 
     }
 
     // Arithmetic consuming the loads (stall-on-use consumers).
-    let kind = if spec.fp { OpKind::FpAlu } else { OpKind::IntAlu };
-    let mul = if spec.fp { OpKind::FpMul } else { OpKind::IntMul };
+    let kind = if spec.fp {
+        OpKind::FpAlu
+    } else {
+        OpKind::IntAlu
+    };
+    let mul = if spec.fp {
+        OpKind::FpMul
+    } else {
+        OpKind::IntMul
+    };
     let total_arith = spec.mem_ops * spec.arith_per_mem;
     let mut prev: Option<NodeId> = None;
     for i in 0..total_arith {
@@ -456,8 +484,11 @@ mod tests {
     fn chain_loop_has_all_three_dep_kinds() {
         let mut alloc = AddressAllocator::new();
         let k = chain_loop(&chain_spec(), &mut alloc);
-        let kinds: std::collections::BTreeSet<String> =
-            k.ddg.mem_dep_edges().map(|(_, d)| d.kind.to_string()).collect();
+        let kinds: std::collections::BTreeSet<String> = k
+            .ddg
+            .mem_dep_edges()
+            .map(|(_, d)| d.kind.to_string())
+            .collect();
         assert!(kinds.contains("MF"), "{kinds:?}");
         assert!(kinds.contains("MA"), "{kinds:?}");
         assert!(kinds.contains("MO"), "{kinds:?}");
@@ -482,7 +513,10 @@ mod tests {
     #[test]
     fn interleave2_pattern_uses_short_accesses() {
         let mut alloc = AddressAllocator::new();
-        let spec = ChainSpec { interleave: 2, ..chain_spec() };
+        let spec = ChainSpec {
+            interleave: 2,
+            ..chain_spec()
+        };
         let k = chain_loop(&spec, &mut alloc);
         let widths: std::collections::BTreeSet<u64> = k
             .ddg

@@ -287,10 +287,9 @@ pub const BENCHMARKS: &[BenchSpec] = &[
 pub fn build_suite(spec: &BenchSpec) -> Suite {
     let mut suite = Suite::new(spec.name, spec.interleave);
     let mut alloc = AddressAllocator::new();
-    let seed = spec
-        .name
-        .bytes()
-        .fold(0xCBF2_9CE4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3));
+    let seed = spec.name.bytes().fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3)
+    });
 
     if !spec.segments.is_empty() {
         let chain = ChainSpec {
@@ -337,7 +336,13 @@ mod tests {
             let suite = build_suite(spec);
             assert!(!suite.kernels.is_empty(), "{}", spec.name);
             for k in &suite.kernels {
-                assert!(k.validate().is_ok(), "{}/{}: {:?}", spec.name, k.name, k.validate());
+                assert!(
+                    k.validate().is_ok(),
+                    "{}/{}: {:?}",
+                    spec.name,
+                    k.name,
+                    k.validate()
+                );
             }
         }
     }
@@ -356,7 +361,9 @@ mod tests {
     #[test]
     fn chain_ratios_land_in_table3_bands() {
         for spec in BENCHMARKS {
-            let Some((cmr, car)) = spec.table3 else { continue };
+            let Some((cmr, car)) = spec.table3 else {
+                continue;
+            };
             let suite = build_suite(spec);
             let stats = chain_stats(suite.kernels.iter());
             assert!(

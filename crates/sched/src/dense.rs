@@ -1,0 +1,201 @@
+//! Dense (CSR) snapshot of a [`Ddg`]'s live dependence edges for the
+//! scheduling hot path.
+//!
+//! The `Ddg` adjacency is built for mutation: per-node edge-id lists
+//! indirecting through a tombstoned edge table. The scheduler walks every
+//! in/out edge of a node once per candidate `(cluster, cycle)` trial, so
+//! it snapshots the live edges into two flat, cache-friendly arrays (one
+//! grouped by destination, one by source) with the latency resolution of
+//! [`crate::mii::dep_latency`] pre-split into a fixed part and a
+//! load-lookup part. Per-node edge order is exactly the `Ddg` iteration
+//! order, which keeps copy planning — and therefore the produced
+//! schedules — byte-identical to walking the graph directly.
+
+use distvliw_ir::{Ddg, DepKind, NodeId, NodeMap};
+
+/// How a dependence edge's latency is resolved.
+#[derive(Debug, Clone, Copy)]
+enum LatKind {
+    /// Register flow from a load: look the producer up in the latency
+    /// assignment, falling back to the fixed base latency.
+    Load(NodeId, u32),
+    /// Every other edge: a fixed latency.
+    Fixed(u32),
+}
+
+/// One live dependence edge with pre-resolved latency metadata.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DepRec {
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub kind: DepKind,
+    pub distance: u32,
+    lat: LatKind,
+}
+
+impl DepRec {
+    /// The latency this edge imposes under `load_lat` (same contract as
+    /// [`crate::mii::dep_latency`]).
+    #[inline]
+    pub fn latency(&self, load_lat: &NodeMap<u32>) -> u32 {
+        match self.lat {
+            LatKind::Load(l, base) => load_lat.get(l).copied().unwrap_or(base),
+            LatKind::Fixed(f) => f,
+        }
+    }
+}
+
+/// CSR in/out adjacency over the live edges of one graph.
+#[derive(Debug, Clone)]
+pub(crate) struct DenseDeps {
+    in_start: Vec<u32>,
+    in_list: Vec<DepRec>,
+    out_start: Vec<u32>,
+    out_list: Vec<DepRec>,
+}
+
+impl DenseDeps {
+    pub fn new(ddg: &Ddg) -> Self {
+        let n = ddg.node_count();
+        let mut in_start = Vec::with_capacity(n + 1);
+        let mut in_list = Vec::new();
+        let mut out_start = Vec::with_capacity(n + 1);
+        let mut out_list = Vec::new();
+        let record = |d: &distvliw_ir::Dep| {
+            let lat = match d.kind {
+                DepKind::RegFlow => {
+                    let op = ddg.node(d.src);
+                    if op.is_load() {
+                        LatKind::Load(d.src, op.kind.base_latency())
+                    } else {
+                        LatKind::Fixed(op.kind.base_latency())
+                    }
+                }
+                k => LatKind::Fixed(k.min_separation()),
+            };
+            DepRec {
+                src: d.src,
+                dst: d.dst,
+                kind: d.kind,
+                distance: d.distance,
+                lat,
+            }
+        };
+        for i in 0..n {
+            in_start.push(in_list.len() as u32);
+            for (_, d) in ddg.in_deps(NodeId(i as u32)) {
+                in_list.push(record(&d));
+            }
+            out_start.push(out_list.len() as u32);
+            for (_, d) in ddg.out_deps(NodeId(i as u32)) {
+                out_list.push(record(&d));
+            }
+        }
+        in_start.push(in_list.len() as u32);
+        out_start.push(out_list.len() as u32);
+        DenseDeps {
+            in_start,
+            in_list,
+            out_start,
+            out_list,
+        }
+    }
+
+    /// Number of nodes the snapshot covers.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.in_start.len() - 1
+    }
+
+    /// Live incoming edges of `n`, in `Ddg` iteration order.
+    #[inline]
+    pub fn in_deps(&self, n: NodeId) -> &[DepRec] {
+        &self.in_list[self.in_start[n.index()] as usize..self.in_start[n.index() + 1] as usize]
+    }
+
+    /// Live outgoing edges of `n`, in `Ddg` iteration order.
+    #[inline]
+    pub fn out_deps(&self, n: NodeId) -> &[DepRec] {
+        &self.out_list[self.out_start[n.index()] as usize..self.out_start[n.index() + 1] as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distvliw_ir::{DdgBuilder, OpKind, Width};
+
+    #[test]
+    fn snapshot_matches_graph_iteration() {
+        let mut b = DdgBuilder::new();
+        let l = b.load(Width::W4);
+        let a = b.op(OpKind::IntAlu, &[l]);
+        let s = b.store(Width::W4, &[a]);
+        b.dep(s, l, DepKind::MemFlow, 1);
+        let g = b.finish();
+        let dense = DenseDeps::new(&g);
+        for n in g.node_ids() {
+            let want: Vec<_> = g
+                .in_deps(n)
+                .map(|(_, d)| (d.src, d.dst, d.kind, d.distance))
+                .collect();
+            let got: Vec<_> = dense
+                .in_deps(n)
+                .iter()
+                .map(|d| (d.src, d.dst, d.kind, d.distance))
+                .collect();
+            assert_eq!(got, want, "in_deps of {n}");
+            let want: Vec<_> = g
+                .out_deps(n)
+                .map(|(_, d)| (d.src, d.dst, d.kind, d.distance))
+                .collect();
+            let got: Vec<_> = dense
+                .out_deps(n)
+                .iter()
+                .map(|d| (d.src, d.dst, d.kind, d.distance))
+                .collect();
+            assert_eq!(got, want, "out_deps of {n}");
+        }
+    }
+
+    #[test]
+    fn latencies_match_dep_latency() {
+        use crate::mii::dep_latency;
+        let mut b = DdgBuilder::new();
+        let l = b.load(Width::W4);
+        let a = b.op(OpKind::FpMul, &[l]);
+        let s = b.store(Width::W4, &[a]);
+        b.dep(a, s, DepKind::Sync, 0);
+        b.dep(s, l, DepKind::MemFlow, 1);
+        let g = b.finish();
+        let dense = DenseDeps::new(&g);
+        let mut load_lat = NodeMap::new();
+        for lat in [None, Some(15u32)] {
+            if let Some(v) = lat {
+                load_lat.insert(l, v);
+            }
+            for n in g.node_ids() {
+                for ((_, d), rec) in g.out_deps(n).zip(dense.out_deps(n)) {
+                    assert_eq!(
+                        rec.latency(&load_lat),
+                        dep_latency(&g, &d, &load_lat),
+                        "{d:?} under {lat:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tombstoned_edges_are_skipped() {
+        let mut b = DdgBuilder::new();
+        let l = b.load(Width::W4);
+        let s = b.store(Width::W4, &[l]);
+        let e = b.dep(l, s, DepKind::MemAnti, 0);
+        let mut g = b.finish();
+        g.remove_dep(e);
+        let dense = DenseDeps::new(&g);
+        assert_eq!(dense.out_deps(l).len(), 1); // only the register flow
+        assert_eq!(dense.in_deps(s).len(), 1);
+    }
+}

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dense;
 pub mod mii;
 mod mrt;
 mod schedule;

@@ -1,10 +1,16 @@
 //! Minimum initiation interval: resource-constrained (ResMII) and
 //! recurrence-constrained (RecMII) lower bounds.
-
-use std::collections::BTreeMap;
+//!
+//! RecMII is a binary search over a Bellman–Ford-style feasibility test.
+//! The hot path runs that search once per latency-assignment trial, so
+//! [`RecMiiSolver`] extracts the edge list once per graph and reuses one
+//! scratch distance buffer across every probe of every search instead of
+//! reallocating per probe.
 
 use distvliw_arch::MachineConfig;
-use distvliw_ir::{Ddg, Dep, DepKind, FuClass, NodeId};
+use distvliw_ir::{Ddg, Dep, DepKind, FuClass, NodeId, NodeMap};
+
+use crate::dense::{DenseDeps, DepRec};
 
 /// The latency a dependence edge imposes between the issue cycles of its
 /// endpoints.
@@ -14,12 +20,15 @@ use distvliw_ir::{Ddg, Dep, DepKind, FuClass, NodeId};
 /// * MF/MO: one cycle (strict ordering at the memory system).
 /// * MA/SYNC: zero cycles (not-before ordering).
 #[must_use]
-pub fn dep_latency(ddg: &Ddg, dep: &Dep, load_lat: &BTreeMap<NodeId, u32>) -> u32 {
+pub fn dep_latency(ddg: &Ddg, dep: &Dep, load_lat: &NodeMap<u32>) -> u32 {
     match dep.kind {
         DepKind::RegFlow => {
             let op = ddg.node(dep.src);
             if op.is_load() {
-                load_lat.get(&dep.src).copied().unwrap_or_else(|| op.kind.base_latency())
+                load_lat
+                    .get(dep.src)
+                    .copied()
+                    .unwrap_or_else(|| op.kind.base_latency())
             } else {
                 op.kind.base_latency()
             }
@@ -58,75 +67,150 @@ pub fn res_mii(ddg: &Ddg, machine: &MachineConfig) -> u32 {
     mii
 }
 
-/// Whether the graph admits a legal schedule at initiation interval `ii`:
-/// no cycle may have positive total weight, where an edge weighs
-/// `latency − ii × distance`.
+/// Reusable RecMII engine for one graph.
 ///
-/// Uses Bellman–Ford-style longest-path relaxation; divergence beyond
-/// `V` rounds signals a positive cycle.
-#[must_use]
-pub fn feasible_ii(ddg: &Ddg, load_lat: &BTreeMap<NodeId, u32>, ii: u32) -> bool {
-    let n = ddg.node_count();
-    if n == 0 {
-        return true;
-    }
-    let edges: Vec<(usize, usize, i64)> = ddg
-        .deps()
-        .map(|(_, d)| {
-            let w = i64::from(dep_latency(ddg, &d, load_lat)) - i64::from(ii) * i64::from(d.distance);
-            (d.src.index(), d.dst.index(), w)
-        })
-        .collect();
-    let mut dist = vec![0i64; n];
-    for round in 0..=n {
-        let mut changed = false;
-        for &(u, v, w) in &edges {
-            if dist[u] + w > dist[v] {
-                dist[v] = dist[u] + w;
-                changed = true;
-            }
-        }
-        if !changed {
-            return true;
-        }
-        if round == n {
-            return false;
-        }
-    }
-    true
+/// The edge topology is extracted once (shared with the scheduler's
+/// crate-private `DenseDeps` snapshot, so the latency-resolution
+/// contract lives in a single place: `DepRec::latency`);
+/// [`RecMiiSolver::rec_mii`] refreshes per-edge latencies from the
+/// current latency assignment and binary-searches feasibility, reusing
+/// one scratch distance buffer for every probe.
+#[derive(Debug, Clone)]
+pub struct RecMiiSolver {
+    n: usize,
+    edges: Vec<DepRec>,
+    /// Latency of `edges[i]` under the latency assignment of the most
+    /// recent `rec_mii` call.
+    latencies: Vec<u32>,
+    /// Scratch longest-path estimates, reused across probes.
+    dist: Vec<i64>,
 }
 
-/// Recurrence-constrained MII: the smallest `ii` at which no dependence
-/// cycle is violated, found by binary search over [`feasible_ii`]
-/// (feasibility is monotone in `ii`).
-#[must_use]
-pub fn rec_mii(ddg: &Ddg, load_lat: &BTreeMap<NodeId, u32>) -> u32 {
-    // An upper bound: sum of all edge latencies (a cycle cannot need more).
-    let hi0: i64 = ddg
-        .deps()
-        .map(|(_, d)| i64::from(dep_latency(ddg, &d, load_lat)))
-        .sum::<i64>()
-        .max(1);
-    let mut lo = 1u32;
-    let mut hi = hi0.min(i64::from(u32::MAX - 1)) as u32;
-    if !feasible_ii(ddg, load_lat, hi) {
-        // Zero-distance positive cycle: no II works.
-        return u32::MAX;
+impl RecMiiSolver {
+    /// Extracts the feasibility system of `ddg`.
+    #[must_use]
+    pub fn new(ddg: &Ddg) -> Self {
+        Self::from_dense(&DenseDeps::new(ddg))
     }
-    while lo < hi {
-        let mid = lo + (hi - lo) / 2;
-        if feasible_ii(ddg, load_lat, mid) {
-            hi = mid;
-        } else {
-            lo = mid + 1;
+
+    /// Builds the solver from an existing dense snapshot (the scheduler
+    /// already has one).
+    #[must_use]
+    pub(crate) fn from_dense(dense: &DenseDeps) -> Self {
+        let n = dense.node_count();
+        let edges: Vec<DepRec> = (0..n)
+            .flat_map(|i| dense.out_deps(NodeId(i as u32)).iter().copied())
+            .collect();
+        let latencies = vec![0; edges.len()];
+        RecMiiSolver {
+            n,
+            edges,
+            latencies,
+            dist: vec![0; n],
         }
     }
-    lo
+
+    fn refresh_latencies(&mut self, load_lat: &NodeMap<u32>) {
+        for (e, lat) in self.edges.iter().zip(&mut self.latencies) {
+            *lat = e.latency(load_lat);
+        }
+    }
+
+    /// Whether the graph admits a legal schedule at initiation interval
+    /// `ii` under the latencies of the most recent refresh: no cycle may
+    /// have positive total weight, where an edge weighs
+    /// `latency − ii × distance`.
+    fn feasible(&mut self, ii: u32) -> bool {
+        let n = self.n;
+        if n == 0 {
+            return true;
+        }
+        self.dist.clear();
+        self.dist.resize(n, 0);
+        for round in 0..=n {
+            let mut changed = false;
+            for (e, &lat) in self.edges.iter().zip(&self.latencies) {
+                let w = i64::from(lat) - i64::from(ii) * i64::from(e.distance);
+                let relaxed = self.dist[e.src.index()] + w;
+                if relaxed > self.dist[e.dst.index()] {
+                    self.dist[e.dst.index()] = relaxed;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return true;
+            }
+            if round == n {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether the graph admits a legal schedule at `ii` under
+    /// `load_lat`. Equivalent to `self.rec_mii(load_lat) <= ii` (by
+    /// monotonicity of feasibility) at the cost of a single probe instead
+    /// of a binary search — the latency-assignment loop asks exactly this
+    /// question once per trial.
+    #[must_use]
+    pub fn feasible_at(&mut self, load_lat: &NodeMap<u32>, ii: u32) -> bool {
+        self.refresh_latencies(load_lat);
+        self.feasible(ii)
+    }
+
+    /// Recurrence-constrained MII under `load_lat`: the smallest `ii` at
+    /// which no dependence cycle is violated (feasibility is monotone in
+    /// `ii`), or `u32::MAX` for zero-distance positive cycles.
+    #[must_use]
+    pub fn rec_mii(&mut self, load_lat: &NodeMap<u32>) -> u32 {
+        self.refresh_latencies(load_lat);
+        // An upper bound: sum of all edge latencies (a cycle cannot need
+        // more).
+        let hi0: i64 = self
+            .latencies
+            .iter()
+            .map(|&l| i64::from(l))
+            .sum::<i64>()
+            .max(1);
+        let mut lo = 1u32;
+        let mut hi = hi0.min(i64::from(u32::MAX - 1)) as u32;
+        if !self.feasible(hi) {
+            // Zero-distance positive cycle: no II works.
+            return u32::MAX;
+        }
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.feasible(mid) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+}
+
+/// Whether the graph admits a legal schedule at initiation interval `ii`.
+///
+/// One-shot convenience over [`RecMiiSolver`]; hot paths should hold a
+/// solver instead.
+#[must_use]
+pub fn feasible_ii(ddg: &Ddg, load_lat: &NodeMap<u32>, ii: u32) -> bool {
+    let mut solver = RecMiiSolver::new(ddg);
+    solver.refresh_latencies(load_lat);
+    solver.feasible(ii)
+}
+
+/// Recurrence-constrained MII (one-shot convenience over
+/// [`RecMiiSolver`]).
+#[must_use]
+pub fn rec_mii(ddg: &Ddg, load_lat: &NodeMap<u32>) -> u32 {
+    RecMiiSolver::new(ddg).rec_mii(load_lat)
 }
 
 /// `max(ResMII, RecMII)`.
 #[must_use]
-pub fn mii(ddg: &Ddg, machine: &MachineConfig, load_lat: &BTreeMap<NodeId, u32>) -> u32 {
+pub fn mii(ddg: &Ddg, machine: &MachineConfig, load_lat: &NodeMap<u32>) -> u32 {
     res_mii(ddg, machine).max(rec_mii(ddg, load_lat))
 }
 
@@ -163,7 +247,7 @@ mod tests {
         let acc = b.op(OpKind::FpAlu, &[]);
         b.recurrence(acc, acc, 1);
         let g = b.finish();
-        assert_eq!(rec_mii(&g, &BTreeMap::new()), 2);
+        assert_eq!(rec_mii(&g, &NodeMap::new()), 2);
     }
 
     #[test]
@@ -174,7 +258,7 @@ mod tests {
         let c = b.op(OpKind::FpAlu, &[a]);
         b.recurrence(c, a, 2);
         let g = b.finish();
-        assert_eq!(rec_mii(&g, &BTreeMap::new()), 2);
+        assert_eq!(rec_mii(&g, &NodeMap::new()), 2);
     }
 
     #[test]
@@ -187,9 +271,9 @@ mod tests {
         b.dep(s, l, DepKind::MemFlow, 1);
         let g = b.finish();
         // Optimistic (1-cycle load): cycle = 1+1+1 = 3 over distance 1.
-        assert_eq!(rec_mii(&g, &BTreeMap::new()), 3);
+        assert_eq!(rec_mii(&g, &NodeMap::new()), 3);
         // Remote-miss load (15 cycles): 15+1+1 = 17.
-        let mut lat = BTreeMap::new();
+        let mut lat = NodeMap::new();
         lat.insert(l, 15);
         assert_eq!(rec_mii(&g, &lat), 17);
     }
@@ -202,11 +286,33 @@ mod tests {
         let s = b.store(Width::W4, &[a]);
         b.dep(s, l, DepKind::MemFlow, 1);
         let g = b.finish();
-        let lat = BTreeMap::new();
+        let lat = NodeMap::new();
         let r = rec_mii(&g, &lat);
         assert!(!feasible_ii(&g, &lat, r - 1));
         assert!(feasible_ii(&g, &lat, r));
         assert!(feasible_ii(&g, &lat, r + 5));
+    }
+
+    #[test]
+    fn solver_reuse_matches_one_shot() {
+        // The same solver answering under changing latency assignments
+        // must agree with fresh one-shot computations.
+        let mut b = DdgBuilder::new();
+        let l = b.load(Width::W4);
+        let a = b.op(OpKind::IntAlu, &[l]);
+        let s = b.store(Width::W4, &[a]);
+        b.dep(s, l, DepKind::MemFlow, 1);
+        let g = b.finish();
+        let mut solver = RecMiiSolver::new(&g);
+        for load_latency in [1u32, 5, 10, 15, 2] {
+            let mut lat = NodeMap::new();
+            lat.insert(l, load_latency);
+            assert_eq!(
+                solver.rec_mii(&lat),
+                rec_mii(&g, &lat),
+                "latency {load_latency}"
+            );
+        }
     }
 
     #[test]
@@ -216,7 +322,7 @@ mod tests {
         let m = b.op(OpKind::IntMul, &[l]);
         let _ = b.store(Width::W8, &[m]);
         let g = b.finish();
-        assert_eq!(rec_mii(&g, &BTreeMap::new()), 1);
+        assert_eq!(rec_mii(&g, &NodeMap::new()), 1);
     }
 
     #[test]
@@ -232,8 +338,8 @@ mod tests {
         let g = b.finish();
         let machine = MachineConfig::paper_baseline();
         assert_eq!(res_mii(&g, &machine), 3);
-        assert_eq!(rec_mii(&g, &BTreeMap::new()), 4);
-        assert_eq!(mii(&g, &machine, &BTreeMap::new()), 4);
+        assert_eq!(rec_mii(&g, &NodeMap::new()), 4);
+        assert_eq!(mii(&g, &machine, &NodeMap::new()), 4);
     }
 
     #[test]
@@ -244,6 +350,6 @@ mod tests {
         b.dep(c, s, DepKind::Sync, 0);
         let g = b.finish();
         let d = g.deps().next().unwrap().1;
-        assert_eq!(dep_latency(&g, &d, &BTreeMap::new()), 0);
+        assert_eq!(dep_latency(&g, &d, &NodeMap::new()), 0);
     }
 }

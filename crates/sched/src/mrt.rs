@@ -1,8 +1,28 @@
 //! Modulo reservation tables: per-cluster functional units and the shared
 //! register-to-register buses.
+//!
+//! The table is *transactional*: every reservation is recorded in a
+//! journal of touched cells, so a failed placement trial is undone with
+//! [`Mrt::rollback`] instead of cloning the whole table per trial — the
+//! scheduler's innermost loop commits one candidate `(cluster, cycle)`
+//! placement per call and used to pay a full `Mrt` clone each time.
 
 use distvliw_arch::MachineConfig;
 use distvliw_ir::FuClass;
+
+/// One journaled reservation.
+#[derive(Debug, Clone, Copy)]
+enum Reservation {
+    /// A functional-unit slot: cluster, class index, slot.
+    Fu(u32, u8, u32),
+    /// A register-bus transfer starting at this cycle (covers
+    /// `bus_latency` slots).
+    Bus(u32),
+}
+
+/// A position in the journal, returned by [`Mrt::checkpoint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checkpoint(usize);
 
 /// Tracks resource usage modulo the initiation interval.
 #[derive(Debug, Clone)]
@@ -11,11 +31,15 @@ pub struct Mrt {
     /// `fu[cluster][class][slot]` = operations issued.
     fu: Vec<[Vec<u32>; 3]>,
     fu_cap: [u32; 3],
+    /// Reserved operations per cluster (all classes), maintained
+    /// incrementally for the MinComs balance tie-break.
+    cluster_ops: Vec<u32>,
     /// `bus[slot]` = register-bus occupancy (a transfer occupies
     /// `bus_latency` consecutive slots).
     bus: Vec<u32>,
     bus_cap: u32,
     bus_latency: u32,
+    journal: Vec<Reservation>,
 }
 
 impl Mrt {
@@ -38,9 +62,11 @@ impl Mrt {
                 machine.fu.fp as u32,
                 machine.fu.memory as u32,
             ],
+            cluster_ops: vec![0; machine.n_clusters],
             bus: vec![0; slots],
             bus_cap: machine.reg_buses.count as u32,
             bus_latency: machine.reg_buses.latency,
+            journal: Vec::new(),
         }
     }
 
@@ -52,6 +78,45 @@ impl Mrt {
 
     fn slot(&self, cycle: u32) -> usize {
         (cycle % self.ii) as usize
+    }
+
+    /// Marks the current state; reservations made after this point can be
+    /// undone with [`Mrt::rollback`] or made permanent with
+    /// [`Mrt::commit`].
+    #[must_use]
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint(self.journal.len())
+    }
+
+    /// Undoes every reservation made since `mark`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mark` does not come from this table's current epoch
+    /// (i.e. reservations before it were already rolled back).
+    pub fn rollback(&mut self, mark: Checkpoint) {
+        assert!(mark.0 <= self.journal.len(), "stale checkpoint");
+        while self.journal.len() > mark.0 {
+            match self.journal.pop().expect("journal entry") {
+                Reservation::Fu(cluster, class, slot) => {
+                    self.fu[cluster as usize][class as usize][slot as usize] -= 1;
+                    self.cluster_ops[cluster as usize] -= 1;
+                }
+                Reservation::Bus(cycle) => {
+                    for i in 0..self.bus_latency {
+                        let slot = self.slot(cycle + i);
+                        self.bus[slot] -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Accepts every reservation made since `mark`, truncating the
+    /// journal so the next trial starts clean.
+    pub fn commit(&mut self, mark: Checkpoint) {
+        assert!(mark.0 <= self.journal.len(), "stale checkpoint");
+        self.journal.truncate(mark.0);
     }
 
     /// Whether a `class` unit in `cluster` is free at `cycle`.
@@ -70,13 +135,19 @@ impl Mrt {
         assert!(self.fu_free(cluster, class, cycle), "FU oversubscribed");
         let slot = self.slot(cycle);
         self.fu[cluster][class.index()][slot] += 1;
+        self.cluster_ops[cluster] += 1;
+        self.journal.push(Reservation::Fu(
+            cluster as u32,
+            class.index() as u8,
+            slot as u32,
+        ));
     }
 
     /// Total operations currently reserved in `cluster` (for workload
     /// balance in the MinComs cost function).
     #[must_use]
     pub fn cluster_load(&self, cluster: usize) -> u32 {
-        self.fu[cluster].iter().map(|row| row.iter().sum::<u32>()).sum()
+        self.cluster_ops[cluster]
     }
 
     /// Whether a register-bus transfer may start at `cycle` (it occupies
@@ -97,6 +168,7 @@ impl Mrt {
             let slot = self.slot(cycle + i);
             self.bus[slot] += 1;
         }
+        self.journal.push(Reservation::Bus(cycle));
     }
 
     /// Earliest cycle in `[from, to]` at which a bus transfer can start,
@@ -152,7 +224,7 @@ mod tests {
         assert!(!mrt.bus_free(1));
         assert!(!mrt.bus_free(2)); // would need slot 2..3; slot 2 full
         assert!(mrt.bus_free(3)); // slots 3 and 0 free
-        assert!(mrt.bus_free(0) == false); // slot 0 free but slot 1 full
+        assert!(!mrt.bus_free(0)); // slot 0 free but slot 1 full
     }
 
     #[test]
@@ -191,5 +263,59 @@ mod tests {
     #[should_panic(expected = "II must be positive")]
     fn zero_ii_rejected() {
         let _ = Mrt::new(&machine(), 0);
+    }
+
+    #[test]
+    fn rollback_undoes_everything_since_checkpoint() {
+        let mut mrt = Mrt::new(&machine(), 4);
+        mrt.reserve_fu(0, FuClass::Integer, 0);
+        let mark = mrt.checkpoint();
+        mrt.reserve_fu(0, FuClass::Integer, 1);
+        mrt.reserve_fu(1, FuClass::Memory, 2);
+        mrt.reserve_bus(1);
+        mrt.rollback(mark);
+        // Pre-checkpoint state intact, post-checkpoint state undone.
+        assert!(!mrt.fu_free(0, FuClass::Integer, 0));
+        assert!(mrt.fu_free(0, FuClass::Integer, 1));
+        assert!(mrt.fu_free(1, FuClass::Memory, 2));
+        assert_eq!(mrt.cluster_load(0), 1);
+        assert_eq!(mrt.cluster_load(1), 0);
+        for _ in 0..4 {
+            mrt.reserve_bus(1); // all four buses free again
+        }
+    }
+
+    #[test]
+    fn commit_keeps_state_and_truncates_journal() {
+        let mut mrt = Mrt::new(&machine(), 4);
+        let mark = mrt.checkpoint();
+        mrt.reserve_fu(3, FuClass::Fp, 2);
+        mrt.reserve_bus(0);
+        mrt.commit(mark);
+        // Committed reservations survive a later rollback to `mark`.
+        mrt.rollback(mark);
+        assert!(!mrt.fu_free(3, FuClass::Fp, 2));
+        assert_eq!(mrt.cluster_load(3), 1);
+        // The committed bus transfer still occupies its slots: three more
+        // transfers saturate the four buses at cycle 0.
+        for _ in 0..3 {
+            mrt.reserve_bus(0);
+        }
+        assert!(!mrt.bus_free(0));
+    }
+
+    #[test]
+    fn nested_checkpoints_roll_back_in_order() {
+        let mut mrt = Mrt::new(&machine(), 2);
+        let outer = mrt.checkpoint();
+        mrt.reserve_fu(0, FuClass::Integer, 0);
+        let inner = mrt.checkpoint();
+        mrt.reserve_fu(1, FuClass::Integer, 0);
+        mrt.rollback(inner);
+        assert!(mrt.fu_free(1, FuClass::Integer, 0));
+        assert!(!mrt.fu_free(0, FuClass::Integer, 0));
+        mrt.rollback(outer);
+        assert!(mrt.fu_free(0, FuClass::Integer, 0));
+        assert_eq!(mrt.cluster_load(0), 0);
     }
 }

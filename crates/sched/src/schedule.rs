@@ -126,7 +126,9 @@ impl fmt::Display for Schedule {
                 "  {n}: cluster {} cycle {}{}",
                 op.cluster,
                 op.start,
-                op.assumed_class.map(|c| format!(" ({c})")).unwrap_or_default()
+                op.assumed_class
+                    .map(|c| format!(" ({c})"))
+                    .unwrap_or_default()
             )?;
         }
         Ok(())
@@ -168,7 +170,12 @@ mod tests {
         let mut ops = BTreeMap::new();
         ops.insert(
             NodeId(0),
-            ScheduledOp { node: NodeId(0), cluster: 0, start: 0, assumed_class: None },
+            ScheduledOp {
+                node: NodeId(0),
+                cluster: 0,
+                start: 0,
+                assumed_class: None,
+            },
         );
         ops.insert(
             NodeId(1),
@@ -182,7 +189,12 @@ mod tests {
         Schedule {
             ii: 2,
             ops,
-            copies: vec![CopyOp { producer: NodeId(0), from_cluster: 0, to_cluster: 2, start: 1 }],
+            copies: vec![CopyOp {
+                producer: NodeId(0),
+                from_cluster: 0,
+                to_cluster: 2,
+                start: 1,
+            }],
             span: 6,
             n_clusters: 4,
         }

@@ -17,14 +17,31 @@
 //! Register-flow edges that end up crossing clusters materialize explicit
 //! copy operations reserved on the register-bus rows of the reservation
 //! table — the paper's "communication operations".
+//!
+//! # Hot-path layout
+//!
+//! The scheduler re-runs for every (solution × heuristic × II candidate ×
+//! latency-class trial) combination, so the inner structures are dense
+//! and allocation-free per trial:
+//!
+//! * every per-node side table ([`distvliw_ir::NodeMap`], [`CopyTable`])
+//!   is a flat `NodeId`-indexed vector — no tree maps on the hot path;
+//! * a candidate placement reserves resources directly in the [`Mrt`] and
+//!   *rolls back* through its reservation journal on failure instead of
+//!   cloning the table per trial;
+//! * the priority order is computed once per latency assignment (it does
+//!   not depend on the II) and shared by the whole II search;
+//! * one [`RecMiiSolver`] instance carries its scratch buffers across
+//!   every latency-assignment trial.
 
 use std::collections::BTreeMap;
 
 use distvliw_arch::{LatencyClass, MachineConfig};
 use distvliw_coherence::SchedConstraints;
-use distvliw_ir::{Ddg, DepKind, NodeId, PrefMap};
+use distvliw_ir::{Ddg, DepKind, NodeId, NodeMap, PrefMap};
 
-use crate::mii::{dep_latency, mii, rec_mii};
+use crate::dense::DenseDeps;
+use crate::mii::{res_mii, RecMiiSolver};
 use crate::mrt::Mrt;
 use crate::schedule::{CopyOp, Schedule, ScheduleError, ScheduledOp};
 
@@ -46,6 +63,17 @@ impl std::fmt::Display for Heuristic {
     }
 }
 
+/// The read-only inputs shared by every placement attempt of one
+/// `schedule` call.
+#[derive(Clone, Copy)]
+struct SchedCtx<'a> {
+    ddg: &'a Ddg,
+    dense: &'a DenseDeps,
+    constraints: &'a SchedConstraints,
+    prefs: &'a PrefMap,
+    heuristic: Heuristic,
+}
+
 /// Modulo scheduler for one machine configuration.
 #[derive(Debug, Clone)]
 pub struct ModuloScheduler<'m> {
@@ -58,7 +86,10 @@ impl<'m> ModuloScheduler<'m> {
     /// enabled.
     #[must_use]
     pub fn new(machine: &'m MachineConfig) -> Self {
-        ModuloScheduler { machine, relax_latencies: true }
+        ModuloScheduler {
+            machine,
+            relax_latencies: true,
+        }
     }
 
     /// Enables or disables the latency-assignment relaxation pass
@@ -95,14 +126,23 @@ impl<'m> ModuloScheduler<'m> {
                 n_clusters: self.machine.n_clusters,
             });
         }
+        let dense = DenseDeps::new(ddg);
+        let ctx = SchedCtx {
+            ddg,
+            dense: &dense,
+            constraints,
+            prefs,
+            heuristic,
+        };
 
         // Phase 1: optimistic latencies (local hit for every load).
         let local_hit = self.machine.latency_of(LatencyClass::LocalHit);
-        let mut classes: BTreeMap<NodeId, LatencyClass> =
+        let mut classes: NodeMap<LatencyClass> =
             ddg.loads().map(|l| (l, LatencyClass::LocalHit)).collect();
-        let lat = self.cycles_of(&classes);
+        let mut lat = self.cycles_of(&classes);
+        let mut rec_solver = RecMiiSolver::from_dense(&dense);
 
-        let mii0 = mii(ddg, self.machine, &lat);
+        let mii0 = res_mii(ddg, self.machine).max(rec_solver.rec_mii(&lat));
         if mii0 == u32::MAX {
             return Err(ScheduleError::InvalidGraph);
         }
@@ -113,73 +153,86 @@ impl<'m> ModuloScheduler<'m> {
             .saturating_add(ddg.node_count() as u32)
             .saturating_add(32);
 
+        // The priority order depends only on the latency assignment, not
+        // the II: compute it once for the whole II search.
+        let mut order = priority_order(ddg, &dense, &lat);
         let mut found: Option<(u32, Placement)> = None;
         for ii in mii0..=max_ii {
-            if let Some(p) = self.try_place(ddg, constraints, prefs, heuristic, &lat, ii) {
+            if let Some(p) = self.try_place(ctx, &lat, &order, ii) {
                 found = Some((ii, p));
                 break;
             }
         }
-        let (ii0, mut best) =
-            found.ok_or(ScheduleError::NoFeasibleIi { mii: mii0, max_tried: max_ii })?;
+        let (ii0, mut best) = found.ok_or(ScheduleError::NoFeasibleIi {
+            mii: mii0,
+            max_tried: max_ii,
+        })?;
         let span_budget = best.span.saturating_add(4 * ii0);
 
         // Phase 2: cache-sensitive latency assignment — raise load
         // latencies as far as compute time (II and schedule length) allows.
         if self.relax_latencies && !classes.is_empty() {
+            let loads: Vec<NodeId> = classes.keys().collect();
             // Joint pass: find the largest uniform class that still fits.
             let mut uniform = LatencyClass::LocalHit;
-            for class in [LatencyClass::RemoteMiss, LatencyClass::LocalMiss, LatencyClass::RemoteHit]
-            {
+            for class in [
+                LatencyClass::RemoteMiss,
+                LatencyClass::LocalMiss,
+                LatencyClass::RemoteHit,
+            ] {
                 if self.machine.latency_of(class) <= local_hit {
                     continue;
                 }
-                let trial: BTreeMap<NodeId, LatencyClass> =
-                    classes.keys().map(|&l| (l, class)).collect();
-                let trial_lat = self.cycles_of(&trial);
-                if rec_mii(ddg, &trial_lat) > ii0 {
-                    continue;
+                let saved_classes = classes.clone();
+                let saved_lat = lat.clone();
+                for &l in &loads {
+                    classes.insert(l, class);
+                    lat.insert(l, self.machine.latency_of(class));
                 }
-                if let Some(p) = self.try_place(ddg, constraints, prefs, heuristic, &trial_lat, ii0)
-                {
-                    // Compute time is dominated by the II; allow the
-                    // pipeline fill (span) to grow by a bounded number of
-                    // stages, as the paper's latency assignment does.
-                    if p.span <= span_budget {
-                        classes = trial;
-                        best = p;
-                        uniform = class;
-                        break;
+                if rec_solver.feasible_at(&lat, ii0) {
+                    order = priority_order(ddg, &dense, &lat);
+                    if let Some(p) = self.try_place(ctx, &lat, &order, ii0) {
+                        // Compute time is dominated by the II; allow the
+                        // pipeline fill (span) to grow by a bounded number
+                        // of stages, as the paper's latency assignment
+                        // does.
+                        if p.span <= span_budget {
+                            best = p;
+                            uniform = class;
+                            break;
+                        }
                     }
                 }
+                classes = saved_classes;
+                lat = saved_lat;
             }
             // Per-load refinement above the uniform class.
             if uniform != LatencyClass::RemoteMiss {
-                let loads: Vec<NodeId> = classes.keys().copied().collect();
-                for load in loads {
-                    for class in
-                        [LatencyClass::RemoteMiss, LatencyClass::LocalMiss, LatencyClass::RemoteHit]
-                    {
-                        if self.machine.latency_of(class)
-                            <= self.machine.latency_of(classes[&load])
+                for &load in &loads {
+                    for class in [
+                        LatencyClass::RemoteMiss,
+                        LatencyClass::LocalMiss,
+                        LatencyClass::RemoteHit,
+                    ] {
+                        if self.machine.latency_of(class) <= self.machine.latency_of(classes[load])
                         {
                             break;
                         }
-                        let mut trial = classes.clone();
-                        trial.insert(load, class);
-                        let trial_lat = self.cycles_of(&trial);
-                        if rec_mii(ddg, &trial_lat) > ii0 {
-                            continue;
-                        }
-                        if let Some(p) =
-                            self.try_place(ddg, constraints, prefs, heuristic, &trial_lat, ii0)
-                        {
-                            if p.span <= span_budget {
-                                classes = trial;
-                                best = p;
-                                break;
+                        let old_class = classes[load];
+                        let old_lat = lat[load];
+                        classes.insert(load, class);
+                        lat.insert(load, self.machine.latency_of(class));
+                        if rec_solver.feasible_at(&lat, ii0) {
+                            order = priority_order(ddg, &dense, &lat);
+                            if let Some(p) = self.try_place(ctx, &lat, &order, ii0) {
+                                if p.span <= span_budget {
+                                    best = p;
+                                    break;
+                                }
                             }
                         }
+                        classes.insert(load, old_class);
+                        lat.insert(load, old_lat);
                     }
                 }
             }
@@ -190,14 +243,14 @@ impl<'m> ModuloScheduler<'m> {
             ops: best
                 .placed
                 .iter()
-                .map(|(&n, &(cluster, start))| {
+                .map(|(n, &(cluster, start))| {
                     (
                         n,
                         ScheduledOp {
                             node: n,
                             cluster,
                             start,
-                            assumed_class: classes.get(&n).copied(),
+                            assumed_class: classes.get(n).copied(),
                         },
                     )
                 })
@@ -214,104 +267,131 @@ impl<'m> ModuloScheduler<'m> {
         Ok(schedule)
     }
 
-    fn cycles_of(&self, classes: &BTreeMap<NodeId, LatencyClass>) -> BTreeMap<NodeId, u32> {
-        classes.iter().map(|(&n, &c)| (n, self.machine.latency_of(c))).collect()
+    fn cycles_of(&self, classes: &NodeMap<LatencyClass>) -> NodeMap<u32> {
+        classes
+            .iter()
+            .map(|(n, &c)| (n, self.machine.latency_of(c)))
+            .collect()
     }
 
     /// One placement attempt at a fixed II. Returns `None` when any node
     /// cannot be placed.
     fn try_place(
         &self,
-        ddg: &Ddg,
-        constraints: &SchedConstraints,
-        prefs: &PrefMap,
-        heuristic: Heuristic,
-        load_lat: &BTreeMap<NodeId, u32>,
+        ctx: SchedCtx<'_>,
+        load_lat: &NodeMap<u32>,
+        order: &[NodeId],
         ii: u32,
     ) -> Option<Placement> {
-        let order = priority_order(ddg, load_lat);
-        let mut mrt = Mrt::new(self.machine, ii);
-        let mut placed: BTreeMap<NodeId, (usize, u32)> = BTreeMap::new();
-        let mut copies: Vec<CopyOp> = Vec::new();
-        // (producer, destination cluster) → transfer start cycle.
-        let mut copy_map: BTreeMap<(NodeId, usize), u32> = BTreeMap::new();
-        let mut group_cluster: BTreeMap<u32, usize> = constraints.group_target.clone();
-        let bus_lat = self.machine.reg_buses.latency;
-
-        for &n in &order {
-            let candidates = self.candidate_clusters(
-                ddg,
-                constraints,
-                prefs,
-                heuristic,
-                &group_cluster,
-                &placed,
-                &mrt,
-                n,
-            );
-            let mut done = false;
-            'clusters: for c in candidates {
-                let Some((est, lst)) =
-                    self.start_bounds(ddg, load_lat, &placed, &copy_map, ii, n, c)
-                else {
-                    continue;
-                };
-                let hi = lst.min(est + i64::from(ii) - 1);
-                let mut t = est;
-                while t <= hi {
-                    let start = u32::try_from(t).expect("start bounded");
-                    if self.commit(
-                        ddg, load_lat, &mut mrt, &mut placed, &mut copies, &mut copy_map, ii, n,
-                        c, start, bus_lat,
-                    ) {
-                        if let Some(&g) = constraints.colocate.get(&n) {
-                            group_cluster.entry(g).or_insert(c);
-                        }
-                        done = true;
-                        break 'clusters;
-                    }
-                    t += 1;
-                }
-            }
-            if !done {
+        let mut placer = Placer {
+            machine: self.machine,
+            ctx,
+            load_lat,
+            ii,
+            bus_lat: self.machine.reg_buses.latency,
+            mrt: Mrt::new(self.machine, ii),
+            placed: NodeMap::with_capacity(ctx.ddg.node_count()),
+            copies: Vec::new(),
+            copy_map: CopyTable::new(ctx.ddg.node_count(), self.machine.n_clusters),
+            group_cluster: ctx.constraints.group_target.clone(),
+            planned: Vec::new(),
+        };
+        for &n in order {
+            if !placer.place(n) {
                 return None;
             }
         }
+        placer.into_placement()
+    }
+}
 
-        let span = placed
-            .values()
-            .map(|&(_, s)| s + 1)
-            .chain(copies.iter().map(|c| c.start + bus_lat))
-            .max()
-            .unwrap_or(1)
-            .max(ii);
-        Some(Placement { placed, copies, span })
+/// Dense `(node, cluster) → copy start cycle` table: which clusters
+/// already receive a copy of each producer's value, and when the transfer
+/// starts.
+struct CopyTable {
+    n_clusters: usize,
+    slots: Vec<Option<u32>>,
+}
+
+impl CopyTable {
+    fn new(n_nodes: usize, n_clusters: usize) -> Self {
+        CopyTable {
+            n_clusters,
+            slots: vec![None; n_nodes * n_clusters],
+        }
+    }
+
+    fn get(&self, producer: NodeId, cluster: usize) -> Option<u32> {
+        self.slots[producer.index() * self.n_clusters + cluster]
+    }
+
+    fn insert(&mut self, producer: NodeId, cluster: usize, start: u32) {
+        self.slots[producer.index() * self.n_clusters + cluster] = Some(start);
+    }
+}
+
+/// A planned (not yet accepted) inter-cluster copy of one commit attempt.
+struct PlannedCopy {
+    producer: NodeId,
+    from: usize,
+    to: usize,
+    start: u32,
+}
+
+/// The mutable state of one placement attempt at a fixed II.
+struct Placer<'a> {
+    machine: &'a MachineConfig,
+    ctx: SchedCtx<'a>,
+    load_lat: &'a NodeMap<u32>,
+    ii: u32,
+    bus_lat: u32,
+    mrt: Mrt,
+    placed: NodeMap<(usize, u32)>,
+    copies: Vec<CopyOp>,
+    copy_map: CopyTable,
+    group_cluster: BTreeMap<u32, usize>,
+    /// Reused across commit attempts (cleared each time).
+    planned: Vec<PlannedCopy>,
+}
+
+impl Placer<'_> {
+    /// Places `n` in the best feasible cluster/cycle, or reports failure.
+    fn place(&mut self, n: NodeId) -> bool {
+        let candidates = self.candidate_clusters(n);
+        for c in candidates {
+            let Some((est, lst)) = self.start_bounds(n, c) else {
+                continue;
+            };
+            let hi = lst.min(est + i64::from(self.ii) - 1);
+            let mut t = est;
+            while t <= hi {
+                let start = u32::try_from(t).expect("start bounded");
+                if self.commit(n, c, start) {
+                    if let Some(&g) = self.ctx.constraints.colocate.get(&n) {
+                        self.group_cluster.entry(g).or_insert(c);
+                    }
+                    return true;
+                }
+                t += 1;
+            }
+        }
+        false
     }
 
     /// Candidate clusters for `n`, best first.
-    #[allow(clippy::too_many_arguments)]
-    fn candidate_clusters(
-        &self,
-        ddg: &Ddg,
-        constraints: &SchedConstraints,
-        prefs: &PrefMap,
-        heuristic: Heuristic,
-        group_cluster: &BTreeMap<u32, usize>,
-        placed: &BTreeMap<NodeId, (usize, u32)>,
-        mrt: &Mrt,
-        n: NodeId,
-    ) -> Vec<usize> {
+    fn candidate_clusters(&self, n: NodeId) -> Vec<usize> {
+        let constraints = self.ctx.constraints;
         if let Some(&pin) = constraints.pinned.get(&n) {
             return vec![pin];
         }
         if let Some(g) = constraints.colocate.get(&n) {
-            if let Some(&c) = group_cluster.get(g) {
+            if let Some(&c) = self.group_cluster.get(g) {
                 return vec![c];
             }
         }
-        let op = ddg.node(n);
-        if heuristic == Heuristic::PrefClus && op.is_memory() {
-            if let Some(info) = op.mem_id().and_then(|m| prefs.get(&m)) {
+        let op = self.ctx.ddg.node(n);
+        if self.ctx.heuristic == Heuristic::PrefClus && op.is_memory() {
+            if let Some(info) = op.mem_id().and_then(|m| self.ctx.prefs.get(&m)) {
                 // Preferred cluster first, then the rest by profile count.
                 let mut order: Vec<usize> = (0..self.machine.n_clusters).collect();
                 order.sort_by_key(|&c| (std::cmp::Reverse(info.counts()[c]), c));
@@ -320,16 +400,16 @@ impl<'m> ModuloScheduler<'m> {
         }
         // MinComs cost: copies needed if placed in c, then current load.
         let mut rf_neighbors: Vec<usize> = Vec::new();
-        for (_, d) in ddg.in_deps(n) {
+        for d in self.ctx.dense.in_deps(n) {
             if d.kind == DepKind::RegFlow {
-                if let Some(&(pc, _)) = placed.get(&d.src) {
+                if let Some(&(pc, _)) = self.placed.get(d.src) {
                     rf_neighbors.push(pc);
                 }
             }
         }
-        for (_, d) in ddg.out_deps(n) {
+        for d in self.ctx.dense.out_deps(n) {
             if d.kind == DepKind::RegFlow {
-                if let Some(&(sc, _)) = placed.get(&d.dst) {
+                if let Some(&(sc, _)) = self.placed.get(d.dst) {
                     rf_neighbors.push(sc);
                 }
             }
@@ -337,37 +417,30 @@ impl<'m> ModuloScheduler<'m> {
         let mut order: Vec<usize> = (0..self.machine.n_clusters).collect();
         order.sort_by_key(|&c| {
             let comms = rf_neighbors.iter().filter(|&&x| x != c).count();
-            (comms, mrt.cluster_load(c), c)
+            (comms, self.mrt.cluster_load(c), c)
         });
         order
     }
 
     /// Earliest/latest start for `n` in cluster `c` given current
     /// placements (as i64: latest may be unbounded, earliest clamped ≥ 0).
-    fn start_bounds(
-        &self,
-        ddg: &Ddg,
-        load_lat: &BTreeMap<NodeId, u32>,
-        placed: &BTreeMap<NodeId, (usize, u32)>,
-        copy_map: &BTreeMap<(NodeId, usize), u32>,
-        ii: u32,
-        n: NodeId,
-        c: usize,
-    ) -> Option<(i64, i64)> {
-        let bus_lat = i64::from(self.machine.reg_buses.latency);
-        let ii = i64::from(ii);
+    fn start_bounds(&self, n: NodeId, c: usize) -> Option<(i64, i64)> {
+        let bus_lat = i64::from(self.bus_lat);
+        let ii = i64::from(self.ii);
         let mut est = 0i64;
         let mut lst = i64::from(u32::MAX / 2);
-        for (_, d) in ddg.in_deps(n) {
+        for d in self.ctx.dense.in_deps(n) {
             if d.src == n {
                 continue; // self edges are covered by RecMII
             }
-            let Some(&(pc, ps)) = placed.get(&d.src) else { continue };
-            let lat = i64::from(dep_latency(ddg, &d, load_lat));
+            let Some(&(pc, ps)) = self.placed.get(d.src) else {
+                continue;
+            };
+            let lat = i64::from(d.latency(self.load_lat));
             let dist = i64::from(d.distance);
             let bound = if d.kind == DepKind::RegFlow && pc != c {
-                match copy_map.get(&(d.src, c)) {
-                    Some(&s0) => i64::from(s0) + bus_lat - ii * dist,
+                match self.copy_map.get(d.src, c) {
+                    Some(s0) => i64::from(s0) + bus_lat - ii * dist,
                     None => i64::from(ps) + lat + bus_lat - ii * dist,
                 }
             } else {
@@ -375,12 +448,14 @@ impl<'m> ModuloScheduler<'m> {
             };
             est = est.max(bound);
         }
-        for (_, d) in ddg.out_deps(n) {
+        for d in self.ctx.dense.out_deps(n) {
             if d.dst == n {
                 continue;
             }
-            let Some(&(sc, ss)) = placed.get(&d.dst) else { continue };
-            let lat = i64::from(dep_latency(ddg, &d, load_lat));
+            let Some(&(sc, ss)) = self.placed.get(d.dst) else {
+                continue;
+            };
+            let lat = i64::from(d.latency(self.load_lat));
             let dist = i64::from(d.distance);
             let bound = if d.kind == DepKind::RegFlow && sc != c {
                 i64::from(ss) - lat - bus_lat + ii * dist
@@ -397,26 +472,19 @@ impl<'m> ModuloScheduler<'m> {
     }
 
     /// Attempts to commit `n` at `(c, start)`: checks the functional unit
-    /// and plans every required inter-cluster copy, reserving buses. On
-    /// failure nothing is modified.
-    #[allow(clippy::too_many_arguments)]
-    fn commit(
-        &self,
-        ddg: &Ddg,
-        load_lat: &BTreeMap<NodeId, u32>,
-        mrt: &mut Mrt,
-        placed: &mut BTreeMap<NodeId, (usize, u32)>,
-        copies: &mut Vec<CopyOp>,
-        copy_map: &mut BTreeMap<(NodeId, usize), u32>,
-        ii: u32,
-        n: NodeId,
-        c: usize,
-        start: u32,
-        bus_lat: u32,
-    ) -> bool {
+    /// and plans every required inter-cluster copy, reserving buses
+    /// directly in the reservation table. On failure the journal rolls
+    /// every touched cell back — nothing is cloned either way.
+    fn commit(&mut self, n: NodeId, c: usize, start: u32) -> bool {
+        // Both are `Copy` references outliving `self`: iterating the graph
+        // below holds no borrow of `self`, so the reservation table and
+        // side tables stay freely mutable inside the loops.
+        let ddg = self.ctx.ddg;
+        let dense = self.ctx.dense;
+        let load_lat = self.load_lat;
         let class = ddg.node(n).kind.fu_class();
         if let Some(class) = class {
-            if !mrt.fu_free(c, class, start) {
+            if !self.mrt.fu_free(c, class, start) {
                 return false;
             }
         }
@@ -424,105 +492,149 @@ impl<'m> ModuloScheduler<'m> {
         // Plan copies for cross-cluster register flow, in both directions.
         // Copies move the producer's same-iteration value; consumers at
         // distance d read the copy's value d iterations later.
-        struct PlannedCopy {
-            producer: NodeId,
-            from: usize,
-            to: usize,
-            start: u32,
-        }
-        let mut planned: Vec<PlannedCopy> = Vec::new();
-        let mut trial = mrt.clone();
-        let ii_i = i64::from(ii);
-        for (_, d) in ddg.in_deps(n) {
+        let mark = self.mrt.checkpoint();
+        self.planned.clear();
+        let ii_i = i64::from(self.ii);
+        let bus_lat_i = i64::from(self.bus_lat);
+        for d in dense.in_deps(n) {
             if d.kind != DepKind::RegFlow || d.src == n {
                 continue;
             }
-            let Some(&(pc, ps)) = placed.get(&d.src) else { continue };
-            if pc == c || copy_map.contains_key(&(d.src, c)) {
+            let Some(&(pc, ps)) = self.placed.get(d.src) else {
+                continue;
+            };
+            if pc == c || self.copy_map.get(d.src, c).is_some() {
                 continue;
             }
-            if planned.iter().any(|p| p.producer == d.src && p.to == c) {
+            if self
+                .planned
+                .iter()
+                .any(|p| p.producer == d.src && p.to == c)
+            {
                 continue;
             }
-            let ready = i64::from(ps) + i64::from(dep_latency(ddg, &d, load_lat));
-            let deadline = i64::from(start) - i64::from(bus_lat) + ii_i * i64::from(d.distance);
+            let ready = i64::from(ps) + i64::from(d.latency(load_lat));
+            let deadline = i64::from(start) - bus_lat_i + ii_i * i64::from(d.distance);
             if deadline < ready || ready < 0 {
+                self.mrt.rollback(mark);
                 return false;
             }
-            let Some(slot) = trial.find_bus_slot(ready as u32, deadline.min(ready + ii_i) as u32)
+            let Some(slot) = self
+                .mrt
+                .find_bus_slot(ready as u32, deadline.min(ready + ii_i) as u32)
             else {
+                self.mrt.rollback(mark);
                 return false;
             };
-            trial.reserve_bus(slot);
-            planned.push(PlannedCopy { producer: d.src, from: pc, to: c, start: slot });
+            self.mrt.reserve_bus(slot);
+            self.planned.push(PlannedCopy {
+                producer: d.src,
+                from: pc,
+                to: c,
+                start: slot,
+            });
         }
         let n_lat = i64::from(if ddg.node(n).is_load() {
-            load_lat.get(&n).copied().unwrap_or(1)
+            load_lat.get(n).copied().unwrap_or(1)
         } else {
             ddg.node(n).kind.base_latency()
         });
-        for (_, d) in ddg.out_deps(n) {
+        for d in dense.out_deps(n) {
             if d.kind != DepKind::RegFlow || d.dst == n {
                 continue;
             }
-            let Some(&(sc, ss)) = placed.get(&d.dst) else { continue };
-            if sc == c || copy_map.contains_key(&(n, sc)) {
+            let Some(&(sc, ss)) = self.placed.get(d.dst) else {
+                continue;
+            };
+            if sc == c || self.copy_map.get(n, sc).is_some() {
                 continue;
             }
-            if planned.iter().any(|p| p.producer == n && p.to == sc) {
+            if self.planned.iter().any(|p| p.producer == n && p.to == sc) {
                 continue;
             }
             let ready = i64::from(start) + n_lat;
-            let deadline = i64::from(ss) - i64::from(bus_lat) + ii_i * i64::from(d.distance);
+            let deadline = i64::from(ss) - bus_lat_i + ii_i * i64::from(d.distance);
             if deadline < ready || ready < 0 {
+                self.mrt.rollback(mark);
                 return false;
             }
-            let Some(slot) = trial.find_bus_slot(ready as u32, deadline.min(ready + ii_i) as u32)
+            let Some(slot) = self
+                .mrt
+                .find_bus_slot(ready as u32, deadline.min(ready + ii_i) as u32)
             else {
+                self.mrt.rollback(mark);
                 return false;
             };
-            trial.reserve_bus(slot);
-            planned.push(PlannedCopy { producer: n, from: c, to: sc, start: slot });
+            self.mrt.reserve_bus(slot);
+            self.planned.push(PlannedCopy {
+                producer: n,
+                from: c,
+                to: sc,
+                start: slot,
+            });
         }
 
-        // All feasible: commit.
-        *mrt = trial;
+        // All feasible: accept the journaled bus reservations.
+        self.mrt.commit(mark);
         if let Some(class) = class {
-            mrt.reserve_fu(c, class, start);
+            self.mrt.reserve_fu(c, class, start);
         }
-        for p in planned {
-            copy_map.insert((p.producer, p.to), p.start);
-            copies.push(CopyOp {
+        for p in self.planned.drain(..) {
+            self.copy_map.insert(p.producer, p.to, p.start);
+            self.copies.push(CopyOp {
                 producer: p.producer,
                 from_cluster: p.from,
                 to_cluster: p.to,
                 start: p.start,
             });
         }
-        placed.insert(n, (c, start));
+        self.placed.insert(n, (c, start));
         true
+    }
+
+    /// Finalizes a fully placed attempt.
+    fn into_placement(self) -> Option<Placement> {
+        let span = self
+            .placed
+            .values()
+            .map(|&(_, s)| s + 1)
+            .chain(self.copies.iter().map(|c| c.start + self.bus_lat))
+            .max()
+            .unwrap_or(1)
+            .max(self.ii);
+        Some(Placement {
+            placed: self.placed,
+            copies: self.copies,
+            span,
+        })
     }
 }
 
 /// Internal placement result.
 #[derive(Debug)]
 struct Placement {
-    placed: BTreeMap<NodeId, (usize, u32)>,
+    placed: NodeMap<(usize, u32)>,
     copies: Vec<CopyOp>,
     span: u32,
 }
 
 /// Topological order over zero-distance edges, prioritizing nodes with the
 /// longest latency path to a sink (critical path first).
-fn priority_order(ddg: &Ddg, load_lat: &BTreeMap<NodeId, u32>) -> Vec<NodeId> {
+///
+/// The ready set is a max-heap keyed by `(height, Reverse(node))` — the
+/// same node the previous sort-then-pop implementation selected (highest
+/// height, lowest id on ties), at O(log n) per step instead of a re-sort.
+fn priority_order(ddg: &Ddg, dense: &DenseDeps, load_lat: &NodeMap<u32>) -> Vec<NodeId> {
     let n = ddg.node_count();
     // Heights by reverse topological DP over zero-distance edges.
     let mut indeg = vec![0u32; n];
     let mut outdeg = vec![0u32; n];
-    for (_, d) in ddg.deps() {
-        if d.distance == 0 && d.src != d.dst {
-            indeg[d.dst.index()] += 1;
-            outdeg[d.src.index()] += 1;
+    for i in 0..n {
+        for d in dense.out_deps(NodeId(i as u32)) {
+            if d.distance == 0 && d.src != d.dst {
+                indeg[d.dst.index()] += 1;
+                outdeg[d.src.index()] += 1;
+            }
         }
     }
     // Reverse topo: heights.
@@ -530,12 +642,12 @@ fn priority_order(ddg: &Ddg, load_lat: &BTreeMap<NodeId, u32>) -> Vec<NodeId> {
     let mut stack: Vec<usize> = (0..n).filter(|&i| outdeg[i] == 0).collect();
     let mut rem_out = outdeg.clone();
     while let Some(i) = stack.pop() {
-        for (_, d) in ddg.in_deps(NodeId(i as u32)) {
+        for d in dense.in_deps(NodeId(i as u32)) {
             if d.distance != 0 || d.src == d.dst {
                 continue;
             }
             let j = d.src.index();
-            let h = height[i] + i64::from(dep_latency(ddg, &d, load_lat));
+            let h = height[i] + i64::from(d.latency(load_lat));
             height[j] = height[j].max(h);
             rem_out[j] -= 1;
             if rem_out[j] == 0 {
@@ -544,25 +656,30 @@ fn priority_order(ddg: &Ddg, load_lat: &BTreeMap<NodeId, u32>) -> Vec<NodeId> {
         }
     }
     // Forward topo with max-height priority.
-    let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut ready: std::collections::BinaryHeap<(i64, std::cmp::Reverse<usize>)> = (0..n)
+        .filter(|&i| indeg[i] == 0)
+        .map(|i| (height[i], std::cmp::Reverse(i)))
+        .collect();
     let mut order = Vec::with_capacity(n);
     let mut rem_in = indeg;
-    while !ready.is_empty() {
-        ready.sort_by_key(|&i| (height[i], std::cmp::Reverse(i)));
-        let i = ready.pop().expect("nonempty");
+    while let Some((_, std::cmp::Reverse(i))) = ready.pop() {
         order.push(NodeId(i as u32));
-        for (_, d) in ddg.out_deps(NodeId(i as u32)) {
+        for d in dense.out_deps(NodeId(i as u32)) {
             if d.distance != 0 || d.src == d.dst {
                 continue;
             }
             let j = d.dst.index();
             rem_in[j] -= 1;
             if rem_in[j] == 0 {
-                ready.push(j);
+                ready.push((height[j], std::cmp::Reverse(j)));
             }
         }
     }
-    debug_assert_eq!(order.len(), n, "graph must be acyclic over zero-distance edges");
+    debug_assert_eq!(
+        order.len(),
+        n,
+        "graph must be acyclic over zero-distance edges"
+    );
     order
 }
 
@@ -578,10 +695,14 @@ fn best_physical_mapping(
     // v is mapped to physical cluster p.
     let mut gain = vec![vec![0u64; n_clusters]; n_clusters];
     for n in ddg.mem_nodes() {
-        let Some(op) = schedule.ops.get(&n) else { continue };
-        let Some(info) = ddg.node(n).mem_id().and_then(|m| prefs.get(&m)) else { continue };
-        for p in 0..n_clusters {
-            gain[op.cluster][p] += info.counts()[p];
+        let Some(op) = schedule.ops.get(&n) else {
+            continue;
+        };
+        let Some(info) = ddg.node(n).mem_id().and_then(|m| prefs.get(&m)) else {
+            continue;
+        };
+        for (g, &count) in gain[op.cluster].iter_mut().zip(info.counts()) {
+            *g += count;
         }
     }
     let mut best: Vec<usize> = (0..n_clusters).collect();
@@ -654,11 +775,18 @@ mod tests {
         // FU capacity: at most one op per class per cluster per II slot.
         let mut usage: BTreeMap<(usize, usize, u32), u32> = BTreeMap::new();
         for op in s.ops.values() {
-            let Some(class) = ddg.node(op.node).kind.fu_class() else { continue };
-            *usage.entry((op.cluster, class.index(), op.start % s.ii)).or_default() += 1;
+            let Some(class) = ddg.node(op.node).kind.fu_class() else {
+                continue;
+            };
+            *usage
+                .entry((op.cluster, class.index(), op.start % s.ii))
+                .or_default() += 1;
         }
         for ((c, class, slot), count) in usage {
-            assert!(count <= 1, "cluster {c} class {class} slot {slot} oversubscribed");
+            assert!(
+                count <= 1,
+                "cluster {c} class {class} slot {slot} oversubscribed"
+            );
         }
     }
 
@@ -674,7 +802,12 @@ mod tests {
     fn schedules_simple_chain() {
         let g = simple_graph();
         let s = ModuloScheduler::new(&machine())
-            .schedule(&g, &SchedConstraints::none(), &PrefMap::new(), Heuristic::MinComs)
+            .schedule(
+                &g,
+                &SchedConstraints::none(),
+                &PrefMap::new(),
+                Heuristic::MinComs,
+            )
             .unwrap();
         assert_eq!(s.ii, 1);
         assert_eq!(s.ops.len(), 3);
@@ -691,7 +824,12 @@ mod tests {
         for relax in [false, true] {
             let s = ModuloScheduler::new(&machine())
                 .with_latency_relaxation(relax)
-                .schedule(&g, &SchedConstraints::none(), &PrefMap::new(), Heuristic::MinComs)
+                .schedule(
+                    &g,
+                    &SchedConstraints::none(),
+                    &PrefMap::new(),
+                    Heuristic::MinComs,
+                )
                 .unwrap();
             assert_valid(&g, &s, &machine());
         }
@@ -705,7 +843,12 @@ mod tests {
         }
         let g = b.finish();
         let s = ModuloScheduler::new(&machine())
-            .schedule(&g, &SchedConstraints::none(), &PrefMap::new(), Heuristic::MinComs)
+            .schedule(
+                &g,
+                &SchedConstraints::none(),
+                &PrefMap::new(),
+                Heuristic::MinComs,
+            )
             .unwrap();
         assert!(s.ii >= 3, "9 loads / 4 mem FUs needs II >= 3, got {}", s.ii);
         assert_valid(&g, &s, &machine());
@@ -740,7 +883,10 @@ mod tests {
         let _a = b.op(OpKind::IntAlu, &[l]);
         let g = b.finish();
         let mut prefs = PrefMap::new();
-        prefs.insert(g.node(l).mem_id().unwrap(), PrefInfo::from_counts(vec![0, 0, 90, 10]));
+        prefs.insert(
+            g.node(l).mem_id().unwrap(),
+            PrefInfo::from_counts(vec![0, 0, 90, 10]),
+        );
         let s = ModuloScheduler::new(&machine())
             .schedule(&g, &SchedConstraints::none(), &prefs, Heuristic::PrefClus)
             .unwrap();
@@ -756,15 +902,19 @@ mod tests {
         b.dep(l1, l2, DepKind::MemAnti, 0); // artificial chain of two loads
         let g = b.finish();
         let mut prefs = PrefMap::new();
-        prefs.insert(g.node(l1).mem_id().unwrap(), PrefInfo::from_counts(vec![60, 0, 40, 0]));
-        prefs.insert(g.node(l2).mem_id().unwrap(), PrefInfo::from_counts(vec![0, 0, 70, 30]));
+        prefs.insert(
+            g.node(l1).mem_id().unwrap(),
+            PrefInfo::from_counts(vec![60, 0, 40, 0]),
+        );
+        prefs.insert(
+            g.node(l2).mem_id().unwrap(),
+            PrefInfo::from_counts(vec![0, 0, 70, 30]),
+        );
         let chains = find_chains(&g);
         let constraints = SchedConstraints::for_mdc(&chains, &g, Some(&prefs), 4);
         let s = ModuloScheduler::new(&machine())
             .schedule(&g, &constraints, &prefs, Heuristic::PrefClus)
             .unwrap();
-        //
-
         // Merged counts {60, 0, 110, 30} → cluster 2 for both.
         assert_eq!(s.op(l1).cluster, 2);
         assert_eq!(s.op(l2).cluster, 2);
@@ -785,8 +935,7 @@ mod tests {
             .schedule(&g, &constraints, &PrefMap::new(), Heuristic::PrefClus)
             .unwrap();
         let group = &report.replica_groups[0];
-        let mut clusters: Vec<usize> =
-            group.instances.iter().map(|&i| s.op(i).cluster).collect();
+        let mut clusters: Vec<usize> = group.instances.iter().map(|&i| s.op(i).cluster).collect();
         clusters.sort_unstable();
         assert_eq!(clusters, vec![0, 1, 2, 3]);
         // The producer value is broadcast: at least 3 copies.
@@ -847,7 +996,12 @@ mod tests {
         b.recurrence(acc, acc, 1);
         let g = b.finish();
         let s = ModuloScheduler::new(&machine())
-            .schedule(&g, &SchedConstraints::none(), &PrefMap::new(), Heuristic::MinComs)
+            .schedule(
+                &g,
+                &SchedConstraints::none(),
+                &PrefMap::new(),
+                Heuristic::MinComs,
+            )
             .unwrap();
         assert_eq!(s.ii, 4);
     }
@@ -856,7 +1010,12 @@ mod tests {
     fn empty_graph_schedules_trivially() {
         let g = Ddg::new();
         let s = ModuloScheduler::new(&machine())
-            .schedule(&g, &SchedConstraints::none(), &PrefMap::new(), Heuristic::MinComs)
+            .schedule(
+                &g,
+                &SchedConstraints::none(),
+                &PrefMap::new(),
+                Heuristic::MinComs,
+            )
             .unwrap();
         assert_eq!(s.ops.len(), 0);
         assert_eq!(s.ii, 1);
@@ -871,7 +1030,10 @@ mod tests {
         let _ = b.op(OpKind::IntAlu, &[l]);
         let g = b.finish();
         let mut prefs = PrefMap::new();
-        prefs.insert(g.node(l).mem_id().unwrap(), PrefInfo::from_counts(vec![0, 0, 0, 100]));
+        prefs.insert(
+            g.node(l).mem_id().unwrap(),
+            PrefInfo::from_counts(vec![0, 0, 0, 100]),
+        );
         let s = ModuloScheduler::new(&machine())
             .schedule(&g, &SchedConstraints::none(), &prefs, Heuristic::MinComs)
             .unwrap();
@@ -887,7 +1049,12 @@ mod tests {
         b.dep(cons, st, DepKind::Sync, 0);
         let g = b.finish();
         let s = ModuloScheduler::new(&machine())
-            .schedule(&g, &SchedConstraints::none(), &PrefMap::new(), Heuristic::MinComs)
+            .schedule(
+                &g,
+                &SchedConstraints::none(),
+                &PrefMap::new(),
+                Heuristic::MinComs,
+            )
             .unwrap();
         assert!(s.op(st).start >= s.op(cons).start);
         assert_valid(&g, &s, &machine());

@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 
 use distvliw_arch::MachineConfig;
 use distvliw_coherence::SchedConstraints;
-use distvliw_ir::{Ddg, DdgBuilder, DepKind, NodeId, OpKind, PrefInfo, PrefMap, Width};
+use distvliw_ir::{Ddg, DdgBuilder, DepKind, NodeId, NodeMap, OpKind, PrefInfo, PrefMap, Width};
 use distvliw_sched::{Heuristic, ModuloScheduler, Schedule};
 use proptest::prelude::*;
 
@@ -69,7 +69,11 @@ fn assert_legal(ddg: &Ddg, s: &Schedule, m: &MachineConfig) -> Result<(), TestCa
                 } else {
                     ddg.node(d.src).kind.base_latency()
                 };
-                base + if a.cluster != b.cluster { m.reg_buses.latency } else { 0 }
+                base + if a.cluster != b.cluster {
+                    m.reg_buses.latency
+                } else {
+                    0
+                }
             }
             k => k.min_separation(),
         };
@@ -83,9 +87,15 @@ fn assert_legal(ddg: &Ddg, s: &Schedule, m: &MachineConfig) -> Result<(), TestCa
     let mut fu: BTreeMap<(usize, usize, u32), u32> = BTreeMap::new();
     for op in s.ops.values() {
         if let Some(class) = ddg.node(op.node).kind.fu_class() {
-            let e = fu.entry((op.cluster, class.index(), op.start % s.ii)).or_default();
+            let e = fu
+                .entry((op.cluster, class.index(), op.start % s.ii))
+                .or_default();
             *e += 1;
-            prop_assert!(*e <= 1, "FU oversubscribed at {:?}", (op.cluster, class, op.start));
+            prop_assert!(
+                *e <= 1,
+                "FU oversubscribed at {:?}",
+                (op.cluster, class, op.start)
+            );
         }
     }
     // Register buses: transfers occupy `latency` slots; capacity `count`.
@@ -184,7 +194,7 @@ proptest! {
     #[test]
     fn ii_never_undershoots_mii(ddg in arb_graph()) {
         let m = machine();
-        let lat: BTreeMap<NodeId, u32> = ddg.loads().map(|l| (l, 1)).collect();
+        let lat: NodeMap<u32> = ddg.loads().map(|l| (l, 1)).collect();
         let bound = distvliw_sched::mii::mii(&ddg, &m, &lat);
         let s = ModuloScheduler::new(&m)
             .schedule(&ddg, &SchedConstraints::none(), &PrefMap::new(), Heuristic::MinComs)

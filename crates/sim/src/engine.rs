@@ -30,7 +30,10 @@ pub struct SimOptions {
 
 impl Default for SimOptions {
     fn default() -> Self {
-        SimOptions { max_iterations: 1024, detect_violations: true }
+        SimOptions {
+            max_iterations: 1024,
+            detect_violations: true,
+        }
     }
 }
 
@@ -85,13 +88,14 @@ pub fn simulate_kernel(
     let mut rf_inputs: HashMap<NodeId, Vec<(NodeId, u32)>> = HashMap::new();
     for (_, d) in ddg.deps() {
         if d.kind == DepKind::RegFlow && d.src != d.dst {
-            rf_inputs.entry(d.dst).or_default().push((d.src, d.distance));
+            rf_inputs
+                .entry(d.dst)
+                .or_default()
+                .push((d.src, d.distance));
         }
     }
 
-    let body_seq_span = u64::from(
-        ddg.node_ids().map(|n| ddg.seq(n)).max().unwrap_or(0) + 1,
-    );
+    let body_seq_span = u64::from(ddg.node_ids().map(|n| ddg.seq(n)).max().unwrap_or(0) + 1);
     let po = |n: NodeId, iter: u64| iter * body_seq_span + u64::from(ddg.seq(n));
 
     let mut ms = MemorySystem::new(machine);
@@ -154,8 +158,15 @@ pub fn simulate_kernel(
                     let cluster = schedule.op(n).cluster;
                     if let Some(inputs) = rf_inputs.get(&n) {
                         for &(p, dist) in inputs {
-                            need = need
-                                .max(resolve(&ready, &copy_ready, schedule, cluster, p, dist, i));
+                            need = need.max(resolve(
+                                &ready,
+                                &copy_ready,
+                                schedule,
+                                cluster,
+                                p,
+                                dist,
+                                i,
+                            ));
                         }
                     }
                 }
@@ -182,7 +193,13 @@ pub fn simulate_kernel(
                             let res = ms.load(sop.cluster, addr, now);
                             ready.insert((n, i), res.ready);
                             if options.detect_violations {
-                                detector.record_load(addr, width, po(n, i), res.observed, sop.cluster);
+                                detector.record_load(
+                                    addr,
+                                    width,
+                                    po(n, i),
+                                    res.observed,
+                                    sop.cluster,
+                                );
                             }
                         }
                         OpKind::Store => {
@@ -193,7 +210,13 @@ pub fn simulate_kernel(
                                 || machine.home_cluster(addr) == sop.cluster;
                             if let Some(res) = ms.store(sop.cluster, addr, now, executes) {
                                 if options.detect_violations {
-                                    detector.record_store(addr, width, po(n, i), res.observed, sop.cluster);
+                                    detector.record_store(
+                                        addr,
+                                        width,
+                                        po(n, i),
+                                        res.observed,
+                                        sop.cluster,
+                                    );
                                 }
                             }
                         }
@@ -245,7 +268,12 @@ mod tests {
 
     fn schedule_free(kernel: &LoopKernel, m: &MachineConfig) -> Schedule {
         ModuloScheduler::new(m)
-            .schedule(&kernel.ddg, &SchedConstraints::none(), &PrefMap::new(), Heuristic::MinComs)
+            .schedule(
+                &kernel.ddg,
+                &SchedConstraints::none(),
+                &PrefMap::new(),
+                Heuristic::MinComs,
+            )
             .expect("schedulable")
     }
 
@@ -258,7 +286,13 @@ mod tests {
         let mem = g.node(l).mem_id().unwrap();
         let mut k = LoopKernel::new("stream", g, trip);
         for img in [&mut k.profile, &mut k.exec] {
-            img.insert(mem, AddressStream::Affine { base: 0, stride: 16 });
+            img.insert(
+                mem,
+                AddressStream::Affine {
+                    base: 0,
+                    stride: 16,
+                },
+            );
         }
         k
     }
@@ -285,9 +319,11 @@ mod tests {
         // (All accesses are local if the op landed in cluster 0, remote
         // otherwise — either way hits+misses+combined == 64.)
         assert_eq!(stats.accesses.total(), 64);
-        assert!(stats.accesses.get(AccessClass::LocalMiss)
-            + stats.accesses.get(AccessClass::RemoteMiss)
-            >= 16);
+        assert!(
+            stats.accesses.get(AccessClass::LocalMiss)
+                + stats.accesses.get(AccessClass::RemoteMiss)
+                >= 16
+        );
         assert_eq!(stats.coherence_violations, 0);
     }
 
@@ -308,7 +344,10 @@ mod tests {
         let k = streaming_kernel(4096);
         let m = machine();
         let s = schedule_free(&k, &m);
-        let opts = SimOptions { max_iterations: 256, detect_violations: true };
+        let opts = SimOptions {
+            max_iterations: 256,
+            detect_violations: true,
+        };
         let stats = simulate_kernel(&m, &k, &s, opts);
         assert_eq!(stats.iterations, 4096);
         assert_eq!(stats.compute_cycles, s.compute_cycles(4096));
@@ -332,8 +371,20 @@ mod tests {
         let mut k = LoopKernel::new("fig2", g, trip);
         // Both access the same word each iteration (variable X; stride 0).
         for img in [&mut k.profile, &mut k.exec] {
-            img.insert(ms_, AddressStream::Affine { base: 64, stride: 0 });
-            img.insert(ml, AddressStream::Affine { base: 64, stride: 0 });
+            img.insert(
+                ms_,
+                AddressStream::Affine {
+                    base: 64,
+                    stride: 0,
+                },
+            );
+            img.insert(
+                ml,
+                AddressStream::Affine {
+                    base: 64,
+                    stride: 0,
+                },
+            );
         }
         k
     }
@@ -445,7 +496,12 @@ mod tests {
         let m = machine();
         let s = ModuloScheduler::new(&m)
             .with_latency_relaxation(false)
-            .schedule(&k.ddg, &SchedConstraints::none(), &PrefMap::new(), Heuristic::MinComs)
+            .schedule(
+                &k.ddg,
+                &SchedConstraints::none(),
+                &PrefMap::new(),
+                Heuristic::MinComs,
+            )
             .unwrap();
         let stats = simulate_kernel(&m, &k, &s, SimOptions::default());
         assert_eq!(stats.compute_cycles, s.compute_cycles(64));
@@ -458,10 +514,20 @@ mod tests {
         let m = machine();
         let tight = ModuloScheduler::new(&m)
             .with_latency_relaxation(false)
-            .schedule(&k.ddg, &SchedConstraints::none(), &PrefMap::new(), Heuristic::MinComs)
+            .schedule(
+                &k.ddg,
+                &SchedConstraints::none(),
+                &PrefMap::new(),
+                Heuristic::MinComs,
+            )
             .unwrap();
         let relaxed = ModuloScheduler::new(&m)
-            .schedule(&k.ddg, &SchedConstraints::none(), &PrefMap::new(), Heuristic::MinComs)
+            .schedule(
+                &k.ddg,
+                &SchedConstraints::none(),
+                &PrefMap::new(),
+                Heuristic::MinComs,
+            )
             .unwrap();
         let st_tight = simulate_kernel(&m, &k, &tight, SimOptions::default());
         let st_relaxed = simulate_kernel(&m, &k, &relaxed, SimOptions::default());

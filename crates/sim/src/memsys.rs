@@ -33,14 +33,21 @@ impl SubblockCache {
     #[must_use]
     pub fn new(sets: usize, assoc: usize) -> Self {
         assert!(sets > 0 && assoc > 0, "cache dimensions must be positive");
-        SubblockCache { sets: vec![Vec::new(); sets], assoc, tick: 0 }
+        SubblockCache {
+            sets: vec![Vec::new(); sets],
+            assoc,
+            tick: 0,
+        }
     }
 
     fn set_of(&self, key: (u64, usize)) -> usize {
         // Mix the home cluster into the index: Attraction Buffers hold
         // subblocks of the same block from several homes, which would
         // otherwise all collide in one set.
-        let mixed = key.0.wrapping_add(key.1 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mixed = key
+            .0
+            .wrapping_add(key.1 as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
         (mixed % self.sets.len() as u64) as usize
     }
 
@@ -76,8 +83,7 @@ impl SubblockCache {
             self.sets[set].push(Entry { key, lru: tick });
             return None;
         }
-        let victim = self
-            .sets[set]
+        let victim = self.sets[set]
             .iter_mut()
             .min_by_key(|e| e.lru)
             .expect("set is full, so nonempty");
@@ -122,8 +128,14 @@ impl ResourcePool {
     /// Panics if `count` or `occupancy` is zero.
     #[must_use]
     pub fn new(count: usize, occupancy: u64) -> Self {
-        assert!(count > 0 && occupancy > 0, "pool dimensions must be positive");
-        ResourcePool { free_at: vec![0; count], occupancy }
+        assert!(
+            count > 0 && occupancy > 0,
+            "pool dimensions must be positive"
+        );
+        ResourcePool {
+            free_at: vec![0; count],
+            occupancy,
+        }
     }
 
     /// Grants a unit at the earliest time ≥ `now`; returns the grant time.
@@ -189,9 +201,9 @@ impl MemorySystem {
             .collect();
         let abs = (0..machine.n_clusters)
             .map(|_| {
-                machine.attraction_buffers.map(|ab| {
-                    SubblockCache::new((ab.entries / ab.assoc).max(1), ab.assoc)
-                })
+                machine
+                    .attraction_buffers
+                    .map(|ab| SubblockCache::new((ab.entries / ab.assoc).max(1), ab.assoc))
             })
             .collect();
         MemorySystem {
@@ -241,7 +253,11 @@ impl MemorySystem {
         // Combine with an in-flight remote request to the same subblock.
         if let Some(&ready) = self.pending_remote.get(&(cluster, sb)) {
             if ready > now {
-                let result = AccessResult { ready, observed: ready, class: AccessClass::Combined };
+                let result = AccessResult {
+                    ready,
+                    observed: ready,
+                    class: AccessClass::Combined,
+                };
                 self.counts.record(result.class);
                 return result;
             }
@@ -261,7 +277,11 @@ impl MemorySystem {
         if let Some(ab) = self.abs[cluster].as_mut() {
             ab.insert((sb.block, sb.home));
         }
-        let result = AccessResult { ready, observed: home_result.observed, class };
+        let result = AccessResult {
+            ready,
+            observed: home_result.observed,
+            class,
+        };
         self.counts.record(result.class);
         result
     }
@@ -271,7 +291,13 @@ impl MemorySystem {
     /// `executes` distinguishes a real (architectural) store from a
     /// nullified DDGT remote instance: nullified instances only refresh a
     /// resident Attraction-Buffer copy and are not counted as accesses.
-    pub fn store(&mut self, cluster: usize, addr: u64, now: u64, executes: bool) -> Option<AccessResult> {
+    pub fn store(
+        &mut self,
+        cluster: usize,
+        addr: u64,
+        now: u64,
+        executes: bool,
+    ) -> Option<AccessResult> {
         let sb = self.machine.subblock_of(addr);
         if !executes {
             // Nullified replica: update the local AB copy if present so
@@ -295,7 +321,11 @@ impl MemorySystem {
                 AccessClass::LocalHit | AccessClass::Combined => AccessClass::RemoteHit,
                 _ => AccessClass::RemoteMiss,
             };
-            AccessResult { ready: home.ready, observed: home.observed, class }
+            AccessResult {
+                ready: home.ready,
+                observed: home.observed,
+                class,
+            }
         };
         // Keep a resident local AB copy coherent with the update.
         if let Some(ab) = self.abs[cluster].as_mut() {
@@ -317,12 +347,20 @@ impl MemorySystem {
         if let Some(&ready) = self.pending_fill.get(&sb) {
             if ready > now {
                 self.modules[cluster].probe((sb.block, cluster));
-                return AccessResult { ready, observed: ready, class: AccessClass::Combined };
+                return AccessResult {
+                    ready,
+                    observed: ready,
+                    class: AccessClass::Combined,
+                };
             }
         }
         if self.modules[cluster].probe((sb.block, cluster)) {
             let t = now + cache_lat;
-            return AccessResult { ready: t, observed: t, class: AccessClass::LocalHit };
+            return AccessResult {
+                ready: t,
+                observed: t,
+                class: AccessClass::LocalHit,
+            };
         }
         // Miss: one memory-bus transfer to the next level, the next-level
         // latency (which covers the return), then the module fill.
@@ -331,7 +369,11 @@ impl MemorySystem {
         let ready = port + u64::from(self.machine.next_level.latency);
         self.pending_fill.insert(sb, ready);
         self.modules[cluster].insert((sb.block, cluster));
-        AccessResult { ready, observed: ready, class: AccessClass::LocalMiss }
+        AccessResult {
+            ready,
+            observed: ready,
+            class: AccessClass::LocalMiss,
+        }
     }
 
     /// Flushes every Attraction Buffer (loop boundary, paper Sections
@@ -380,7 +422,10 @@ mod tests {
         let second = c.insert((1, 0));
         let third = c.insert((2, 0));
         let evictions = usize::from(second.is_some()) + usize::from(third.is_some());
-        assert!(evictions >= 1, "three keys cannot all fit in two direct-mapped sets");
+        assert!(
+            evictions >= 1,
+            "three keys cannot all fit in two direct-mapped sets"
+        );
         assert!(c.len() <= 2);
         assert!(c.contains((2, 0)));
     }

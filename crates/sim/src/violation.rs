@@ -85,7 +85,14 @@ impl ViolationDetector {
     /// home module performs the write at `write_time`; counts an anti
     /// violation for every earlier load whose read had not yet been
     /// performed when this write landed.
-    pub fn record_store(&mut self, addr: u64, width: u64, po: u64, write_time: u64, cluster: usize) {
+    pub fn record_store(
+        &mut self,
+        addr: u64,
+        width: u64,
+        po: u64,
+        write_time: u64,
+        cluster: usize,
+    ) {
         let mut violated = false;
         for g in granules(addr, width) {
             if let Some(loads) = self.loads.get(&g) {

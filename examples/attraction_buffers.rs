@@ -15,7 +15,10 @@ use distvliw::core::{Heuristic, Pipeline, Solution};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let suite = distvliw::mediabench::suite("epicdec").expect("bundled benchmark");
     let chained = &suite.kernels[0];
-    println!("epicdec chained loop: {} operations", chained.ddg.node_count());
+    println!(
+        "epicdec chained loop: {} operations",
+        chained.ddg.node_count()
+    );
 
     for (label, machine) in [
         ("no Attraction Buffers", MachineConfig::paper_baseline()),

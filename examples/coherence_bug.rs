@@ -31,8 +31,20 @@ fn figure2_kernel() -> LoopKernel {
     let mut kernel = LoopKernel::new("figure2", ddg, 256);
     for image in [&mut kernel.profile, &mut kernel.exec] {
         // Address 64 maps to cluster 0 under 4-byte word interleaving.
-        image.insert(st_mem, AddressStream::Affine { base: 64, stride: 0 });
-        image.insert(ld_mem, AddressStream::Affine { base: 64, stride: 0 });
+        image.insert(
+            st_mem,
+            AddressStream::Affine {
+                base: 64,
+                stride: 0,
+            },
+        );
+        image.insert(
+            ld_mem,
+            AddressStream::Affine {
+                base: 64,
+                stride: 0,
+            },
+        );
     }
     kernel
 }
@@ -49,18 +61,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     pathological.pinned.insert(load, 0);
     let schedule = ModuloScheduler::new(&machine)
         .with_latency_relaxation(false)
-        .schedule(&kernel.ddg, &pathological, &PrefMap::new(), Heuristic::MinComs)?;
+        .schedule(
+            &kernel.ddg,
+            &pathological,
+            &PrefMap::new(),
+            Heuristic::MinComs,
+        )?;
     let stats = simulate_kernel(&machine, &kernel, &schedule, SimOptions::default());
     println!("Free scheduling (store in cluster 4, load in cluster 1):");
     println!("  {stats}");
-    println!("  -> {} stale reads: the store's update travels over a busy", stats.coherence_violations);
+    println!(
+        "  -> {} stale reads: the store's update travels over a busy",
+        stats.coherence_violations
+    );
     println!("     memory bus and reaches variable X *after* the load reads it.\n");
 
     // --- Fix 1: MDC keeps the chain in one cluster. ---
     let chains = find_chains(&kernel.ddg);
     let constraints = SchedConstraints::for_mdc(&chains, &kernel.ddg, None, machine.n_clusters);
-    let schedule = ModuloScheduler::new(&machine)
-        .schedule(&kernel.ddg, &constraints, &PrefMap::new(), Heuristic::MinComs)?;
+    let schedule = ModuloScheduler::new(&machine).schedule(
+        &kernel.ddg,
+        &constraints,
+        &PrefMap::new(),
+        Heuristic::MinComs,
+    )?;
     let stats = simulate_kernel(&machine, &kernel, &schedule, SimOptions::default());
     println!("MDC (memory dependent chain colocated):");
     println!("  {stats}\n");
@@ -70,8 +94,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut ddgt_kernel = kernel.clone();
     let report = transform(&mut ddgt_kernel.ddg, machine.n_clusters);
     let constraints = SchedConstraints::for_ddgt(&report);
-    let schedule = ModuloScheduler::new(&machine)
-        .schedule(&ddgt_kernel.ddg, &constraints, &PrefMap::new(), Heuristic::MinComs)?;
+    let schedule = ModuloScheduler::new(&machine).schedule(
+        &ddgt_kernel.ddg,
+        &constraints,
+        &PrefMap::new(),
+        Heuristic::MinComs,
+    )?;
     let stats = simulate_kernel(&machine, &ddgt_kernel, &schedule, SimOptions::default());
     println!(
         "DDGT (store replicated {} ways, {} SYNC edges, {} fake consumers):",

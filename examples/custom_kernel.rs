@@ -30,14 +30,20 @@ fn smoothing_filter() -> LoopKernel {
     b.dep(store, left, DepKind::MemFlow, 1);
     let ddg = b.finish();
 
-    let mems: Vec<_> = ddg.mem_nodes().map(|n| ddg.node(n).mem_id().unwrap()).collect();
+    let mems: Vec<_> = ddg
+        .mem_nodes()
+        .map(|n| ddg.node(n).mem_id().unwrap())
+        .collect();
     let mut kernel = LoopKernel::new("smooth3", ddg, 512);
     let offsets = [0i64, 4, 8, 4]; // left, mid, right, store(mid)
     for image in [&mut kernel.profile, &mut kernel.exec] {
         for (&mem, &off) in mems.iter().zip(&offsets) {
             image.insert(
                 mem,
-                AddressStream::Affine { base: (4096 + off) as u64, stride: 4 },
+                AddressStream::Affine {
+                    base: (4096 + off) as u64,
+                    stride: 4,
+                },
             );
         }
     }
@@ -48,18 +54,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A scaled-up machine: 8 clusters, 16KB cache, wider buses.
     let machine = MachineConfig {
         n_clusters: 8,
-        cache: CacheConfig { total_bytes: 16 * 1024, block_bytes: 64, assoc: 2, latency: 1 },
-        reg_buses: BusConfig { count: 8, latency: 2 },
-        mem_buses: BusConfig { count: 8, latency: 2 },
+        cache: CacheConfig {
+            total_bytes: 16 * 1024,
+            block_bytes: 64,
+            assoc: 2,
+            latency: 1,
+        },
+        reg_buses: BusConfig {
+            count: 8,
+            latency: 2,
+        },
+        mem_buses: BusConfig {
+            count: 8,
+            latency: 2,
+        },
         ..MachineConfig::paper_baseline()
     };
     machine.validate()?;
     let pipeline = Pipeline::new(machine);
 
     let kernel = smoothing_filter();
-    println!("custom kernel `{}`: {} ops over {} iterations\n", kernel.name, kernel.ddg.node_count(), kernel.trip_count);
+    println!(
+        "custom kernel `{}`: {} ops over {} iterations\n",
+        kernel.name,
+        kernel.ddg.node_count(),
+        kernel.trip_count
+    );
 
-    println!("{:<6} {:<9} | {:>4} {:>9} {:>8} {:>10}", "sol", "heuristic", "II", "cycles", "stall", "violations");
+    println!(
+        "{:<6} {:<9} | {:>4} {:>9} {:>8} {:>10}",
+        "sol", "heuristic", "II", "cycles", "stall", "violations"
+    );
     for solution in [Solution::Free, Solution::Mdc, Solution::Ddgt] {
         for heuristic in [Heuristic::PrefClus, Heuristic::MinComs] {
             let run = pipeline.run_kernel(&kernel, solution, heuristic)?;

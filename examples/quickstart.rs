@@ -19,7 +19,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // One of the fourteen bundled Mediabench-like suites.
     let suite = distvliw::mediabench::suite("gsmdec").expect("bundled benchmark");
-    println!("benchmark {} ({} loops, interleave {}B)", suite.name, suite.kernels.len(), suite.interleave_bytes);
+    println!(
+        "benchmark {} ({} loops, interleave {}B)",
+        suite.name,
+        suite.kernels.len(),
+        suite.interleave_bytes
+    );
 
     for solution in [Solution::Free, Solution::Mdc, Solution::Ddgt] {
         let stats = pipeline.run_suite(&suite, solution, Heuristic::PrefClus)?;

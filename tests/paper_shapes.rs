@@ -19,9 +19,14 @@ fn ddgt_raises_local_hit_ratio_over_mdc() {
     let mut ddgt_sum = 0.0;
     for name in CHAINED {
         let suite = distvliw::mediabench::suite(name).unwrap();
-        mdc_sum += p.run_suite(&suite, Solution::Mdc, Heuristic::PrefClus).unwrap().local_hit_ratio();
-        ddgt_sum +=
-            p.run_suite(&suite, Solution::Ddgt, Heuristic::PrefClus).unwrap().local_hit_ratio();
+        mdc_sum += p
+            .run_suite(&suite, Solution::Mdc, Heuristic::PrefClus)
+            .unwrap()
+            .local_hit_ratio();
+        ddgt_sum += p
+            .run_suite(&suite, Solution::Ddgt, Heuristic::PrefClus)
+            .unwrap()
+            .local_hit_ratio();
     }
     assert!(
         ddgt_sum > mdc_sum * 1.10,
@@ -38,15 +43,29 @@ fn ddgt_cuts_stall_and_raises_compute() {
     let mut ddgt = (0u64, 0u64);
     for name in CHAINED {
         let suite = distvliw::mediabench::suite(name).unwrap();
-        let m = p.run_suite(&suite, Solution::Mdc, Heuristic::PrefClus).unwrap();
-        let d = p.run_suite(&suite, Solution::Ddgt, Heuristic::PrefClus).unwrap();
+        let m = p
+            .run_suite(&suite, Solution::Mdc, Heuristic::PrefClus)
+            .unwrap();
+        let d = p
+            .run_suite(&suite, Solution::Ddgt, Heuristic::PrefClus)
+            .unwrap();
         mdc.0 += m.total.compute_cycles;
         mdc.1 += m.total.stall_cycles;
         ddgt.0 += d.total.compute_cycles;
         ddgt.1 += d.total.stall_cycles;
     }
-    assert!(ddgt.1 < mdc.1, "DDGT stall {} must undercut MDC stall {}", ddgt.1, mdc.1);
-    assert!(ddgt.0 > mdc.0, "DDGT compute {} must exceed MDC compute {}", ddgt.0, mdc.0);
+    assert!(
+        ddgt.1 < mdc.1,
+        "DDGT stall {} must undercut MDC stall {}",
+        ddgt.1,
+        mdc.1
+    );
+    assert!(
+        ddgt.0 > mdc.0,
+        "DDGT compute {} must exceed MDC compute {}",
+        ddgt.0,
+        mdc.0
+    );
 }
 
 #[test]
@@ -63,7 +82,10 @@ fn free_baseline_violates_on_chained_benchmarks() {
             .total
             .coherence_violations;
     }
-    assert!(total > 0, "the Free baseline must exhibit stale reads somewhere");
+    assert!(
+        total > 0,
+        "the Free baseline must exhibit stale reads somewhere"
+    );
 }
 
 #[test]
@@ -73,9 +95,18 @@ fn specialization_reproduces_table5_direction() {
     for (name, new_cmr_paper) in [("epicdec", 0.20), ("pgpdec", 0.52), ("rasta", 0.13)] {
         let suite = distvliw::mediabench::suite(name).unwrap();
         let old = chain_stats(suite.kernels.iter());
-        let specialized: Vec<_> = suite.kernels.iter().map(|k| specialize_kernel(k).0).collect();
+        let specialized: Vec<_> = suite
+            .kernels
+            .iter()
+            .map(|k| specialize_kernel(k).0)
+            .collect();
         let new = chain_stats(specialized.iter());
-        assert!(new.cmr < old.cmr, "{name}: {:.2} !< {:.2}", new.cmr, old.cmr);
+        assert!(
+            new.cmr < old.cmr,
+            "{name}: {:.2} !< {:.2}",
+            new.cmr,
+            old.cmr
+        );
         assert!(
             (new.cmr - new_cmr_paper).abs() < 0.10,
             "{name}: new CMR {:.2} vs paper {new_cmr_paper:.2}",
@@ -89,13 +120,17 @@ fn attraction_buffers_flip_epicdec_to_ddgt() {
     // Paper Section 5.4: with Attraction Buffers MDC wins everywhere
     // except epicdec, whose 76-op chain overflows a single buffer under
     // MDC while DDGT spreads it across all four.
-    let machine = MachineConfig::paper_baseline()
-        .with_attraction_buffers(AttractionBufferConfig::paper());
+    let machine =
+        MachineConfig::paper_baseline().with_attraction_buffers(AttractionBufferConfig::paper());
     let suite = distvliw::mediabench::suite("epicdec").unwrap();
     let p = Pipeline::new(machine.with_interleave(suite.interleave_bytes));
     let chained = &suite.kernels[0];
-    let mdc = p.run_kernel(chained, Solution::Mdc, Heuristic::PrefClus).unwrap();
-    let ddgt = p.run_kernel(chained, Solution::Ddgt, Heuristic::PrefClus).unwrap();
+    let mdc = p
+        .run_kernel(chained, Solution::Mdc, Heuristic::PrefClus)
+        .unwrap();
+    let ddgt = p
+        .run_kernel(chained, Solution::Ddgt, Heuristic::PrefClus)
+        .unwrap();
     assert!(
         ddgt.stats.total_cycles() < mdc.stats.total_cycles(),
         "DDGT must win the epicdec AB loop: {} vs {}",
@@ -117,8 +152,12 @@ fn nobal_mem_overloads_ddgt_register_buses() {
     let p = Pipeline::new(MachineConfig::nobal_mem());
     for name in CHAINED {
         let suite = distvliw::mediabench::suite(name).unwrap();
-        let mdc = p.run_suite(&suite, Solution::Mdc, Heuristic::PrefClus).unwrap();
-        let ddgt = p.run_suite(&suite, Solution::Ddgt, Heuristic::PrefClus).unwrap();
+        let mdc = p
+            .run_suite(&suite, Solution::Mdc, Heuristic::PrefClus)
+            .unwrap();
+        let ddgt = p
+            .run_suite(&suite, Solution::Ddgt, Heuristic::PrefClus)
+            .unwrap();
         assert!(
             mdc.total_cycles() < ddgt.total_cycles(),
             "{name}: MDC {} must beat DDGT {} under NOBAL+MEM",
@@ -135,9 +174,15 @@ fn nobal_reg_favors_ddgt_on_big_chains() {
     let p = Pipeline::new(MachineConfig::nobal_reg());
     for name in ["epicdec", "pgpdec", "pgpenc", "rasta"] {
         let suite = distvliw::mediabench::suite(name).unwrap();
-        let mdc_pref = p.run_suite(&suite, Solution::Mdc, Heuristic::PrefClus).unwrap();
-        let mdc_min = p.run_suite(&suite, Solution::Mdc, Heuristic::MinComs).unwrap();
-        let ddgt = p.run_suite(&suite, Solution::Ddgt, Heuristic::PrefClus).unwrap();
+        let mdc_pref = p
+            .run_suite(&suite, Solution::Mdc, Heuristic::PrefClus)
+            .unwrap();
+        let mdc_min = p
+            .run_suite(&suite, Solution::Mdc, Heuristic::MinComs)
+            .unwrap();
+        let ddgt = p
+            .run_suite(&suite, Solution::Ddgt, Heuristic::PrefClus)
+            .unwrap();
         let best_mdc = mdc_pref.total_cycles().min(mdc_min.total_cycles());
         assert!(
             ddgt.total_cycles() < best_mdc,
@@ -154,7 +199,11 @@ fn g721_chains_are_empty_so_solutions_coincide() {
     // degenerates to the free schedule.
     let p = Pipeline::new(MachineConfig::paper_baseline());
     let suite = distvliw::mediabench::suite("g721dec").unwrap();
-    let free = p.run_suite(&suite, Solution::Free, Heuristic::PrefClus).unwrap();
-    let mdc = p.run_suite(&suite, Solution::Mdc, Heuristic::PrefClus).unwrap();
+    let free = p
+        .run_suite(&suite, Solution::Free, Heuristic::PrefClus)
+        .unwrap();
+    let mdc = p
+        .run_suite(&suite, Solution::Mdc, Heuristic::PrefClus)
+        .unwrap();
     assert_eq!(free.total, mdc.total, "no chains => identical schedules");
 }

@@ -68,7 +68,9 @@ fn fraction_of_access_classes_sums_to_one() {
     use distvliw::arch::AccessClass;
     let p = pipeline();
     let suite = distvliw::mediabench::suite("rasta").unwrap();
-    let stats = p.run_suite(&suite, Solution::Ddgt, Heuristic::PrefClus).unwrap();
+    let stats = p
+        .run_suite(&suite, Solution::Ddgt, Heuristic::PrefClus)
+        .unwrap();
     let sum: f64 = AccessClass::ALL
         .iter()
         .map(|&c| stats.total.accesses.fraction(c))
@@ -80,8 +82,12 @@ fn fraction_of_access_classes_sums_to_one() {
 fn deterministic_across_runs() {
     let p = pipeline();
     let suite = distvliw::mediabench::suite("jpegdec").unwrap();
-    let a = p.run_suite(&suite, Solution::Ddgt, Heuristic::MinComs).unwrap();
-    let b = p.run_suite(&suite, Solution::Ddgt, Heuristic::MinComs).unwrap();
+    let a = p
+        .run_suite(&suite, Solution::Ddgt, Heuristic::MinComs)
+        .unwrap();
+    let b = p
+        .run_suite(&suite, Solution::Ddgt, Heuristic::MinComs)
+        .unwrap();
     assert_eq!(a.total, b.total, "pipeline must be deterministic");
 }
 
@@ -105,7 +111,9 @@ fn nobal_machines_run_end_to_end() {
     let suite = distvliw::mediabench::suite("gsmenc").unwrap();
     for machine in [MachineConfig::nobal_mem(), MachineConfig::nobal_reg()] {
         let p = Pipeline::new(machine);
-        let stats = p.run_suite(&suite, Solution::Ddgt, Heuristic::PrefClus).unwrap();
+        let stats = p
+            .run_suite(&suite, Solution::Ddgt, Heuristic::PrefClus)
+            .unwrap();
         assert!(stats.total.total_cycles() > 0);
         assert_eq!(stats.total.coherence_violations, 0);
     }

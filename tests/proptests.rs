@@ -18,11 +18,11 @@ use proptest::prelude::*;
 /// arithmetic consumers and a sprinkle of conservative dependence edges.
 fn arb_kernel() -> impl Strategy<Value = LoopKernel> {
     (
-        2usize..10,                        // memory ops
-        1usize..4,                         // distinct arrays
-        0usize..6,                         // arithmetic ops
+        2usize..10, // memory ops
+        1usize..4,  // distinct arrays
+        0usize..6,  // arithmetic ops
         proptest::collection::vec(any::<u8>(), 16),
-        1u64..6,                           // trip count scale
+        1u64..6, // trip count scale
     )
         .prop_map(|(n_mem, n_arrays, n_arith, entropy, trip_scale)| {
             let mut b = DdgBuilder::new();
@@ -75,8 +75,10 @@ fn arb_kernel() -> impl Strategy<Value = LoopKernel> {
                 b.dep(a, c, kind, dist);
             }
             let ddg = b.finish();
-            let mem_sites: Vec<_> =
-                ddg.mem_nodes().map(|n| (n, ddg.node(n).mem_id().unwrap())).collect();
+            let mem_sites: Vec<_> = ddg
+                .mem_nodes()
+                .map(|n| (n, ddg.node(n).mem_id().unwrap()))
+                .collect();
             let mut kernel = LoopKernel::new("prop", ddg, 16 * trip_scale);
             for (idx, &(_, mem)) in mem_sites.iter().enumerate() {
                 let base = 4096 + (idx % n_arrays) as u64 * 0x100;
@@ -97,8 +99,7 @@ fn schedule_respects_deps(ddg: &Ddg, s: &distvliw::sched::Schedule) -> bool {
         let a = s.op(d.src);
         let b = s.op(d.dst);
         let min_sep = i64::from(d.kind.min_separation());
-        i64::from(b.start) + i64::from(s.ii) * i64::from(d.distance)
-            >= i64::from(a.start) + min_sep
+        i64::from(b.start) + i64::from(s.ii) * i64::from(d.distance) >= i64::from(a.start) + min_sep
     })
 }
 
@@ -109,7 +110,7 @@ proptest! {
     fn mdc_chains_partition_memory_ops(kernel in arb_kernel()) {
         let chains = find_chains(&kernel.ddg);
         let mut seen = BTreeSet::new();
-        for (_, members) in chains.chains().iter().enumerate() {
+        for members in chains.chains() {
             for &n in members {
                 prop_assert!(seen.insert(n), "node {n} in two chains");
             }

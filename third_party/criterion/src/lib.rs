@@ -1,0 +1,262 @@
+//! Offline stand-in for the subset of the `criterion` benchmark API used
+//! by this workspace (the build environment has no network access to
+//! crates.io).
+//!
+//! It really measures: each `bench_function` is calibrated so one sample
+//! lasts at least [`MIN_SAMPLE_NANOS`], then `sample_size` samples are
+//! timed and the **median** nanoseconds-per-iteration is reported —
+//! enough fidelity to compare scheduler revisions, which is all the
+//! workspace asks of it. Missing relative to the real crate: statistical
+//! outlier analysis, plots, and saved baselines. Set the `BENCH_JSON`
+//! environment variable to also write the results as a JSON array.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Calibration target: minimum wall-clock nanoseconds per sample.
+const MIN_SAMPLE_NANOS: u128 = 2_000_000;
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Iterations per sample after calibration.
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Registers a free-standing benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let result = run_bench(&id, 20, f);
+        self.results.push(result);
+        self
+    }
+
+    /// All results measured so far.
+    #[must_use]
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints a summary table and honors `BENCH_JSON`.
+    pub fn finalize(&self) {
+        println!(
+            "\n{:<48} {:>14} {:>8} {:>8}",
+            "benchmark", "median", "iters", "samples"
+        );
+        for r in &self.results {
+            println!(
+                "{:<48} {:>14} {:>8} {:>8}",
+                r.id,
+                format_ns(r.median_ns),
+                r.iters_per_sample,
+                r.samples
+            );
+        }
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            match std::fs::write(&path, results_json(&self.results)) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => eprintln!("failed to write {path}: {e}"),
+            }
+        }
+    }
+}
+
+/// Renders results as a JSON array (hand-rolled; no serde available).
+#[must_use]
+pub fn results_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"median_ns\": {:.1}, \"iters_per_sample\": {}, \"samples\": {}}}{comma}\n",
+            r.id.replace('"', "\\\""),
+            r.median_ns,
+            r.iters_per_sample,
+            r.samples
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Measures `f` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let result = run_bench(&id, self.sample_size, f);
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// Ends the group (results were already recorded).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the code to
+/// measure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` the harness-chosen number of times, timing the whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) -> BenchResult {
+    // Calibrate: grow the per-sample iteration count until one sample
+    // takes at least MIN_SAMPLE_NANOS.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed.as_nanos() >= MIN_SAMPLE_NANOS || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median_ns = per_iter[per_iter.len() / 2];
+    println!(
+        "bench {id}: {} / iter ({iters} iters, {samples} samples)",
+        format_ns(median_ns)
+    );
+    BenchResult {
+        id: id.to_string(),
+        median_ns,
+        iters_per_sample: iters,
+        samples,
+    }
+}
+
+/// Declares a function running the listed benchmarks against one
+/// [`Criterion`] instance.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary (requires `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.finish();
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].id, "g/spin");
+        assert!(c.results()[0].median_ns > 0.0);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let r = vec![BenchResult {
+            id: "a/b".into(),
+            median_ns: 12.5,
+            iters_per_sample: 4,
+            samples: 3,
+        }];
+        let j = results_json(&r);
+        assert!(j.starts_with("[\n"));
+        assert!(j.contains("\"id\": \"a/b\""));
+        assert!(j.trim_end().ends_with(']'));
+    }
+}

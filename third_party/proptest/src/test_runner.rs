@@ -1,0 +1,110 @@
+//! Test-case errors and the deterministic RNG driving generation.
+
+use std::fmt;
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property failed.
+    Fail(String),
+    /// The case was rejected (e.g. by `prop_assume!`) and should be
+    /// skipped, not counted as a failure.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed case with the given message.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected (skipped) case with the given message.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+
+    /// Whether this is a rejection rather than a failure.
+    #[must_use]
+    pub fn is_reject(&self) -> bool {
+        matches!(self, TestCaseError::Reject(_))
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic SplitMix64 generator seeded from the test's name, so a
+/// failing case reproduces on every run.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from `test_name` (FNV-1a over the bytes).
+    #[must_use]
+    pub fn for_test(test_name: &str) -> Self {
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x100_0000_01B3);
+        }
+        TestRng { state: hash }
+    }
+
+    /// The next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::for_test("x::y");
+        let mut b = TestRng::for_test("x::y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_test("x::z");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::for_test("bounds");
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn error_kinds() {
+        assert!(!TestCaseError::fail("no").is_reject());
+        assert!(TestCaseError::reject("skip").is_reject());
+        assert_eq!(TestCaseError::fail("no").to_string(), "no");
+    }
+}
