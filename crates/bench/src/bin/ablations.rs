@@ -8,7 +8,7 @@
 //!    (Section 5.4's mechanism: MDC overflows one buffer, DDGT uses all
 //!    four).
 //! 3. **Cache-sensitive latency assignment on/off** — the scheduler's
-//!    compute/stall trade-off (paper Section 2.2 / [21]).
+//!    compute/stall trade-off (paper Section 2.2, reference 21).
 
 use distvliw_arch::{AttractionBufferConfig, BusConfig, MachineConfig};
 use distvliw_core::{Heuristic, Pipeline, PipelineOptions, Solution};

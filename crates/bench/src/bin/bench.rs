@@ -22,6 +22,7 @@ use distvliw_coherence::{find_chains, transform, SchedConstraints};
 use distvliw_core::{Heuristic, Pipeline, Solution};
 use distvliw_ir::profile::preferred_clusters;
 use distvliw_sched::ModuloScheduler;
+use distvliw_sim::{simulate_kernel, SimOptions};
 
 /// Times `f` with calibration: grows the batch until one sample lasts
 /// ≥ 2 ms, then reports the median of `samples` batches.
@@ -105,16 +106,40 @@ fn main() {
         }));
     }
 
-    // Pipeline fan-out: one full suite end to end (kernels run in
-    // parallel; set DISTVLIW_THREADS=1 for the serial reference).
-    let suite = distvliw_mediabench::suite("gsmdec").expect("bundled benchmark");
-    let pipeline = Pipeline::new(MachineConfig::paper_baseline());
-    results.push(time_median("pipeline/gsmdec/mdc_prefclus", 5, || {
-        let stats = pipeline
-            .run_suite(&suite, Solution::Mdc, Heuristic::PrefClus)
+    // Simulator hot path: one fixed schedule simulated end to end
+    // (dense event queue + batched address streams; see docs/sim.md).
+    for bench in ["gsmdec", "epicdec"] {
+        let suite = distvliw_mediabench::suite(bench).expect("bundled benchmark");
+        let m = MachineConfig::paper_baseline().with_interleave(suite.interleave_bytes);
+        let kernel = &suite.kernels[0];
+        let prefs = preferred_clusters(kernel, m.n_clusters, |a| m.home_cluster(a));
+        let chains = find_chains(&kernel.ddg);
+        let mdc = SchedConstraints::for_mdc(&chains, &kernel.ddg, Some(&prefs), m.n_clusters);
+        let schedule = ModuloScheduler::new(&m)
+            .schedule(&kernel.ddg, &mdc, &prefs, Heuristic::PrefClus)
             .unwrap();
-        std::hint::black_box(stats);
-    }));
+        results.push(time_median(&format!("sim/{bench}/mdc"), 10, || {
+            let stats = simulate_kernel(&m, kernel, &schedule, SimOptions::default());
+            std::hint::black_box(stats);
+        }));
+    }
+
+    // Pipeline fan-out: full suites end to end (kernels run in
+    // parallel; set DISTVLIW_THREADS=1 for the serial reference).
+    let pipeline = Pipeline::new(MachineConfig::paper_baseline());
+    for (bench, samples) in [("gsmdec", 5), ("epicdec", 3)] {
+        let suite = distvliw_mediabench::suite(bench).expect("bundled benchmark");
+        results.push(time_median(
+            &format!("pipeline/{bench}/mdc_prefclus"),
+            samples,
+            || {
+                let stats = pipeline
+                    .run_suite(&suite, Solution::Mdc, Heuristic::PrefClus)
+                    .unwrap();
+                std::hint::black_box(stats);
+            },
+        ));
+    }
 
     std::fs::write(&out, results_json(&results)).expect("write bench json");
     println!("wrote {out}");

@@ -1,0 +1,99 @@
+//! Perf-trajectory gate: compares a fresh `bench` run against the
+//! committed baseline and fails (exit 1) if any benchmark shared by both
+//! files regressed beyond the allowed ratio.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p distvliw-bench --bin perfcheck -- \
+//!     BENCH_sched.ci.json BENCH_sched.baseline.json [max-ratio]
+//! ```
+//!
+//! `max-ratio` defaults to 1.3 (a >1.3× median slowdown fails, the
+//! threshold named in ROADMAP.md). Benchmark ids present in only one
+//! file are reported but never fail the check, so adding a benchmark
+//! does not require re-recording the baseline in the same change.
+//! Improvements are reported too; they always pass.
+
+use std::process::ExitCode;
+
+use criterion::{results_from_json, BenchResult};
+
+/// Default failure threshold: current/baseline median ratio above this
+/// fails the gate.
+const DEFAULT_MAX_RATIO: f64 = 1.3;
+
+fn load(path: &str) -> Result<Vec<BenchResult>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    results_from_json(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (current_path, baseline_path) = match &args[..] {
+        [c, b] | [c, b, _] => (c.as_str(), b.as_str()),
+        _ => {
+            eprintln!("usage: perfcheck CURRENT.json BASELINE.json [max-ratio]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let max_ratio = match args.get(2) {
+        None => DEFAULT_MAX_RATIO,
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(r) if r > 0.0 => r,
+            _ => {
+                eprintln!("max-ratio must be a positive number, got `{raw}`");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let (current, baseline) = match (load(current_path), load(baseline_path)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (c, b) => {
+            for err in [c.err(), b.err()].into_iter().flatten() {
+                eprintln!("{err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failed = false;
+    let mut compared = 0usize;
+    for cur in &current {
+        let Some(base) = baseline.iter().find(|b| b.id == cur.id) else {
+            println!("{:<32} (new: no baseline entry, skipped)", cur.id);
+            continue;
+        };
+        compared += 1;
+        let ratio = cur.median_ns / base.median_ns;
+        let verdict = if ratio > max_ratio {
+            failed = true;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<32} {:>10.3} ms vs {:>10.3} ms  ratio {ratio:>5.2}  {verdict}",
+            cur.id,
+            cur.median_ns / 1e6,
+            base.median_ns / 1e6,
+        );
+    }
+    for base in &baseline {
+        if !current.iter().any(|c| c.id == base.id) {
+            println!("{:<32} (missing from current run)", base.id);
+        }
+    }
+
+    if compared == 0 {
+        eprintln!("no benchmark ids in common between {current_path} and {baseline_path}");
+        return ExitCode::FAILURE;
+    }
+    if failed {
+        eprintln!("perf regression: some medians exceed {max_ratio}x of baseline");
+        return ExitCode::FAILURE;
+    }
+    println!("perf check passed ({compared} benchmarks within {max_ratio}x)");
+    ExitCode::SUCCESS
+}

@@ -1,6 +1,7 @@
 //! Shared helpers for the reproduction binaries and Criterion benches.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use distvliw_arch::MachineConfig;
 use distvliw_core::PipelineOptions;

@@ -202,7 +202,9 @@ impl Pipeline {
     /// are pure functions of the kernel and machine); results are merged
     /// in kernel order, so the statistics — and which error is reported —
     /// are identical to a serial run. Set `DISTVLIW_THREADS=1` to force a
-    /// serial run.
+    /// serial run. Per-kernel cost is dominated by the simulator's dense
+    /// event-queue engine (see `docs/sim.md`), so the fan-out scales with
+    /// suite size rather than with one slow kernel.
     ///
     /// # Errors
     ///

@@ -93,7 +93,7 @@ impl<'m> ModuloScheduler<'m> {
     }
 
     /// Enables or disables the latency-assignment relaxation pass
-    /// (paper Section 2.2 / [21]); useful for ablation studies.
+    /// (paper Section 2.2, reference 21); useful for ablation studies.
     #[must_use]
     pub fn with_latency_relaxation(mut self, on: bool) -> Self {
         self.relax_latencies = on;

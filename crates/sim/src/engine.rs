@@ -7,14 +7,27 @@
 //! processor the whole machine freezes when any issuing operation's
 //! operand has not arrived (paper Section 2.1) — so a stall is simply an
 //! increment of the global stall counter.
-
-use std::collections::HashMap;
+//!
+//! The engine is organized for throughput (see `docs/sim.md`):
+//!
+//! * a **dense event queue** — schedule rows bucketed by issue phase
+//!   (`row % II`), so each simulated cycle touches only the rows that can
+//!   fire then and empty cycles cost one array probe;
+//! * **ring-buffer operand tables** — per-`(node, iteration)` ready times
+//!   live in flat tag-checked rings sized to the live iteration window,
+//!   replacing per-event hash lookups;
+//! * **batched address streams** — each cycle's memory accesses are
+//!   gathered into one contiguous slice and handed to
+//!   [`MemorySystem::run_batch`] in a single call.
+//!
+//! All three are pure performance changes: statistics are bit-identical
+//! to the per-cycle scan engine (pinned by `tests/golden_sim_stats.rs`).
 
 use distvliw_arch::MachineConfig;
-use distvliw_ir::{DepKind, LoopKernel, NodeId, OpKind};
+use distvliw_ir::{AddressStream, DepKind, LoopKernel, NodeId, OpKind};
 use distvliw_sched::Schedule;
 
-use crate::memsys::MemorySystem;
+use crate::memsys::{AccessResult, BatchAccess, MemorySystem};
 use crate::stats::SimStats;
 use crate::violation::ViolationDetector;
 
@@ -44,6 +57,90 @@ enum Event {
     Copy(usize),
 }
 
+/// How one scheduled node executes, resolved once before the main loop so
+/// the per-cycle path never consults the DDG or the address-image maps.
+#[derive(Debug, Clone)]
+enum ExecKind {
+    /// A load from the given address stream.
+    Load {
+        /// The execution-input address stream of the load's access site.
+        stream: AddressStream,
+        /// Access width in bytes.
+        width: u64,
+    },
+    /// A store; `gated` marks DDGT replica-group members, which only
+    /// commit in the accessed address's home cluster.
+    Store {
+        /// The execution-input address stream of the store's access site.
+        stream: AddressStream,
+        /// Access width in bytes.
+        width: u64,
+        /// Whether the home-cluster check gates execution.
+        gated: bool,
+    },
+    /// Every other operation: produces its value after a fixed latency.
+    Alu {
+        /// The operation's base latency in cycles.
+        latency: u64,
+    },
+}
+
+/// A flat ring of `iteration → ready-time` cells per slot, tag-checked so
+/// a stale or never-written cell reads as "not produced" (ready time 0) —
+/// exactly the semantics of a missing hash-map entry. The ring `window`
+/// covers the maximum distance between a value's production and its last
+/// architecturally possible use (max dependence distance + pipeline
+/// stages + slack), so no live value is ever overwritten; see
+/// `docs/sim.md` for the bound's derivation.
+struct RingTable {
+    vals: Vec<u64>,
+    tags: Vec<u64>,
+    window: usize,
+}
+
+impl RingTable {
+    fn new(slots: usize, window: usize) -> Self {
+        RingTable {
+            vals: vec![0; slots * window],
+            tags: vec![u64::MAX; slots * window],
+            window,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, slot: usize, iter: u64) -> usize {
+        slot * self.window + (iter % self.window as u64) as usize
+    }
+
+    /// The value recorded for `(slot, iter)`, or 0 when none was.
+    #[inline]
+    fn get(&self, slot: usize, iter: u64) -> u64 {
+        let i = self.idx(slot, iter);
+        if self.tags[i] == iter {
+            self.vals[i]
+        } else {
+            0
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, slot: usize, iter: u64, value: u64) {
+        let i = self.idx(slot, iter);
+        self.tags[i] = iter;
+        self.vals[i] = value;
+    }
+}
+
+/// One register-flow input of a consumer, with the routing decision
+/// (same-cluster → producer's own ready time, cross-cluster → the
+/// scheduled copy's arrival) resolved statically.
+#[derive(Debug, Clone, Copy)]
+struct RfInput {
+    producer: u32,
+    distance: u64,
+    via_copy: bool,
+}
+
 /// Simulates `schedule` executing `kernel` on `machine` and returns the
 /// aggregate statistics for **all** invocations of the loop (one
 /// invocation is simulated against a cold memory system and scaled; the
@@ -65,8 +162,12 @@ pub fn simulate_kernel(
     let span = u64::from(schedule.span);
     let trip = kernel.trip_count.max(1);
     let iters = trip.min(options.max_iterations.max(1));
+    let n_clusters = machine.n_clusters;
 
-    // Rows: events indexed by absolute start cycle.
+    // Rows: events indexed by absolute start cycle, then bucketed by
+    // issue phase (`row % II`). At issue cycle t only rows congruent to
+    // t mod II can fire, so the per-cycle walk touches exactly the rows
+    // of one bucket and an empty phase costs a single probe.
     let mut rows: Vec<Vec<Event>> = vec![Vec::new(); span as usize];
     for (&n, op) in &schedule.ops {
         rows[op.start as usize].push(Event::Op(n));
@@ -74,161 +175,230 @@ pub fn simulate_kernel(
     for (k, c) in schedule.copies.iter().enumerate() {
         rows[c.start as usize].push(Event::Copy(k));
     }
-
-    // Replica groups: nodes that execute conditionally on the home check.
-    let mut in_group: HashMap<NodeId, ()> = HashMap::new();
-    for n in ddg.node_ids() {
-        if let Some(root) = ddg.replica_of(n) {
-            in_group.insert(n, ());
-            in_group.insert(root, ());
+    let mut phase_rows: Vec<Vec<u64>> = vec![Vec::new(); ii as usize];
+    for s in 0..span {
+        if !rows[s as usize].is_empty() {
+            phase_rows[(s % ii) as usize].push(s);
         }
     }
 
-    // Per-node RF inputs resolved once: (producer, distance, same-cluster).
-    let mut rf_inputs: HashMap<NodeId, Vec<(NodeId, u32)>> = HashMap::new();
+    let n_nodes = ddg.node_ids().map(|n| n.index() + 1).max().unwrap_or(0);
+
+    // Replica groups: nodes that execute conditionally on the home check.
+    let mut in_group = vec![false; n_nodes];
+    for n in ddg.node_ids() {
+        if let Some(root) = ddg.replica_of(n) {
+            in_group[n.index()] = true;
+            in_group[root.index()] = true;
+        }
+    }
+
+    // Per-node execution recipe, cluster and sequence number, resolved
+    // once so the hot loop is pure array indexing.
+    let mut cluster = vec![0usize; n_nodes];
+    let mut seq = vec![0u64; n_nodes];
+    let mut exec: Vec<ExecKind> = vec![ExecKind::Alu { latency: 0 }; n_nodes];
+    for (&n, op) in &schedule.ops {
+        let ni = n.index();
+        cluster[ni] = op.cluster;
+        seq[ni] = u64::from(ddg.seq(n));
+        let node = ddg.node(n);
+        exec[ni] = match node.kind {
+            OpKind::Load => ExecKind::Load {
+                stream: kernel
+                    .exec
+                    .get(node.mem_id().expect("load has a site"))
+                    .expect("load has a bound address stream")
+                    .clone(),
+                width: node.mem.expect("load has a site").width.bytes(),
+            },
+            OpKind::Store => ExecKind::Store {
+                stream: kernel
+                    .exec
+                    .get(node.mem_id().expect("store has a site"))
+                    .expect("store has a bound address stream")
+                    .clone(),
+                width: node.mem.expect("store has a site").width.bytes(),
+                gated: in_group[ni],
+            },
+            kind => ExecKind::Alu {
+                latency: u64::from(kind.base_latency()),
+            },
+        };
+    }
+
+    // Register-flow inputs flattened to CSR, routing pre-resolved.
+    let mut input_lists: Vec<Vec<RfInput>> = vec![Vec::new(); n_nodes];
+    let mut max_distance = 0u64;
     for (_, d) in ddg.deps() {
         if d.kind == DepKind::RegFlow && d.src != d.dst {
-            rf_inputs
-                .entry(d.dst)
-                .or_default()
-                .push((d.src, d.distance));
+            let distance = u64::from(d.distance);
+            max_distance = max_distance.max(distance);
+            input_lists[d.dst.index()].push(RfInput {
+                producer: d.src.0,
+                distance,
+                via_copy: schedule.op(d.src).cluster != schedule.op(d.dst).cluster,
+            });
         }
+    }
+    let mut rf_off: Vec<usize> = Vec::with_capacity(n_nodes + 1);
+    let mut rf_inputs: Vec<RfInput> = Vec::new();
+    rf_off.push(0);
+    for list in &input_lists {
+        rf_inputs.extend_from_slice(list);
+        rf_off.push(rf_inputs.len());
     }
 
     let body_seq_span = u64::from(ddg.node_ids().map(|n| ddg.seq(n)).max().unwrap_or(0) + 1);
-    let po = |n: NodeId, iter: u64| iter * body_seq_span + u64::from(ddg.seq(n));
+
+    // Operand ready times: `(node, iter)` and `(producer, cluster, iter)`
+    // cells in tag-checked rings sized to the live iteration window.
+    let window = (max_distance + span.div_ceil(ii) + 2) as usize;
+    let mut ready = RingTable::new(n_nodes, window);
+    let mut copy_ready = RingTable::new(n_nodes * n_clusters, window);
 
     let mut ms = MemorySystem::new(machine);
     let mut detector = ViolationDetector::new();
-    let mut ready: HashMap<(NodeId, u64), u64> = HashMap::new();
-    let mut copy_ready: HashMap<(NodeId, usize, u64), u64> = HashMap::new();
-
-    let resolve = |ready: &HashMap<(NodeId, u64), u64>,
-                   copy_ready: &HashMap<(NodeId, usize, u64), u64>,
-                   schedule: &Schedule,
-                   consumer_cluster: usize,
-                   producer: NodeId,
-                   dist: u32,
-                   iter: u64|
-     -> u64 {
-        let Some(src_iter) = iter.checked_sub(u64::from(dist)) else {
-            return 0; // live-in from before the loop
-        };
-        let pc = schedule.op(producer).cluster;
-        if pc == consumer_cluster {
-            ready.get(&(producer, src_iter)).copied().unwrap_or(0)
-        } else {
-            copy_ready
-                .get(&(producer, consumer_cluster, src_iter))
-                .copied()
-                .unwrap_or(0)
-        }
-    };
 
     let total_rows = (iters - 1) * ii + span;
     let mut stall = 0u64;
     let mut comm_ops = 0u64;
     let bus_lat = u64::from(machine.reg_buses.latency);
 
-    let mut events: Vec<(Event, u64)> = Vec::new();
+    let mut batch: Vec<BatchAccess> = Vec::new();
+    // (node index, iteration, width) per batched access, for the ready
+    // table and the violation detector.
+    let mut batch_meta: Vec<(usize, u64, u64)> = Vec::new();
+    let mut batch_results: Vec<Option<AccessResult>> = Vec::new();
+
     for t in 0..total_rows {
-        // Gather events issuing at issue-cycle t across pipeline stages.
-        events.clear();
-        let mut s = t % ii;
-        while s <= t && s < span {
-            let i = (t - s) / ii;
-            if i < iters {
-                for &ev in &rows[s as usize] {
-                    events.push((ev, i));
-                }
-            }
-            s += ii;
-        }
-        if events.is_empty() {
+        let active = &phase_rows[(t % ii) as usize];
+        if active.is_empty() {
             continue;
         }
 
         // Phase 1: stall-on-use — the row issues only once every operand
-        // of every issuing operation has arrived.
+        // of every issuing operation has arrived. Rows are ascending, so
+        // the first not-yet-reached row (pipeline fill) ends the walk;
+        // drained rows (iteration past the trip) are skipped.
         let now = t + stall;
         let mut need = now;
-        for &(ev, i) in &events {
-            match ev {
-                Event::Op(n) => {
-                    let cluster = schedule.op(n).cluster;
-                    if let Some(inputs) = rf_inputs.get(&n) {
-                        for &(p, dist) in inputs {
-                            need = need.max(resolve(
-                                &ready,
-                                &copy_ready,
-                                schedule,
-                                cluster,
-                                p,
-                                dist,
-                                i,
-                            ));
+        let mut any = false;
+        for &s in active {
+            if s > t {
+                break;
+            }
+            let i = (t - s) / ii;
+            if i >= iters {
+                continue;
+            }
+            any = true;
+            for &ev in &rows[s as usize] {
+                match ev {
+                    Event::Op(n) => {
+                        let ni = n.index();
+                        for inp in &rf_inputs[rf_off[ni]..rf_off[ni + 1]] {
+                            let Some(src_iter) = i.checked_sub(inp.distance) else {
+                                continue; // live-in from before the loop
+                            };
+                            let at = if inp.via_copy {
+                                copy_ready
+                                    .get(inp.producer as usize * n_clusters + cluster[ni], src_iter)
+                            } else {
+                                ready.get(inp.producer as usize, src_iter)
+                            };
+                            need = need.max(at);
                         }
                     }
-                }
-                Event::Copy(k) => {
-                    let c = &schedule.copies[k];
-                    need = need.max(ready.get(&(c.producer, i)).copied().unwrap_or(0));
+                    Event::Copy(k) => {
+                        need = need.max(ready.get(schedule.copies[k].producer.index(), i));
+                    }
                 }
             }
+        }
+        if !any {
+            continue;
         }
         stall += need - now;
         let now = need;
 
-        // Phase 2: execute.
-        for &(ev, i) in &events {
-            match ev {
-                Event::Op(n) => {
-                    let sop = schedule.op(n);
-                    let op = ddg.node(n);
-                    match op.kind {
-                        OpKind::Load => {
-                            let mem = op.mem_id().expect("load has a site");
-                            let width = op.mem.expect("load has a site").width.bytes();
-                            let addr = kernel.exec.addr(mem, i);
-                            let res = ms.load(sop.cluster, addr, now);
-                            ready.insert((n, i), res.ready);
-                            if options.detect_violations {
-                                detector.record_load(
+        // Phase 2a: execute non-memory effects and gather the cycle's
+        // memory accesses — in event order — into one contiguous batch.
+        batch.clear();
+        batch_meta.clear();
+        for &s in active {
+            if s > t {
+                break;
+            }
+            let i = (t - s) / ii;
+            if i >= iters {
+                continue;
+            }
+            for &ev in &rows[s as usize] {
+                match ev {
+                    Event::Op(n) => {
+                        let ni = n.index();
+                        match &exec[ni] {
+                            ExecKind::Alu { latency } => ready.set(ni, i, now + latency),
+                            ExecKind::Load { stream, width } => {
+                                batch.push(BatchAccess {
+                                    cluster: cluster[ni],
+                                    addr: stream.addr_at(i),
+                                    store: false,
+                                    executes: true,
+                                });
+                                batch_meta.push((ni, i, *width));
+                            }
+                            ExecKind::Store {
+                                stream,
+                                width,
+                                gated,
+                            } => {
+                                let addr = stream.addr_at(i);
+                                let executes = !gated || machine.home_cluster(addr) == cluster[ni];
+                                batch.push(BatchAccess {
+                                    cluster: cluster[ni],
                                     addr,
-                                    width,
-                                    po(n, i),
-                                    res.observed,
-                                    sop.cluster,
-                                );
+                                    store: true,
+                                    executes,
+                                });
+                                batch_meta.push((ni, i, *width));
                             }
-                        }
-                        OpKind::Store => {
-                            let mem = op.mem_id().expect("store has a site");
-                            let width = op.mem.expect("store has a site").width.bytes();
-                            let addr = kernel.exec.addr(mem, i);
-                            let executes = !in_group.contains_key(&n)
-                                || machine.home_cluster(addr) == sop.cluster;
-                            if let Some(res) = ms.store(sop.cluster, addr, now, executes) {
-                                if options.detect_violations {
-                                    detector.record_store(
-                                        addr,
-                                        width,
-                                        po(n, i),
-                                        res.observed,
-                                        sop.cluster,
-                                    );
-                                }
-                            }
-                        }
-                        kind => {
-                            ready.insert((n, i), now + u64::from(kind.base_latency()));
                         }
                     }
+                    Event::Copy(k) => {
+                        let c = &schedule.copies[k];
+                        copy_ready.set(
+                            c.producer.index() * n_clusters + c.to_cluster,
+                            i,
+                            now + bus_lat,
+                        );
+                        comm_ops += 1;
+                    }
                 }
-                Event::Copy(k) => {
-                    let c = &schedule.copies[k];
-                    copy_ready.insert((c.producer, c.to_cluster, i), now + bus_lat);
-                    comm_ops += 1;
+            }
+        }
+
+        // Phase 2b: the memory system consumes the whole cycle window as
+        // one slice; results are applied in the same event order, so the
+        // violation detector sees the sequence an access-at-a-time engine
+        // would have produced.
+        if !batch.is_empty() {
+            ms.run_batch(now, &batch, &mut batch_results);
+            for ((req, res), &(ni, i, width)) in batch.iter().zip(&batch_results).zip(&batch_meta) {
+                let po = i * body_seq_span + seq[ni];
+                if req.store {
+                    if let Some(res) = res {
+                        if options.detect_violations {
+                            detector.record_store(req.addr, width, po, res.observed, req.cluster);
+                        }
+                    }
+                } else {
+                    let res = res.as_ref().expect("loads always produce a result");
+                    ready.set(ni, i, res.ready);
+                    if options.detect_violations {
+                        detector.record_load(req.addr, width, po, res.observed, req.cluster);
+                    }
                 }
             }
         }
@@ -241,6 +411,7 @@ pub fn simulate_kernel(
         coherence_violations: detector.violations(),
         comm_ops,
         iterations: iters,
+        bus_busy_cycles: ms.bus_busy_cycles(),
     };
 
     // Extrapolate truncated loops linearly, then scale by invocations.

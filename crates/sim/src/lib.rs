@@ -21,14 +21,15 @@
 //!   assert MDC and DDGT eliminate them.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod engine;
+mod fx;
 mod memsys;
 mod stats;
 mod violation;
 
 pub use engine::{simulate_kernel, SimOptions};
-pub use memsys::{AccessResult, MemorySystem, ResourcePool, SubblockCache};
-pub use stats::{AccessCounts, SimStats};
+pub use memsys::{AccessResult, BatchAccess, MemorySystem, ResourcePool, SubblockCache};
+pub use stats::{AccessCounts, ClusterCounts, SimStats};
 pub use violation::ViolationDetector;

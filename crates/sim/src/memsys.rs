@@ -1,10 +1,9 @@
 //! The distributed memory system: cache modules, attraction buffers,
 //! shared buses, next-level ports and request combining.
 
-use std::collections::HashMap;
-
 use distvliw_arch::{AccessClass, MachineConfig, SubblockId};
 
+use crate::fx::FxHashMap;
 use crate::stats::AccessCounts;
 
 /// A set-associative buffer of subblocks with LRU replacement. Used both
@@ -118,6 +117,7 @@ impl SubblockCache {
 pub struct ResourcePool {
     free_at: Vec<u64>,
     occupancy: u64,
+    grants: u64,
 }
 
 impl ResourcePool {
@@ -135,6 +135,7 @@ impl ResourcePool {
         ResourcePool {
             free_at: vec![0; count],
             occupancy,
+            grants: 0,
         }
     }
 
@@ -148,7 +149,21 @@ impl ResourcePool {
             .expect("pool is nonempty");
         let start = now.max(free);
         self.free_at[idx] = start + self.occupancy;
+        self.grants += 1;
         start
+    }
+
+    /// Number of grants issued so far.
+    #[must_use]
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Total cycles units of this pool were held (grants × per-grant
+    /// occupancy).
+    #[must_use]
+    pub fn busy_cycles(&self) -> u64 {
+        self.grants * self.occupancy
     }
 }
 
@@ -164,12 +179,19 @@ pub struct MemorySystem {
     mem_buses: ResourcePool,
     next_level: ResourcePool,
     /// In-flight module fills: subblock → ready time.
-    pending_fill: HashMap<SubblockId, u64>,
+    pending_fill: FxHashMap<SubblockId, u64>,
     /// In-flight remote reads: (requesting cluster, subblock) → data-back
     /// time.
-    pending_remote: HashMap<(usize, SubblockId), u64>,
+    pending_remote: FxHashMap<(usize, SubblockId), u64>,
+    /// Scratch for batched address translation (reused across
+    /// [`MemorySystem::run_batch`] calls).
+    sb_scratch: Vec<SubblockId>,
     /// Access classification counters.
     pub counts: AccessCounts,
+    /// Dense per-requesting-cluster classification counters (same totals
+    /// as [`MemorySystem::counts`], split by the cluster that issued the
+    /// access).
+    counts_by_cluster: Vec<AccessCounts>,
 }
 
 /// Outcome of one memory access.
@@ -184,6 +206,23 @@ pub struct AccessResult {
     pub observed: u64,
     /// Classification for the Figure 6 statistics.
     pub class: AccessClass,
+}
+
+/// One element of a batched cycle window: everything the memory system
+/// needs to perform the access, gathered up front so
+/// [`MemorySystem::run_batch`] can consume a contiguous slice instead of
+/// being called once per lookup.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchAccess {
+    /// The cluster issuing the access.
+    pub cluster: usize,
+    /// The byte address accessed.
+    pub addr: u64,
+    /// Store (true) or load (false).
+    pub store: bool,
+    /// For stores: whether this is a real (architectural) store rather
+    /// than a nullified DDGT remote instance. Ignored for loads.
+    pub executes: bool,
 }
 
 impl MemorySystem {
@@ -214,9 +253,11 @@ impl MemorySystem {
                 u64::from(machine.mem_buses.latency),
             ),
             next_level: ResourcePool::new(machine.next_level.ports, 1),
-            pending_fill: HashMap::new(),
-            pending_remote: HashMap::new(),
+            pending_fill: FxHashMap::default(),
+            pending_remote: FxHashMap::default(),
+            sb_scratch: Vec::new(),
             counts: AccessCounts::new(),
+            counts_by_cluster: vec![AccessCounts::new(); machine.n_clusters],
             machine: machine.clone(),
         }
     }
@@ -227,14 +268,69 @@ impl MemorySystem {
         &self.machine
     }
 
+    /// Classification counters for accesses issued by `cluster`.
+    #[must_use]
+    pub fn counts_of_cluster(&self, cluster: usize) -> AccessCounts {
+        self.counts_by_cluster
+            .get(cluster)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Total cycles the memory buses were held (grants × bus occupancy).
+    #[must_use]
+    pub fn bus_busy_cycles(&self) -> u64 {
+        self.mem_buses.busy_cycles()
+    }
+
+    /// Records one classified access issued by `cluster`.
+    fn record(&mut self, cluster: usize, class: AccessClass) {
+        self.counts.record(class);
+        self.counts_by_cluster[cluster].record(class);
+    }
+
+    /// Performs every access of one cycle window, in slice order, against
+    /// the same issue time `now`. Address → subblock translation runs
+    /// once over the whole slice, then each cache/bus model consumes the
+    /// pre-translated accesses. Results land in `out` (cleared first),
+    /// one per request, in request order; loads always produce `Some`,
+    /// stores mirror [`MemorySystem::store`]. State updates and
+    /// classifications are exactly those of the equivalent sequence of
+    /// individual [`MemorySystem::load`] / [`MemorySystem::store`] calls.
+    pub fn run_batch(
+        &mut self,
+        now: u64,
+        batch: &[BatchAccess],
+        out: &mut Vec<Option<AccessResult>>,
+    ) {
+        out.clear();
+        out.reserve(batch.len());
+        let mut sbs = std::mem::take(&mut self.sb_scratch);
+        sbs.clear();
+        sbs.extend(batch.iter().map(|a| self.machine.subblock_of(a.addr)));
+        for (a, &sb) in batch.iter().zip(&sbs) {
+            out.push(if a.store {
+                self.store_sb(a.cluster, sb, now, a.executes)
+            } else {
+                Some(self.load_sb(a.cluster, sb, now))
+            });
+        }
+        self.sb_scratch = sbs;
+    }
+
     /// Performs a load from `cluster` at `addr` issued at `now`.
     /// Returns data-ready time and classification, updating all state.
     pub fn load(&mut self, cluster: usize, addr: u64, now: u64) -> AccessResult {
         let sb = self.machine.subblock_of(addr);
+        self.load_sb(cluster, sb, now)
+    }
+
+    /// [`MemorySystem::load`] with the subblock already translated.
+    fn load_sb(&mut self, cluster: usize, sb: SubblockId, now: u64) -> AccessResult {
         let cache_lat = u64::from(self.machine.cache.latency);
         if sb.home == cluster {
             let result = self.local_access(cluster, sb, now);
-            self.counts.record(result.class);
+            self.record(cluster, result.class);
             return result;
         }
         // Attraction Buffer lookup: a resident remote subblock is served
@@ -246,7 +342,7 @@ impl MemorySystem {
                     observed: now + cache_lat,
                     class: AccessClass::LocalHit,
                 };
-                self.counts.record(result.class);
+                self.record(cluster, result.class);
                 return result;
             }
         }
@@ -258,7 +354,7 @@ impl MemorySystem {
                     observed: ready,
                     class: AccessClass::Combined,
                 };
-                self.counts.record(result.class);
+                self.record(cluster, result.class);
                 return result;
             }
         }
@@ -282,7 +378,7 @@ impl MemorySystem {
             observed: home_result.observed,
             class,
         };
-        self.counts.record(result.class);
+        self.record(cluster, result.class);
         result
     }
 
@@ -299,6 +395,17 @@ impl MemorySystem {
         executes: bool,
     ) -> Option<AccessResult> {
         let sb = self.machine.subblock_of(addr);
+        self.store_sb(cluster, sb, now, executes)
+    }
+
+    /// [`MemorySystem::store`] with the subblock already translated.
+    fn store_sb(
+        &mut self,
+        cluster: usize,
+        sb: SubblockId,
+        now: u64,
+        executes: bool,
+    ) -> Option<AccessResult> {
         if !executes {
             // Nullified replica: update the local AB copy if present so
             // later local reads see fresh data (paper Section 5.3).
@@ -333,7 +440,7 @@ impl MemorySystem {
                 ab.probe((sb.block, sb.home));
             }
         }
-        self.counts.record(result.class);
+        self.record(cluster, result.class);
         Some(result)
     }
 
@@ -567,6 +674,67 @@ mod tests {
         let max = ready_times.iter().max().unwrap();
         let min = ready_times.iter().min().unwrap();
         assert!(max > min, "contention must spread completion times");
+    }
+
+    #[test]
+    fn batch_matches_individual_calls() {
+        let mut batched = MemorySystem::new(&machine());
+        let mut serial = MemorySystem::new(&machine());
+        let batch = [
+            BatchAccess {
+                cluster: 0,
+                addr: 0,
+                store: false,
+                executes: true,
+            },
+            BatchAccess {
+                cluster: 1,
+                addr: 4,
+                store: true,
+                executes: true,
+            },
+            BatchAccess {
+                cluster: 2,
+                addr: 0,
+                store: false,
+                executes: true,
+            },
+            BatchAccess {
+                cluster: 3,
+                addr: 8,
+                store: true,
+                executes: false,
+            },
+        ];
+        let mut out = Vec::new();
+        batched.run_batch(5, &batch, &mut out);
+        let want: Vec<Option<AccessResult>> = batch
+            .iter()
+            .map(|a| {
+                if a.store {
+                    serial.store(a.cluster, a.addr, 5, a.executes)
+                } else {
+                    Some(serial.load(a.cluster, a.addr, 5))
+                }
+            })
+            .collect();
+        assert_eq!(out, want);
+        assert_eq!(batched.counts, serial.counts);
+        assert_eq!(batched.bus_busy_cycles(), serial.bus_busy_cycles());
+        for c in 0..4 {
+            assert_eq!(batched.counts_of_cluster(c), serial.counts_of_cluster(c));
+        }
+    }
+
+    #[test]
+    fn per_cluster_counts_sum_to_total() {
+        let mut ms = MemorySystem::new(&machine());
+        ms.load(0, 0, 0);
+        ms.load(1, 0, 0);
+        ms.store(2, 4, 0, true);
+        let sum: u64 = (0..4).map(|c| ms.counts_of_cluster(c).total()).sum();
+        assert_eq!(sum, ms.counts.total());
+        assert_eq!(ms.counts_of_cluster(0).total(), 1);
     }
 
     #[test]

@@ -90,6 +90,53 @@ impl fmt::Display for AccessCounts {
     }
 }
 
+/// A dense per-cluster counter table, indexed by cluster id.
+///
+/// Per-cluster accumulation in the simulator never goes through a map:
+/// cluster ids are small contiguous integers, so a flat `Vec<u64>` gives
+/// O(1) increments with no hashing. The [`crate::ViolationDetector`]
+/// attributes violations through this table; the
+/// [`crate::MemorySystem`] follows the same dense pattern with one
+/// [`AccessCounts`] per cluster (see
+/// [`crate::MemorySystem::counts_of_cluster`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterCounts(Vec<u64>);
+
+impl ClusterCounts {
+    /// All-zero counters for `n` clusters. The table also grows on demand
+    /// if a larger cluster id is recorded.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        ClusterCounts(vec![0; n])
+    }
+
+    /// Adds `n` to `cluster`'s counter, growing the table if needed.
+    pub fn add(&mut self, cluster: usize, n: u64) {
+        if cluster >= self.0.len() {
+            self.0.resize(cluster + 1, 0);
+        }
+        self.0[cluster] += n;
+    }
+
+    /// The count for `cluster` (0 if never recorded).
+    #[must_use]
+    pub fn get(&self, cluster: usize) -> u64 {
+        self.0.get(cluster).copied().unwrap_or(0)
+    }
+
+    /// Sum over all clusters.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// The raw counters, indexed by cluster.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u64] {
+        &self.0
+    }
+}
+
 /// Result of simulating one loop (or the aggregate of many).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimStats {
@@ -106,6 +153,10 @@ pub struct SimStats {
     pub comm_ops: u64,
     /// Loop iterations simulated (after extrapolation).
     pub iterations: u64,
+    /// Cycles the memory buses were granted (grants × per-grant
+    /// occupancy), summed over all buses: the paper's bus-occupancy
+    /// pressure metric.
+    pub bus_busy_cycles: u64,
 }
 
 impl SimStats {
@@ -130,6 +181,7 @@ impl SimStats {
         self.coherence_violations *= factor;
         self.comm_ops *= factor;
         self.iterations *= factor;
+        self.bus_busy_cycles *= factor;
         self
     }
 }
@@ -151,6 +203,7 @@ impl AddAssign for SimStats {
         self.coherence_violations += rhs.coherence_violations;
         self.comm_ops += rhs.comm_ops;
         self.iterations += rhs.iterations;
+        self.bus_busy_cycles += rhs.bus_busy_cycles;
     }
 }
 
@@ -158,13 +211,14 @@ impl fmt::Display for SimStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "cycles={} (compute={} stall={}) accesses=[{}] violations={} copies={}",
+            "cycles={} (compute={} stall={}) accesses=[{}] violations={} copies={} bus_busy={}",
             self.total_cycles(),
             self.compute_cycles,
             self.stall_cycles,
             self.accesses,
             self.coherence_violations,
-            self.comm_ops
+            self.comm_ops,
+            self.bus_busy_cycles
         )
     }
 }
@@ -210,6 +264,30 @@ mod tests {
         let sum = doubled + a;
         assert_eq!(sum.compute_cycles, 30);
         assert_eq!(sum.iterations, 12);
+    }
+
+    #[test]
+    fn cluster_counts_are_dense_and_grow() {
+        let mut c = ClusterCounts::new(2);
+        c.add(0, 3);
+        c.add(1, 1);
+        c.add(5, 2); // beyond the initial size
+        assert_eq!(c.get(0), 3);
+        assert_eq!(c.get(5), 2);
+        assert_eq!(c.get(9), 0);
+        assert_eq!(c.total(), 6);
+        assert_eq!(c.as_slice(), &[3, 1, 0, 0, 0, 2]);
+    }
+
+    #[test]
+    fn bus_busy_scales_and_adds() {
+        let a = SimStats {
+            bus_busy_cycles: 7,
+            ..SimStats::default()
+        };
+        assert_eq!(a.scaled(3).bus_busy_cycles, 21);
+        assert_eq!((a.scaled(3) + a).bus_busy_cycles, 28);
+        assert!(a.to_string().contains("bus_busy=7"));
     }
 
     #[test]

@@ -26,7 +26,8 @@
 //! access touches is tracked, so partially overlapping accesses of
 //! different widths and alignments are caught.
 
-use std::collections::HashMap;
+use crate::fx::FxHashMap;
+use crate::stats::ClusterCounts;
 
 /// Tracking granule in bytes (the smallest access width).
 const GRANULE: u64 = 2;
@@ -44,17 +45,49 @@ const WINDOW: usize = 16;
 /// One recorded access: program order, home-module time, issuing cluster.
 type Access = (u64, u64, usize);
 
-/// Pushes onto a window, evicting the oldest program-order entry.
-fn push_window(window: &mut Vec<Access>, entry: Access) {
-    window.push(entry);
-    if window.len() > WINDOW {
-        let min_idx = window
+/// A fixed-capacity window of recent accesses: stored inline (no
+/// per-granule heap allocation) and evicted by smallest program order.
+/// Program orders are unique per access, so the evicted entry — and with
+/// it the retained *set* — is exactly what the old `Vec`-backed window
+/// kept; queries are set-semantics (existential / argmax over unique
+/// keys), so detection results are identical.
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    entries: [Access; WINDOW],
+    len: usize,
+}
+
+impl Default for Window {
+    fn default() -> Self {
+        Window {
+            entries: [(0, 0, 0); WINDOW],
+            len: 0,
+        }
+    }
+}
+
+impl Window {
+    fn as_slice(&self) -> &[Access] {
+        &self.entries[..self.len]
+    }
+
+    /// Inserts `entry`, evicting the smallest program order when full
+    /// (which may be the new entry itself).
+    fn push(&mut self, entry: Access) {
+        if self.len < WINDOW {
+            self.entries[self.len] = entry;
+            self.len += 1;
+            return;
+        }
+        let (min_idx, &(min_po, _, _)) = self
+            .entries
             .iter()
             .enumerate()
-            .min_by_key(|(_, &(p, _, _))| p)
-            .map(|(i, _)| i)
-            .expect("window is nonempty");
-        window.swap_remove(min_idx);
+            .min_by_key(|&(_, &(p, _, _))| p)
+            .expect("window is full, so nonempty");
+        if entry.0 > min_po {
+            self.entries[min_idx] = entry;
+        }
     }
 }
 
@@ -62,10 +95,13 @@ fn push_window(window: &mut Vec<Access>, entry: Access) {
 #[derive(Debug, Clone, Default)]
 pub struct ViolationDetector {
     /// granule → recent stores.
-    stores: HashMap<u64, Vec<Access>>,
+    stores: FxHashMap<u64, Window>,
     /// granule → recent loads.
-    loads: HashMap<u64, Vec<Access>>,
+    loads: FxHashMap<u64, Window>,
     violations: u64,
+    /// Violations attributed to the issuing cluster of the access that
+    /// detected them (dense, no map).
+    by_cluster: ClusterCounts,
 }
 
 impl ViolationDetector {
@@ -79,6 +115,12 @@ impl ViolationDetector {
     #[must_use]
     pub fn violations(&self) -> u64 {
         self.violations
+    }
+
+    /// Violations split by the cluster that issued the detecting access.
+    #[must_use]
+    pub fn violations_by_cluster(&self) -> &ClusterCounts {
+        &self.by_cluster
     }
 
     /// Records a store to `addr` with sequential program order `po` whose
@@ -97,12 +139,19 @@ impl ViolationDetector {
         for g in granules(addr, width) {
             if let Some(loads) = self.loads.get(&g) {
                 violated |= loads
+                    .as_slice()
                     .iter()
                     .any(|&(p, read, c)| c != cluster && p < po && read >= write_time);
             }
-            push_window(self.stores.entry(g).or_default(), (po, write_time, cluster));
+            self.stores
+                .entry(g)
+                .or_default()
+                .push((po, write_time, cluster));
         }
         self.violations += u64::from(violated);
+        if violated {
+            self.by_cluster.add(cluster, 1);
+        }
     }
 
     /// Records a load from `addr` with program order `po` whose home
@@ -114,18 +163,26 @@ impl ViolationDetector {
         for g in granules(addr, width) {
             if let Some(window) = self.stores.get(&g) {
                 let stale = window
+                    .as_slice()
                     .iter()
                     .filter(|&&(p, _, _)| p < po)
                     .max_by_key(|&&(p, _, _)| p)
                     .is_some_and(|&(_, write, c)| c != cluster && write > read_time);
                 let overwritten = window
+                    .as_slice()
                     .iter()
                     .any(|&(p, write, c)| c != cluster && p > po && write <= read_time);
                 violated |= stale || overwritten;
             }
-            push_window(self.loads.entry(g).or_default(), (po, read_time, cluster));
+            self.loads
+                .entry(g)
+                .or_default()
+                .push((po, read_time, cluster));
         }
         self.violations += u64::from(violated);
+        if violated {
+            self.by_cluster.add(cluster, 1);
+        }
     }
 }
 
@@ -241,6 +298,33 @@ mod tests {
         d.record_store(100, 4, 1, 20, 2);
         d.record_load(100, 4, 2, 12, 2);
         assert_eq!(d.violations(), 0);
+    }
+
+    #[test]
+    fn window_never_exceeds_capacity_and_keeps_newest() {
+        let mut w = Window::default();
+        for po in 0..40u64 {
+            w.push((po, po, 0));
+        }
+        assert_eq!(w.as_slice().len(), WINDOW);
+        // The retained set is the WINDOW largest program orders.
+        let mut pos: Vec<u64> = w.as_slice().iter().map(|&(p, _, _)| p).collect();
+        pos.sort_unstable();
+        assert_eq!(pos, (24..40).collect::<Vec<_>>());
+        // An entry older than everything resident is dropped outright.
+        w.push((1, 1, 0));
+        assert!(!w.as_slice().iter().any(|&(p, _, _)| p == 1));
+    }
+
+    #[test]
+    fn violations_attribute_to_issuing_cluster() {
+        let mut d = ViolationDetector::new();
+        d.record_store(100, 4, 1, 20, 3);
+        d.record_load(100, 4, 2, 12, 0); // cluster 0 reads stale data
+        assert_eq!(d.violations(), 1);
+        assert_eq!(d.violations_by_cluster().get(0), 1);
+        assert_eq!(d.violations_by_cluster().get(3), 0);
+        assert_eq!(d.violations_by_cluster().total(), d.violations());
     }
 
     #[test]

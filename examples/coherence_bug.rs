@@ -24,6 +24,12 @@ fn figure2_kernel() -> LoopKernel {
     let load = b.load(Width::W4);
     let _use = b.op(OpKind::IntAlu, &[load]);
     b.dep(store, load, DepKind::MemFlow, 0);
+    // The next iteration's store overwrites what the load just read: a
+    // memory-anti dependence at distance 1. DDGT's load–store
+    // synchronization hangs off exactly this edge, so omitting it (as an
+    // earlier revision of this example did) leaves the replicated store
+    // racing the load.
+    b.dep(load, store, DepKind::MemAnti, 1);
     let ddg = b.finish();
 
     let st_mem = ddg.node(store).mem_id().expect("store site");

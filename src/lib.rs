@@ -33,6 +33,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use distvliw_arch as arch;
 pub use distvliw_coherence as coherence;

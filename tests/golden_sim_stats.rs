@@ -1,0 +1,126 @@
+//! Golden parity tests for the cycle-level simulator.
+//!
+//! The dense event-queue / batched address-stream rewrite of the
+//! simulator hot path must be a pure performance change: for every
+//! bundled Mediabench kernel, every coherence solution, both
+//! cluster-assignment heuristics and both latency-relaxation modes, the
+//! simulated statistics (compute/stall cycles, the five access-class
+//! counters, coherence violations, dynamic copies and memory-bus
+//! occupancy) have to stay **byte identical** to the snapshot in
+//! `tests/golden/sim_stats.txt`.
+//!
+//! The snapshot was recorded against the pre-rewrite per-cycle scan
+//! engine (with only the additive bus-occupancy counter applied first,
+//! since the seed engine did not report bus busy cycles), so a passing
+//! run proves the rewrite changed no statistic. Regenerate it (only
+//! when a change is *meant* to alter simulated behaviour) with:
+//!
+//! ```text
+//! GOLDEN_UPDATE=1 cargo test --test golden_sim_stats
+//! ```
+
+use distvliw::arch::{AccessClass, MachineConfig};
+use distvliw::coherence::{find_chains, transform, SchedConstraints};
+use distvliw::ir::profile::preferred_clusters;
+use distvliw::ir::LoopKernel;
+use distvliw::sched::{Heuristic, ModuloScheduler};
+use distvliw::sim::{simulate_kernel, SimOptions, SimStats};
+
+const GOLDEN_PATH: &str = "tests/golden/sim_stats.txt";
+
+/// One snapshot line: every counter of [`SimStats`], spelled out so a
+/// diff names the exact statistic that moved.
+fn render_stats(stats: &SimStats) -> String {
+    format!(
+        "compute={} stall={} lh={} rh={} lm={} rm={} cb={} viol={} comm={} bus={} iters={}",
+        stats.compute_cycles,
+        stats.stall_cycles,
+        stats.accesses.get(AccessClass::LocalHit),
+        stats.accesses.get(AccessClass::RemoteHit),
+        stats.accesses.get(AccessClass::LocalMiss),
+        stats.accesses.get(AccessClass::RemoteMiss),
+        stats.accesses.get(AccessClass::Combined),
+        stats.coherence_violations,
+        stats.comm_ops,
+        stats.bus_busy_cycles,
+        stats.iterations,
+    )
+}
+
+/// Compiles and simulates `kernel` the same way the pipeline does for
+/// each solution, appending one snapshot line per configuration (the
+/// same 312-configuration grid as `tests/golden_parity.rs`).
+fn snapshot_kernel(machine: &MachineConfig, kernel: &LoopKernel, out: &mut Vec<String>) {
+    let prefs = preferred_clusters(kernel, machine.n_clusters, |a| machine.home_cluster(a));
+    for heuristic in [Heuristic::PrefClus, Heuristic::MinComs] {
+        for solution in ["free", "mdc", "ddgt"] {
+            let mut kernel = kernel.clone();
+            let constraints = match solution {
+                "free" => SchedConstraints::none(),
+                "mdc" => {
+                    let chains = find_chains(&kernel.ddg);
+                    let pref_arg = (heuristic == Heuristic::PrefClus).then_some(&prefs);
+                    SchedConstraints::for_mdc(&chains, &kernel.ddg, pref_arg, machine.n_clusters)
+                }
+                _ => {
+                    let report = transform(&mut kernel.ddg, machine.n_clusters);
+                    SchedConstraints::for_ddgt(&report)
+                }
+            };
+            for relax in [true, false] {
+                let schedule = ModuloScheduler::new(machine)
+                    .with_latency_relaxation(relax)
+                    .schedule(&kernel.ddg, &constraints, &prefs, heuristic)
+                    .expect("bundled kernels schedule");
+                let stats = simulate_kernel(machine, &kernel, &schedule, SimOptions::default());
+                out.push(format!(
+                    "{} {solution} {heuristic} relax={relax} {}",
+                    kernel.name,
+                    render_stats(&stats)
+                ));
+            }
+        }
+    }
+}
+
+fn current_snapshot() -> Vec<String> {
+    let mut lines = Vec::new();
+    for suite in distvliw::mediabench::suites() {
+        let machine = MachineConfig::paper_baseline().with_interleave(suite.interleave_bytes);
+        for kernel in &suite.kernels {
+            snapshot_kernel(&machine, kernel, &mut lines);
+        }
+    }
+    lines
+}
+
+#[test]
+fn sim_stats_match_golden_snapshot() {
+    let snapshot = current_snapshot();
+    let rendered: String = snapshot.iter().map(|l| format!("{l}\n")).collect();
+
+    if std::env::var("GOLDEN_UPDATE").is_ok() {
+        std::fs::create_dir_all("tests/golden").expect("create golden dir");
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden file");
+        eprintln!("updated {GOLDEN_PATH} with {} entries", snapshot.len());
+        return;
+    }
+
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden snapshot missing; run GOLDEN_UPDATE=1 cargo test --test golden_sim_stats");
+    let golden_lines: Vec<&str> = golden.lines().collect();
+    assert_eq!(
+        golden_lines.len(),
+        snapshot.len(),
+        "configuration count changed: golden {} vs current {}",
+        golden_lines.len(),
+        snapshot.len()
+    );
+    for (line, want) in snapshot.iter().zip(&golden_lines) {
+        assert_eq!(
+            line.as_str(),
+            *want,
+            "simulated statistics diverged from golden snapshot.\n current: {line}\n  golden: {want}"
+        );
+    }
+}

@@ -3,7 +3,7 @@
 //! crates.io).
 //!
 //! It really measures: each `bench_function` is calibrated so one sample
-//! lasts at least [`MIN_SAMPLE_NANOS`], then `sample_size` samples are
+//! lasts at least `MIN_SAMPLE_NANOS` (2 ms), then `sample_size` samples are
 //! timed and the **median** nanoseconds-per-iteration is reported —
 //! enough fidelity to compare scheduler revisions, which is all the
 //! workspace asks of it. Missing relative to the real crate: statistical
@@ -104,6 +104,70 @@ pub fn results_json(results: &[BenchResult]) -> String {
     }
     out.push_str("]\n");
     out
+}
+
+/// Parses a JSON array written by [`results_json`] back into results.
+/// The parser accepts exactly the writer's shape (one object per line,
+/// the four known fields); anything else is an error. Hand-rolled for
+/// the same reason the writer is: no serde in the offline build.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed entry.
+pub fn results_from_json(text: &str) -> Result<Vec<BenchResult>, String> {
+    fn field<'a>(obj: &'a str, key: &str) -> Result<&'a str, String> {
+        let pat = format!("\"{key}\": ");
+        let start = obj
+            .find(&pat)
+            .ok_or_else(|| format!("missing field `{key}` in `{obj}`"))?
+            + pat.len();
+        let rest = &obj[start..];
+        let end = rest
+            .find([',', '}'])
+            .ok_or_else(|| format!("unterminated field `{key}` in `{obj}`"))?;
+        Ok(rest[..end].trim())
+    }
+
+    let mut results = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') {
+            continue; // array brackets / blank lines
+        }
+        // The id is parsed by scanning to its closing quote (not to the
+        // next ','/'}' like the numeric fields), so ids containing
+        // commas, braces or escaped quotes roundtrip.
+        let id_pat = "\"id\": \"";
+        let id_start = line
+            .find(id_pat)
+            .ok_or_else(|| format!("missing field `id` in `{line}`"))?
+            + id_pat.len();
+        let mut id = String::new();
+        let mut chars = line[id_start..].chars();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some(c) => id.push(c),
+                    None => return Err(format!("unterminated id escape in `{line}`")),
+                },
+                Some('"') => break,
+                Some(c) => id.push(c),
+                None => return Err(format!("unterminated id in `{line}`")),
+            }
+        }
+        let parse_num = |key: &str| -> Result<f64, String> {
+            field(line, key)?
+                .parse::<f64>()
+                .map_err(|e| format!("bad `{key}` in `{line}`: {e}"))
+        };
+        results.push(BenchResult {
+            id,
+            median_ns: parse_num("median_ns")?,
+            iters_per_sample: parse_num("iters_per_sample")? as u64,
+            samples: parse_num("samples")? as usize,
+        });
+    }
+    Ok(results)
 }
 
 fn format_ns(ns: f64) -> String {
@@ -258,5 +322,50 @@ mod tests {
         assert!(j.starts_with("[\n"));
         assert!(j.contains("\"id\": \"a/b\""));
         assert!(j.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let r = vec![
+            BenchResult {
+                id: "sched/a".into(),
+                median_ns: 12.5,
+                iters_per_sample: 4,
+                samples: 3,
+            },
+            BenchResult {
+                id: "sim/\"q\"".into(),
+                median_ns: 7.0,
+                iters_per_sample: 1,
+                samples: 10,
+            },
+        ];
+        let parsed = results_from_json(&results_json(&r)).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].id, "sched/a");
+        assert!((parsed[0].median_ns - 12.5).abs() < 1e-9);
+        assert_eq!(parsed[0].iters_per_sample, 4);
+        assert_eq!(parsed[1].id, "sim/\"q\"");
+        assert_eq!(parsed[1].samples, 10);
+    }
+
+    #[test]
+    fn ids_with_commas_and_braces_roundtrip() {
+        let r = vec![BenchResult {
+            id: "pipeline/{gsmdec,epicdec}".into(),
+            median_ns: 3.0,
+            iters_per_sample: 1,
+            samples: 2,
+        }];
+        let parsed = results_from_json(&results_json(&r)).unwrap();
+        assert_eq!(parsed[0].id, "pipeline/{gsmdec,epicdec}");
+        assert_eq!(parsed[0].samples, 2);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(results_from_json("[\n  {\"median_ns\": 1.0}\n]\n").is_err());
+        assert!(results_from_json("[\n  {\"id\": \"a\", \"median_ns\": x}\n]\n").is_err());
+        assert_eq!(results_from_json("[]\n").unwrap().len(), 0);
     }
 }
