@@ -281,6 +281,47 @@ impl MachineConfig {
         Ok(())
     }
 
+    /// A canonical, versioned byte encoding of every field, suitable for
+    /// content-addressed hashing (the serving layer's result-cache keys).
+    ///
+    /// Two configurations encode to the same bytes **iff** they compare
+    /// equal: every field — including the Attraction-Buffer option — is
+    /// appended in a fixed order as fixed-width little-endian integers,
+    /// with a leading format version so a future field addition changes
+    /// every key instead of silently aliasing old entries.
+    #[must_use]
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        /// Encoding version; bump when the field set or order changes.
+        const VERSION: u8 = 1;
+        let mut out = Vec::with_capacity(96);
+        out.push(VERSION);
+        let mut u64le = |v: u64| out.extend_from_slice(&v.to_le_bytes());
+        u64le(self.n_clusters as u64);
+        u64le(self.fu.integer as u64);
+        u64le(self.fu.fp as u64);
+        u64le(self.fu.memory as u64);
+        u64le(self.cache.total_bytes);
+        u64le(self.cache.block_bytes);
+        u64le(self.cache.assoc as u64);
+        u64le(u64::from(self.cache.latency));
+        u64le(self.reg_buses.count as u64);
+        u64le(u64::from(self.reg_buses.latency));
+        u64le(self.mem_buses.count as u64);
+        u64le(u64::from(self.mem_buses.latency));
+        u64le(self.next_level.ports as u64);
+        u64le(u64::from(self.next_level.latency));
+        u64le(self.interleave_bytes);
+        match self.attraction_buffers {
+            None => u64le(0),
+            Some(ab) => {
+                u64le(1);
+                u64le(ab.entries as u64);
+                u64le(ab.assoc as u64);
+            }
+        }
+        out
+    }
+
     /// Bytes of each cache block held by one cluster ("subblock", paper
     /// Section 2.1).
     #[must_use]
@@ -445,5 +486,73 @@ mod tests {
     #[test]
     fn default_is_paper_baseline() {
         assert_eq!(MachineConfig::default(), MachineConfig::paper_baseline());
+    }
+
+    #[test]
+    fn canonical_bytes_are_stable_and_injective() {
+        let base = MachineConfig::paper_baseline();
+        assert_eq!(base.canonical_bytes(), base.canonical_bytes());
+
+        // Every single-field perturbation must change the encoding.
+        let mut variants: Vec<MachineConfig> = Vec::new();
+        let mut m = base.clone();
+        m.n_clusters = 8;
+        variants.push(m);
+        let mut m = base.clone();
+        m.fu.integer = 2;
+        variants.push(m);
+        let mut m = base.clone();
+        m.fu.fp = 2;
+        variants.push(m);
+        let mut m = base.clone();
+        m.fu.memory = 2;
+        variants.push(m);
+        let mut m = base.clone();
+        m.cache.total_bytes = 16 * 1024;
+        variants.push(m);
+        let mut m = base.clone();
+        m.cache.block_bytes = 64;
+        variants.push(m);
+        let mut m = base.clone();
+        m.cache.assoc = 4;
+        variants.push(m);
+        let mut m = base.clone();
+        m.cache.latency = 2;
+        variants.push(m);
+        variants.push(base.clone().with_reg_buses(BusConfig {
+            count: 2,
+            latency: 2,
+        }));
+        variants.push(base.clone().with_mem_buses(BusConfig {
+            count: 4,
+            latency: 4,
+        }));
+        let mut m = base.clone();
+        m.next_level.ports = 2;
+        variants.push(m);
+        let mut m = base.clone();
+        m.next_level.latency = 20;
+        variants.push(m);
+        variants.push(base.clone().with_interleave(2));
+        variants.push(
+            base.clone()
+                .with_attraction_buffers(AttractionBufferConfig::paper()),
+        );
+        variants.push(
+            base.clone()
+                .with_attraction_buffers(AttractionBufferConfig {
+                    entries: 32,
+                    assoc: 2,
+                }),
+        );
+
+        let base_bytes = base.canonical_bytes();
+        let mut seen = vec![base_bytes.clone()];
+        for v in &variants {
+            let bytes = v.canonical_bytes();
+            assert_ne!(bytes, base_bytes, "{v:?} aliases the baseline");
+            assert!(!seen.contains(&bytes), "{v:?} aliases another variant");
+            seen.push(bytes);
+        }
     }
 }

@@ -1,74 +1,28 @@
 //! Runs every experiment of the paper's evaluation in order and prints
-//! the full report (Figures 6, 7, 9; Tables 3, 4, 5; the NOBAL study and
-//! the loop case studies). This is the one-shot generator behind
-//! `EXPERIMENTS.md`.
+//! the full report (Figures 6, 7, 9; Tables 3, 4, 5; the NOBAL study,
+//! the loop case studies, the hybrid solution and the cluster-imbalance
+//! breakdown). This is the one-shot generator behind `EXPERIMENTS.md`.
 
-use distvliw_arch::MachineConfig;
-use distvliw_core::experiments;
-use distvliw_core::report;
-
-fn main() {
+fn main() -> std::process::ExitCode {
     let machine = distvliw_bench::paper_machine();
-
-    println!("== Table 3 ==");
-    print!("{}", report::render_table3(&experiments::table3()));
-
-    println!("\n== Figure 6 ==");
-    match experiments::fig6(&machine) {
-        Ok(rows) => print!("{}", report::render_fig6(&rows)),
-        Err(e) => eprintln!("fig6 failed: {e}"),
-    }
-
-    println!("\n== Figure 7 ==");
-    match experiments::fig7(&machine) {
-        Ok(rows) => print!(
-            "{}",
-            report::render_exec(&rows, "normalized execution time")
-        ),
-        Err(e) => eprintln!("fig7 failed: {e}"),
-    }
-
-    println!("\n== Table 4 ==");
-    match experiments::table4(&machine) {
-        Ok(rows) => print!("{}", report::render_table4(&rows)),
-        Err(e) => eprintln!("table4 failed: {e}"),
-    }
-
-    println!("\n== Table 5 ==");
-    print!("{}", report::render_table5(&experiments::table5()));
-
-    println!("\n== Figure 9 ==");
-    match experiments::fig9(&machine) {
-        Ok(rows) => {
-            print!(
-                "{}",
-                report::render_exec(&rows, "normalized execution time with ABs")
-            );
+    let mut failed = false;
+    for (i, name) in distvliw_bench::EXPERIMENTS.iter().enumerate() {
+        if i > 0 {
+            println!();
         }
-        Err(e) => eprintln!("fig9 failed: {e}"),
-    }
-
-    println!("\n== NOBAL study ==");
-    for (m, title) in [
-        (MachineConfig::nobal_mem(), "NOBAL+MEM"),
-        (MachineConfig::nobal_reg(), "NOBAL+REG"),
-    ] {
-        match experiments::nobal(&m) {
-            Ok(rows) => println!("{}", report::render_nobal(&rows, title)),
-            Err(e) => eprintln!("nobal failed: {e}"),
+        // Each report opens with its own title line, so no extra
+        // heading is printed here.
+        match distvliw_bench::report(name, &machine) {
+            Ok(text) => print!("{text}"),
+            Err(err) => {
+                eprintln!("{err}");
+                failed = true;
+            }
         }
     }
-
-    println!("\n== Case studies ==");
-    match experiments::gsmdec_case_study(&machine) {
-        Ok(cs) => println!("{}", report::render_case_study(&cs)),
-        Err(e) => eprintln!("gsmdec case study failed: {e}"),
-    }
-    match experiments::epicdec_ab_case_study(&machine) {
-        Ok(cs) => println!(
-            "(with Attraction Buffers)\n{}",
-            report::render_case_study(&cs)
-        ),
-        Err(e) => eprintln!("epicdec case study failed: {e}"),
+    if failed {
+        std::process::ExitCode::FAILURE
+    } else {
+        std::process::ExitCode::SUCCESS
     }
 }

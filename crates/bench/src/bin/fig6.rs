@@ -2,16 +2,6 @@
 //! hits, remote hits, local misses, remote misses and combined accesses
 //! under the PrefClus heuristic, for Free / MDC / DDGT.
 
-use distvliw_core::experiments::fig6;
-use distvliw_core::report::render_fig6;
-
-fn main() {
-    let machine = distvliw_bench::paper_machine();
-    match fig6(&machine) {
-        Ok(rows) => print!("{}", render_fig6(&rows)),
-        Err(e) => {
-            eprintln!("fig6 failed: {e}");
-            std::process::exit(1);
-        }
-    }
+fn main() -> std::process::ExitCode {
+    distvliw_bench::run_experiment_main("fig6")
 }

@@ -1,19 +1,6 @@
 //! Reproduces **Figure 7**: execution time (compute + stall, normalized
 //! to the Free/MinComs baseline) for MDC and DDGT under both heuristics.
 
-use distvliw_core::experiments::fig7;
-use distvliw_core::report::render_exec;
-
-fn main() {
-    let machine = distvliw_bench::paper_machine();
-    match fig7(&machine) {
-        Ok(rows) => print!(
-            "{}",
-            render_exec(&rows, "Figure 7: normalized execution time")
-        ),
-        Err(e) => {
-            eprintln!("fig7 failed: {e}");
-            std::process::exit(1);
-        }
-    }
+fn main() -> std::process::ExitCode {
+    distvliw_bench::run_experiment_main("fig7")
 }

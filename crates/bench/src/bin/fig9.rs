@@ -1,22 +1,6 @@
 //! Reproduces **Figure 9**: execution time with 16-entry 2-way
 //! Attraction Buffers (normalized to Free/MinComs with the same buffers).
 
-use distvliw_core::experiments::fig9;
-use distvliw_core::report::render_exec;
-
-fn main() {
-    let machine = distvliw_bench::paper_machine();
-    match fig9(&machine) {
-        Ok(rows) => print!(
-            "{}",
-            render_exec(
-                &rows,
-                "Figure 9: normalized execution time with Attraction Buffers"
-            )
-        ),
-        Err(e) => {
-            eprintln!("fig9 failed: {e}");
-            std::process::exit(1);
-        }
-    }
+fn main() -> std::process::ExitCode {
+    distvliw_bench::run_experiment_main("fig9")
 }

@@ -4,43 +4,6 @@
 //! the best solution could be chosen"), evaluated per benchmark against
 //! pure MDC and pure DDGT.
 
-use distvliw_core::{Heuristic, Pipeline, Solution};
-
-fn main() {
-    let machine = distvliw_bench::paper_machine();
-    let pipeline = Pipeline::new(machine);
-    println!("Hybrid solution (per-loop best of MDC/DDGT, PrefClus)");
-    println!(
-        "{:<10} | {:>10} {:>10} {:>10} | {:>10}",
-        "benchmark", "MDC", "DDGT", "Hybrid", "gain"
-    );
-    for suite in distvliw_mediabench::figure_suites() {
-        let run = |s| {
-            pipeline
-                .run_suite(&suite, s, Heuristic::PrefClus)
-                .map(|r| r.total_cycles())
-        };
-        match (
-            run(Solution::Mdc),
-            run(Solution::Ddgt),
-            run(Solution::Hybrid),
-        ) {
-            (Ok(mdc), Ok(ddgt), Ok(hybrid)) => {
-                let best_pure = mdc.min(ddgt);
-                let gain = best_pure as f64 / hybrid.max(1) as f64 - 1.0;
-                println!(
-                    "{:<10} | {:>10} {:>10} {:>10} | {:>9.1}%",
-                    suite.name,
-                    mdc,
-                    ddgt,
-                    hybrid,
-                    gain * 100.0
-                );
-            }
-            (a, b, c) => {
-                eprintln!("{}: {a:?} {b:?} {c:?}", suite.name);
-                std::process::exit(1);
-            }
-        }
-    }
+fn main() -> std::process::ExitCode {
+    distvliw_bench::run_experiment_main("hybrid")
 }

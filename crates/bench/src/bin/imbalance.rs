@@ -1,0 +1,8 @@
+//! Per-cluster **imbalance** report: the share of memory accesses each
+//! cluster issued, the busiest-over-mean imbalance ratio, the
+//! per-cluster coherence-violation split and the bus / next-level grant
+//! pressure, for MDC and DDGT under PrefClus.
+
+fn main() -> std::process::ExitCode {
+    distvliw_bench::run_experiment_main("imbalance")
+}

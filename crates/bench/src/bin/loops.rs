@@ -3,23 +3,6 @@
 //! 76-memory-op chain loop of Section 5.4 (DDGT spreads the chain over
 //! all four Attraction Buffers).
 
-use distvliw_core::experiments::{epicdec_ab_case_study, gsmdec_case_study};
-use distvliw_core::report::render_case_study;
-
-fn main() {
-    let machine = distvliw_bench::paper_machine();
-    match gsmdec_case_study(&machine) {
-        Ok(cs) => println!("{}", render_case_study(&cs)),
-        Err(e) => {
-            eprintln!("gsmdec case study failed: {e}");
-            std::process::exit(1);
-        }
-    }
-    match epicdec_ab_case_study(&machine) {
-        Ok(cs) => println!("(with Attraction Buffers)\n{}", render_case_study(&cs)),
-        Err(e) => {
-            eprintln!("epicdec case study failed: {e}");
-            std::process::exit(1);
-        }
-    }
+fn main() -> std::process::ExitCode {
+    distvliw_bench::run_experiment_main("loops")
 }

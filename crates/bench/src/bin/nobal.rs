@@ -3,27 +3,6 @@
 //! buses) and NOBAL+REG (2×4-cycle memory buses, 4×2-cycle register
 //! buses).
 
-use distvliw_arch::MachineConfig;
-use distvliw_core::experiments::nobal;
-use distvliw_core::report::render_nobal;
-
-fn main() {
-    for (machine, title) in [
-        (
-            MachineConfig::nobal_mem(),
-            "NOBAL+MEM: more memory buses than register buses",
-        ),
-        (
-            MachineConfig::nobal_reg(),
-            "NOBAL+REG: more register buses than memory buses",
-        ),
-    ] {
-        match nobal(&machine) {
-            Ok(rows) => println!("{}", render_nobal(&rows, title)),
-            Err(e) => {
-                eprintln!("nobal failed: {e}");
-                std::process::exit(1);
-            }
-        }
-    }
+fn main() -> std::process::ExitCode {
+    distvliw_bench::run_experiment_main("nobal")
 }

@@ -1,9 +1,6 @@
 //! Reproduces **Table 3**: the biggest-chain ratios CMR and CAR per
 //! benchmark, next to the paper's published values.
 
-use distvliw_core::experiments::table3;
-use distvliw_core::report::render_table3;
-
-fn main() {
-    print!("{}", render_table3(&table3()));
+fn main() -> std::process::ExitCode {
+    distvliw_bench::run_experiment_main("table3")
 }

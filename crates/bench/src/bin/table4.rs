@@ -2,16 +2,6 @@
 //! operations and the DDGT speedup on the selected loops (loops with at
 //! least a 10% MDC slowdown versus the Free baseline), under PrefClus.
 
-use distvliw_core::experiments::table4;
-use distvliw_core::report::render_table4;
-
-fn main() {
-    let machine = distvliw_bench::paper_machine();
-    match table4(&machine) {
-        Ok(rows) => print!("{}", render_table4(&rows)),
-        Err(e) => {
-            eprintln!("table4 failed: {e}");
-            std::process::exit(1);
-        }
-    }
+fn main() -> std::process::ExitCode {
+    distvliw_bench::run_experiment_main("table4")
 }

@@ -1,9 +1,6 @@
 //! Reproduces **Table 5**: chain restrictions (CMR/CAR) before and after
 //! code specialization for epicdec, pgpdec and rasta.
 
-use distvliw_core::experiments::table5;
-use distvliw_core::report::render_table5;
-
-fn main() {
-    print!("{}", render_table5(&table5()));
+fn main() -> std::process::ExitCode {
+    distvliw_bench::run_experiment_main("table5")
 }

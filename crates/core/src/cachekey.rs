@@ -1,0 +1,436 @@
+//! Content-addressed cache keys for experiment results.
+//!
+//! The serving layer memoizes one *cell* of an experiment grid — the
+//! result of running a benchmark suite under one `(machine, options,
+//! solution, heuristic)` combination — keyed by a canonical byte
+//! encoding of everything the result depends on. Keys carry the full
+//! encoding (lookups compare the bytes) with one deliberate exception:
+//! the suite's graph/stream content — which runs to ~100 KB — enters as
+//! a 128-bit [`digest_fingerprint`] of its [`suite_digest`], so machine
+//! and option collisions are impossible and suite-content collisions
+//! require two independent 64-bit FNV halves to collide at once.
+
+use distvliw_arch::MachineConfig;
+use distvliw_ir::{AddressStream, DepKind, OpKind, Suite};
+use distvliw_sched::Heuristic;
+
+use crate::pipeline::{PipelineOptions, Solution};
+
+/// A content-addressed cache key: the canonical encoding of one
+/// experiment cell plus its precomputed 64-bit FNV-1a hash.
+///
+/// Equality is byte equality; the hash only accelerates map lookups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheKey {
+    bytes: Vec<u8>,
+    hash: u64,
+}
+
+impl CacheKey {
+    /// Wraps an already-canonical encoding.
+    #[must_use]
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        let hash = fnv1a64(&bytes);
+        CacheKey { bytes, hash }
+    }
+
+    /// The canonical encoding.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The precomputed FNV-1a hash of the encoding.
+    #[must_use]
+    pub fn hash64(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl std::hash::Hash for CacheKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+/// 64-bit FNV-1a over `bytes`.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Appends a length-prefixed string (length prefix keeps adjacent
+/// fields from aliasing across boundaries).
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn op_tag(kind: OpKind) -> u8 {
+    match kind {
+        OpKind::Load => 0,
+        OpKind::Store => 1,
+        OpKind::IntAlu => 2,
+        OpKind::IntMul => 3,
+        OpKind::FpAlu => 4,
+        OpKind::FpMul => 5,
+        OpKind::Copy => 6,
+        OpKind::FakeConsumer => 7,
+    }
+}
+
+fn dep_tag(kind: DepKind) -> u8 {
+    match kind {
+        DepKind::RegFlow => 0,
+        DepKind::MemFlow => 1,
+        DepKind::MemAnti => 2,
+        DepKind::MemOut => 3,
+        DepKind::Sync => 4,
+    }
+}
+
+fn push_stream(out: &mut Vec<u8>, stream: &AddressStream) {
+    match stream {
+        AddressStream::Affine { base, stride } => {
+            out.push(0);
+            push_u64(out, *base);
+            push_u64(out, *stride as u64);
+        }
+        AddressStream::Indexed(addrs) => {
+            out.push(1);
+            push_u64(out, addrs.len() as u64);
+            for &a in addrs.iter() {
+                push_u64(out, a);
+            }
+        }
+    }
+}
+
+/// A content digest of `suite`: name, interleave, and the full graph
+/// and address-stream content of every kernel (operations, dependence
+/// edges with kinds and distances, profile and execution streams). Two
+/// suites digest equal **iff** they describe the same workload, so a
+/// regenerated suite changes every derived cache key even when its
+/// name and graph sizes collide with the old one.
+///
+/// The digest walks every kernel, so callers that key many cells
+/// against a fixed suite set (the serving engine) should compute it
+/// once per suite and reuse its fingerprint via
+/// [`cell_key_from_fingerprint`].
+#[must_use]
+pub fn suite_digest(suite: &Suite) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1024);
+    push_str(&mut out, &suite.name);
+    push_u64(&mut out, suite.interleave_bytes);
+    push_u64(&mut out, suite.kernels.len() as u64);
+    for kernel in &suite.kernels {
+        push_str(&mut out, &kernel.name);
+        push_u64(&mut out, kernel.trip_count);
+        push_u64(&mut out, kernel.invocations);
+        let ddg = &kernel.ddg;
+        push_u64(&mut out, ddg.node_ids().count() as u64);
+        for n in ddg.node_ids() {
+            let node = ddg.node(n);
+            out.push(op_tag(node.kind));
+            push_u64(&mut out, u64::from(ddg.seq(n)));
+            match node.mem {
+                None => out.push(0xff),
+                Some(mem) => {
+                    out.push(0);
+                    push_u64(&mut out, u64::from(mem.mem.0));
+                    push_u64(&mut out, mem.width.bytes());
+                }
+            }
+        }
+        push_u64(&mut out, ddg.deps().count() as u64);
+        for (_, d) in ddg.deps() {
+            push_u64(&mut out, u64::from(d.src.0));
+            push_u64(&mut out, u64::from(d.dst.0));
+            out.push(dep_tag(d.kind));
+            push_u64(&mut out, u64::from(d.distance));
+        }
+        for image in [&kernel.profile, &kernel.exec] {
+            push_u64(&mut out, image.len() as u64);
+            for (mem, stream) in image.iter() {
+                push_u64(&mut out, u64::from(mem.0));
+                push_stream(&mut out, stream);
+            }
+        }
+    }
+    out
+}
+
+/// A compact 128-bit fingerprint of a [`suite_digest`]: two
+/// independent 64-bit FNV-1a passes (standard and alternate offset
+/// basis). Digests run to ~100 KB for the Indexed-stream suites, so
+/// keys embed this fingerprint instead of the raw digest — computing
+/// it once per suite keeps warm-path key derivation O(1) instead of
+/// re-hashing 100 KB per cell per request.
+#[must_use]
+pub fn digest_fingerprint(digest: &[u8]) -> [u8; 16] {
+    let a = fnv1a64(digest);
+    // Second pass with a perturbed basis; together the two halves make
+    // accidental suite-content collisions (the only part of a key not
+    // compared byte-for-byte) vanishingly unlikely.
+    let mut b: u64 = 0xcbf2_9ce4_8422_2325 ^ 0x9e37_79b9_7f4a_7c15;
+    for &byte in digest {
+        b ^= u64::from(byte);
+        b = b.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut out = [0u8; 16];
+    out[..8].copy_from_slice(&a.to_le_bytes());
+    out[8..].copy_from_slice(&b.to_le_bytes());
+    out
+}
+
+/// The canonical key of one experiment cell: a suite (by the
+/// [`digest_fingerprint`] of its [`suite_digest`]) run on `machine`
+/// (with the suite's interleave applied by the pipeline) under
+/// `options`, `solution` and `heuristic`. The machine contributes its
+/// full [`MachineConfig::canonical_bytes`] encoding.
+#[must_use]
+pub fn cell_key_from_fingerprint(
+    fingerprint: &[u8; 16],
+    machine: &MachineConfig,
+    options: &PipelineOptions,
+    solution: Solution,
+    heuristic: Heuristic,
+) -> CacheKey {
+    /// Key-format version; bump when the encoded field set changes.
+    const VERSION: u8 = 3;
+    let mut out = Vec::with_capacity(160);
+    out.push(VERSION);
+
+    out.extend_from_slice(fingerprint);
+
+    let mb = machine.canonical_bytes();
+    push_u64(&mut out, mb.len() as u64);
+    out.extend_from_slice(&mb);
+
+    push_u64(&mut out, options.sim.max_iterations);
+    out.push(u8::from(options.sim.detect_violations));
+    out.push(u8::from(options.specialize));
+    out.push(u8::from(options.relax_latencies));
+
+    out.push(match solution {
+        Solution::Free => 0,
+        Solution::Mdc => 1,
+        Solution::Ddgt => 2,
+        Solution::Hybrid => 3,
+    });
+    out.push(match heuristic {
+        Heuristic::PrefClus => 0,
+        Heuristic::MinComs => 1,
+    });
+
+    CacheKey::from_bytes(out)
+}
+
+/// [`cell_key_from_fingerprint`] with the suite digested on the spot.
+#[must_use]
+pub fn cell_key(
+    suite: &Suite,
+    machine: &MachineConfig,
+    options: &PipelineOptions,
+    solution: Solution,
+    heuristic: Heuristic,
+) -> CacheKey {
+    cell_key_from_fingerprint(
+        &digest_fingerprint(&suite_digest(suite)),
+        machine,
+        options,
+        solution,
+        heuristic,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distvliw_sim::SimOptions;
+
+    fn base_key() -> CacheKey {
+        let suite = distvliw_mediabench::suite("gsmdec").unwrap();
+        cell_key(
+            &suite,
+            &MachineConfig::paper_baseline(),
+            &PipelineOptions::default(),
+            Solution::Mdc,
+            Heuristic::PrefClus,
+        )
+    }
+
+    #[test]
+    fn identical_inputs_produce_identical_keys() {
+        let a = base_key();
+        let b = base_key();
+        assert_eq!(a, b);
+        assert_eq!(a.hash64(), b.hash64());
+    }
+
+    #[test]
+    fn every_field_perturbation_changes_the_key() {
+        let suite = distvliw_mediabench::suite("gsmdec").unwrap();
+        let machine = MachineConfig::paper_baseline();
+        let options = PipelineOptions::default();
+        let base = base_key();
+
+        // Different suite.
+        let other = distvliw_mediabench::suite("jpegenc").unwrap();
+        assert_ne!(
+            cell_key(
+                &other,
+                &machine,
+                &options,
+                Solution::Mdc,
+                Heuristic::PrefClus
+            ),
+            base
+        );
+
+        // Suite content (not just name) matters.
+        let mut renamed = suite.clone();
+        renamed.kernels[0].trip_count += 1;
+        assert_ne!(
+            cell_key(
+                &renamed,
+                &machine,
+                &options,
+                Solution::Mdc,
+                Heuristic::PrefClus
+            ),
+            base
+        );
+
+        // Graph/stream *content* matters even when every size is
+        // unchanged: perturb one execution stream's stride in place.
+        let mut restrided = suite.clone();
+        let site = restrided.kernels[0]
+            .exec
+            .iter()
+            .map(|(m, s)| (m, s.clone()))
+            .next()
+            .expect("kernels have memory sites");
+        let stream = match site.1 {
+            distvliw_ir::AddressStream::Affine { base, stride } => {
+                distvliw_ir::AddressStream::Affine {
+                    base,
+                    stride: stride + 4,
+                }
+            }
+            distvliw_ir::AddressStream::Indexed(addrs) => {
+                let mut addrs: Vec<u64> = addrs.to_vec();
+                addrs[0] = addrs[0].wrapping_add(4);
+                distvliw_ir::AddressStream::Indexed(addrs.into())
+            }
+        };
+        restrided.kernels[0].exec.insert(site.0, stream);
+        assert_eq!(
+            restrided.kernels[0].ddg.node_ids().count(),
+            suite.kernels[0].ddg.node_ids().count(),
+            "perturbation must keep sizes identical"
+        );
+        assert_ne!(
+            cell_key(
+                &restrided,
+                &machine,
+                &options,
+                Solution::Mdc,
+                Heuristic::PrefClus
+            ),
+            base,
+            "stream content must be part of the key"
+        );
+
+        // The precomputed-fingerprint path agrees with the direct path.
+        assert_eq!(
+            cell_key_from_fingerprint(
+                &digest_fingerprint(&suite_digest(&suite)),
+                &machine,
+                &options,
+                Solution::Mdc,
+                Heuristic::PrefClus
+            ),
+            base
+        );
+
+        // Machine.
+        let m2 = machine.clone().with_interleave(2);
+        assert_ne!(
+            cell_key(&suite, &m2, &options, Solution::Mdc, Heuristic::PrefClus),
+            base
+        );
+
+        // Options, field by field.
+        let mut o = options;
+        o.sim = SimOptions {
+            max_iterations: 64,
+            ..o.sim
+        };
+        assert_ne!(
+            cell_key(&suite, &machine, &o, Solution::Mdc, Heuristic::PrefClus),
+            base
+        );
+        let mut o = options;
+        o.sim.detect_violations = false;
+        assert_ne!(
+            cell_key(&suite, &machine, &o, Solution::Mdc, Heuristic::PrefClus),
+            base
+        );
+        let o = PipelineOptions {
+            specialize: true,
+            ..options
+        };
+        assert_ne!(
+            cell_key(&suite, &machine, &o, Solution::Mdc, Heuristic::PrefClus),
+            base
+        );
+        let o = PipelineOptions {
+            relax_latencies: false,
+            ..options
+        };
+        assert_ne!(
+            cell_key(&suite, &machine, &o, Solution::Mdc, Heuristic::PrefClus),
+            base
+        );
+
+        // Solution and heuristic.
+        assert_ne!(
+            cell_key(
+                &suite,
+                &machine,
+                &options,
+                Solution::Ddgt,
+                Heuristic::PrefClus
+            ),
+            base
+        );
+        assert_ne!(
+            cell_key(
+                &suite,
+                &machine,
+                &options,
+                Solution::Mdc,
+                Heuristic::MinComs
+            ),
+            base
+        );
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+}

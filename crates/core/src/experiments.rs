@@ -241,6 +241,38 @@ pub struct Table4Row {
     pub selected_speedup: Option<f64>,
 }
 
+impl Table4Row {
+    /// Computes one Table 4 row from the three PrefClus suite runs.
+    /// Shared by [`table4`] and the serving layer's `/table4` endpoint
+    /// so the selection criterion cannot drift between them.
+    #[must_use]
+    pub fn from_stats(
+        benchmark: impl Into<String>,
+        free: &SuiteStats,
+        mdc: &SuiteStats,
+        ddgt: &SuiteStats,
+    ) -> Table4Row {
+        let comm_ratio = ddgt.total.comm_ops as f64 / (mdc.total.comm_ops.max(1)) as f64;
+
+        // Selected loops: ≥10% MDC slowdown vs the Free baseline.
+        let mut mdc_cycles = 0u64;
+        let mut ddgt_cycles = 0u64;
+        for ((f, m), d) in free.kernels.iter().zip(&mdc.kernels).zip(&ddgt.kernels) {
+            if m.stats.total_cycles() as f64 >= 1.10 * f.stats.total_cycles() as f64 {
+                mdc_cycles += m.stats.total_cycles();
+                ddgt_cycles += d.stats.total_cycles();
+            }
+        }
+        let selected_speedup =
+            (mdc_cycles > 0).then(|| mdc_cycles as f64 / ddgt_cycles.max(1) as f64 - 1.0);
+        Table4Row {
+            benchmark: benchmark.into(),
+            comm_ratio,
+            selected_speedup,
+        }
+    }
+}
+
 /// Table 4: Δ communication operations and selected-loop speedups
 /// (PrefClus).
 ///
@@ -255,24 +287,12 @@ pub fn table4(machine: &MachineConfig) -> Result<Vec<Table4Row>, PipelineError> 
         let free = pipeline.run_suite(&suite, Solution::Free, h)?;
         let mdc = pipeline.run_suite(&suite, Solution::Mdc, h)?;
         let ddgt = pipeline.run_suite(&suite, Solution::Ddgt, h)?;
-        let comm_ratio = ddgt.total.comm_ops as f64 / (mdc.total.comm_ops.max(1)) as f64;
-
-        // Selected loops: ≥10% MDC slowdown vs the Free baseline.
-        let mut mdc_cycles = 0u64;
-        let mut ddgt_cycles = 0u64;
-        for ((f, m), d) in free.kernels.iter().zip(&mdc.kernels).zip(&ddgt.kernels) {
-            if m.stats.total_cycles() as f64 >= 1.10 * f.stats.total_cycles() as f64 {
-                mdc_cycles += m.stats.total_cycles();
-                ddgt_cycles += d.stats.total_cycles();
-            }
-        }
-        let selected_speedup =
-            (mdc_cycles > 0).then(|| mdc_cycles as f64 / ddgt_cycles.max(1) as f64 - 1.0);
-        rows.push(Table4Row {
-            benchmark: suite.name.clone(),
-            comm_ratio,
-            selected_speedup,
-        });
+        rows.push(Table4Row::from_stats(
+            suite.name.clone(),
+            &free,
+            &mdc,
+            &ddgt,
+        ));
     }
     Ok(rows)
 }

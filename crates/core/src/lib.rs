@@ -23,12 +23,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cachekey;
 pub mod experiments;
 pub mod par;
 mod pipeline;
 pub mod report;
 
 pub use distvliw_sched::Heuristic;
+pub use distvliw_sim::ClusterUsage;
 pub use pipeline::{
     KernelRun, MatrixCell, Pipeline, PipelineError, PipelineOptions, Solution, SuiteStats,
 };

@@ -7,7 +7,7 @@ use distvliw_arch::MachineConfig;
 use distvliw_coherence::{find_chains, specialize_kernel, transform, SchedConstraints};
 use distvliw_ir::{profile::preferred_clusters, LoopKernel, Suite};
 use distvliw_sched::{Heuristic, ModuloScheduler, Schedule, ScheduleError};
-use distvliw_sim::{simulate_kernel, SimOptions, SimStats};
+use distvliw_sim::{simulate_kernel_detailed, ClusterUsage, SimOptions, SimStats};
 
 use crate::par;
 
@@ -37,6 +37,24 @@ impl fmt::Display for Solution {
             Solution::Mdc => f.write_str("MDC"),
             Solution::Ddgt => f.write_str("DDGT"),
             Solution::Hybrid => f.write_str("Hybrid"),
+        }
+    }
+}
+
+impl std::str::FromStr for Solution {
+    type Err = String;
+
+    /// Parses the case-insensitive solution name used in request bodies
+    /// and CLI flags (`free`, `mdc`, `ddgt`, `hybrid`).
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "free" => Ok(Solution::Free),
+            "mdc" => Ok(Solution::Mdc),
+            "ddgt" => Ok(Solution::Ddgt),
+            "hybrid" => Ok(Solution::Hybrid),
+            other => Err(format!(
+                "unknown solution `{other}` (expected free, mdc, ddgt or hybrid)"
+            )),
         }
     }
 }
@@ -110,6 +128,8 @@ pub struct KernelRun {
     pub static_comm_ops: usize,
     /// Simulation statistics (all invocations).
     pub stats: SimStats,
+    /// Per-cluster resource usage (all invocations).
+    pub cluster: ClusterUsage,
 }
 
 /// One `(suite, solution, heuristic)` cell of an experiment grid run by
@@ -135,6 +155,10 @@ pub struct SuiteStats {
     pub kernels: Vec<KernelRun>,
     /// Aggregate over all kernels.
     pub total: SimStats,
+    /// Per-cluster usage aggregated over all kernels (the imbalance
+    /// surface: which clusters issued the accesses, where the violations
+    /// were attributed, how many bus grants the suite consumed).
+    pub cluster: ClusterUsage,
 }
 
 impl SuiteStats {
@@ -232,15 +256,18 @@ impl Pipeline {
     ) -> Result<SuiteStats, PipelineError> {
         let mut kernels = Vec::with_capacity(runs.len());
         let mut total = SimStats::default();
+        let mut cluster = ClusterUsage::default();
         for run in runs {
             let run = run?;
             total += run.stats;
+            cluster += &run.cluster;
             kernels.push(run);
         }
         Ok(SuiteStats {
             name: name.to_string(),
             kernels,
             total,
+            cluster,
         })
     }
 
@@ -366,13 +393,15 @@ impl Pipeline {
             })?;
 
         // Cycle-level simulation.
-        let stats = simulate_kernel(machine, &kernel, &schedule, self.options.sim);
+        let (stats, cluster) =
+            simulate_kernel_detailed(machine, &kernel, &schedule, self.options.sim);
         Ok(KernelRun {
             name: kernel.name.clone(),
             ii: schedule.ii,
             span: schedule.span,
             static_comm_ops: schedule.comm_ops(),
             stats,
+            cluster,
         })
     }
 }

@@ -4,6 +4,7 @@
 use std::fmt::Write as _;
 
 use distvliw_arch::AccessClass;
+use distvliw_sim::ClusterUsage;
 
 use crate::experiments::{
     exec_amean, fig6_amean, CaseStudy, ExecRow, Fig6Row, NobalRow, Table3Row, Table4Row, Table5Row,
@@ -176,6 +177,53 @@ pub fn render_nobal(rows: &[NobalRow], title: &str) -> String {
     out
 }
 
+/// Renders a per-cluster usage table with an **imbalance** column: for
+/// every labelled run, the share of memory accesses each cluster
+/// issued, the busiest-cluster-over-mean imbalance ratio
+/// ([`ClusterUsage::imbalance`]), the per-cluster violation split and
+/// the bus / next-level grant pressure.
+#[must_use]
+pub fn render_cluster_imbalance(title: &str, entries: &[(String, ClusterUsage)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{title}\ncolumns: per-cluster access shares | imbalance (max/mean) | violations by cluster | bus grants | L2 grants"
+    );
+    let clusters = entries
+        .iter()
+        .map(|(_, u)| u.accesses.len())
+        .max()
+        .unwrap_or(0);
+    for (label, usage) in entries {
+        let total: u64 = (0..clusters).map(|c| usage.accesses_of(c)).sum();
+        let shares = (0..clusters)
+            .map(|c| {
+                if total == 0 {
+                    "  0.0%".to_string()
+                } else {
+                    pct(usage.accesses_of(c) as f64 / total as f64)
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" ");
+        let viols = (0..clusters)
+            .map(|c| usage.violations.get(c).to_string())
+            .collect::<Vec<_>>()
+            .join("/");
+        let _ = writeln!(
+            out,
+            "{:<24} | {} | {:>5.2} | {} | {:>10} | {:>10}",
+            label,
+            shares,
+            usage.imbalance(),
+            viols,
+            usage.mem_bus_grants,
+            usage.next_level_grants
+        );
+    }
+    out
+}
+
 /// Renders a case study.
 #[must_use]
 pub fn render_case_study(cs: &CaseStudy) -> String {
@@ -285,6 +333,30 @@ mod tests {
         );
         assert!(nb.contains("NOBAL+REG"));
         assert!(nb.contains("11.1%"));
+    }
+
+    #[test]
+    fn cluster_imbalance_render() {
+        use distvliw_sim::AccessCounts;
+        let mut usage = ClusterUsage {
+            accesses: vec![AccessCounts::new(); 4],
+            ..ClusterUsage::default()
+        };
+        for _ in 0..9 {
+            usage.accesses[0].record(distvliw_arch::AccessClass::LocalHit);
+        }
+        usage.accesses[1].record(distvliw_arch::AccessClass::RemoteHit);
+        usage.violations.add(2, 7);
+        usage.mem_bus_grants = 1234;
+        usage.next_level_grants = 56;
+        let text =
+            render_cluster_imbalance("imbalance", &[("toy MDC(PrefClus)".to_string(), usage)]);
+        assert!(text.contains("imbalance"));
+        assert!(text.contains("90.0%"));
+        assert!(text.contains("0/0/7/0"));
+        assert!(text.contains("1234"));
+        // max 9 over mean 2.5 → 3.6.
+        assert!(text.contains("3.60"));
     }
 
     #[test]

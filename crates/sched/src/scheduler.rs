@@ -63,6 +63,22 @@ impl std::fmt::Display for Heuristic {
     }
 }
 
+impl std::str::FromStr for Heuristic {
+    type Err = String;
+
+    /// Parses the case-insensitive heuristic name used in request bodies
+    /// and CLI flags (`prefclus`, `mincoms`).
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "prefclus" => Ok(Heuristic::PrefClus),
+            "mincoms" => Ok(Heuristic::MinComs),
+            other => Err(format!(
+                "unknown heuristic `{other}` (expected prefclus or mincoms)"
+            )),
+        }
+    }
+}
+
 /// The read-only inputs shared by every placement attempt of one
 /// `schedule` call.
 #[derive(Clone, Copy)]

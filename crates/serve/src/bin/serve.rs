@@ -1,0 +1,63 @@
+//! The `distvliw-serve` daemon: binds an address and serves the
+//! experiment endpoints until `POST /shutdown`.
+//!
+//! ```text
+//! cargo run --release -p distvliw-serve --bin serve -- \
+//!     [--addr 127.0.0.1:7411] [--cache-capacity 256]
+//! ```
+//!
+//! The worker fan-out honours `DISTVLIW_THREADS` like every other bin.
+
+use std::process::ExitCode;
+
+use distvliw_arch::MachineConfig;
+use distvliw_serve::engine::ServeEngine;
+use distvliw_serve::Server;
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7411".to_string();
+    let mut capacity: usize = 256;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(v) => addr = v,
+                None => return usage("--addr needs a value"),
+            },
+            "--cache-capacity" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => capacity = v,
+                _ => return usage("--cache-capacity needs a positive integer"),
+            },
+            "--help" | "-h" => {
+                println!("usage: serve [--addr HOST:PORT] [--cache-capacity N]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let engine = ServeEngine::new(MachineConfig::paper_baseline(), capacity);
+    let server = match Server::bind(&addr, engine) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("distvliw-serve listening on http://{}", server.local_addr());
+    match server.run() {
+        Ok(()) => {
+            println!("distvliw-serve shut down");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("{msg}\nusage: serve [--addr HOST:PORT] [--cache-capacity N]");
+    ExitCode::FAILURE
+}

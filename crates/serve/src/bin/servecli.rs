@@ -1,0 +1,303 @@
+//! `servecli`: client and load generator for the `serve` daemon.
+//!
+//! ```text
+//! servecli BASE get PATH              # print one response body
+//! servecli BASE smoke [--shutdown]    # CI smoke: health, figure, repeat-hit
+//! servecli BASE load PATH [-n N] [-c C]  # latency percentiles under load
+//! servecli BASE shutdown              # stop the daemon
+//! ```
+//!
+//! `smoke` drives `/healthz`, a figure endpoint and a repeated request,
+//! asserting via `/stats` that the repeat was served from the result
+//! cache and that warm bytes equal cold bytes; any failure exits
+//! nonzero. `load` replays N concurrent requests (C persistent
+//! connections) against a warm cache and reports latency percentiles,
+//! demonstrating that cache hits cost microseconds while the cold run
+//! costs the full pipeline.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use distvliw_serve::client::{self, Client};
+use distvliw_serve::json;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (base, rest) = match args.split_first() {
+        Some((base, rest)) => (base.clone(), rest.to_vec()),
+        None => return usage(),
+    };
+    match rest.first().map(String::as_str) {
+        Some("get") => match rest.get(1) {
+            Some(path) => cmd_get(&base, path),
+            None => usage(),
+        },
+        Some("smoke") => cmd_smoke(&base, rest.iter().any(|a| a == "--shutdown")),
+        Some("load") => {
+            let path = match rest.get(1) {
+                Some(p) if !p.starts_with('-') => p.clone(),
+                _ => return usage(),
+            };
+            let mut n = 100usize;
+            let mut c = 8usize;
+            let mut it = rest.iter().skip(2);
+            while let Some(flag) = it.next() {
+                let value = it.next().and_then(|v| v.parse::<usize>().ok());
+                match (flag.as_str(), value) {
+                    ("-n", Some(v)) if v > 0 => n = v,
+                    ("-c", Some(v)) if v > 0 => c = v,
+                    _ => return usage(),
+                }
+            }
+            cmd_load(&base, &path, n, c)
+        }
+        Some("shutdown") => match client::post(&base, "/shutdown", "") {
+            Ok(resp) if resp.status == 200 => ExitCode::SUCCESS,
+            Ok(resp) => fail(&format!("shutdown returned {}", resp.status)),
+            Err(e) => fail(&format!("shutdown failed: {e}")),
+        },
+        _ => usage(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: servecli BASE get PATH\n       servecli BASE smoke [--shutdown]\n       \
+         servecli BASE load PATH [-n N] [-c C]\n       servecli BASE shutdown"
+    );
+    ExitCode::FAILURE
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("servecli: {msg}");
+    ExitCode::FAILURE
+}
+
+fn cmd_get(base: &str, path: &str) -> ExitCode {
+    match client::get(base, path) {
+        Ok(resp) => {
+            println!("{}", String::from_utf8_lossy(&resp.body));
+            if resp.status == 200 {
+                ExitCode::SUCCESS
+            } else {
+                fail(&format!("{path} returned {}", resp.status))
+            }
+        }
+        Err(e) => fail(&format!("GET {path} failed: {e}")),
+    }
+}
+
+/// `/stats` counters the smoke test tracks.
+struct Stats {
+    hits: u64,
+    computed: u64,
+}
+
+fn read_stats(base: &str) -> Result<Stats, String> {
+    let resp = client::get(base, "/stats").map_err(|e| format!("GET /stats failed: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("/stats returned {}", resp.status));
+    }
+    let text = String::from_utf8_lossy(&resp.body).to_string();
+    let v = json::parse(&text).map_err(|e| format!("bad /stats json: {e}"))?;
+    let field = |path: &[&str]| -> Result<u64, String> {
+        let mut cur = &v;
+        for key in path {
+            cur = cur
+                .get(key)
+                .ok_or_else(|| format!("/stats missing {}", path.join(".")))?;
+        }
+        cur.as_u64()
+            .ok_or_else(|| format!("/stats {} is not an integer", path.join(".")))
+    };
+    Ok(Stats {
+        hits: field(&["cache", "hits"])?,
+        computed: field(&["computed_cells"])?,
+    })
+}
+
+fn wait_healthy(base: &str) -> Result<(), String> {
+    for _ in 0..100 {
+        if let Ok(resp) = client::get(base, "/healthz") {
+            if resp.status == 200 {
+                return Ok(());
+            }
+            return Err(format!("/healthz returned {}", resp.status));
+        }
+        std::thread::sleep(Duration::from_millis(150));
+    }
+    Err("server did not become healthy within 15s".to_string())
+}
+
+/// The CI smoke sequence; see the module docs.
+fn cmd_smoke(base: &str, shutdown: bool) -> ExitCode {
+    let outcome = smoke(base);
+    let code = match outcome {
+        Ok(()) => {
+            println!("smoke: ok");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&e),
+    };
+    if shutdown {
+        match client::post(base, "/shutdown", "") {
+            Ok(resp) if resp.status == 200 => {}
+            Ok(resp) => return fail(&format!("shutdown returned {}", resp.status)),
+            Err(e) => return fail(&format!("shutdown failed: {e}")),
+        }
+    }
+    code
+}
+
+fn smoke(base: &str) -> Result<(), String> {
+    wait_healthy(base)?;
+    println!("smoke: /healthz ok");
+
+    let before = read_stats(base)?;
+    let cold = client::get(base, "/fig6").map_err(|e| format!("GET /fig6 failed: {e}"))?;
+    if cold.status != 200 {
+        return Err(format!("/fig6 returned {}", cold.status));
+    }
+    let mid = read_stats(base)?;
+    if mid.computed < before.computed {
+        return Err("computed_cells went backwards".to_string());
+    }
+    println!(
+        "smoke: /fig6 cold ok ({} bytes, {} cells computed)",
+        cold.body.len(),
+        mid.computed - before.computed
+    );
+
+    let warm = client::get(base, "/fig6").map_err(|e| format!("GET /fig6 repeat failed: {e}"))?;
+    if warm.status != 200 {
+        return Err(format!("repeated /fig6 returned {}", warm.status));
+    }
+    if warm.body != cold.body {
+        return Err("warm /fig6 response differs from cold response".to_string());
+    }
+    let after = read_stats(base)?;
+    if after.hits <= mid.hits {
+        return Err(format!(
+            "repeated /fig6 did not hit the cache (hits {} -> {})",
+            mid.hits, after.hits
+        ));
+    }
+    if after.computed != mid.computed {
+        return Err(format!(
+            "repeated /fig6 recomputed cells ({} -> {})",
+            mid.computed, after.computed
+        ));
+    }
+    println!(
+        "smoke: /fig6 warm ok (byte-identical, +{} cache hits, 0 recomputes)",
+        after.hits - mid.hits
+    );
+
+    // An arbitrary grid through POST /matrix, twice.
+    let body = r#"{"suites":["gsmdec"],"solutions":["mdc"],"heuristics":["prefclus"]}"#;
+    let cold = client::post(base, "/matrix", body).map_err(|e| format!("POST /matrix: {e}"))?;
+    if cold.status != 200 {
+        return Err(format!("/matrix returned {}", cold.status));
+    }
+    let warm = client::post(base, "/matrix", body).map_err(|e| format!("POST /matrix: {e}"))?;
+    if warm.body != cold.body {
+        return Err("warm /matrix response differs from cold response".to_string());
+    }
+    println!("smoke: /matrix ok (byte-identical on repeat)");
+    Ok(())
+}
+
+/// Replays `n` requests over `c` persistent connections and reports
+/// latency percentiles.
+fn cmd_load(base: &str, path: &str, n: usize, c: usize) -> ExitCode {
+    if let Err(e) = wait_healthy(base) {
+        return fail(&e);
+    }
+    // Warm the cache and capture the reference bytes.
+    let t0 = Instant::now();
+    let reference = match client::get(base, path) {
+        Ok(resp) if resp.status == 200 => resp.body,
+        Ok(resp) => return fail(&format!("{path} returned {}", resp.status)),
+        Err(e) => return fail(&format!("warmup GET {path} failed: {e}")),
+    };
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let before = match read_stats(base) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let workers = c.min(n);
+    let mut all_latencies: Vec<Duration> = Vec::with_capacity(n);
+    let mut failures: Vec<String> = Vec::new();
+    std::thread::scope(|scope| {
+        let reference = &reference;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                // Split n as evenly as possible across workers.
+                let quota = n / workers + usize::from(w < n % workers);
+                scope.spawn(move || {
+                    let mut latencies = Vec::with_capacity(quota);
+                    let mut client = match Client::connect(base) {
+                        Ok(client) => client,
+                        Err(e) => return (latencies, Some(format!("connect: {e}"))),
+                    };
+                    for _ in 0..quota {
+                        let t = Instant::now();
+                        match client.get(path) {
+                            Ok(resp) if resp.status == 200 && &resp.body == reference => {
+                                latencies.push(t.elapsed());
+                            }
+                            Ok(resp) if resp.status != 200 => {
+                                return (latencies, Some(format!("status {}", resp.status)));
+                            }
+                            Ok(_) => {
+                                return (latencies, Some("body mismatch".to_string()));
+                            }
+                            Err(e) => return (latencies, Some(format!("request: {e}"))),
+                        }
+                    }
+                    (latencies, None)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (latencies, error) = handle.join().expect("load worker");
+            all_latencies.extend(latencies);
+            if let Some(e) = error {
+                failures.push(e);
+            }
+        }
+    });
+    if !failures.is_empty() {
+        return fail(&format!("load errors: {}", failures.join("; ")));
+    }
+    let after = match read_stats(base) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+
+    all_latencies.sort();
+    let pct = |q: f64| -> f64 {
+        let idx =
+            ((q * all_latencies.len() as f64).ceil() as usize).clamp(1, all_latencies.len()) - 1;
+        all_latencies[idx].as_secs_f64() * 1e3
+    };
+    println!(
+        "load {path}: n={} c={workers}  cold={cold_ms:.1}ms  p50={:.2}ms p90={:.2}ms p99={:.2}ms max={:.2}ms",
+        all_latencies.len(),
+        pct(0.50),
+        pct(0.90),
+        pct(0.99),
+        pct(1.0),
+    );
+    println!(
+        "stats delta: +{} cache hits, +{} computed cells",
+        after.hits.saturating_sub(before.hits),
+        after.computed.saturating_sub(before.computed)
+    );
+    if after.computed != before.computed {
+        return fail("warm-cache load recomputed cells; expected pure cache hits");
+    }
+    println!("all responses 200 and byte-identical to the warm reference");
+    ExitCode::SUCCESS
+}

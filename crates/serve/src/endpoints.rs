@@ -1,0 +1,586 @@
+//! Route dispatch: assembles every experiment endpoint from cached
+//! cells and renders JSON.
+//!
+//! The figure/table assembly mirrors `distvliw_core::experiments` —
+//! same cells, same arithmetic — but goes through
+//! [`ServeEngine::run_cells`] so repeated and overlapping requests are
+//! served from the result cache.
+
+use distvliw_arch::{AccessClass, AttractionBufferConfig, MachineConfig};
+use distvliw_core::experiments::{table3, table5};
+use distvliw_core::{Heuristic, PipelineError, Solution, SuiteStats};
+use distvliw_ir::Suite;
+
+use crate::engine::{machine_with_overrides, CellSpec, ServeEngine};
+use crate::http::{Request, Response};
+use crate::json::{self, Json};
+
+/// Handles one request against the engine. Unknown paths get 404,
+/// wrong methods 405, malformed bodies 400.
+#[must_use]
+pub fn handle(engine: &ServeEngine, request: &Request) -> Response {
+    let result = match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/") => Ok(index()),
+        ("GET", "/healthz") => Ok(healthz()),
+        ("GET", "/stats") => Ok(stats(engine)),
+        ("GET", "/fig6") => fig6(engine),
+        ("GET", "/fig7") => exec_rows(engine, engine.machine(), "fig7"),
+        ("GET", "/fig9") => {
+            let machine = engine
+                .machine()
+                .clone()
+                .with_attraction_buffers(AttractionBufferConfig::paper());
+            exec_rows(engine, &machine, "fig9")
+        }
+        ("GET", "/table3") => Ok(table3_json()),
+        ("GET", "/table4") => table4_json(engine),
+        ("GET", "/table5") => Ok(table5_json()),
+        ("GET", "/nobal") => nobal_json(engine),
+        ("POST", "/matrix") => matrix(engine, &request.body),
+        (
+            _,
+            "/" | "/healthz" | "/stats" | "/fig6" | "/fig7" | "/fig9" | "/table3" | "/table4"
+            | "/table5" | "/nobal" | "/matrix",
+        ) => Err(ApiError::MethodNotAllowed),
+        _ => Err(ApiError::NotFound),
+    };
+    match result {
+        Ok(body) => Response::json(200, body.render()),
+        Err(e) => e.into_response(),
+    }
+}
+
+/// Endpoint-level failures.
+enum ApiError {
+    NotFound,
+    MethodNotAllowed,
+    BadRequest(String),
+    Internal(String),
+}
+
+impl ApiError {
+    fn into_response(self) -> Response {
+        let (status, msg) = match self {
+            ApiError::NotFound => (404, "not found".to_string()),
+            ApiError::MethodNotAllowed => (405, "method not allowed".to_string()),
+            ApiError::BadRequest(msg) => (400, msg),
+            ApiError::Internal(msg) => (500, msg),
+        };
+        Response::json(status, Json::obj(vec![("error", Json::str(msg))]).render())
+    }
+}
+
+fn pipeline_err(e: &PipelineError) -> ApiError {
+    ApiError::Internal(e.to_string())
+}
+
+fn index() -> Json {
+    Json::obj(vec![
+        ("service", Json::str("distvliw-serve")),
+        (
+            "endpoints",
+            Json::Arr(
+                [
+                    "GET /healthz",
+                    "GET /stats",
+                    "GET /fig6",
+                    "GET /fig7",
+                    "GET /fig9",
+                    "GET /table3",
+                    "GET /table4",
+                    "GET /table5",
+                    "GET /nobal",
+                    "POST /matrix",
+                    "POST /shutdown",
+                ]
+                .iter()
+                .map(|s| Json::str(*s))
+                .collect(),
+            ),
+        ),
+    ])
+}
+
+fn healthz() -> Json {
+    Json::obj(vec![("status", Json::str("ok"))])
+}
+
+fn stats(engine: &ServeEngine) -> Json {
+    let s = engine.stats();
+    let accesses: Vec<Json> = (0..s.cluster.accesses.len())
+        .map(|c| Json::U64(s.cluster.accesses_of(c)))
+        .collect();
+    let violations: Vec<Json> = s
+        .cluster
+        .violations
+        .as_slice()
+        .iter()
+        .map(|&v| Json::U64(v))
+        .collect();
+    Json::obj(vec![
+        (
+            "cache",
+            Json::obj(vec![
+                ("hits", Json::U64(s.cache.hits)),
+                ("misses", Json::U64(s.cache.misses)),
+                ("evictions", Json::U64(s.cache.evictions)),
+                ("insertions", Json::U64(s.cache.insertions)),
+                ("entries", Json::U64(s.cache_entries as u64)),
+                ("capacity", Json::U64(s.cache_capacity as u64)),
+            ]),
+        ),
+        ("computed_cells", Json::U64(s.computed_cells)),
+        ("deduped_requests", Json::U64(s.deduped_requests)),
+        (
+            "cluster",
+            Json::obj(vec![
+                ("accesses", Json::Arr(accesses)),
+                ("violations", Json::Arr(violations)),
+                ("imbalance", Json::F64(s.cluster.imbalance())),
+                ("mem_bus_grants", Json::U64(s.cluster.mem_bus_grants)),
+                ("next_level_grants", Json::U64(s.cluster.next_level_grants)),
+            ]),
+        ),
+        ("uptime_ms", Json::U64(s.uptime_ms)),
+    ])
+}
+
+/// Unwraps a batch of cell results, surfacing the first failure.
+fn all_ok(results: &[crate::engine::CellResult]) -> Result<Vec<&SuiteStats>, ApiError> {
+    results
+        .iter()
+        .map(|r| r.as_ref().as_ref().map_err(pipeline_err))
+        .collect()
+}
+
+fn breakdown(stats: &SuiteStats) -> Json {
+    let field = |class: AccessClass| Json::F64(stats.total.accesses.fraction(class));
+    Json::obj(vec![
+        ("local_hit", field(AccessClass::LocalHit)),
+        ("remote_hit", field(AccessClass::RemoteHit)),
+        ("local_miss", field(AccessClass::LocalMiss)),
+        ("remote_miss", field(AccessClass::RemoteMiss)),
+        ("combined", field(AccessClass::Combined)),
+    ])
+}
+
+/// The Free/MDC/DDGT × PrefClus grid over the figure suites — the cell
+/// set `/fig6` and `/table4` are both assembled from (shared through
+/// the cache).
+fn prefclus_grid<'a>(engine: &'a ServeEngine, suites: &[&'a Suite]) -> Vec<CellSpec<'a>> {
+    let mut specs = Vec::with_capacity(suites.len() * 3);
+    for suite in suites {
+        for solution in [Solution::Free, Solution::Mdc, Solution::Ddgt] {
+            specs.push(CellSpec {
+                suite,
+                machine: engine.machine(),
+                solution,
+                heuristic: Heuristic::PrefClus,
+            });
+        }
+    }
+    specs
+}
+
+/// Figure 6: per-suite access classification for Free/MDC/DDGT under
+/// PrefClus.
+fn fig6(engine: &ServeEngine) -> Result<Json, ApiError> {
+    let suites: Vec<&Suite> = engine.figure_suites().collect();
+    let results = engine.run_cells(&prefclus_grid(engine, &suites));
+    let cells = all_ok(&results)?;
+    let rows: Vec<Json> = suites
+        .iter()
+        .zip(cells.chunks(3))
+        .map(|(suite, chunk)| {
+            Json::obj(vec![
+                ("benchmark", Json::str(suite.name.clone())),
+                ("free", breakdown(chunk[0])),
+                ("mdc", breakdown(chunk[1])),
+                ("ddgt", breakdown(chunk[2])),
+            ])
+        })
+        .collect();
+    Ok(Json::obj(vec![
+        ("figure", Json::str("fig6")),
+        ("heuristic", Json::str("PrefClus")),
+        ("rows", Json::Arr(rows)),
+    ]))
+}
+
+fn bar(stats: &SuiteStats, baseline_total: u64) -> Json {
+    let b = baseline_total.max(1) as f64;
+    let compute = stats.total.compute_cycles as f64 / b;
+    let stall = stats.total.stall_cycles as f64 / b;
+    Json::obj(vec![
+        ("compute", Json::F64(compute)),
+        ("stall", Json::F64(stall)),
+        ("total", Json::F64(compute + stall)),
+    ])
+}
+
+/// Figure 7 / Figure 9: normalized execution time on `machine`.
+fn exec_rows(
+    engine: &ServeEngine,
+    machine: &MachineConfig,
+    figure: &str,
+) -> Result<Json, ApiError> {
+    const COMBOS: [(Solution, Heuristic); 4] = [
+        (Solution::Mdc, Heuristic::PrefClus),
+        (Solution::Mdc, Heuristic::MinComs),
+        (Solution::Ddgt, Heuristic::PrefClus),
+        (Solution::Ddgt, Heuristic::MinComs),
+    ];
+    let suites: Vec<&Suite> = engine.figure_suites().collect();
+    let mut specs = Vec::with_capacity(suites.len() * 5);
+    for suite in &suites {
+        specs.push(CellSpec {
+            suite,
+            machine,
+            solution: Solution::Free,
+            heuristic: Heuristic::MinComs,
+        });
+        for (solution, heuristic) in COMBOS {
+            specs.push(CellSpec {
+                suite,
+                machine,
+                solution,
+                heuristic,
+            });
+        }
+    }
+    let results = engine.run_cells(&specs);
+    let cells = all_ok(&results)?;
+    let rows: Vec<Json> = suites
+        .iter()
+        .zip(cells.chunks(5))
+        .map(|(suite, chunk)| {
+            let base = chunk[0].total_cycles();
+            Json::obj(vec![
+                ("benchmark", Json::str(suite.name.clone())),
+                ("mdc_prefclus", bar(chunk[1], base)),
+                ("mdc_mincoms", bar(chunk[2], base)),
+                ("ddgt_prefclus", bar(chunk[3], base)),
+                ("ddgt_mincoms", bar(chunk[4], base)),
+            ])
+        })
+        .collect();
+    Ok(Json::obj(vec![
+        ("figure", Json::str(figure)),
+        ("baseline", Json::str("Free/MinComs")),
+        ("rows", Json::Arr(rows)),
+    ]))
+}
+
+fn table3_json() -> Json {
+    let rows: Vec<Json> = table3()
+        .into_iter()
+        .map(|row| {
+            let (pc, pa) = match row.paper {
+                Some((c, a)) => (Json::F64(c), Json::F64(a)),
+                None => (Json::Null, Json::Null),
+            };
+            Json::obj(vec![
+                ("benchmark", Json::str(row.benchmark)),
+                ("cmr", Json::F64(row.stats.cmr)),
+                ("car", Json::F64(row.stats.car)),
+                ("paper_cmr", pc),
+                ("paper_car", pa),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("table", Json::str("table3")),
+        ("rows", Json::Arr(rows)),
+    ])
+}
+
+/// Table 4: DDGT/MDC communication ratio and selected-loop speedups.
+fn table4_json(engine: &ServeEngine) -> Result<Json, ApiError> {
+    let suites: Vec<&Suite> = engine.figure_suites().collect();
+    let results = engine.run_cells(&prefclus_grid(engine, &suites));
+    let cells = all_ok(&results)?;
+    let rows: Vec<Json> = suites
+        .iter()
+        .zip(cells.chunks(3))
+        .map(|(suite, chunk)| {
+            // The row arithmetic (including the ≥10%-slowdown loop
+            // selection) is shared with the `table4` bin.
+            let row = distvliw_core::experiments::Table4Row::from_stats(
+                suite.name.clone(),
+                chunk[0],
+                chunk[1],
+                chunk[2],
+            );
+            Json::obj(vec![
+                ("benchmark", Json::str(row.benchmark)),
+                ("comm_ratio", Json::F64(row.comm_ratio)),
+                (
+                    "selected_speedup",
+                    row.selected_speedup.map_or(Json::Null, Json::F64),
+                ),
+            ])
+        })
+        .collect();
+    Ok(Json::obj(vec![
+        ("table", Json::str("table4")),
+        ("rows", Json::Arr(rows)),
+    ]))
+}
+
+fn table5_json() -> Json {
+    let rows: Vec<Json> = table5()
+        .into_iter()
+        .map(|row| {
+            let (poc, poa, pnc, pna) = row.paper;
+            Json::obj(vec![
+                ("benchmark", Json::str(row.benchmark)),
+                ("old_cmr", Json::F64(row.old.cmr)),
+                ("old_car", Json::F64(row.old.car)),
+                ("new_cmr", Json::F64(row.new.cmr)),
+                ("new_car", Json::F64(row.new.car)),
+                (
+                    "paper",
+                    Json::Arr(vec![
+                        Json::F64(poc),
+                        Json::F64(poa),
+                        Json::F64(pnc),
+                        Json::F64(pna),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("table", Json::str("table5")),
+        ("rows", Json::Arr(rows)),
+    ])
+}
+
+/// The NOBAL bus-configuration study on both machine variants.
+fn nobal_json(engine: &ServeEngine) -> Result<Json, ApiError> {
+    let mut out = Vec::new();
+    let suites: Vec<&Suite> = engine.figure_suites().collect();
+    for (machine, title) in [
+        (MachineConfig::nobal_mem(), "nobal_mem"),
+        (MachineConfig::nobal_reg(), "nobal_reg"),
+    ] {
+        let mut specs = Vec::with_capacity(suites.len() * 3);
+        for suite in &suites {
+            for (solution, heuristic) in [
+                (Solution::Mdc, Heuristic::PrefClus),
+                (Solution::Mdc, Heuristic::MinComs),
+                (Solution::Ddgt, Heuristic::PrefClus),
+            ] {
+                specs.push(CellSpec {
+                    suite,
+                    machine: &machine,
+                    solution,
+                    heuristic,
+                });
+            }
+        }
+        let results = engine.run_cells(&specs);
+        let cells = all_ok(&results)?;
+        let rows: Vec<Json> = suites
+            .iter()
+            .zip(cells.chunks(3))
+            .map(|(suite, chunk)| {
+                let best_mdc = chunk[0].total_cycles().min(chunk[1].total_cycles());
+                let ddgt_pref = chunk[2].total_cycles();
+                Json::obj(vec![
+                    ("benchmark", Json::str(suite.name.clone())),
+                    ("best_mdc", Json::U64(best_mdc)),
+                    ("ddgt_prefclus", Json::U64(ddgt_pref)),
+                    (
+                        "ddgt_speedup",
+                        Json::F64(best_mdc as f64 / ddgt_pref.max(1) as f64 - 1.0),
+                    ),
+                ])
+            })
+            .collect();
+        out.push((title, Json::Arr(rows)));
+    }
+    Ok(Json::obj(
+        std::iter::once(("study", Json::str("nobal")))
+            .chain(out)
+            .collect::<Vec<_>>(),
+    ))
+}
+
+/// One cell of a `/matrix` response.
+fn cell_json(
+    suite: &str,
+    solution: Solution,
+    heuristic: Heuristic,
+    result: &Result<SuiteStats, PipelineError>,
+) -> Json {
+    let mut pairs = vec![
+        ("suite", Json::str(suite)),
+        ("solution", Json::str(solution.to_string())),
+        ("heuristic", Json::str(heuristic.to_string())),
+    ];
+    match result {
+        Err(e) => {
+            pairs.push(("ok", Json::Bool(false)));
+            pairs.push(("error", Json::str(e.to_string())));
+        }
+        Ok(stats) => {
+            pairs.push(("ok", Json::Bool(true)));
+            pairs.push(("total_cycles", Json::U64(stats.total_cycles())));
+            pairs.push(("compute_cycles", Json::U64(stats.total.compute_cycles)));
+            pairs.push(("stall_cycles", Json::U64(stats.total.stall_cycles)));
+            pairs.push(("local_hit_ratio", Json::F64(stats.local_hit_ratio())));
+            pairs.push(("comm_ops", Json::U64(stats.total.comm_ops)));
+            pairs.push((
+                "coherence_violations",
+                Json::U64(stats.total.coherence_violations),
+            ));
+            pairs.push(("bus_busy_cycles", Json::U64(stats.total.bus_busy_cycles)));
+            pairs.push(("imbalance", Json::F64(stats.cluster.imbalance())));
+            pairs.push((
+                "kernels",
+                Json::Arr(
+                    stats
+                        .kernels
+                        .iter()
+                        .map(|k| {
+                            Json::obj(vec![
+                                ("name", Json::str(k.name.clone())),
+                                ("ii", Json::U64(u64::from(k.ii))),
+                                ("span", Json::U64(u64::from(k.span))),
+                                ("total_cycles", Json::U64(k.stats.total_cycles())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+    }
+    Json::obj(pairs)
+}
+
+/// `POST /matrix`: run an arbitrary experiment grid.
+///
+/// Body: `{"suites": [...], "solutions": [...], "heuristics": [...],
+/// "machine": {...}}`. Suites are required; solutions default to
+/// `["mdc","ddgt"]`, heuristics to `["prefclus"]`, the machine to the
+/// server's configured machine plus any overrides.
+fn matrix(engine: &ServeEngine, body: &[u8]) -> Result<Json, ApiError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::BadRequest("body is not utf-8".to_string()))?;
+    let parsed = json::parse(text).map_err(|e| ApiError::BadRequest(format!("bad json: {e}")))?;
+
+    let suite_names: Vec<&str> = parsed
+        .get("suites")
+        .and_then(Json::as_array)
+        .ok_or_else(|| ApiError::BadRequest("`suites` must be an array".to_string()))?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .ok_or_else(|| ApiError::BadRequest("suite names must be strings".to_string()))
+        })
+        .collect::<Result<_, _>>()?;
+    if suite_names.is_empty() {
+        return Err(ApiError::BadRequest(
+            "`suites` must be nonempty".to_string(),
+        ));
+    }
+    let suites: Vec<&Suite> = suite_names
+        .iter()
+        .map(|name| {
+            engine
+                .suite(name)
+                .ok_or_else(|| ApiError::BadRequest(format!("unknown suite `{name}`")))
+        })
+        .collect::<Result<_, _>>()?;
+
+    fn parse_list<T: std::str::FromStr<Err = String>>(
+        parsed: &Json,
+        field: &str,
+        default: Vec<T>,
+    ) -> Result<Vec<T>, ApiError> {
+        match parsed.get(field) {
+            None => Ok(default),
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| ApiError::BadRequest(format!("`{field}` must be an array")))?
+                .iter()
+                .map(|item| {
+                    item.as_str()
+                        .ok_or_else(|| {
+                            ApiError::BadRequest(format!("`{field}` entries must be strings"))
+                        })?
+                        .parse::<T>()
+                        .map_err(ApiError::BadRequest)
+                })
+                .collect(),
+        }
+    }
+    let solutions = parse_list(&parsed, "solutions", vec![Solution::Mdc, Solution::Ddgt])?;
+    let heuristics = parse_list(&parsed, "heuristics", vec![Heuristic::PrefClus])?;
+    if solutions.is_empty() || heuristics.is_empty() {
+        return Err(ApiError::BadRequest(
+            "`solutions` and `heuristics` must be nonempty".to_string(),
+        ));
+    }
+
+    let machine = match parsed.get("machine") {
+        None => engine.machine().clone(),
+        Some(overrides) => {
+            machine_with_overrides(engine.machine(), overrides).map_err(ApiError::BadRequest)?
+        }
+    };
+
+    // The pipeline always runs a suite at the *suite's* interleave
+    // (paper Table 1), so an `interleave_bytes` override must be
+    // applied to the suites themselves or it would silently change
+    // nothing but the cache key.
+    let override_interleave = parsed
+        .get("machine")
+        .and_then(|m| m.get("interleave_bytes"))
+        .and_then(Json::as_u64);
+    let reinterleaved: Option<Vec<Suite>> = override_interleave.map(|bytes| {
+        suites
+            .iter()
+            .map(|s| {
+                let mut s = (*s).clone();
+                s.interleave_bytes = bytes;
+                s
+            })
+            .collect()
+    });
+    let suites: Vec<&Suite> = match &reinterleaved {
+        Some(owned) => owned.iter().collect(),
+        None => suites,
+    };
+
+    // The same (suite, solution, heuristic) nesting order as
+    // `Pipeline::run_matrix`, sharded the same way.
+    let mut specs = Vec::new();
+    for suite in &suites {
+        for &solution in &solutions {
+            for &heuristic in &heuristics {
+                specs.push(CellSpec {
+                    suite,
+                    machine: &machine,
+                    solution,
+                    heuristic,
+                });
+            }
+        }
+    }
+    let results = engine.run_cells(&specs);
+    let cells: Vec<Json> = specs
+        .iter()
+        .zip(&results)
+        .map(|(spec, result)| {
+            cell_json(
+                &spec.suite.name,
+                spec.solution,
+                spec.heuristic,
+                result.as_ref(),
+            )
+        })
+        .collect();
+    Ok(Json::obj(vec![("cells", Json::Arr(cells))]))
+}

@@ -1,0 +1,252 @@
+//! Minimal HTTP/1.1 framing over `std::net`.
+//!
+//! Hand-rolled like the `third_party/` dependency stand-ins: request
+//! parsing (request line, headers, `Content-Length` bodies) and
+//! response writing, with persistent connections per HTTP/1.1 defaults.
+//! No chunked encoding, no TLS — the service binds loopback or sits
+//! behind a real proxy.
+
+use std::io::{self, BufRead, Read, Write};
+
+/// Hard caps keeping a misbehaving client from ballooning memory.
+const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Maximum number of request headers.
+const MAX_HEADERS: usize = 64;
+/// Maximum request-body size in bytes.
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...).
+    pub method: String,
+    /// The path component of the request target (query string stripped).
+    pub path: String,
+    /// Header `(name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of `name`, matched case-insensitively.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange.
+    #[must_use]
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// One response to write.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Content-Type header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    #[must_use]
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Reads one line (up to CRLF or LF), rejecting oversized lines.
+fn read_line<R: BufRead>(reader: &mut R) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    let n = reader
+        .by_ref()
+        .take(MAX_HEADER_LINE as u64 + 1)
+        .read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if n > MAX_HEADER_LINE {
+        return Err(bad("header line too long"));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+/// Reads the next request off a persistent connection. `Ok(None)` means
+/// the peer closed cleanly between requests.
+///
+/// # Errors
+///
+/// I/O errors pass through; malformed framing surfaces as
+/// [`io::ErrorKind::InvalidData`] (the server answers 400 and closes).
+pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
+    let Some(request_line) = read_line(reader)? else {
+        return Ok(None);
+    };
+    if request_line.is_empty() {
+        return Ok(None);
+    }
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().ok_or_else(|| bad("missing request target"))?;
+    let version = parts.next().ok_or_else(|| bad("missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("unsupported HTTP version"));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?.ok_or_else(|| bad("eof in headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(bad("too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad("malformed header"))?;
+        headers.push((name.trim().to_string(), value.trim().to_string()));
+    }
+
+    let mut request = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    if let Some(len) = request.header("content-length") {
+        let len: usize = len.parse().map_err(|_| bad("bad content-length"))?;
+        if len > MAX_BODY {
+            return Err(bad("body too large"));
+        }
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body)?;
+        request.body = body;
+    }
+    Ok(Some(request))
+}
+
+/// Writes `response`; `close` controls the `Connection` header.
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    response: &Response,
+    close: bool,
+) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len(),
+        if close { "close" } else { "keep-alive" }
+    )?;
+    writer.write_all(&response.body)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_get_with_query_and_headers() {
+        let raw = b"GET /fig6?x=1 HTTP/1.1\r\nHost: a\r\nConnection: close\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/fig6");
+        assert_eq!(req.header("host"), Some("a"));
+        assert!(req.wants_close());
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_body_and_next_request() {
+        let raw =
+            b"POST /matrix HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"a\"GET /healthz HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(&raw[..]);
+        let first = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!(first.method, "POST");
+        assert_eq!(first.body, b"{\"a\"");
+        assert!(!first.wants_close());
+        let second = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!(second.path, "/healthz");
+        assert!(read_request(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_framing() {
+        for raw in [
+            &b"GET\r\n\r\n"[..],
+            &b"GET / SPDY/3\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nbadheader\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nContent-Length: wat\r\n\r\n"[..],
+        ] {
+            let err = read_request(&mut BufReader::new(raw)).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_bodies() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        let err = read_request(&mut BufReader::new(raw.as_bytes())).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{}".to_string()), true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

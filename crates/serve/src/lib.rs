@@ -1,0 +1,218 @@
+//! `distvliw-serve`: the long-running experiment service.
+//!
+//! Exposes the end-to-end pipeline behind an HTTP/1.1 service built on
+//! `std::net` only (the build container has no crates.io access, so the
+//! HTTP framing and JSON are hand-rolled, mirroring the `third_party/`
+//! dependency stand-ins). The engine memoizes experiment cells in a
+//! content-addressed [`cache::ResultCache`] keyed by
+//! [`distvliw_core::cachekey::cell_key`], collapses concurrent identical
+//! requests with [`cache::SingleFlight`], and shards each request's
+//! cells across worker threads via `distvliw_core::par` — so repeated
+//! figure regenerations are incremental instead of recomputing the
+//! whole grid.
+//!
+//! Endpoints: `GET /fig6 /fig7 /fig9 /table3 /table4 /table5 /nobal
+//! /healthz /stats`, `POST /matrix` (arbitrary grids, with machine
+//! overrides) and `POST /shutdown`. See `docs/serving.md` for the
+//! reference.
+//!
+//! ```no_run
+//! use distvliw_arch::MachineConfig;
+//! use distvliw_serve::{engine::ServeEngine, Server};
+//!
+//! let engine = ServeEngine::new(MachineConfig::paper_baseline(), 256);
+//! let server = Server::bind("127.0.0.1:7411", engine).expect("bind");
+//! println!("listening on {}", server.local_addr());
+//! server.run().expect("serve");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod endpoints;
+pub mod engine;
+pub mod http;
+pub mod json;
+
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use engine::ServeEngine;
+use http::{read_request, write_response, Response};
+
+/// The accept loop: owns the listener and the engine, serves until a
+/// `POST /shutdown` arrives.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<ServeEngine>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7411`; port 0 picks an ephemeral
+    /// port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(addr: &str, engine: ServeEngine) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            engine: Arc::new(engine),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the listener has no local address (cannot happen after
+    /// a successful bind).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener")
+    }
+
+    /// The shared engine (for tests and embedding).
+    #[must_use]
+    pub fn engine(&self) -> &Arc<ServeEngine> {
+        &self.engine
+    }
+
+    /// Serves connections until shutdown. Each connection gets a thread;
+    /// requests on one connection are served in order with keep-alive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept failures (per-connection I/O errors only end
+    /// that connection).
+    pub fn run(self) -> io::Result<()> {
+        let addr = self.local_addr();
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for conn in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let conn = match conn {
+                Ok(conn) => conn,
+                Err(_) => {
+                    // Transient accept failure (e.g. EMFILE under fd
+                    // exhaustion): back off instead of busy-spinning
+                    // the accept loop at full CPU.
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    continue;
+                }
+            };
+            let engine = self.engine.clone();
+            let shutdown = self.shutdown.clone();
+            handlers.retain(|h| !h.is_finished());
+            handlers.push(std::thread::spawn(move || {
+                let _ = serve_connection(&engine, conn, &shutdown, addr);
+            }));
+        }
+        // Drain: in-flight requests finish writing their responses
+        // before the process exits; idle keep-alive connections notice
+        // the shutdown flag within one read-timeout tick.
+        for handler in handlers {
+            let _ = handler.join();
+        }
+        Ok(())
+    }
+}
+
+/// Serves one connection until close, error, or server shutdown.
+fn serve_connection(
+    engine: &ServeEngine,
+    conn: TcpStream,
+    shutdown: &AtomicBool,
+    addr: SocketAddr,
+) -> io::Result<()> {
+    // Responses are written as one buffered burst; Nagle would otherwise
+    // pair with the peer's delayed ACK and add tens of milliseconds to
+    // every cached exchange.
+    conn.set_nodelay(true)?;
+    // Between requests the socket ticks every second, so an idle
+    // keep-alive connection both notices a shutdown promptly and is
+    // reaped after `IDLE_LIMIT` rather than pinning its handler thread
+    // (and two fds) forever. `fill_buf` consumes nothing, so a tick
+    // can never corrupt framing; once a request's first bytes arrive,
+    // the per-read window widens to `REQUEST_WINDOW` and a stall
+    // mid-request closes the connection instead of resuming mid-stream.
+    const READ_TICK: std::time::Duration = std::time::Duration::from_secs(1);
+    const IDLE_LIMIT: std::time::Duration = std::time::Duration::from_secs(60);
+    const REQUEST_WINDOW: std::time::Duration = std::time::Duration::from_secs(30);
+    let timeouts = conn.try_clone()?;
+    let mut writer = io::BufWriter::new(conn.try_clone()?);
+    let mut reader = BufReader::new(conn);
+    loop {
+        // Idle phase: wait for the first bytes of the next request.
+        timeouts.set_read_timeout(Some(READ_TICK))?;
+        let idle_since = std::time::Instant::now();
+        loop {
+            use std::io::BufRead as _;
+            match reader.fill_buf() {
+                Ok([]) => return Ok(()), // clean close between requests
+                Ok(_) => break,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if shutdown.load(Ordering::SeqCst) || idle_since.elapsed() >= IDLE_LIMIT {
+                        return Ok(());
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Request phase: the whole exchange reads under the wider
+        // window; a timeout here ends the connection.
+        timeouts.set_read_timeout(Some(REQUEST_WINDOW))?;
+        let request = match read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let resp = Response::json(
+                    400,
+                    json::Json::obj(vec![("error", json::Json::str(e.to_string()))]).render(),
+                );
+                let _ = write_response(&mut writer, &resp, true);
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        // Shutdown is handled at the connection layer: the engine stays
+        // a pure request → response function.
+        if request.path == "/shutdown" {
+            let resp = if request.method == "POST" {
+                shutdown.store(true, Ordering::SeqCst);
+                Response::json(
+                    200,
+                    json::Json::obj(vec![("status", json::Json::str("shutting down"))]).render(),
+                )
+            } else {
+                Response::json(
+                    405,
+                    json::Json::obj(vec![("error", json::Json::str("method not allowed"))])
+                        .render(),
+                )
+            };
+            write_response(&mut writer, &resp, true)?;
+            if shutdown.load(Ordering::SeqCst) {
+                // Poke the accept loop so it observes the flag.
+                let _ = TcpStream::connect(addr);
+            }
+            return Ok(());
+        }
+        let response = endpoints::handle(engine, &request);
+        let close = request.wants_close();
+        write_response(&mut writer, &response, close)?;
+        if close {
+            return Ok(());
+        }
+    }
+}

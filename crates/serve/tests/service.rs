@@ -1,0 +1,265 @@
+//! End-to-end tests of the HTTP service: a real server on an ephemeral
+//! loopback port, driven through the bundled client.
+//!
+//! The acceptance property of the serving layer is pinned here: warm
+//! (cached) responses are **byte-identical** to cold ones, repeated
+//! requests are served without recomputing any cell (verified through
+//! `/stats`), and `/matrix` cells agree exactly with a direct
+//! `Pipeline::run_matrix` on the same configurations.
+
+use distvliw_arch::MachineConfig;
+use distvliw_core::{Heuristic, Pipeline, Solution};
+use distvliw_serve::client::{self, Client};
+use distvliw_serve::engine::ServeEngine;
+use distvliw_serve::json;
+use distvliw_serve::Server;
+
+/// Spawns a server on an ephemeral port; returns its base URL and the
+/// accept-loop thread (joined after `/shutdown`).
+fn spawn_server() -> (String, std::thread::JoinHandle<()>) {
+    let engine = ServeEngine::new(MachineConfig::paper_baseline(), 256);
+    let server = Server::bind("127.0.0.1:0", engine).expect("bind ephemeral port");
+    let base = format!("http://{}", server.local_addr());
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (base, handle)
+}
+
+fn shutdown(base: &str, handle: std::thread::JoinHandle<()>) {
+    let resp = client::post(base, "/shutdown", "").expect("shutdown");
+    assert_eq!(resp.status, 200);
+    handle.join().expect("server thread");
+}
+
+fn stats_field(base: &str, path: &[&str]) -> u64 {
+    let resp = client::get(base, "/stats").expect("stats");
+    assert_eq!(resp.status, 200);
+    let v = json::parse(std::str::from_utf8(&resp.body).unwrap()).expect("stats json");
+    let mut cur = &v;
+    for key in path {
+        cur = cur.get(key).unwrap_or_else(|| panic!("missing {key}"));
+    }
+    cur.as_u64().expect("integer stat")
+}
+
+#[test]
+fn health_stats_and_unknown_routes() {
+    let (base, handle) = spawn_server();
+
+    let resp = client::get(&base, "/healthz").unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.body.starts_with(b"{\"status\":\"ok\"}"));
+
+    let resp = client::get(&base, "/nope").unwrap();
+    assert_eq!(resp.status, 404);
+    let resp = client::post(&base, "/fig6", "").unwrap();
+    assert_eq!(resp.status, 405);
+    let resp = client::post(&base, "/matrix", "{not json").unwrap();
+    assert_eq!(resp.status, 400);
+    let resp = client::post(&base, "/matrix", r#"{"suites":["wat"]}"#).unwrap();
+    assert_eq!(resp.status, 400);
+    let resp = client::post(
+        &base,
+        "/matrix",
+        r#"{"suites":["gsmdec"],"machine":{"interleave_bytes":16}}"#,
+    )
+    .unwrap();
+    assert_eq!(resp.status, 400, "invalid machine must be rejected");
+
+    // Index lists the routes.
+    let resp = client::get(&base, "/").unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(String::from_utf8_lossy(&resp.body).contains("/matrix"));
+
+    shutdown(&base, handle);
+}
+
+#[test]
+fn keep_alive_serves_sequential_requests() {
+    let (base, handle) = spawn_server();
+    let mut client = Client::connect(&base).unwrap();
+    for _ in 0..3 {
+        let resp = client.get("/healthz").unwrap();
+        assert_eq!(resp.status, 200);
+    }
+    shutdown(&base, handle);
+}
+
+#[test]
+fn matrix_is_cached_byte_identical_and_matches_run_matrix() {
+    let (base, handle) = spawn_server();
+    let body =
+        r#"{"suites":["gsmdec","jpegenc"],"solutions":["mdc","ddgt"],"heuristics":["prefclus"]}"#;
+
+    let cold = client::post(&base, "/matrix", body).unwrap();
+    assert_eq!(cold.status, 200);
+    let computed_after_cold = stats_field(&base, &["computed_cells"]);
+    assert_eq!(
+        computed_after_cold, 4,
+        "2 suites × 2 solutions × 1 heuristic"
+    );
+
+    // Warm repeat: byte-identical, all hits, no recompute.
+    let hits_before = stats_field(&base, &["cache", "hits"]);
+    let warm = client::post(&base, "/matrix", body).unwrap();
+    assert_eq!(warm.status, 200);
+    assert_eq!(
+        warm.body, cold.body,
+        "cached response must be byte-identical"
+    );
+    assert_eq!(
+        stats_field(&base, &["computed_cells"]),
+        computed_after_cold,
+        "repeat must not recompute"
+    );
+    assert!(stats_field(&base, &["cache", "hits"]) >= hits_before + 4);
+
+    // The served numbers equal a direct cold run_matrix.
+    let suites = vec![
+        distvliw_mediabench::suite("gsmdec").unwrap(),
+        distvliw_mediabench::suite("jpegenc").unwrap(),
+    ];
+    let direct = Pipeline::new(MachineConfig::paper_baseline()).run_matrix(
+        &suites,
+        &[Solution::Mdc, Solution::Ddgt],
+        &[Heuristic::PrefClus],
+    );
+    let served = json::parse(std::str::from_utf8(&warm.body).unwrap()).unwrap();
+    let cells = served.get("cells").unwrap().as_array().unwrap();
+    assert_eq!(cells.len(), direct.len());
+    for (cell, direct_cell) in cells.iter().zip(&direct) {
+        assert_eq!(
+            cell.get("suite").unwrap().as_str().unwrap(),
+            direct_cell.suite
+        );
+        assert_eq!(
+            cell.get("solution").unwrap().as_str().unwrap(),
+            direct_cell.solution.to_string()
+        );
+        assert_eq!(cell.get("ok").unwrap().as_bool(), Some(true));
+        let direct_stats = direct_cell.stats.as_ref().expect("direct cell runs");
+        assert_eq!(
+            cell.get("total_cycles").unwrap().as_u64().unwrap(),
+            direct_stats.total_cycles(),
+            "{}/{}",
+            direct_cell.suite,
+            direct_cell.solution
+        );
+        assert_eq!(
+            cell.get("comm_ops").unwrap().as_u64().unwrap(),
+            direct_stats.total.comm_ops
+        );
+        assert_eq!(
+            cell.get("kernels").unwrap().as_array().unwrap().len(),
+            direct_stats.kernels.len()
+        );
+    }
+    shutdown(&base, handle);
+}
+
+#[test]
+fn figure_endpoint_repeat_is_a_pure_cache_hit() {
+    let (base, handle) = spawn_server();
+
+    // Use a machine override via /matrix first to prove distinct keys
+    // coexist, then the figure path. (Keeps this test to one server.)
+    let cold = client::get(&base, "/table4").unwrap();
+    assert_eq!(cold.status, 200);
+    let computed = stats_field(&base, &["computed_cells"]);
+    assert!(computed > 0);
+
+    let warm = client::get(&base, "/table4").unwrap();
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.body, cold.body);
+    assert_eq!(
+        stats_field(&base, &["computed_cells"]),
+        computed,
+        "warm /table4 must be assembled purely from cache"
+    );
+
+    // /stats surfaces the per-cluster counters of everything computed.
+    let resp = client::get(&base, "/stats").unwrap();
+    let v = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+    let cluster = v.get("cluster").unwrap();
+    let accesses = cluster.get("accesses").unwrap().as_array().unwrap();
+    assert_eq!(accesses.len(), 4, "four clusters on the paper machine");
+    let total: u64 = accesses.iter().map(|a| a.as_u64().unwrap()).sum();
+    assert!(total > 0, "computed cells accumulate cluster usage");
+    assert!(cluster.get("imbalance").unwrap().as_f64().unwrap() >= 1.0);
+    assert!(cluster.get("mem_bus_grants").unwrap().as_u64().unwrap() > 0);
+
+    shutdown(&base, handle);
+}
+
+#[test]
+fn matrix_interleave_override_changes_the_run() {
+    let (base, handle) = spawn_server();
+    let body = |interleave: &str| {
+        format!(
+            r#"{{"suites":["epicdec"],"solutions":["mdc"],"heuristics":["prefclus"]{interleave}}}"#
+        )
+    };
+    let plain = client::post(&base, "/matrix", &body("")).unwrap();
+    assert_eq!(plain.status, 200);
+    let overridden = client::post(
+        &base,
+        "/matrix",
+        &body(r#","machine":{"interleave_bytes":2}"#),
+    )
+    .unwrap();
+    assert_eq!(overridden.status, 200);
+
+    // The override must reach the pipeline, matching a direct run on a
+    // re-interleaved suite (not merely perturb the cache key).
+    let mut suite = distvliw_mediabench::suite("epicdec").unwrap();
+    suite.interleave_bytes = 2;
+    let direct = Pipeline::new(MachineConfig::paper_baseline())
+        .run_suite(&suite, Solution::Mdc, Heuristic::PrefClus)
+        .unwrap();
+    let v = json::parse(std::str::from_utf8(&overridden.body).unwrap()).unwrap();
+    let cell = &v.get("cells").unwrap().as_array().unwrap()[0];
+    assert_eq!(
+        cell.get("total_cycles").unwrap().as_u64().unwrap(),
+        direct.total_cycles()
+    );
+    assert_ne!(
+        overridden.body, plain.body,
+        "a different interleave must change the results"
+    );
+    shutdown(&base, handle);
+}
+
+#[test]
+fn fig6_fractions_match_experiments_module() {
+    // The serve-side figure assembly must agree with the reference
+    // implementation in distvliw_core::experiments. Comparing one
+    // benchmark keeps the test fast.
+    let (base, handle) = spawn_server();
+    let body =
+        r#"{"suites":["pgpdec"],"solutions":["free","mdc","ddgt"],"heuristics":["prefclus"]}"#;
+    let resp = client::post(&base, "/matrix", body).unwrap();
+    assert_eq!(resp.status, 200);
+    let v = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+    let cells = v.get("cells").unwrap().as_array().unwrap();
+
+    let pipeline = Pipeline::new(MachineConfig::paper_baseline());
+    let suite = distvliw_mediabench::suite("pgpdec").unwrap();
+    for (cell, solution) in cells
+        .iter()
+        .zip([Solution::Free, Solution::Mdc, Solution::Ddgt])
+    {
+        let direct = pipeline
+            .run_suite(&suite, solution, Heuristic::PrefClus)
+            .unwrap();
+        assert_eq!(
+            cell.get("local_hit_ratio").unwrap().as_f64().unwrap(),
+            direct.local_hit_ratio(),
+            "{solution}"
+        );
+        assert_eq!(
+            cell.get("imbalance").unwrap().as_f64().unwrap(),
+            direct.cluster.imbalance(),
+            "{solution}"
+        );
+    }
+    shutdown(&base, handle);
+}

@@ -28,7 +28,7 @@ use distvliw_ir::{AddressStream, DepKind, LoopKernel, NodeId, OpKind};
 use distvliw_sched::Schedule;
 
 use crate::memsys::{AccessResult, BatchAccess, MemorySystem};
-use crate::stats::SimStats;
+use crate::stats::{ClusterUsage, SimStats};
 use crate::violation::ViolationDetector;
 
 /// Simulation options.
@@ -157,6 +157,27 @@ pub fn simulate_kernel(
     schedule: &Schedule,
     options: SimOptions,
 ) -> SimStats {
+    simulate_kernel_detailed(machine, kernel, schedule, options).0
+}
+
+/// Like [`simulate_kernel`], additionally returning the per-cluster
+/// resource usage ([`ClusterUsage`]): the classified accesses each
+/// cluster issued, the violations attributed to each cluster and the
+/// bus / next-level grant counts, all scaled the same way as the
+/// aggregate statistics. The [`SimStats`] component is identical to what
+/// [`simulate_kernel`] returns.
+///
+/// # Panics
+///
+/// Panics if the schedule does not cover the kernel's graph or if a
+/// memory operation misses its execution address stream.
+#[must_use]
+pub fn simulate_kernel_detailed(
+    machine: &MachineConfig,
+    kernel: &LoopKernel,
+    schedule: &Schedule,
+    options: SimOptions,
+) -> (SimStats, ClusterUsage) {
     let ddg = &kernel.ddg;
     let ii = u64::from(schedule.ii.max(1));
     let span = u64::from(schedule.span);
@@ -413,16 +434,24 @@ pub fn simulate_kernel(
         iterations: iters,
         bus_busy_cycles: ms.bus_busy_cycles(),
     };
+    let mut usage = ClusterUsage {
+        accesses: (0..n_clusters).map(|c| ms.counts_of_cluster(c)).collect(),
+        violations: detector.violations_by_cluster().clone(),
+        mem_bus_grants: ms.mem_bus_grants(),
+        next_level_grants: ms.next_level_grants(),
+    };
 
     // Extrapolate truncated loops linearly, then scale by invocations.
     if trip > iters {
         let factor = trip / iters;
         stats = stats.scaled(factor);
+        usage = usage.scaled(factor);
         // Compute time is exact: the pipeline fills once per invocation.
         stats.compute_cycles = (trip - 1) * ii + span;
         stats.iterations = trip;
     }
-    stats.scaled(kernel.invocations.max(1))
+    let invocations = kernel.invocations.max(1);
+    (stats.scaled(invocations), usage.scaled(invocations))
 }
 
 #[cfg(test)]
@@ -629,6 +658,31 @@ mod tests {
         let stats = simulate_kernel(&m, &k, &s, SimOptions::default());
         assert_eq!(stats.comm_ops, 50);
         assert_eq!(stats.coherence_violations, 0);
+    }
+
+    #[test]
+    fn detailed_usage_is_consistent_with_aggregate_stats() {
+        // Use a trip count beyond the iteration cap so the per-cluster
+        // counters go through the same extrapolation as the aggregate.
+        let k = streaming_kernel(4096);
+        let m = machine();
+        let s = schedule_free(&k, &m);
+        let opts = SimOptions {
+            max_iterations: 256,
+            detect_violations: true,
+        };
+        let (stats, usage) = simulate_kernel_detailed(&m, &k, &s, opts);
+        assert_eq!(stats, simulate_kernel(&m, &k, &s, opts));
+        assert_eq!(usage.accesses.len(), m.n_clusters);
+        let split: u64 = (0..m.n_clusters).map(|c| usage.accesses_of(c)).sum();
+        assert_eq!(split, stats.accesses.total());
+        assert_eq!(usage.violations.total(), stats.coherence_violations);
+        assert_eq!(
+            usage.mem_bus_grants * u64::from(m.mem_buses.latency),
+            stats.bus_busy_cycles
+        );
+        // One load per iteration from a single cluster: fully imbalanced.
+        assert!((usage.imbalance() - m.n_clusters as f64).abs() < 1e-12);
     }
 
     #[test]

@@ -29,7 +29,7 @@ mod memsys;
 mod stats;
 mod violation;
 
-pub use engine::{simulate_kernel, SimOptions};
+pub use engine::{simulate_kernel, simulate_kernel_detailed, SimOptions};
 pub use memsys::{AccessResult, BatchAccess, MemorySystem, ResourcePool, SubblockCache};
-pub use stats::{AccessCounts, ClusterCounts, SimStats};
+pub use stats::{AccessCounts, ClusterCounts, ClusterUsage, SimStats};
 pub use violation::ViolationDetector;

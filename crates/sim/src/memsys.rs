@@ -283,6 +283,18 @@ impl MemorySystem {
         self.mem_buses.busy_cycles()
     }
 
+    /// Memory-bus grants issued so far ([`ResourcePool::grants`]).
+    #[must_use]
+    pub fn mem_bus_grants(&self) -> u64 {
+        self.mem_buses.grants()
+    }
+
+    /// Next-level port grants issued so far ([`ResourcePool::grants`]).
+    #[must_use]
+    pub fn next_level_grants(&self) -> u64 {
+        self.next_level.grants()
+    }
+
     /// Records one classified access issued by `cluster`.
     fn record(&mut self, cluster: usize, class: AccessClass) {
         self.counts.record(class);

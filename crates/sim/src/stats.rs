@@ -135,6 +135,94 @@ impl ClusterCounts {
     pub fn as_slice(&self) -> &[u64] {
         &self.0
     }
+
+    /// Scales every counter (invocation extrapolation).
+    #[must_use]
+    pub fn scaled(mut self, factor: u64) -> Self {
+        for c in &mut self.0 {
+            *c *= factor;
+        }
+        self
+    }
+}
+
+impl AddAssign<&ClusterCounts> for ClusterCounts {
+    fn add_assign(&mut self, rhs: &ClusterCounts) {
+        if self.0.len() < rhs.0.len() {
+            self.0.resize(rhs.0.len(), 0);
+        }
+        for (a, b) in self.0.iter_mut().zip(&rhs.0) {
+            *a += b;
+        }
+    }
+}
+
+/// Per-cluster resource usage of one simulated loop (or the aggregate of
+/// many): the counters PR 2 plumbed into the memory system and violation
+/// detector, surfaced so reports and the serving layer can quantify
+/// cluster imbalance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterUsage {
+    /// Classified accesses issued by each cluster (same totals as
+    /// [`SimStats::accesses`], split by issuing cluster).
+    pub accesses: Vec<AccessCounts>,
+    /// Coherence violations attributed to each cluster's accesses.
+    pub violations: ClusterCounts,
+    /// Memory-bus grants issued over the run
+    /// ([`crate::ResourcePool::grants`] of the bus pool).
+    pub mem_bus_grants: u64,
+    /// Next-level port grants issued over the run.
+    pub next_level_grants: u64,
+}
+
+impl ClusterUsage {
+    /// Total accesses issued by `cluster`.
+    #[must_use]
+    pub fn accesses_of(&self, cluster: usize) -> u64 {
+        self.accesses.get(cluster).map_or(0, AccessCounts::total)
+    }
+
+    /// The imbalance ratio: the busiest cluster's access count over the
+    /// per-cluster mean. 1.0 means perfectly balanced; `n_clusters`
+    /// means one cluster issued everything. Returns 1.0 when no accesses
+    /// were recorded.
+    #[must_use]
+    pub fn imbalance(&self) -> f64 {
+        let totals: Vec<u64> = self.accesses.iter().map(AccessCounts::total).collect();
+        let sum: u64 = totals.iter().sum();
+        if sum == 0 || totals.is_empty() {
+            return 1.0;
+        }
+        let max = *totals.iter().max().expect("nonempty totals");
+        max as f64 * totals.len() as f64 / sum as f64
+    }
+
+    /// Scales every counter (invocation extrapolation).
+    #[must_use]
+    pub fn scaled(mut self, factor: u64) -> Self {
+        for a in &mut self.accesses {
+            *a = a.scaled(factor);
+        }
+        self.violations = self.violations.scaled(factor);
+        self.mem_bus_grants *= factor;
+        self.next_level_grants *= factor;
+        self
+    }
+}
+
+impl AddAssign<&ClusterUsage> for ClusterUsage {
+    fn add_assign(&mut self, rhs: &ClusterUsage) {
+        if self.accesses.len() < rhs.accesses.len() {
+            self.accesses
+                .resize(rhs.accesses.len(), AccessCounts::new());
+        }
+        for (a, b) in self.accesses.iter_mut().zip(&rhs.accesses) {
+            *a += *b;
+        }
+        self.violations += &rhs.violations;
+        self.mem_bus_grants += rhs.mem_bus_grants;
+        self.next_level_grants += rhs.next_level_grants;
+    }
 }
 
 /// Result of simulating one loop (or the aggregate of many).
@@ -288,6 +376,53 @@ mod tests {
         assert_eq!(a.scaled(3).bus_busy_cycles, 21);
         assert_eq!((a.scaled(3) + a).bus_busy_cycles, 28);
         assert!(a.to_string().contains("bus_busy=7"));
+    }
+
+    #[test]
+    fn cluster_usage_imbalance_and_merge() {
+        let mut a = ClusterUsage {
+            accesses: vec![AccessCounts::new(); 4],
+            ..ClusterUsage::default()
+        };
+        assert_eq!(a.imbalance(), 1.0, "empty usage is balanced");
+        for _ in 0..6 {
+            a.accesses[0].record(AccessClass::LocalHit);
+        }
+        for c in 1..4 {
+            a.accesses[c].record(AccessClass::RemoteHit);
+            a.accesses[c].record(AccessClass::RemoteMiss);
+        }
+        // totals [6, 2, 2, 2]: max 6 over mean 3 → 2.0.
+        assert!((a.imbalance() - 2.0).abs() < 1e-12);
+        assert_eq!(a.accesses_of(0), 6);
+        assert_eq!(a.accesses_of(9), 0);
+
+        a.violations.add(1, 5);
+        a.mem_bus_grants = 10;
+        a.next_level_grants = 3;
+        let doubled = a.clone().scaled(2);
+        assert_eq!(doubled.accesses_of(0), 12);
+        assert_eq!(doubled.violations.get(1), 10);
+        assert_eq!(doubled.mem_bus_grants, 20);
+
+        let mut merged = a.clone();
+        merged += &doubled;
+        assert_eq!(merged.accesses_of(0), 18);
+        assert_eq!(merged.violations.get(1), 15);
+        assert_eq!(merged.next_level_grants, 9);
+        // Merging a wider table grows the narrower one.
+        let mut narrow = ClusterUsage::default();
+        narrow += &a;
+        assert_eq!(narrow.accesses.len(), 4);
+        assert_eq!(narrow.accesses_of(3), 2);
+    }
+
+    #[test]
+    fn cluster_counts_scale() {
+        let mut c = ClusterCounts::new(2);
+        c.add(0, 4);
+        c.add(1, 1);
+        assert_eq!(c.scaled(3).as_slice(), &[12, 3]);
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //! * [`sim`] — the cycle-level stall-on-use simulator,
 //! * [`mediabench`] — synthetic Mediabench-like benchmark suites,
 //! * [`core`] — the end-to-end pipeline and the experiment drivers that
-//!   regenerate every table and figure of the paper.
+//!   regenerate every table and figure of the paper,
+//! * [`serve`] — the long-running HTTP service with a content-addressed
+//!   result cache over the pipeline (`serve` / `servecli` bins).
 //!
 //! # Quickstart
 //!
@@ -41,4 +43,5 @@ pub use distvliw_core as core;
 pub use distvliw_ir as ir;
 pub use distvliw_mediabench as mediabench;
 pub use distvliw_sched as sched;
+pub use distvliw_serve as serve;
 pub use distvliw_sim as sim;
