@@ -1,0 +1,7 @@
+//! Prints the sensitivity sweep: the cluster-count (2/4/8/16) ×
+//! memory-bus grid over the default workload mix, with per-cluster
+//! imbalance and bus-occupancy columns for all four solutions.
+
+fn main() -> std::process::ExitCode {
+    distvliw_bench::run_experiment_main("sweep")
+}

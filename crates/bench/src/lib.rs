@@ -14,7 +14,8 @@ use std::fmt::Write as _;
 
 use distvliw_arch::MachineConfig;
 use distvliw_core::experiments::{
-    epicdec_ab_case_study, fig6, fig7, fig9, gsmdec_case_study, nobal, table3, table4, table5,
+    epicdec_ab_case_study, fig6, fig7, fig9, gsmdec_case_study, nobal, sweep, sweep_default_suites,
+    table3, table4, table5, SweepSpec,
 };
 use distvliw_core::{report as render, Heuristic, Pipeline, PipelineOptions, Solution};
 use distvliw_sim::SimOptions;
@@ -39,8 +40,8 @@ pub fn quick_options() -> PipelineOptions {
 
 /// Every experiment name [`report`] understands, in the paper's order.
 /// Each is also the name of a thin bin under `src/bin/`; the figure and
-/// table entries additionally have a matching serving-layer route
-/// (`hybrid`, `loops` and `imbalance` are bin-only). Every report
+/// table entries and `sweep` additionally have a matching serving-layer
+/// route (`hybrid`, `loops` and `imbalance` are bin-only). Every report
 /// begins with its own descriptive title line.
 pub const EXPERIMENTS: &[&str] = &[
     "table3",
@@ -53,6 +54,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "loops",
     "hybrid",
     "imbalance",
+    "sweep",
 ];
 
 /// Renders the named experiment against `machine`.
@@ -85,6 +87,7 @@ pub fn report(name: &str, machine: &MachineConfig) -> Result<String, String> {
         "loops" => loops_report(machine).map_err(fail),
         "hybrid" => hybrid_report(machine).map_err(fail),
         "imbalance" => imbalance_report(machine).map_err(fail),
+        "sweep" => sweep_report(machine).map_err(fail),
         other => Err(format!("unknown experiment `{other}`")),
     }
 }
@@ -193,6 +196,17 @@ fn imbalance_report(machine: &MachineConfig) -> Result<String, distvliw_core::Pi
     Ok(render::render_cluster_imbalance(
         "Cluster imbalance: accesses by issuing cluster (PrefClus)",
         &entries,
+    ))
+}
+
+/// The cluster-count × memory-bus sensitivity sweep over the default
+/// workload mix (one synthetic benchmark plus the bundled recorded
+/// traces), all four solutions per grid point.
+fn sweep_report(machine: &MachineConfig) -> Result<String, distvliw_core::PipelineError> {
+    let rows = sweep(machine, &sweep_default_suites(), &SweepSpec::default())?;
+    Ok(render::render_sweep(
+        &rows,
+        "Sensitivity sweep: cluster count × memory buses (PrefClus; gsmdec + recorded traces)",
     ))
 }
 

@@ -2,11 +2,12 @@
 //! evaluation (Sections 4–6). Each driver returns typed rows; the
 //! [`crate::report`] module renders them as text tables.
 
-use distvliw_arch::{AccessClass, AttractionBufferConfig, MachineConfig};
+use distvliw_arch::{AccessClass, AttractionBufferConfig, BusConfig, MachineConfig};
 use distvliw_coherence::{chain_stats, specialize_kernel, ChainStats};
 use distvliw_ir::Suite;
-use distvliw_mediabench::{figure_suites, suite};
+use distvliw_mediabench::{figure_suites, suite, trace_suites};
 use distvliw_sched::Heuristic;
+use distvliw_sim::ClusterUsage;
 
 use crate::pipeline::{Pipeline, PipelineError, Solution, SuiteStats};
 
@@ -432,6 +433,225 @@ pub fn epicdec_ab_case_study(machine: &MachineConfig) -> Result<CaseStudy, Pipel
     case_study(&with_ab, "epicdec")
 }
 
+/// Description of a sensitivity sweep: the cluster-count × memory-bus
+/// grid of paper Section 5.4's scaling question. Every grid point runs
+/// all four solutions ([`SWEEP_SOLUTIONS`]) under one heuristic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepSpec {
+    /// Cluster counts to sweep (default 2/4/8/16).
+    pub cluster_counts: Vec<usize>,
+    /// Memory-bus configurations to sweep (count × latency grid).
+    pub mem_buses: Vec<BusConfig>,
+    /// Cluster-assignment heuristic for every cell.
+    pub heuristic: Heuristic,
+}
+
+impl Default for SweepSpec {
+    /// The default grid: cluster counts 2/4/8/16 × three memory-bus
+    /// points — the paper's baseline (4 buses @ 2 cycles), half the
+    /// buses (4→2) and double the latency (2→4).
+    fn default() -> Self {
+        SweepSpec {
+            cluster_counts: vec![2, 4, 8, 16],
+            mem_buses: vec![
+                BusConfig {
+                    count: 4,
+                    latency: 2,
+                },
+                BusConfig {
+                    count: 2,
+                    latency: 2,
+                },
+                BusConfig {
+                    count: 4,
+                    latency: 4,
+                },
+            ],
+            heuristic: Heuristic::PrefClus,
+        }
+    }
+}
+
+/// The four solutions every sweep cell runs, in row order.
+pub const SWEEP_SOLUTIONS: [Solution; 4] = [
+    Solution::Free,
+    Solution::Mdc,
+    Solution::Ddgt,
+    Solution::Hybrid,
+];
+
+/// The machine for one sweep grid point: `base` with the cluster count
+/// and memory buses replaced. The cache block size is raised to the
+/// cluster stripe (`n_clusters × 4` bytes, the widest bundled
+/// interleave) when the baseline block no longer divides evenly —
+/// total capacity is unchanged, so configurations at ≤ 8 clusters keep
+/// the paper's 32-byte blocks exactly.
+///
+/// # Panics
+///
+/// Panics if the resulting configuration is invalid (impossible for
+/// power-of-two cluster counts over a valid base).
+#[must_use]
+pub fn sweep_machine(
+    base: &MachineConfig,
+    n_clusters: usize,
+    mem_buses: BusConfig,
+) -> MachineConfig {
+    let mut machine = base.clone();
+    machine.n_clusters = n_clusters;
+    machine.mem_buses = mem_buses;
+    let stripe = n_clusters as u64 * 4;
+    if !machine.cache.block_bytes.is_multiple_of(stripe) {
+        machine.cache.block_bytes = machine.cache.block_bytes.max(stripe);
+    }
+    machine.validate().expect("sweep machine is valid");
+    machine
+}
+
+/// Names of the suites the default sweep runs, in sweep order — one
+/// chained synthetic benchmark plus the bundled recorded traces. The
+/// serving layer resolves these against its resident suites so a warm
+/// `GET /sweep` never rebuilds a workload; kept in lock-step with
+/// [`sweep_default_suites`] by a unit test.
+pub const SWEEP_DEFAULT_SUITE_NAMES: [&str; 3] = ["gsmdec", "fir8", "ptrchase"];
+
+/// The suites the default sweep (the `sweep` bin and `GET /sweep`) runs
+/// ([`SWEEP_DEFAULT_SUITE_NAMES`]): small enough that the full
+/// 2→16-cluster grid stays cheap, broad enough to cover both workload
+/// classes.
+#[must_use]
+pub fn sweep_default_suites() -> Vec<Suite> {
+    let traces = trace_suites();
+    SWEEP_DEFAULT_SUITE_NAMES
+        .iter()
+        .map(|name| {
+            suite(name)
+                .or_else(|| traces.iter().find(|t| t.name == *name).cloned())
+                .expect("default sweep suites are bundled")
+        })
+        .collect()
+}
+
+/// One `(cluster count, bus point, solution)` row of a sweep, aggregated
+/// over all swept suites.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Cluster count of this grid point.
+    pub n_clusters: usize,
+    /// Memory-bus configuration of this grid point.
+    pub mem_buses: BusConfig,
+    /// Coherence solution of this row.
+    pub solution: Solution,
+    /// Total cycles over all suites.
+    pub total_cycles: u64,
+    /// Stall cycles over all suites.
+    pub stall_cycles: u64,
+    /// Memory-bus busy cycles over all suites.
+    pub bus_busy_cycles: u64,
+    /// Summed bus drain windows over all suites (each at least its
+    /// suite's total cycles — see `SimStats::bus_drain_cycles`); the
+    /// denominator that keeps [`SweepRow::bus_occupancy`] ≤ 1.
+    pub bus_drain_cycles: u64,
+    /// Coherence violations (nonzero only for the Free baseline).
+    pub violations: u64,
+    /// Classified memory accesses over all suites.
+    pub accesses: u64,
+    /// Per-cluster usage aggregated over all suites (the imbalance
+    /// surface; its length equals `n_clusters`).
+    pub cluster: ClusterUsage,
+}
+
+impl SweepRow {
+    /// The busiest-cluster-over-mean imbalance ratio of this row.
+    #[must_use]
+    pub fn imbalance(&self) -> f64 {
+        self.cluster.imbalance()
+    }
+
+    /// Fraction of the available bus capacity the memory buses were
+    /// busy. The window is the drain (`bus_drain_cycles`), not the
+    /// issue span: fire-and-forget stores can keep the buses busy past
+    /// the last issue cycle, and over the drain window occupancy is
+    /// always ≤ 1.
+    #[must_use]
+    pub fn bus_occupancy(&self) -> f64 {
+        let capacity = self
+            .bus_drain_cycles
+            .saturating_mul(self.mem_buses.count as u64);
+        if capacity == 0 {
+            0.0
+        } else {
+            self.bus_busy_cycles as f64 / capacity as f64
+        }
+    }
+}
+
+/// Folds per-suite statistics into one [`SweepRow`]. Shared by
+/// [`sweep`] and the serving layer's `GET /sweep` so both aggregate
+/// identically.
+#[must_use]
+pub fn sweep_row(
+    n_clusters: usize,
+    mem_buses: BusConfig,
+    solution: Solution,
+    per_suite: &[&SuiteStats],
+) -> SweepRow {
+    let mut row = SweepRow {
+        n_clusters,
+        mem_buses,
+        solution,
+        total_cycles: 0,
+        stall_cycles: 0,
+        bus_busy_cycles: 0,
+        bus_drain_cycles: 0,
+        violations: 0,
+        accesses: 0,
+        cluster: ClusterUsage::default(),
+    };
+    for stats in per_suite {
+        row.total_cycles += stats.total_cycles();
+        row.stall_cycles += stats.total.stall_cycles;
+        row.bus_busy_cycles += stats.total.bus_busy_cycles;
+        row.bus_drain_cycles += stats.total.bus_drain_cycles;
+        row.violations += stats.total.coherence_violations;
+        row.accesses += stats.total.accesses.total();
+        row.cluster += &stats.cluster;
+    }
+    row
+}
+
+/// Runs the sensitivity sweep: for every cluster count × bus point of
+/// `spec` and every solution of [`SWEEP_SOLUTIONS`], compiles and
+/// simulates all `suites` on [`sweep_machine`] and aggregates one
+/// [`SweepRow`]. Rows come back in `(cluster count, bus point,
+/// solution)` nesting order.
+///
+/// # Errors
+///
+/// Propagates the first pipeline failure.
+pub fn sweep(
+    base: &MachineConfig,
+    suites: &[Suite],
+    spec: &SweepSpec,
+) -> Result<Vec<SweepRow>, PipelineError> {
+    let mut rows = Vec::new();
+    for &n_clusters in &spec.cluster_counts {
+        for &mem_buses in &spec.mem_buses {
+            let machine = sweep_machine(base, n_clusters, mem_buses);
+            let pipeline = Pipeline::new(machine);
+            for solution in SWEEP_SOLUTIONS {
+                let mut per_suite = Vec::with_capacity(suites.len());
+                for suite in suites {
+                    per_suite.push(pipeline.run_suite(suite, solution, spec.heuristic)?);
+                }
+                let refs: Vec<&SuiteStats> = per_suite.iter().collect();
+                rows.push(sweep_row(n_clusters, mem_buses, solution, &refs));
+            }
+        }
+    }
+    Ok(rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -457,6 +677,98 @@ mod tests {
             );
             assert!(row.new.car <= row.old.car + 1e-9, "{}", row.benchmark);
         }
+    }
+
+    #[test]
+    fn sweep_machine_scales_block_only_when_needed() {
+        let base = MachineConfig::paper_baseline();
+        let bus = base.mem_buses;
+        for n in [2, 4, 8] {
+            let m = sweep_machine(&base, n, bus);
+            assert_eq!(m.cache.block_bytes, 32, "{n} clusters keep paper blocks");
+            assert_eq!(m.validate(), Ok(()));
+        }
+        let m = sweep_machine(&base, 16, bus);
+        assert_eq!(m.cache.block_bytes, 64, "16 clusters need a 64B stripe");
+        assert_eq!(m.cache.total_bytes, base.cache.total_bytes);
+        assert_eq!(m.validate(), Ok(()));
+        // Bus overrides land.
+        let m = sweep_machine(
+            &base,
+            8,
+            BusConfig {
+                count: 2,
+                latency: 4,
+            },
+        );
+        assert_eq!(m.mem_buses.count, 2);
+        assert_eq!(m.mem_buses.latency, 4);
+        // Both bundled interleaves validate at every swept count.
+        for n in SweepSpec::default().cluster_counts {
+            for il in [2, 4] {
+                let m = sweep_machine(&base, n, bus).with_interleave(il);
+                assert_eq!(m.validate(), Ok(()), "{n} clusters, {il}B interleave");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_covers_grid_and_stays_coherent() {
+        let spec = SweepSpec {
+            cluster_counts: vec![2, 8],
+            mem_buses: vec![BusConfig {
+                count: 4,
+                latency: 2,
+            }],
+            heuristic: Heuristic::PrefClus,
+        };
+        let suites = trace_suites();
+        let rows = sweep(&MachineConfig::paper_baseline(), &suites, &spec).unwrap();
+        assert_eq!(rows.len(), 2 * SWEEP_SOLUTIONS.len());
+        for row in &rows {
+            assert!(row.total_cycles > 0);
+            assert!(row.accesses > 0);
+            assert_eq!(
+                row.cluster.accesses.len(),
+                row.n_clusters,
+                "per-cluster counters span the whole machine"
+            );
+            assert!(row.imbalance() >= 1.0);
+            // The drain window bounds the busy cycles — occupancy is a
+            // true fraction even for store-heavy traces whose transfers
+            // queue past the schedule drain.
+            assert!(row.bus_drain_cycles >= row.total_cycles);
+            assert!(
+                row.bus_busy_cycles <= row.bus_drain_cycles * row.mem_buses.count as u64,
+                "{}/{}",
+                row.n_clusters,
+                row.solution
+            );
+            assert!(row.bus_occupancy() <= 1.0);
+            if row.solution != Solution::Free {
+                assert_eq!(row.violations, 0, "{}/{}", row.n_clusters, row.solution);
+            }
+        }
+        // Hybrid never loses to either pure solution, at every scale.
+        for chunk in rows.chunks(4) {
+            let (mdc, ddgt, hybrid) = (&chunk[1], &chunk[2], &chunk[3]);
+            assert!(hybrid.total_cycles <= mdc.total_cycles.min(ddgt.total_cycles));
+        }
+    }
+
+    #[test]
+    fn sweep_default_suites_match_their_name_list() {
+        // The serving layer resolves SWEEP_DEFAULT_SUITE_NAMES against
+        // its resident suites, so the name list and the suite builder
+        // must agree exactly (order included).
+        let names: Vec<String> = sweep_default_suites()
+            .iter()
+            .map(|s| s.name.clone())
+            .collect();
+        assert_eq!(names, SWEEP_DEFAULT_SUITE_NAMES);
+        // And the mix covers both workload classes.
+        assert!(names.contains(&"gsmdec".to_string()));
+        assert!(names.iter().any(|n| n != "gsmdec"));
     }
 
     #[test]

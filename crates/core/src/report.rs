@@ -7,7 +7,8 @@ use distvliw_arch::AccessClass;
 use distvliw_sim::ClusterUsage;
 
 use crate::experiments::{
-    exec_amean, fig6_amean, CaseStudy, ExecRow, Fig6Row, NobalRow, Table3Row, Table4Row, Table5Row,
+    exec_amean, fig6_amean, CaseStudy, ExecRow, Fig6Row, NobalRow, SweepRow, Table3Row, Table4Row,
+    Table5Row, SWEEP_SOLUTIONS,
 };
 
 fn pct(x: f64) -> String {
@@ -224,6 +225,50 @@ pub fn render_cluster_imbalance(title: &str, entries: &[(String, ClusterUsage)])
     out
 }
 
+/// Renders a sensitivity sweep as the cluster-count × bus grid: one
+/// line per grid point with, for each of the four solutions, the total
+/// cycles, the per-cluster **imbalance** ratio (busiest cluster over
+/// mean — the headline number: does the distributed cache stay balanced
+/// as the machine scales?) and the memory-bus occupancy. The trailing
+/// column reports the Free baseline's coherence violations, which only
+/// the unrestricted schedule incurs.
+///
+/// Expects rows in the `(cluster count, bus point, solution)` nesting
+/// order [`crate::experiments::sweep`] produces.
+#[must_use]
+pub fn render_sweep(rows: &[SweepRow], title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{title}\ncolumns per solution: total cycles | imbalance (max/mean) | bus occupancy"
+    );
+    let mut header = format!("{:>8} {:>9} |", "clusters", "buses");
+    for solution in SWEEP_SOLUTIONS {
+        let _ = write!(header, " {:^28} |", solution.to_string());
+    }
+    let _ = writeln!(out, "{header} {:>10}", "Free viol.");
+    for point in rows.chunks(SWEEP_SOLUTIONS.len()) {
+        let first = &point[0];
+        let _ = write!(
+            out,
+            "{:>8} {:>9} |",
+            first.n_clusters,
+            format!("{}@{}", first.mem_buses.count, first.mem_buses.latency)
+        );
+        for row in point {
+            let _ = write!(
+                out,
+                " {:>12} {:>6.2} {:>7.1}% |",
+                row.total_cycles,
+                row.imbalance(),
+                row.bus_occupancy() * 100.0
+            );
+        }
+        let _ = writeln!(out, " {:>10}", first.violations);
+    }
+    out
+}
+
 /// Renders a case study.
 #[must_use]
 pub fn render_case_study(cs: &CaseStudy) -> String {
@@ -357,6 +402,47 @@ mod tests {
         assert!(text.contains("1234"));
         // max 9 over mean 2.5 → 3.6.
         assert!(text.contains("3.60"));
+    }
+
+    #[test]
+    fn sweep_render_groups_grid_points() {
+        use crate::experiments::sweep_row;
+        use crate::SuiteStats;
+        use distvliw_arch::BusConfig;
+        use distvliw_sim::SimStats;
+
+        let bus = BusConfig {
+            count: 4,
+            latency: 2,
+        };
+        let stats = SuiteStats {
+            name: "toy".into(),
+            kernels: vec![],
+            total: SimStats {
+                compute_cycles: 900,
+                stall_cycles: 100,
+                coherence_violations: 7,
+                bus_busy_cycles: 400,
+                bus_drain_cycles: 1000,
+                ..SimStats::default()
+            },
+            cluster: ClusterUsage::default(),
+        };
+        let rows: Vec<SweepRow> = SWEEP_SOLUTIONS
+            .iter()
+            .map(|&s| sweep_row(8, bus, s, &[&stats]))
+            .collect();
+        assert_eq!(rows[0].total_cycles, 1000);
+        assert_eq!(rows[0].bus_drain_cycles, 1000);
+        assert!((rows[0].bus_occupancy() - 0.1).abs() < 1e-12);
+        let text = render_sweep(&rows, "Sweep");
+        assert!(text.contains("Sweep"));
+        assert!(text.contains("4@2"));
+        assert!(text.contains("Hybrid"));
+        assert!(text.contains("10.0%"));
+        // One grid line + title, legend and column-header lines.
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.lines().last().unwrap().trim_end().ends_with('7'));
     }
 
     #[test]

@@ -23,10 +23,12 @@
 mod alloc;
 pub mod gen;
 pub mod spec;
+pub mod trace;
 
 pub use alloc::AddressAllocator;
 pub use gen::{add_true_mem_deps, chain_loop, stream_loop, ChainSpec, Locality, StreamSpec};
 pub use spec::{build_suite, BenchSpec, BENCHMARKS};
+pub use trace::{bundled_traces, trace_suites, Trace, TraceError};
 
 use distvliw_ir::Suite;
 

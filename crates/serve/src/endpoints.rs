@@ -7,7 +7,9 @@
 //! served from the result cache.
 
 use distvliw_arch::{AccessClass, AttractionBufferConfig, MachineConfig};
-use distvliw_core::experiments::{table3, table5};
+use distvliw_core::experiments::{
+    sweep_machine, sweep_row, table3, table5, SweepSpec, SWEEP_DEFAULT_SUITE_NAMES, SWEEP_SOLUTIONS,
+};
 use distvliw_core::{Heuristic, PipelineError, Solution, SuiteStats};
 use distvliw_ir::Suite;
 
@@ -36,11 +38,12 @@ pub fn handle(engine: &ServeEngine, request: &Request) -> Response {
         ("GET", "/table4") => table4_json(engine),
         ("GET", "/table5") => Ok(table5_json()),
         ("GET", "/nobal") => nobal_json(engine),
+        ("GET", "/sweep") => sweep_json(engine),
         ("POST", "/matrix") => matrix(engine, &request.body),
         (
             _,
             "/" | "/healthz" | "/stats" | "/fig6" | "/fig7" | "/fig9" | "/table3" | "/table4"
-            | "/table5" | "/nobal" | "/matrix",
+            | "/table5" | "/nobal" | "/sweep" | "/matrix",
         ) => Err(ApiError::MethodNotAllowed),
         _ => Err(ApiError::NotFound),
     };
@@ -90,6 +93,7 @@ fn index() -> Json {
                     "GET /table4",
                     "GET /table5",
                     "GET /nobal",
+                    "GET /sweep",
                     "POST /matrix",
                     "POST /shutdown",
                 ]
@@ -405,6 +409,92 @@ fn nobal_json(engine: &ServeEngine) -> Result<Json, ApiError> {
             .chain(out)
             .collect::<Vec<_>>(),
     ))
+}
+
+/// `GET /sweep`: the default cluster-count × memory-bus sensitivity
+/// sweep over [`distvliw_core::experiments::sweep_default_suites`],
+/// assembled from cached cells. The aggregation goes through the same
+/// [`sweep_row`] fold as `distvliw_core::experiments::sweep`, so the
+/// served numbers are identical to a direct pipeline sweep — the only
+/// difference is that every `(suite, machine, solution)` cell is
+/// memoized, deduplicated and sharded like any other request.
+fn sweep_json(engine: &ServeEngine) -> Result<Json, ApiError> {
+    let spec = SweepSpec::default();
+    let suites: Vec<&Suite> = SWEEP_DEFAULT_SUITE_NAMES
+        .iter()
+        .map(|name| {
+            engine
+                .suite(name)
+                .expect("default sweep suites are bundled")
+        })
+        .collect();
+
+    // Grid machines first (specs borrow them), in sweep nesting order.
+    let mut machines = Vec::with_capacity(spec.cluster_counts.len() * spec.mem_buses.len());
+    for &n_clusters in &spec.cluster_counts {
+        for &mem_buses in &spec.mem_buses {
+            machines.push((
+                n_clusters,
+                mem_buses,
+                sweep_machine(engine.machine(), n_clusters, mem_buses),
+            ));
+        }
+    }
+    let mut specs = Vec::with_capacity(machines.len() * SWEEP_SOLUTIONS.len() * suites.len());
+    for (_, _, machine) in &machines {
+        for solution in SWEEP_SOLUTIONS {
+            for suite in &suites {
+                specs.push(CellSpec {
+                    suite,
+                    machine,
+                    solution,
+                    heuristic: spec.heuristic,
+                });
+            }
+        }
+    }
+    let results = engine.run_cells(&specs);
+    let cells = all_ok(&results)?;
+
+    let mut rows = Vec::new();
+    for ((n_clusters, mem_buses, _), point) in machines
+        .iter()
+        .zip(cells.chunks(SWEEP_SOLUTIONS.len() * suites.len()))
+    {
+        for (solution, per_suite) in SWEEP_SOLUTIONS.iter().zip(point.chunks(suites.len())) {
+            let row = sweep_row(*n_clusters, *mem_buses, *solution, per_suite);
+            let shares: Vec<Json> = (0..row.n_clusters)
+                .map(|c| Json::U64(row.cluster.accesses_of(c)))
+                .collect();
+            rows.push(Json::obj(vec![
+                ("n_clusters", Json::U64(row.n_clusters as u64)),
+                ("mem_bus_count", Json::U64(row.mem_buses.count as u64)),
+                (
+                    "mem_bus_latency",
+                    Json::U64(u64::from(row.mem_buses.latency)),
+                ),
+                ("solution", Json::str(row.solution.to_string())),
+                ("total_cycles", Json::U64(row.total_cycles)),
+                ("stall_cycles", Json::U64(row.stall_cycles)),
+                ("bus_busy_cycles", Json::U64(row.bus_busy_cycles)),
+                ("bus_drain_cycles", Json::U64(row.bus_drain_cycles)),
+                ("bus_occupancy", Json::F64(row.bus_occupancy())),
+                ("violations", Json::U64(row.violations)),
+                ("accesses", Json::U64(row.accesses)),
+                ("imbalance", Json::F64(row.imbalance())),
+                ("accesses_by_cluster", Json::Arr(shares)),
+            ]));
+        }
+    }
+    Ok(Json::obj(vec![
+        ("sweep", Json::str("default")),
+        ("heuristic", Json::str(spec.heuristic.to_string())),
+        (
+            "suites",
+            Json::Arr(suites.iter().map(|s| Json::str(s.name.clone())).collect()),
+        ),
+        ("rows", Json::Arr(rows)),
+    ]))
 }
 
 /// One cell of a `/matrix` response.

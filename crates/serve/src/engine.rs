@@ -87,10 +87,13 @@ impl ServeEngine {
     #[must_use]
     pub fn new(machine: MachineConfig, cache_capacity: usize) -> Self {
         machine.validate().expect("valid machine configuration");
-        let suites: Vec<Suite> = distvliw_mediabench::BENCHMARKS
+        let mut suites: Vec<Suite> = distvliw_mediabench::BENCHMARKS
             .iter()
             .map(distvliw_mediabench::build_suite)
             .collect();
+        // The bundled recorded traces are addressable like any other
+        // suite (in `/matrix` bodies and the `/sweep` grid).
+        suites.extend(distvliw_mediabench::trace_suites());
         let figure_names = distvliw_mediabench::FIGURE_BENCHMARKS
             .iter()
             .map(|s| (*s).to_string())

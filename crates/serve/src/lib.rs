@@ -12,8 +12,10 @@
 //! whole grid.
 //!
 //! Endpoints: `GET /fig6 /fig7 /fig9 /table3 /table4 /table5 /nobal
-//! /healthz /stats`, `POST /matrix` (arbitrary grids, with machine
-//! overrides) and `POST /shutdown`. See `docs/serving.md` for the
+//! /sweep /healthz /stats`, `POST /matrix` (arbitrary grids, with
+//! machine overrides) and `POST /shutdown`. `GET /sweep` serves the
+//! cluster-count × memory-bus sensitivity sweep, sharded through the
+//! same cache. See `docs/serving.md` and `docs/workloads.md` for the
 //! reference.
 //!
 //! ```no_run

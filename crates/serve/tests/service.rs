@@ -229,6 +229,125 @@ fn matrix_interleave_override_changes_the_run() {
 }
 
 #[test]
+fn sweep_is_cached_and_matches_a_direct_pipeline_sweep() {
+    use distvliw_core::experiments::{sweep, sweep_default_suites, SweepSpec, SWEEP_SOLUTIONS};
+
+    let (base, handle) = spawn_server();
+
+    let cold = client::get(&base, "/sweep").unwrap();
+    assert_eq!(cold.status, 200);
+    let computed = stats_field(&base, &["computed_cells"]);
+    assert!(computed > 0);
+
+    // Warm repeat: byte-identical, assembled purely from cache hits.
+    let hits_before = stats_field(&base, &["cache", "hits"]);
+    let warm = client::get(&base, "/sweep").unwrap();
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.body, cold.body, "warm /sweep must be byte-identical");
+    assert_eq!(
+        stats_field(&base, &["computed_cells"]),
+        computed,
+        "warm /sweep must not recompute any cell"
+    );
+    assert_eq!(
+        stats_field(&base, &["cache", "hits"]),
+        hits_before + computed,
+        "every cell of the warm sweep is a cache hit"
+    );
+
+    // The served rows equal a direct (uncached) pipeline sweep.
+    let spec = SweepSpec::default();
+    let direct = sweep(
+        &MachineConfig::paper_baseline(),
+        &sweep_default_suites(),
+        &spec,
+    )
+    .unwrap();
+    let served = json::parse(std::str::from_utf8(&warm.body).unwrap()).unwrap();
+    let rows = served.get("rows").unwrap().as_array().unwrap();
+    assert_eq!(
+        rows.len(),
+        spec.cluster_counts.len() * spec.mem_buses.len() * SWEEP_SOLUTIONS.len()
+    );
+    assert_eq!(rows.len(), direct.len());
+    for (row, want) in rows.iter().zip(&direct) {
+        let ctx = format!(
+            "{} clusters, {}@{} buses, {}",
+            want.n_clusters, want.mem_buses.count, want.mem_buses.latency, want.solution
+        );
+        assert_eq!(
+            row.get("n_clusters").unwrap().as_u64().unwrap(),
+            want.n_clusters as u64,
+            "{ctx}"
+        );
+        assert_eq!(
+            row.get("solution").unwrap().as_str().unwrap(),
+            want.solution.to_string(),
+            "{ctx}"
+        );
+        assert_eq!(
+            row.get("total_cycles").unwrap().as_u64().unwrap(),
+            want.total_cycles,
+            "{ctx}"
+        );
+        assert_eq!(
+            row.get("bus_busy_cycles").unwrap().as_u64().unwrap(),
+            want.bus_busy_cycles,
+            "{ctx}"
+        );
+        assert_eq!(
+            row.get("violations").unwrap().as_u64().unwrap(),
+            want.violations,
+            "{ctx}"
+        );
+        assert_eq!(
+            row.get("imbalance").unwrap().as_f64().unwrap(),
+            want.imbalance(),
+            "{ctx}"
+        );
+        let shares = row.get("accesses_by_cluster").unwrap().as_array().unwrap();
+        assert_eq!(shares.len(), want.n_clusters, "{ctx}");
+        for (c, share) in shares.iter().enumerate() {
+            assert_eq!(
+                share.as_u64().unwrap(),
+                want.cluster.accesses_of(c),
+                "{ctx} cluster {c}"
+            );
+        }
+    }
+    shutdown(&base, handle);
+}
+
+#[test]
+fn matrix_accepts_bundled_trace_suites() {
+    let (base, handle) = spawn_server();
+    let body =
+        r#"{"suites":["fir8","ptrchase"],"solutions":["free","mdc"],"heuristics":["prefclus"]}"#;
+    let resp = client::post(&base, "/matrix", body).unwrap();
+    assert_eq!(resp.status, 200);
+    let v = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+    let cells = v.get("cells").unwrap().as_array().unwrap();
+    assert_eq!(cells.len(), 4);
+    for cell in cells {
+        assert_eq!(cell.get("ok").unwrap().as_bool(), Some(true));
+        assert!(cell.get("total_cycles").unwrap().as_u64().unwrap() > 0);
+    }
+    // Direct parity for one trace cell.
+    let suite = distvliw_mediabench::trace_suites()
+        .into_iter()
+        .find(|s| s.name == "fir8")
+        .unwrap();
+    let direct = Pipeline::new(MachineConfig::paper_baseline())
+        .run_suite(&suite, Solution::Free, Heuristic::PrefClus)
+        .unwrap();
+    assert_eq!(
+        cells[0].get("total_cycles").unwrap().as_u64().unwrap(),
+        direct.total_cycles()
+    );
+    shutdown(&base, handle);
+}
+
+#[test]
 fn fig6_fractions_match_experiments_module() {
     // The serve-side figure assembly must agree with the reference
     // implementation in distvliw_core::experiments. Comparing one

@@ -433,6 +433,10 @@ pub fn simulate_kernel_detailed(
         comm_ops,
         iterations: iters,
         bus_busy_cycles: ms.bus_busy_cycles(),
+        // The drain window covers both the core and the bus tail, so
+        // the capacity invariant (busy ≤ drain × bus count) is additive
+        // across kernels.
+        bus_drain_cycles: ms.bus_drain_cycles().max(total_rows + stall),
     };
     let mut usage = ClusterUsage {
         accesses: (0..n_clusters).map(|c| ms.counts_of_cluster(c)).collect(),

@@ -165,6 +165,16 @@ impl ResourcePool {
     pub fn busy_cycles(&self) -> u64 {
         self.grants * self.occupancy
     }
+
+    /// The cycle at which the last granted transfer completes (0 when
+    /// nothing was granted). Every occupancy interval lies in
+    /// `[0, drain_time())` with at most `count` concurrent holders, so
+    /// `busy_cycles() ≤ drain_time() × count` always holds — the
+    /// capacity invariant the property suite pins.
+    #[must_use]
+    pub fn drain_time(&self) -> u64 {
+        self.free_at.iter().copied().max().unwrap_or(0)
+    }
 }
 
 /// The full memory system of the simulated machine.
@@ -281,6 +291,14 @@ impl MemorySystem {
     #[must_use]
     pub fn bus_busy_cycles(&self) -> u64 {
         self.mem_buses.busy_cycles()
+    }
+
+    /// When the last memory-bus transfer completes
+    /// ([`ResourcePool::drain_time`]). Stores are fire-and-forget, so
+    /// this can extend past the schedule drain.
+    #[must_use]
+    pub fn bus_drain_cycles(&self) -> u64 {
+        self.mem_buses.drain_time()
     }
 
     /// Memory-bus grants issued so far ([`ResourcePool::grants`]).

@@ -245,6 +245,15 @@ pub struct SimStats {
     /// occupancy), summed over all buses: the paper's bus-occupancy
     /// pressure metric.
     pub bus_busy_cycles: u64,
+    /// The drain window of the run: when the last memory-bus transfer
+    /// completed, or the schedule drained, whichever is later. Stores
+    /// are fire-and-forget, so the buses can stay busy *after* the last
+    /// issue cycle; the capacity invariant `bus_busy_cycles ≤
+    /// bus_drain_cycles × bus count` always holds and is pinned by the
+    /// property suite. Because each kernel's window is at least its
+    /// `total_cycles()`, the invariant survives summing over kernels
+    /// and invocation scaling.
+    pub bus_drain_cycles: u64,
 }
 
 impl SimStats {
@@ -270,6 +279,7 @@ impl SimStats {
         self.comm_ops *= factor;
         self.iterations *= factor;
         self.bus_busy_cycles *= factor;
+        self.bus_drain_cycles *= factor;
         self
     }
 }
@@ -292,6 +302,7 @@ impl AddAssign for SimStats {
         self.comm_ops += rhs.comm_ops;
         self.iterations += rhs.iterations;
         self.bus_busy_cycles += rhs.bus_busy_cycles;
+        self.bus_drain_cycles += rhs.bus_drain_cycles;
     }
 }
 

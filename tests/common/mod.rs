@@ -1,0 +1,60 @@
+//! Helpers shared by the golden test binaries (`golden_parity`,
+//! `golden_sim_stats`, `golden_scale`): the schedule fingerprint and
+//! the statistics line format. One definition keeps every snapshot
+//! pinning the same surface — a counter added to [`SimStats`] or a
+//! change to the fingerprint scheme is either reflected in all golden
+//! files at once or in none.
+#![allow(dead_code)] // each test binary uses a subset
+
+use std::fmt::Write as _;
+
+use distvliw::arch::AccessClass;
+use distvliw::sched::Schedule;
+use distvliw::sim::SimStats;
+
+/// FNV-1a over the full placement description (clusters, cycles,
+/// assumed latency classes, copies), so a golden file stays compact
+/// while still pinning every op.
+pub fn schedule_fingerprint(s: &Schedule) -> u64 {
+    let mut text = String::new();
+    for (n, op) in &s.ops {
+        let class = op
+            .assumed_class
+            .map_or_else(|| "-".to_string(), |c| format!("{c:?}"));
+        let _ = writeln!(text, "{n} c{} t{} {class}", op.cluster, op.start);
+    }
+    for c in &s.copies {
+        let _ = writeln!(
+            text,
+            "copy {} {}->{} t{}",
+            c.producer, c.from_cluster, c.to_cluster, c.start
+        );
+    }
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in text.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01B3);
+    }
+    hash
+}
+
+/// One snapshot line: every *pinned* counter of [`SimStats`], spelled
+/// out so a diff names the exact statistic that moved. (The derived
+/// `bus_drain_cycles` window is deliberately not pinned: it is bounded
+/// below by counters that are.)
+pub fn render_stats(stats: &SimStats) -> String {
+    format!(
+        "compute={} stall={} lh={} rh={} lm={} rm={} cb={} viol={} comm={} bus={} iters={}",
+        stats.compute_cycles,
+        stats.stall_cycles,
+        stats.accesses.get(AccessClass::LocalHit),
+        stats.accesses.get(AccessClass::RemoteHit),
+        stats.accesses.get(AccessClass::LocalMiss),
+        stats.accesses.get(AccessClass::RemoteMiss),
+        stats.accesses.get(AccessClass::Combined),
+        stats.coherence_violations,
+        stats.comm_ops,
+        stats.bus_busy_cycles,
+        stats.iterations,
+    )
+}

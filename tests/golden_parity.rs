@@ -22,32 +22,10 @@ use distvliw::ir::profile::preferred_clusters;
 use distvliw::ir::LoopKernel;
 use distvliw::sched::{Heuristic, ModuloScheduler, Schedule};
 
-const GOLDEN_PATH: &str = "tests/golden/schedules.txt";
+mod common;
+use common::schedule_fingerprint;
 
-/// FNV-1a over the full placement description, so the golden file stays
-/// compact while still pinning every op and copy.
-fn schedule_fingerprint(s: &Schedule) -> u64 {
-    let mut text = String::new();
-    for (n, op) in &s.ops {
-        let class = op
-            .assumed_class
-            .map_or_else(|| "-".to_string(), |c| format!("{c:?}"));
-        let _ = writeln!(text, "{n} c{} t{} {class}", op.cluster, op.start);
-    }
-    for c in &s.copies {
-        let _ = writeln!(
-            text,
-            "copy {} {}->{} t{}",
-            c.producer, c.from_cluster, c.to_cluster, c.start
-        );
-    }
-    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
-    for b in text.bytes() {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x100_0000_01B3);
-    }
-    hash
-}
+const GOLDEN_PATH: &str = "tests/golden/schedules.txt";
 
 /// Renders the placement of one schedule, for diagnostics on mismatch.
 fn describe(s: &Schedule) -> String {

@@ -19,33 +19,17 @@
 //! GOLDEN_UPDATE=1 cargo test --test golden_sim_stats
 //! ```
 
-use distvliw::arch::{AccessClass, MachineConfig};
+use distvliw::arch::MachineConfig;
 use distvliw::coherence::{find_chains, transform, SchedConstraints};
 use distvliw::ir::profile::preferred_clusters;
 use distvliw::ir::LoopKernel;
 use distvliw::sched::{Heuristic, ModuloScheduler};
-use distvliw::sim::{simulate_kernel, SimOptions, SimStats};
+use distvliw::sim::{simulate_kernel, SimOptions};
+
+mod common;
+use common::render_stats;
 
 const GOLDEN_PATH: &str = "tests/golden/sim_stats.txt";
-
-/// One snapshot line: every counter of [`SimStats`], spelled out so a
-/// diff names the exact statistic that moved.
-fn render_stats(stats: &SimStats) -> String {
-    format!(
-        "compute={} stall={} lh={} rh={} lm={} rm={} cb={} viol={} comm={} bus={} iters={}",
-        stats.compute_cycles,
-        stats.stall_cycles,
-        stats.accesses.get(AccessClass::LocalHit),
-        stats.accesses.get(AccessClass::RemoteHit),
-        stats.accesses.get(AccessClass::LocalMiss),
-        stats.accesses.get(AccessClass::RemoteMiss),
-        stats.accesses.get(AccessClass::Combined),
-        stats.coherence_violations,
-        stats.comm_ops,
-        stats.bus_busy_cycles,
-        stats.iterations,
-    )
-}
 
 /// Compiles and simulates `kernel` the same way the pipeline does for
 /// each solution, appending one snapshot line per configuration (the

@@ -1,0 +1,275 @@
+//! Property tests over the sweep's machine axis: for random synthetic
+//! kernels across 2/4/8/16 clusters, every emitted schedule must
+//! respect the MRT resource limits (per-cluster functional units, the
+//! shared register buses) and all dependence separations, and the
+//! simulated statistics must satisfy their conservation invariants
+//! (violations ≤ accesses, `bus_busy_cycles` ≤ the bus drain window ×
+//! memory bus count). This pins the large-machine configurations the
+//! sensitivity sweep opened — the seed suite only ever exercised the
+//! paper's 4-cluster machine.
+
+use std::collections::BTreeMap;
+
+use distvliw::arch::MachineConfig;
+use distvliw::coherence::{find_chains, transform, SchedConstraints};
+use distvliw::core::experiments::sweep_machine;
+use distvliw::ir::{
+    AddressStream, Ddg, DdgBuilder, DepKind, FuClass, LoopKernel, NodeId, OpKind, PrefMap, Width,
+};
+use distvliw::sched::{Heuristic, ModuloScheduler, Schedule};
+use distvliw::sim::{simulate_kernel, SimOptions};
+use proptest::prelude::*;
+
+/// The sweep's cluster-count axis.
+const CLUSTER_COUNTS: [usize; 4] = [2, 4, 8, 16];
+
+/// Strategy: a random well-formed kernel — memory ops over a few arrays
+/// (shared arrays alias for real), arithmetic consumers, conservative
+/// edges — paired with one of the swept cluster counts.
+fn arb_case() -> impl Strategy<Value = (LoopKernel, usize)> {
+    (
+        2usize..10, // memory ops
+        1usize..4,  // distinct arrays
+        0usize..8,  // arithmetic ops
+        proptest::collection::vec(any::<u8>(), 16),
+        1u64..5,   // trip scale
+        0usize..4, // cluster-count index
+    )
+        .prop_map(|(n_mem, n_arrays, n_arith, entropy, trip_scale, ci)| {
+            let mut b = DdgBuilder::new();
+            let mut loads: Vec<NodeId> = Vec::new();
+            let mut mems = Vec::new();
+            for i in 0..n_mem {
+                let is_store = entropy[i % entropy.len()] % 3 == 0 && !loads.is_empty();
+                let node = if is_store {
+                    let src = loads[usize::from(entropy[(i + 5) % entropy.len()]) % loads.len()];
+                    b.store(Width::W4, &[src])
+                } else {
+                    let l = b.load(Width::W4);
+                    loads.push(l);
+                    l
+                };
+                mems.push(node);
+            }
+            for i in 0..n_arith {
+                let srcs: Vec<NodeId> = loads
+                    .get(i % loads.len().max(1))
+                    .copied()
+                    .into_iter()
+                    .collect();
+                b.op(
+                    if i % 3 == 0 {
+                        OpKind::IntMul
+                    } else {
+                        OpKind::IntAlu
+                    },
+                    &srcs,
+                );
+            }
+            let g = b.graph();
+            let mut edges = Vec::new();
+            for (i, &a) in mems.iter().enumerate() {
+                for (j, &c) in mems.iter().enumerate().skip(i + 1) {
+                    if i % n_arrays != j % n_arrays {
+                        continue;
+                    }
+                    let kind = match (g.node(a).is_store(), g.node(c).is_store()) {
+                        (true, true) => DepKind::MemOut,
+                        (true, false) => DepKind::MemFlow,
+                        (false, true) => DepKind::MemAnti,
+                        (false, false) => continue,
+                    };
+                    edges.push((a, c, kind, 0));
+                    edges.push((a, c, kind, 1));
+                }
+            }
+            for (a, c, kind, dist) in edges {
+                b.dep(a, c, kind, dist);
+            }
+            let ddg = b.finish();
+            let mem_sites: Vec<_> = ddg
+                .mem_nodes()
+                .map(|n| (n, ddg.node(n).mem_id().unwrap()))
+                .collect();
+            let mut kernel = LoopKernel::new("prop", ddg, 16 * trip_scale);
+            for (idx, &(_, mem)) in mem_sites.iter().enumerate() {
+                let base = 4096 + (idx % n_arrays) as u64 * 0x100;
+                for image in [&mut kernel.profile, &mut kernel.exec] {
+                    image.insert(mem, AddressStream::Affine { base, stride: 4 });
+                }
+            }
+            (kernel, CLUSTER_COUNTS[ci])
+        })
+}
+
+/// All dependences hold in the schedule (issue-order separations).
+fn respects_deps(ddg: &Ddg, s: &Schedule) -> bool {
+    ddg.deps().all(|(_, d)| {
+        if d.src == d.dst {
+            return true;
+        }
+        let a = s.op(d.src);
+        let b = s.op(d.dst);
+        let min_sep = i64::from(d.kind.min_separation());
+        i64::from(b.start) + i64::from(s.ii) * i64::from(d.distance) >= i64::from(a.start) + min_sep
+    })
+}
+
+/// Rebuilds the modulo reservation table from the finished schedule and
+/// checks every machine limit: per-cluster per-class FU slots, and the
+/// shared register buses (each copy occupies `reg_buses.latency`
+/// consecutive modulo slots, the same accounting `sched::Mrt` uses).
+fn respects_mrt(machine: &MachineConfig, ddg: &Ddg, s: &Schedule) -> Result<(), String> {
+    let ii = s.ii;
+    let mut fu: BTreeMap<(usize, usize, u32), u32> = BTreeMap::new();
+    for (&n, op) in &s.ops {
+        let Some(class) = ddg.node(n).kind.fu_class() else {
+            continue;
+        };
+        if op.cluster >= machine.n_clusters {
+            return Err(format!("node {n} placed in cluster {}", op.cluster));
+        }
+        let slot = op.start % ii;
+        let used = fu.entry((op.cluster, class.index(), slot)).or_insert(0);
+        *used += 1;
+        let cap = match class {
+            FuClass::Integer => machine.fu.integer,
+            FuClass::Fp => machine.fu.fp,
+            FuClass::Memory => machine.fu.memory,
+        } as u32;
+        if *used > cap {
+            return Err(format!(
+                "{class} units oversubscribed in cluster {} slot {slot}: {used} > {cap}",
+                op.cluster
+            ));
+        }
+    }
+    let mut bus = vec![0u32; ii as usize];
+    for c in &s.copies {
+        if c.from_cluster >= machine.n_clusters || c.to_cluster >= machine.n_clusters {
+            return Err(format!("copy of {} crosses a phantom cluster", c.producer));
+        }
+        for i in 0..machine.reg_buses.latency {
+            let slot = ((c.start + i) % ii) as usize;
+            bus[slot] += 1;
+            if bus[slot] > machine.reg_buses.count as u32 {
+                return Err(format!(
+                    "register buses oversubscribed at slot {slot}: {} > {}",
+                    bus[slot], machine.reg_buses.count
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs the full legality + simulation invariant check for one
+/// compiled configuration.
+fn check_solution(
+    machine: &MachineConfig,
+    kernel: &LoopKernel,
+    ddg: &Ddg,
+    constraints: &SchedConstraints,
+    heuristic: Heuristic,
+) -> Result<(), TestCaseError> {
+    let s = ModuloScheduler::new(machine)
+        .schedule(ddg, constraints, &PrefMap::new(), heuristic)
+        .expect("random kernels schedule");
+    prop_assert!(respects_deps(ddg, &s));
+    if let Err(e) = respects_mrt(machine, ddg, &s) {
+        return Err(TestCaseError::fail(format!(
+            "{}-cluster MRT violation: {e}",
+            machine.n_clusters
+        )));
+    }
+    let stats = simulate_kernel(machine, kernel, &s, SimOptions::default());
+    prop_assert!(
+        stats.coherence_violations <= stats.accesses.total(),
+        "violations {} exceed accesses {}",
+        stats.coherence_violations,
+        stats.accesses.total()
+    );
+    // The bus capacity invariant: at most `count` concurrent transfers
+    // over the run's drain window (which is at least `total_cycles`;
+    // fire-and-forget stores can keep the buses busy past the last
+    // issue cycle, which is why the window is the drain, not the issue
+    // span).
+    prop_assert!(stats.bus_drain_cycles >= stats.total_cycles());
+    prop_assert!(
+        stats.bus_busy_cycles <= stats.bus_drain_cycles * machine.mem_buses.count as u64,
+        "bus busy {} exceeds {} drain cycles × {} buses",
+        stats.bus_busy_cycles,
+        stats.bus_drain_cycles,
+        machine.mem_buses.count
+    );
+    prop_assert_eq!(stats.accesses.total(), kernel.dyn_mem_accesses());
+    prop_assert_eq!(
+        stats.total_cycles(),
+        stats.compute_cycles + stats.stall_cycles
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn schedules_respect_resources_and_sim_invariants_at_every_scale(case in arb_case()) {
+        let (kernel, n_clusters) = case;
+        let machine = sweep_machine(
+            &MachineConfig::paper_baseline(),
+            n_clusters,
+            MachineConfig::paper_baseline().mem_buses,
+        );
+
+        // Free.
+        check_solution(
+            &machine,
+            &kernel,
+            &kernel.ddg,
+            &SchedConstraints::none(),
+            Heuristic::MinComs,
+        )?;
+
+        // MDC: chains colocated in one (real) cluster.
+        let chains = find_chains(&kernel.ddg);
+        let constraints = SchedConstraints::for_mdc(&chains, &kernel.ddg, None, n_clusters);
+        check_solution(&machine, &kernel, &kernel.ddg, &constraints, Heuristic::PrefClus)?;
+
+        // DDGT: one replica instance per cluster, for *this* cluster count.
+        let mut k = kernel.clone();
+        let report = transform(&mut k.ddg, n_clusters);
+        for group in &report.replica_groups {
+            prop_assert_eq!(group.instances.len(), n_clusters);
+        }
+        let constraints = SchedConstraints::for_ddgt(&report);
+        check_solution(&machine, &k, &k.ddg, &constraints, Heuristic::MinComs)?;
+    }
+
+    #[test]
+    fn mdc_and_ddgt_stay_coherent_at_every_scale(case in arb_case()) {
+        let (kernel, n_clusters) = case;
+        let machine = sweep_machine(
+            &MachineConfig::paper_baseline(),
+            n_clusters,
+            MachineConfig::paper_baseline().mem_buses,
+        );
+        let chains = find_chains(&kernel.ddg);
+        let constraints = SchedConstraints::for_mdc(&chains, &kernel.ddg, None, n_clusters);
+        let s = ModuloScheduler::new(&machine)
+            .schedule(&kernel.ddg, &constraints, &PrefMap::new(), Heuristic::MinComs)
+            .unwrap();
+        let stats = simulate_kernel(&machine, &kernel, &s, SimOptions::default());
+        prop_assert_eq!(stats.coherence_violations, 0);
+
+        let mut k = kernel.clone();
+        let report = transform(&mut k.ddg, n_clusters);
+        let constraints = SchedConstraints::for_ddgt(&report);
+        let s = ModuloScheduler::new(&machine)
+            .schedule(&k.ddg, &constraints, &PrefMap::new(), Heuristic::PrefClus)
+            .unwrap();
+        let stats = simulate_kernel(&machine, &k, &s, SimOptions::default());
+        prop_assert_eq!(stats.coherence_violations, 0);
+        prop_assert_eq!(stats.accesses.total(), kernel.dyn_mem_accesses());
+    }
+}
