@@ -137,6 +137,12 @@ pub struct MachineConfig {
     pub interleave_bytes: u64,
     /// Attraction Buffers, if present (paper Section 5).
     pub attraction_buffers: Option<AttractionBufferConfig>,
+    /// General-purpose registers per cluster. The scheduler's stage-aware
+    /// pressure model charges a live range crossing `k` stage boundaries
+    /// `k + 1` registers and rejects placements that would exceed this
+    /// budget (instead of letting the overflow surface later as
+    /// unschedulable spill traffic).
+    pub regs_per_cluster: usize,
 }
 
 impl MachineConfig {
@@ -167,6 +173,7 @@ impl MachineConfig {
             },
             interleave_bytes: 4,
             attraction_buffers: None,
+            regs_per_cluster: 64,
         }
     }
 
@@ -234,6 +241,14 @@ impl MachineConfig {
         self
     }
 
+    /// Returns the configuration with the given per-cluster register
+    /// file size.
+    #[must_use]
+    pub fn with_regs_per_cluster(mut self, regs: usize) -> Self {
+        self.regs_per_cluster = regs;
+        self
+    }
+
     /// Checks the configuration for internal consistency.
     ///
     /// # Errors
@@ -254,6 +269,9 @@ impl MachineConfig {
         }
         if self.next_level.ports == 0 {
             return Err(ConfigError::ZeroResource("next-level ports"));
+        }
+        if self.regs_per_cluster == 0 {
+            return Err(ConfigError::ZeroResource("registers per cluster"));
         }
         if self.interleave_bytes == 0
             || self.cache.block_bytes == 0
@@ -292,7 +310,7 @@ impl MachineConfig {
     #[must_use]
     pub fn canonical_bytes(&self) -> Vec<u8> {
         /// Encoding version; bump when the field set or order changes.
-        const VERSION: u8 = 1;
+        const VERSION: u8 = 2;
         let mut out = Vec::with_capacity(96);
         out.push(VERSION);
         let mut u64le = |v: u64| out.extend_from_slice(&v.to_le_bytes());
@@ -311,6 +329,7 @@ impl MachineConfig {
         u64le(self.next_level.ports as u64);
         u64le(u64::from(self.next_level.latency));
         u64le(self.interleave_bytes);
+        u64le(self.regs_per_cluster as u64);
         match self.attraction_buffers {
             None => u64le(0),
             Some(ab) => {
@@ -534,6 +553,7 @@ mod tests {
         m.next_level.latency = 20;
         variants.push(m);
         variants.push(base.clone().with_interleave(2));
+        variants.push(base.clone().with_regs_per_cluster(128));
         variants.push(
             base.clone()
                 .with_attraction_buffers(AttractionBufferConfig::paper()),

@@ -19,8 +19,10 @@ use std::time::Instant;
 use criterion::{results_json, BenchResult};
 use distvliw_arch::MachineConfig;
 use distvliw_coherence::{find_chains, transform, SchedConstraints};
+use distvliw_core::experiments::sweep_machine;
 use distvliw_core::{Heuristic, Pipeline, Solution};
 use distvliw_ir::profile::preferred_clusters;
+use distvliw_mediabench::eject_stress_kernel;
 use distvliw_sched::ModuloScheduler;
 use distvliw_sim::{simulate_kernel, SimOptions};
 
@@ -104,6 +106,67 @@ fn main() {
                 .unwrap();
             std::hint::black_box(s);
         }));
+    }
+
+    // Ejection scheduler: adversarial MDC-pinned chains at 8/16
+    // clusters (docs/scheduling.md). The timing rows pin the cost of an
+    // ejection-heavy search; the `ejections/*` rows record the raw
+    // ejection counts so perfcheck can report (never fail on) the
+    // trajectory.
+    for n_clusters in [8usize, 16] {
+        let base = MachineConfig::paper_baseline();
+        let machine = sweep_machine(&base, n_clusters, base.mem_buses);
+        let (kernel, prefs) = eject_stress_kernel(n_clusters, n_clusters);
+        let chains = find_chains(&kernel.ddg);
+        let constraints = SchedConstraints::for_mdc(&chains, &kernel.ddg, Some(&prefs), n_clusters);
+        results.push(time_median(
+            &format!("sched/eject/stress{n_clusters}"),
+            10,
+            || {
+                let s = ModuloScheduler::new(&machine)
+                    .schedule(&kernel.ddg, &constraints, &prefs, Heuristic::PrefClus)
+                    .unwrap();
+                std::hint::black_box(s);
+            },
+        ));
+        let (schedule, stats) = ModuloScheduler::new(&machine)
+            .schedule_with_stats(&kernel.ddg, &constraints, &prefs, Heuristic::PrefClus)
+            .unwrap();
+        let (restart, restart_stats) = ModuloScheduler::new(&machine)
+            .with_ejection(false)
+            .schedule_with_stats(&kernel.ddg, &constraints, &prefs, Heuristic::PrefClus)
+            .unwrap();
+        println!(
+            "sched/eject/stress{n_clusters}: II {} in {} attempts ({} ejections) vs restart-only II {} in {} attempts",
+            schedule.ii,
+            stats.placement_attempts,
+            stats.ejections,
+            restart.ii,
+            restart_stats.placement_attempts,
+        );
+        results.push(BenchResult {
+            id: format!("ejections/stress{n_clusters}"),
+            median_ns: stats.ejections as f64,
+            iters_per_sample: 1,
+            samples: 1,
+        });
+    }
+    // Suite-level ejection counts for the paper kernels (count rows,
+    // not timings — reported by perfcheck, never gated).
+    for bench in ["gsmdec", "epicdec"] {
+        let suite = distvliw_mediabench::suite(bench).expect("bundled benchmark");
+        let pipeline = Pipeline::new(MachineConfig::paper_baseline());
+        for solution in [Solution::Mdc, Solution::Ddgt] {
+            let stats = pipeline
+                .run_suite(&suite, solution, Heuristic::PrefClus)
+                .unwrap();
+            results.push(BenchResult {
+                id: format!("ejections/{bench}_{}", solution.to_string().to_lowercase()),
+                median_ns: stats.sched.ejections as f64,
+                iters_per_sample: 1,
+                samples: 1,
+            });
+        }
     }
 
     // Simulator hot path: one fixed schedule simulated end to end

@@ -26,6 +26,11 @@ pub struct SchedConstraints {
     pub group_target: BTreeMap<u32, usize>,
     /// Hard per-node cluster pins (DDGT replica instances).
     pub pinned: BTreeMap<NodeId, usize>,
+    /// Minimum initiation interval mandated by the constraint producer
+    /// (0 means unconstrained). The scheduler must not emit any schedule
+    /// — including the trivial one for an empty graph — with a smaller
+    /// II.
+    pub min_ii: u32,
 }
 
 impl SchedConstraints {
@@ -79,6 +84,13 @@ impl SchedConstraints {
     #[must_use]
     pub fn is_constrained(&self, n: NodeId) -> bool {
         self.colocate.contains_key(&n) || self.pinned.contains_key(&n)
+    }
+
+    /// Returns the constraints with a mandated minimum II.
+    #[must_use]
+    pub fn with_min_ii(mut self, min_ii: u32) -> Self {
+        self.min_ii = min_ii;
+        self
     }
 }
 

@@ -75,7 +75,7 @@ fn push_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn op_tag(kind: OpKind) -> u8 {
+pub(crate) fn op_tag(kind: OpKind) -> u8 {
     match kind {
         OpKind::Load => 0,
         OpKind::Store => 1,
@@ -88,7 +88,7 @@ fn op_tag(kind: OpKind) -> u8 {
     }
 }
 
-fn dep_tag(kind: DepKind) -> u8 {
+pub(crate) fn dep_tag(kind: DepKind) -> u8 {
     match kind {
         DepKind::RegFlow => 0,
         DepKind::MemFlow => 1,

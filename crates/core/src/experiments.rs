@@ -559,6 +559,10 @@ pub struct SweepRow {
     /// Per-cluster usage aggregated over all suites (the imbalance
     /// surface; its length equals `n_clusters`).
     pub cluster: ClusterUsage,
+    /// Scheduler search effort over all suites (ejections, placement
+    /// attempts — the ejection-scheduler trajectory the sweep report
+    /// surfaces).
+    pub sched: crate::SchedTotals,
 }
 
 impl SweepRow {
@@ -607,6 +611,7 @@ pub fn sweep_row(
         violations: 0,
         accesses: 0,
         cluster: ClusterUsage::default(),
+        sched: crate::SchedTotals::default(),
     };
     for stats in per_suite {
         row.total_cycles += stats.total_cycles();
@@ -616,6 +621,11 @@ pub fn sweep_row(
         row.violations += stats.total.coherence_violations;
         row.accesses += stats.total.accesses.total();
         row.cluster += &stats.cluster;
+        row.sched.placement_attempts += stats.sched.placement_attempts;
+        row.sched.ejections += stats.sched.ejections;
+        row.sched.iis_tried += stats.sched.iis_tried;
+        row.sched.seeded_kernels += stats.sched.seeded_kernels;
+        row.sched.max_reg_pressure = row.sched.max_reg_pressure.max(stats.sched.max_reg_pressure);
     }
     row
 }

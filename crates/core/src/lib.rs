@@ -29,8 +29,9 @@ pub mod par;
 mod pipeline;
 pub mod report;
 
-pub use distvliw_sched::Heuristic;
+pub use distvliw_sched::{Heuristic, SchedStats};
 pub use distvliw_sim::ClusterUsage;
 pub use pipeline::{
-    KernelRun, MatrixCell, Pipeline, PipelineError, PipelineOptions, Solution, SuiteStats,
+    KernelRun, MatrixCell, Pipeline, PipelineError, PipelineOptions, SchedTotals, Solution,
+    SuiteStats,
 };

@@ -1,15 +1,17 @@
 //! The end-to-end pipeline: coherence pass → cluster-aware modulo
 //! scheduling → cycle-level simulation.
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 use distvliw_arch::MachineConfig;
 use distvliw_coherence::{find_chains, specialize_kernel, transform, SchedConstraints};
-use distvliw_ir::{profile::preferred_clusters, LoopKernel, Suite};
-use distvliw_sched::{Heuristic, ModuloScheduler, Schedule, ScheduleError};
+use distvliw_ir::{profile::preferred_clusters, Ddg, LoopKernel, Suite};
+use distvliw_sched::{Heuristic, ModuloScheduler, SchedStats, Schedule, ScheduleError};
 use distvliw_sim::{simulate_kernel_detailed, ClusterUsage, SimOptions, SimStats};
 
-use crate::par;
+use crate::{cachekey, par};
 
 /// Which coherence solution the pipeline applies (paper Section 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -126,10 +128,46 @@ pub struct KernelRun {
     pub span: u32,
     /// Static communication (copy) operations per iteration.
     pub static_comm_ops: usize,
+    /// Scheduler search telemetry (attempts, ejections, II seed).
+    pub sched: SchedStats,
     /// Simulation statistics (all invocations).
     pub stats: SimStats,
     /// Per-cluster resource usage (all invocations).
     pub cluster: ClusterUsage,
+}
+
+/// Scheduler search effort aggregated over a suite (or any set of
+/// kernel runs): the ejection/attempt trajectory the sweep report and
+/// the bench harness surface.
+///
+/// These are *effort* numbers, not pure functions of the inputs: a
+/// pipeline whose II-seed store is warm (an earlier run of the same
+/// configuration on the same `Pipeline` instance) legitimately reports
+/// fewer attempts and a nonzero `seeded_kernels` while producing the
+/// byte-identical schedule. Compare effort across runs only from a
+/// fresh `Pipeline` (as `run_matrix` and the bench harness do).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedTotals {
+    /// Placement attempts across all kernels.
+    pub placement_attempts: u64,
+    /// Ops evicted by the ejection scheduler across all kernels.
+    pub ejections: u64,
+    /// Initiation intervals tried across all kernels.
+    pub iis_tried: u64,
+    /// Kernels whose search opened at a profile seed.
+    pub seeded_kernels: u64,
+    /// Peak stage-aware register pressure over all kernels.
+    pub max_reg_pressure: u32,
+}
+
+impl SchedTotals {
+    fn absorb(&mut self, s: &SchedStats) {
+        self.placement_attempts += s.placement_attempts;
+        self.ejections += s.ejections;
+        self.iis_tried += u64::from(s.iis_tried);
+        self.seeded_kernels += u64::from(s.seeded_at.is_some());
+        self.max_reg_pressure = self.max_reg_pressure.max(s.max_reg_pressure);
+    }
 }
 
 /// One `(suite, solution, heuristic)` cell of an experiment grid run by
@@ -159,6 +197,8 @@ pub struct SuiteStats {
     /// surface: which clusters issued the accesses, where the violations
     /// were attributed, how many bus grants the suite consumed).
     pub cluster: ClusterUsage,
+    /// Scheduler search effort aggregated over all kernels.
+    pub sched: SchedTotals,
 }
 
 impl SuiteStats {
@@ -183,11 +223,101 @@ impl std::ops::Deref for SuiteStats {
     }
 }
 
+/// Profile-guided II seeds: achieved IIs recorded per full scheduling
+/// configuration (machine, graph, constraints, profile, heuristic), fed
+/// back so a repeat search opens just under the recorded II instead of
+/// re-scanning from the MII. Shared across the pipeline's clones and
+/// threads; the scheduler is deterministic, so a warm seed reproduces
+/// the cold result exactly while skipping the provably re-failing IIs.
+#[derive(Debug, Default)]
+struct IiSeedStore {
+    map: Mutex<HashMap<[u8; 16], u32>>,
+}
+
+impl IiSeedStore {
+    fn get(&self, key: [u8; 16]) -> Option<u32> {
+        self.map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+            .copied()
+    }
+
+    fn record(&self, key: [u8; 16], ii: u32) {
+        self.map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(key, ii);
+    }
+}
+
+/// The full-configuration key of one scheduling problem. Everything the
+/// scheduler's output depends on is encoded — machine bytes, graph
+/// topology (the same `op_tag`/`dep_tag` encoding the result-cache
+/// digest uses), constraints, profile preferences, heuristic and
+/// options — then compressed to the cache layer's 128-bit two-FNV
+/// fingerprint, so a seed is never replayed against a different problem
+/// (a replayed seed above the victim's optimal II would silently return
+/// a worse schedule, which is why a single 64-bit hash is not enough
+/// here either).
+fn seed_key(
+    machine: &MachineConfig,
+    ddg: &Ddg,
+    constraints: &SchedConstraints,
+    prefs: &distvliw_ir::PrefMap,
+    heuristic: Heuristic,
+    relax_latencies: bool,
+) -> [u8; 16] {
+    let mut bytes = machine.canonical_bytes();
+    let u64le = |bytes: &mut Vec<u8>, v: u64| bytes.extend_from_slice(&v.to_le_bytes());
+    u64le(&mut bytes, ddg.node_count() as u64);
+    for (_, op) in ddg.iter() {
+        bytes.push(cachekey::op_tag(op.kind));
+        match op.mem_id() {
+            Some(m) => {
+                bytes.push(0);
+                u64le(&mut bytes, u64::from(m.0));
+            }
+            None => bytes.push(0xff),
+        }
+    }
+    for (_, d) in ddg.deps() {
+        u64le(&mut bytes, u64::from(d.src.0));
+        u64le(&mut bytes, u64::from(d.dst.0));
+        bytes.push(cachekey::dep_tag(d.kind));
+        u64le(&mut bytes, u64::from(d.distance));
+    }
+    for (n, g) in &constraints.colocate {
+        u64le(&mut bytes, u64::from(n.0));
+        u64le(&mut bytes, u64::from(*g));
+    }
+    for (g, c) in &constraints.group_target {
+        u64le(&mut bytes, u64::from(*g));
+        u64le(&mut bytes, *c as u64);
+    }
+    for (n, c) in &constraints.pinned {
+        u64le(&mut bytes, u64::from(n.0));
+        u64le(&mut bytes, *c as u64);
+    }
+    u64le(&mut bytes, u64::from(constraints.min_ii));
+    for (m, info) in prefs {
+        u64le(&mut bytes, u64::from(m.0));
+        for &c in info.counts() {
+            u64le(&mut bytes, c);
+        }
+    }
+    bytes.push(heuristic as u8);
+    bytes.push(u8::from(relax_latencies));
+    cachekey::digest_fingerprint(&bytes)
+}
+
 /// The end-to-end compile-and-simulate pipeline for one machine.
 #[derive(Debug, Clone)]
 pub struct Pipeline {
     machine: MachineConfig,
     options: PipelineOptions,
+    /// Profile-guided II seeds, shared by all clones of this pipeline.
+    seeds: Arc<IiSeedStore>,
 }
 
 impl Pipeline {
@@ -202,6 +332,7 @@ impl Pipeline {
         Pipeline {
             machine,
             options: PipelineOptions::default(),
+            seeds: Arc::new(IiSeedStore::default()),
         }
     }
 
@@ -257,10 +388,12 @@ impl Pipeline {
         let mut kernels = Vec::with_capacity(runs.len());
         let mut total = SimStats::default();
         let mut cluster = ClusterUsage::default();
+        let mut sched = SchedTotals::default();
         for run in runs {
             let run = run?;
             total += run.stats;
             cluster += &run.cluster;
+            sched.absorb(&run.sched);
             kernels.push(run);
         }
         Ok(SuiteStats {
@@ -268,6 +401,7 @@ impl Pipeline {
             kernels,
             total,
             cluster,
+            sched,
         })
     }
 
@@ -297,9 +431,21 @@ impl Pipeline {
         par::par_map(&cells, |&(i, solution, heuristic)| {
             let suite = &suites[i];
             let machine = self.machine.clone().with_interleave(suite.interleave_bytes);
+            // Each cell schedules against its own fresh II-seed store:
+            // cells run concurrently, and two cells can legitimately
+            // share a seed key (Free and MDC coincide on chainless
+            // kernels), which would otherwise make the surfaced search
+            // telemetry depend on thread timing. Schedules are
+            // deterministic either way; this keeps the *effort* numbers
+            // per cell reproducible and equal to a cold `run_suite`.
+            let cell = Pipeline {
+                machine: self.machine.clone(),
+                options: self.options,
+                seeds: Arc::new(IiSeedStore::default()),
+            };
             let mut runs = Vec::with_capacity(suite.kernels.len());
             for kernel in &suite.kernels {
-                let run = self.run_kernel_on(&machine, kernel, solution, heuristic);
+                let run = cell.run_kernel_on(&machine, kernel, solution, heuristic);
                 let failed = run.is_err();
                 runs.push(run);
                 if failed {
@@ -383,14 +529,26 @@ impl Pipeline {
             Solution::Hybrid => unreachable!("handled above"),
         };
 
-        // Cluster-aware modulo scheduling.
-        let schedule: Schedule = ModuloScheduler::new(machine)
+        // Cluster-aware modulo scheduling, seeded with the II a prior
+        // run of this exact configuration achieved (if any) and feeding
+        // the achieved II back for the next one.
+        let key = seed_key(
+            machine,
+            &kernel.ddg,
+            &constraints,
+            &prefs,
+            heuristic,
+            self.options.relax_latencies,
+        );
+        let (schedule, sched): (Schedule, SchedStats) = ModuloScheduler::new(machine)
             .with_latency_relaxation(self.options.relax_latencies)
-            .schedule(&kernel.ddg, &constraints, &prefs, heuristic)
+            .with_ii_seed(self.seeds.get(key))
+            .schedule_with_stats(&kernel.ddg, &constraints, &prefs, heuristic)
             .map_err(|error| PipelineError::Schedule {
                 kernel: kernel.name.clone(),
                 error,
             })?;
+        self.seeds.record(key, schedule.ii);
 
         // Cycle-level simulation.
         let (stats, cluster) =
@@ -400,6 +558,7 @@ impl Pipeline {
             ii: schedule.ii,
             span: schedule.span,
             static_comm_ops: schedule.comm_ops(),
+            sched,
             stats,
             cluster,
         })

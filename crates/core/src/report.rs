@@ -230,8 +230,10 @@ pub fn render_cluster_imbalance(title: &str, entries: &[(String, ClusterUsage)])
 /// cycles, the per-cluster **imbalance** ratio (busiest cluster over
 /// mean — the headline number: does the distributed cache stay balanced
 /// as the machine scales?) and the memory-bus occupancy. The trailing
-/// column reports the Free baseline's coherence violations, which only
-/// the unrestricted schedule incurs.
+/// columns report the Free baseline's coherence violations (which only
+/// the unrestricted schedule incurs) and the scheduler-ejection count
+/// over the grid point's four solutions — the backtracking scheduler's
+/// effort trajectory.
 ///
 /// Expects rows in the `(cluster count, bus point, solution)` nesting
 /// order [`crate::experiments::sweep`] produces.
@@ -246,7 +248,7 @@ pub fn render_sweep(rows: &[SweepRow], title: &str) -> String {
     for solution in SWEEP_SOLUTIONS {
         let _ = write!(header, " {:^28} |", solution.to_string());
     }
-    let _ = writeln!(out, "{header} {:>10}", "Free viol.");
+    let _ = writeln!(out, "{header} {:>10} {:>9}", "Free viol.", "ejections");
     for point in rows.chunks(SWEEP_SOLUTIONS.len()) {
         let first = &point[0];
         let _ = write!(
@@ -264,7 +266,8 @@ pub fn render_sweep(rows: &[SweepRow], title: &str) -> String {
                 row.bus_occupancy() * 100.0
             );
         }
-        let _ = writeln!(out, " {:>10}", first.violations);
+        let ejections: u64 = point.iter().map(|r| r.sched.ejections).sum();
+        let _ = writeln!(out, " {:>10} {:>9}", first.violations, ejections);
     }
     out
 }
@@ -427,6 +430,10 @@ mod tests {
                 ..SimStats::default()
             },
             cluster: ClusterUsage::default(),
+            sched: crate::SchedTotals {
+                ejections: 3,
+                ..crate::SchedTotals::default()
+            },
         };
         let rows: Vec<SweepRow> = SWEEP_SOLUTIONS
             .iter()
@@ -442,7 +449,10 @@ mod tests {
         assert!(text.contains("10.0%"));
         // One grid line + title, legend and column-header lines.
         assert_eq!(text.lines().count(), 4);
-        assert!(text.lines().last().unwrap().trim_end().ends_with('7'));
+        // Trailing columns: 7 Free violations, then 4 × 3 ejections.
+        let last = text.lines().last().unwrap().trim_end();
+        assert!(last.ends_with("7        12"), "{last}");
+        assert!(text.contains("ejections"));
     }
 
     #[test]

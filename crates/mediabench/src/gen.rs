@@ -20,7 +20,8 @@
 use std::sync::Arc;
 
 use distvliw_ir::{
-    AddressStream, Ddg, DdgBuilder, DepKind, LoopKernel, MemId, NodeId, OpKind, Width,
+    AddressStream, Ddg, DdgBuilder, DepKind, LoopKernel, MemId, NodeId, OpKind, PrefInfo, PrefMap,
+    Width,
 };
 use rand::{RngExt, SeedableRng};
 
@@ -447,6 +448,59 @@ pub fn stream_loop(spec: &StreamSpec, alloc: &mut AddressAllocator, n_clusters: 
     kernel.profile.extend(profile_streams);
     kernel.exec.extend(exec_streams);
     kernel
+}
+
+/// An adversarial kernel for the ejection scheduler, plus the profile
+/// that arms it: a `chain_len`-op memory-dependent chain whose profile
+/// pins it (under MDC + PrefClus) to cluster 0, and one *higher
+/// priority* load preferring the same cluster, trailed by a dependent
+/// ALU tail that hoists it to the top of the priority order.
+///
+/// At the chain's constrained MII the early load occupies the one
+/// memory-unit slot the chain is short of, so the restart-only search
+/// must give the whole II away; the ejection scheduler instead cascades
+/// the chain down one slot, evicts the intruder to another cluster and
+/// keeps the II. Used by the `sched/eject` benchmarks and the ejection
+/// regression tests.
+#[must_use]
+pub fn eject_stress_kernel(n_clusters: usize, chain_len: usize) -> (LoopKernel, PrefMap) {
+    let mut b = DdgBuilder::new();
+    let chain: Vec<NodeId> = (0..chain_len).map(|_| b.load(Width::W4)).collect();
+    for w in chain.windows(2) {
+        b.dep(w[0], w[1], DepKind::MemAnti, 0);
+    }
+    let intruder = b.load(Width::W4);
+    let mut prev = intruder;
+    for _ in 0..4 {
+        prev = b.op(OpKind::IntAlu, &[prev]);
+    }
+    let ddg = b.finish();
+
+    let mut prefs = PrefMap::new();
+    let cluster0 = || {
+        let mut counts = vec![0u64; n_clusters];
+        counts[0] = 100;
+        PrefInfo::from_counts(counts)
+    };
+    for &l in chain.iter().chain(std::iter::once(&intruder)) {
+        prefs.insert(ddg.node(l).mem_id().expect("loads have sites"), cluster0());
+    }
+
+    let mut kernel = LoopKernel::new("eject_stress", ddg, 16);
+    let sites: Vec<_> = kernel
+        .ddg
+        .mem_nodes()
+        .map(|n| kernel.ddg.node(n).mem_id().expect("memory op"))
+        .collect();
+    for (i, mem) in sites.into_iter().enumerate() {
+        let stream = AddressStream::Affine {
+            base: 4096 + i as u64 * 0x100,
+            stride: 4,
+        };
+        kernel.profile.insert(mem, stream.clone());
+        kernel.exec.insert(mem, stream);
+    }
+    (kernel, prefs)
 }
 
 #[cfg(test)]

@@ -26,7 +26,10 @@ pub mod spec;
 pub mod trace;
 
 pub use alloc::AddressAllocator;
-pub use gen::{add_true_mem_deps, chain_loop, stream_loop, ChainSpec, Locality, StreamSpec};
+pub use gen::{
+    add_true_mem_deps, chain_loop, eject_stress_kernel, stream_loop, ChainSpec, Locality,
+    StreamSpec,
+};
 pub use spec::{build_suite, BenchSpec, BENCHMARKS};
 pub use trace::{bundled_traces, trace_suites, Trace, TraceError};
 

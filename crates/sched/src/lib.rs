@@ -36,11 +36,13 @@
 #![warn(missing_docs)]
 
 mod dense;
+mod eject;
 pub mod mii;
 mod mrt;
+mod pressure;
 mod schedule;
 mod scheduler;
 
 pub use mrt::Mrt;
-pub use schedule::{CopyOp, Schedule, ScheduleError, ScheduledOp};
+pub use schedule::{CopyOp, SchedStats, Schedule, ScheduleError, ScheduledOp, SearchPhase};
 pub use scheduler::{Heuristic, ModuloScheduler};

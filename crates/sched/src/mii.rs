@@ -7,7 +7,10 @@
 //! scratch distance buffer across every probe of every search instead of
 //! reallocating per probe.
 
+use std::collections::BTreeMap;
+
 use distvliw_arch::MachineConfig;
+use distvliw_coherence::SchedConstraints;
 use distvliw_ir::{Ddg, Dep, DepKind, FuClass, NodeId, NodeMap};
 
 use crate::dense::{DenseDeps, DepRec};
@@ -61,6 +64,65 @@ pub fn res_mii(ddg: &Ddg, machine: &MachineConfig) -> u32 {
             return u32::MAX;
         }
         if caps[i] > 0 {
+            mii = mii.max(counts[i].div_ceil(caps[i]));
+        }
+    }
+    mii
+}
+
+/// Constraint-aware resource MII: the tightest per-cluster bound implied
+/// by cluster-assignment constraints.
+///
+/// Ops of one colocation group all execute in a single cluster, so the
+/// group alone needs `ceil(class count / per-cluster units)` II slots of
+/// each class; likewise every set of ops pinned to the same cluster.
+/// Groups with a pre-decided target cluster pool with the pins of that
+/// cluster. The plain [`res_mii`] divides by *machine-wide* capacity and
+/// misses all of this — under MDC/DDGT the II search used to discover
+/// the gap one failed full placement pass per II, which is exactly the
+/// degenerate blowup this bound now skips: every II below it is provably
+/// infeasible.
+#[must_use]
+pub fn constrained_res_mii(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    constraints: &SchedConstraints,
+) -> u32 {
+    if constraints.colocate.is_empty() && constraints.pinned.is_empty() {
+        return 1;
+    }
+    let caps = [
+        machine.fu.integer as u32,
+        machine.fu.fp as u32,
+        machine.fu.memory as u32,
+    ];
+    // Per-target-cluster counts (pins + groups with a known target) and
+    // per-untargeted-group counts.
+    let mut cluster_counts: BTreeMap<usize, [u32; 3]> = BTreeMap::new();
+    let mut group_counts: BTreeMap<u32, [u32; 3]> = BTreeMap::new();
+    for (n, op) in ddg.iter() {
+        let Some(class) = op.kind.fu_class() else {
+            continue;
+        };
+        if let Some(&pin) = constraints.pinned.get(&n) {
+            cluster_counts.entry(pin).or_insert([0; 3])[class.index()] += 1;
+        } else if let Some(g) = constraints.colocate.get(&n) {
+            match constraints.group_target.get(g) {
+                Some(&target) => cluster_counts.entry(target).or_insert([0; 3])[class.index()] += 1,
+                None => group_counts.entry(*g).or_insert([0; 3])[class.index()] += 1,
+            }
+        }
+    }
+    let mut mii = 1u32;
+    for counts in cluster_counts.values().chain(group_counts.values()) {
+        for class in FuClass::ALL {
+            let i = class.index();
+            if counts[i] == 0 {
+                continue;
+            }
+            if caps[i] == 0 {
+                return u32::MAX;
+            }
             mii = mii.max(counts[i].div_ceil(caps[i]));
         }
     }
@@ -164,14 +226,16 @@ impl RecMiiSolver {
     #[must_use]
     pub fn rec_mii(&mut self, load_lat: &NodeMap<u32>) -> u32 {
         self.refresh_latencies(load_lat);
-        // An upper bound: sum of all edge latencies (a cycle cannot need
-        // more).
-        let hi0: i64 = self
-            .latencies
-            .iter()
-            .map(|&l| i64::from(l))
-            .sum::<i64>()
-            .max(1);
+        // An upper bound: the latency of the longest *simple* cycle. A
+        // simple cycle visits at most min(n, edges) edges, so
+        // `min(n, edges) × max edge latency` bounds its latency sum, and
+        // any binding latency-to-distance ratio is achieved by a simple
+        // cycle. (The previous bound summed over *all* edges, which on
+        // huge synthetic graphs forced the binary search to open at an
+        // absurd II.)
+        let max_lat = self.latencies.iter().copied().max().unwrap_or(0);
+        let cycle_edges = self.n.min(self.edges.len()) as i64;
+        let hi0: i64 = (cycle_edges * i64::from(max_lat)).max(1);
         let mut lo = 1u32;
         let mut hi = hi0.min(i64::from(u32::MAX - 1)) as u32;
         if !self.feasible(hi) {
@@ -340,6 +404,106 @@ mod tests {
         assert_eq!(res_mii(&g, &machine), 3);
         assert_eq!(rec_mii(&g, &NodeMap::new()), 4);
         assert_eq!(mii(&g, &machine, &NodeMap::new()), 4);
+    }
+
+    #[test]
+    fn constrained_res_mii_counts_colocated_chains() {
+        // 6 memory ops colocated in one group on the 4-cluster paper
+        // machine: global ResMII is ceil(6/4) = 2, but one cluster must
+        // serialize all 6 → constrained bound 6.
+        let mut b = DdgBuilder::new();
+        let nodes: Vec<_> = (0..6).map(|_| b.load(Width::W4)).collect();
+        let g = b.finish();
+        let machine = MachineConfig::paper_baseline();
+        let mut c = SchedConstraints::none();
+        for &n in &nodes {
+            c.colocate.insert(n, 0);
+        }
+        assert_eq!(res_mii(&g, &machine), 2);
+        assert_eq!(constrained_res_mii(&g, &machine, &c), 6);
+        // An explicit target does not change the bound…
+        c.group_target.insert(0, 1);
+        assert_eq!(constrained_res_mii(&g, &machine, &c), 6);
+        // …but pins sharing the target cluster pool with it.
+        let mut b = DdgBuilder::new();
+        let chain: Vec<_> = (0..3).map(|_| b.load(Width::W4)).collect();
+        let pinned = b.load(Width::W4);
+        let g = b.finish();
+        let mut c = SchedConstraints::none();
+        for &n in &chain {
+            c.colocate.insert(n, 0);
+        }
+        c.group_target.insert(0, 2);
+        c.pinned.insert(pinned, 2);
+        assert_eq!(constrained_res_mii(&g, &machine, &c), 4);
+        // A pin in another cluster does not pool.
+        let mut c2 = c.clone();
+        *c2.pinned.get_mut(&pinned).unwrap() = 3;
+        assert_eq!(constrained_res_mii(&g, &machine, &c2), 3);
+    }
+
+    #[test]
+    fn constrained_res_mii_is_one_without_constraints() {
+        let mut b = DdgBuilder::new();
+        for _ in 0..9 {
+            b.load(Width::W4);
+        }
+        let g = b.finish();
+        assert_eq!(
+            constrained_res_mii(
+                &g,
+                &MachineConfig::paper_baseline(),
+                &SchedConstraints::none()
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn rec_mii_upper_bound_is_cycle_scoped() {
+        // A wide acyclic graph with many high-latency edges plus one
+        // small recurrence: the sum-of-all-latencies bound would open
+        // the search absurdly high; the cycle-scoped bound must still
+        // give the exact RecMII.
+        let mut b = DdgBuilder::new();
+        let acc = b.op(OpKind::FpMul, &[]); // 4-cycle producer
+        b.recurrence(acc, acc, 1);
+        for _ in 0..50 {
+            let l = b.load(Width::W8);
+            let _ = b.op(OpKind::FpMul, &[l]);
+        }
+        let g = b.finish();
+        let mut lat = NodeMap::new();
+        for l in g.loads() {
+            lat.insert(l, 15);
+        }
+        assert_eq!(rec_mii(&g, &lat), 4);
+    }
+
+    #[test]
+    fn rec_mii_clamped_bound_terminates_on_huge_latencies() {
+        // A register-flow cycle of 64 loads at latency u32::MAX/2 each:
+        // the cycle needs more than any u32 II, the bound clamps to
+        // u32::MAX − 1, and the clamped probe must terminate and report
+        // the cycle as infeasible (u32::MAX) rather than spin.
+        let cycle = |latency: u32| {
+            let mut b = DdgBuilder::new();
+            let loads: Vec<NodeId> = (0..64).map(|_| b.load(Width::W4)).collect();
+            for w in loads.windows(2) {
+                b.recurrence(w[0], w[1], 0);
+            }
+            b.recurrence(loads[63], loads[0], 1);
+            let g = b.finish();
+            let mut lat = NodeMap::new();
+            for &l in &loads {
+                lat.insert(l, latency);
+            }
+            rec_mii(&g, &lat)
+        };
+        assert_eq!(cycle(u32::MAX / 2), u32::MAX);
+        // A cycle that fits a u32 II still converges exactly:
+        // 64 × 1000 over distance 1.
+        assert_eq!(cycle(1000), 64_000);
     }
 
     #[test]

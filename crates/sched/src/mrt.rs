@@ -10,7 +10,10 @@
 use distvliw_arch::MachineConfig;
 use distvliw_ir::FuClass;
 
-/// One journaled reservation.
+/// One journaled reservation (or targeted un-reservation — the
+/// ejection scheduler releases individual cells of *committed*
+/// placements, and those releases must themselves roll back when the
+/// surrounding ejection chain is rejected).
 #[derive(Debug, Clone, Copy)]
 enum Reservation {
     /// A functional-unit slot: cluster, class index, slot.
@@ -18,6 +21,10 @@ enum Reservation {
     /// A register-bus transfer starting at this cycle (covers
     /// `bus_latency` slots).
     Bus(u32),
+    /// Inverse of [`Reservation::Fu`]: a released unit slot.
+    FuRelease(u32, u8, u32),
+    /// Inverse of [`Reservation::Bus`]: a released bus transfer.
+    BusRelease(u32),
 }
 
 /// A position in the journal, returned by [`Mrt::checkpoint`].
@@ -108,6 +115,16 @@ impl Mrt {
                         self.bus[slot] -= 1;
                     }
                 }
+                Reservation::FuRelease(cluster, class, slot) => {
+                    self.fu[cluster as usize][class as usize][slot as usize] += 1;
+                    self.cluster_ops[cluster as usize] += 1;
+                }
+                Reservation::BusRelease(cycle) => {
+                    for i in 0..self.bus_latency {
+                        let slot = self.slot(cycle + i);
+                        self.bus[slot] += 1;
+                    }
+                }
             }
         }
     }
@@ -143,11 +160,68 @@ impl Mrt {
         ));
     }
 
+    /// Releases a previously committed `class` reservation in `cluster`
+    /// at `cycle` — the ejection scheduler un-reserving an evicted op's
+    /// unit. The release is journaled, so rolling back past it restores
+    /// the reservation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no reservation is held at that cell.
+    pub fn release_fu(&mut self, cluster: usize, class: FuClass, cycle: u32) {
+        let slot = self.slot(cycle);
+        assert!(
+            self.fu[cluster][class.index()][slot] > 0,
+            "releasing an empty FU cell"
+        );
+        self.fu[cluster][class.index()][slot] -= 1;
+        self.cluster_ops[cluster] -= 1;
+        self.journal.push(Reservation::FuRelease(
+            cluster as u32,
+            class.index() as u8,
+            slot as u32,
+        ));
+    }
+
+    /// Releases a previously committed bus transfer starting at `cycle`
+    /// (all `bus_latency` covered slots). Journaled like
+    /// [`Mrt::release_fu`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any covered slot holds no transfer.
+    pub fn release_bus(&mut self, cycle: u32) {
+        for i in 0..self.bus_latency {
+            let slot = self.slot(cycle + i);
+            assert!(self.bus[slot] > 0, "releasing an empty bus slot");
+            self.bus[slot] -= 1;
+        }
+        self.journal.push(Reservation::BusRelease(cycle));
+    }
+
     /// Total operations currently reserved in `cluster` (for workload
     /// balance in the MinComs cost function).
     #[must_use]
     pub fn cluster_load(&self, cluster: usize) -> u32 {
         self.cluster_ops[cluster]
+    }
+
+    /// Flat snapshot of every occupancy cell (all FU cells in
+    /// cluster/class/slot order, then the bus slots, then the per-cluster
+    /// op counts). Two tables with equal snapshots hold identical
+    /// reservations — the ejection tests use this to prove a rejected
+    /// ejection chain rolls back byte-identically.
+    #[must_use]
+    pub fn cells(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        for cluster in &self.fu {
+            for class in cluster {
+                out.extend_from_slice(class);
+            }
+        }
+        out.extend_from_slice(&self.bus);
+        out.extend_from_slice(&self.cluster_ops);
+        out
     }
 
     /// Whether a register-bus transfer may start at `cycle` (it occupies
@@ -302,6 +376,52 @@ mod tests {
             mrt.reserve_bus(0);
         }
         assert!(!mrt.bus_free(0));
+    }
+
+    #[test]
+    fn release_undoes_a_committed_reservation() {
+        let mut mrt = Mrt::new(&machine(), 4);
+        mrt.reserve_fu(0, FuClass::Memory, 1);
+        assert!(!mrt.fu_free(0, FuClass::Memory, 1));
+        mrt.release_fu(0, FuClass::Memory, 1);
+        assert!(mrt.fu_free(0, FuClass::Memory, 1));
+        assert_eq!(mrt.cluster_load(0), 0);
+        for _ in 0..4 {
+            mrt.reserve_bus(2);
+        }
+        assert!(!mrt.bus_free(2));
+        mrt.release_bus(2);
+        assert!(mrt.bus_free(2));
+    }
+
+    #[test]
+    fn rejected_ejection_chain_rolls_back_byte_identically() {
+        // Simulate an ejection chain: targeted releases of committed
+        // cells interleaved with fresh reservations, then a rejection.
+        // The table must come back *byte-identical*, releases included.
+        let mut mrt = Mrt::new(&machine(), 4);
+        mrt.reserve_fu(0, FuClass::Memory, 1);
+        mrt.reserve_fu(2, FuClass::Integer, 3);
+        mrt.reserve_bus(2);
+        let before = mrt.cells();
+        let mark = mrt.checkpoint();
+        mrt.release_fu(0, FuClass::Memory, 1);
+        mrt.reserve_fu(0, FuClass::Memory, 5); // same class, other slot
+        mrt.release_bus(2);
+        mrt.reserve_bus(0);
+        mrt.reserve_fu(1, FuClass::Fp, 0);
+        assert_ne!(mrt.cells(), before);
+        mrt.rollback(mark);
+        assert_eq!(mrt.cells(), before, "rollback must restore releases too");
+        assert!(!mrt.fu_free(0, FuClass::Memory, 1));
+        assert_eq!(mrt.cluster_load(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty FU cell")]
+    fn releasing_an_empty_fu_cell_panics() {
+        let mut mrt = Mrt::new(&machine(), 2);
+        mrt.release_fu(0, FuClass::Integer, 0);
     }
 
     #[test]

@@ -135,6 +135,57 @@ impl fmt::Display for Schedule {
     }
 }
 
+/// Which latency model the II search was running under when it gave up
+/// (paper Section 2.2: the search first places with optimistic local-hit
+/// load latencies, then relaxes them cache-sensitively).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchPhase {
+    /// Every load assumed a local hit.
+    Optimistic,
+    /// Cache-sensitive (raised) load latencies. With the current
+    /// two-phase search a [`ScheduleError::NoFeasibleIi`] always
+    /// reports [`SearchPhase::Optimistic`] — phase 2 falls back to the
+    /// phase-1 placement rather than failing — but consumers matching
+    /// on the phase stay total if a future search shape can fail under
+    /// relaxed latencies.
+    Relaxed,
+}
+
+impl fmt::Display for SearchPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchPhase::Optimistic => f.write_str("optimistic latencies"),
+            SearchPhase::Relaxed => f.write_str("relaxed latencies"),
+        }
+    }
+}
+
+/// Search telemetry of one `schedule_with_stats` call: how hard the II
+/// search had to work, and what the ejection scheduler did. The pipeline
+/// aggregates these per (suite, solution, heuristic) cell and feeds the
+/// achieved II back as the next search's seed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// The achieved initiation interval.
+    pub ii: u32,
+    /// The lower bound the search opened at (max of ResMII, RecMII, the
+    /// constraint-aware per-cluster bound and any mandated minimum).
+    pub mii: u32,
+    /// Initiation intervals attempted (including the successful one).
+    pub iis_tried: u32,
+    /// Placement attempts: every candidate `(cluster, cycle)` commit
+    /// trial across the whole search, both phases.
+    pub placement_attempts: u64,
+    /// Operations evicted by the ejection scheduler across the search.
+    pub ejections: u64,
+    /// The II the search was seeded at, when a profile seed applied
+    /// (strictly above the computed MII).
+    pub seeded_at: Option<u32>,
+    /// Peak stage-aware register pressure any accepted placement put on
+    /// a single cluster.
+    pub max_reg_pressure: u32,
+}
+
 /// Errors from the scheduler.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScheduleError {
@@ -144,6 +195,13 @@ pub enum ScheduleError {
         mii: u32,
         /// Highest II tried.
         max_tried: u32,
+        /// Latency model the search was under when it gave up.
+        phase: SearchPhase,
+        /// Total placement attempts spent before giving up.
+        attempts: u64,
+        /// The first node that could not be placed at the last II tried
+        /// — the place to start debugging, without a rerun.
+        first_blocked: Option<distvliw_ir::NodeId>,
     },
     /// The graph has a zero-distance cycle (invalid input).
     InvalidGraph,
@@ -152,8 +210,21 @@ pub enum ScheduleError {
 impl fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ScheduleError::NoFeasibleIi { mii, max_tried } => {
-                write!(f, "no feasible II in [{mii}, {max_tried}]")
+            ScheduleError::NoFeasibleIi {
+                mii,
+                max_tried,
+                phase,
+                attempts,
+                first_blocked,
+            } => {
+                write!(
+                    f,
+                    "no feasible II in [{mii}, {max_tried}] ({phase}, {attempts} placement attempts"
+                )?;
+                match first_blocked {
+                    Some(n) => write!(f, ", first blocked on {n})"),
+                    None => write!(f, ")"),
+                }
             }
             ScheduleError::InvalidGraph => write!(f, "input graph has a zero-distance cycle"),
         }
@@ -229,6 +300,22 @@ mod tests {
     fn permutation_validation() {
         let mut s = sample();
         s.permute_clusters(&[0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn no_feasible_ii_error_is_diagnosable() {
+        let e = ScheduleError::NoFeasibleIi {
+            mii: 3,
+            max_tried: 40,
+            phase: SearchPhase::Optimistic,
+            attempts: 1234,
+            first_blocked: Some(NodeId(7)),
+        };
+        let text = e.to_string();
+        assert!(text.contains("[3, 40]"), "{text}");
+        assert!(text.contains("optimistic latencies"), "{text}");
+        assert!(text.contains("1234 placement attempts"), "{text}");
+        assert!(text.contains("n7"), "{text}");
     }
 
     #[test]

@@ -34,16 +34,24 @@
 //! * one [`RecMiiSolver`] instance carries its scratch buffers across
 //!   every latency-assignment trial.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use distvliw_arch::{LatencyClass, MachineConfig};
 use distvliw_coherence::SchedConstraints;
 use distvliw_ir::{Ddg, DepKind, NodeId, NodeMap, PrefMap};
 
 use crate::dense::DenseDeps;
-use crate::mii::{res_mii, RecMiiSolver};
+use crate::eject::{eject_budget, EvictionRecord};
+use crate::mii::{constrained_res_mii, res_mii, RecMiiSolver};
 use crate::mrt::Mrt;
-use crate::schedule::{CopyOp, Schedule, ScheduleError, ScheduledOp};
+use crate::pressure::{range_cost, PressureCtx};
+use crate::schedule::{CopyOp, SchedStats, Schedule, ScheduleError, ScheduledOp, SearchPhase};
+
+/// Slack subtracted from a profile-provided II seed before the search
+/// opens: covers small graph drift between the run that recorded the
+/// seed and the current one, while still skipping the (deterministically
+/// re-failing) II range below it.
+const SEED_II_SLACK: u32 = 2;
 
 /// The two cluster-assignment heuristics of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -95,16 +103,20 @@ struct SchedCtx<'a> {
 pub struct ModuloScheduler<'m> {
     machine: &'m MachineConfig,
     relax_latencies: bool,
+    ejection: bool,
+    ii_seed: Option<u32>,
 }
 
 impl<'m> ModuloScheduler<'m> {
-    /// Creates a scheduler with cache-sensitive latency assignment
-    /// enabled.
+    /// Creates a scheduler with cache-sensitive latency assignment and
+    /// the ejection (backtracking) fallback enabled.
     #[must_use]
     pub fn new(machine: &'m MachineConfig) -> Self {
         ModuloScheduler {
             machine,
             relax_latencies: true,
+            ejection: true,
+            ii_seed: None,
         }
     }
 
@@ -113,6 +125,30 @@ impl<'m> ModuloScheduler<'m> {
     #[must_use]
     pub fn with_latency_relaxation(mut self, on: bool) -> Self {
         self.relax_latencies = on;
+        self
+    }
+
+    /// Enables or disables the ejection fallback. With it off the search
+    /// degenerates to the restart-only scan (one from-scratch placement
+    /// pass per II) — kept for ablations and the regression tests that
+    /// prove ejection never does worse.
+    #[must_use]
+    pub fn with_ejection(mut self, on: bool) -> Self {
+        self.ejection = on;
+        self
+    }
+
+    /// Seeds the II search with a previously achieved II for this
+    /// (graph, constraints, heuristic) configuration: the search opens
+    /// at `seed − 2` (clamped to the MII), skipping the II range a prior
+    /// deterministic run already proved unplaceable. An accurate seed
+    /// reproduces the unseeded result exactly (the skipped IIs would
+    /// fail again identically); callers must key seeds by the full
+    /// configuration, since a seed recorded for a *different* graph
+    /// could mask a lower feasible II.
+    #[must_use]
+    pub fn with_ii_seed(mut self, seed: Option<u32>) -> Self {
+        self.ii_seed = seed;
         self
     }
 
@@ -130,17 +166,47 @@ impl<'m> ModuloScheduler<'m> {
         prefs: &PrefMap,
         heuristic: Heuristic,
     ) -> Result<Schedule, ScheduleError> {
+        self.schedule_with_stats(ddg, constraints, prefs, heuristic)
+            .map(|(s, _)| s)
+    }
+
+    /// Like [`ModuloScheduler::schedule`], additionally returning the
+    /// search telemetry ([`SchedStats`]): attempts, ejections, the MII
+    /// and the seed that applied. The pipeline records the achieved II
+    /// per configuration and feeds it back via
+    /// [`ModuloScheduler::with_ii_seed`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ModuloScheduler::schedule`].
+    pub fn schedule_with_stats(
+        &self,
+        ddg: &Ddg,
+        constraints: &SchedConstraints,
+        prefs: &PrefMap,
+        heuristic: Heuristic,
+    ) -> Result<(Schedule, SchedStats), ScheduleError> {
+        let min_ii = constraints.min_ii.max(1);
         if ddg.has_zero_distance_cycle() {
             return Err(ScheduleError::InvalidGraph);
         }
         if ddg.node_count() == 0 {
-            return Ok(Schedule {
-                ii: 1,
-                ops: BTreeMap::new(),
-                copies: Vec::new(),
-                span: 1,
-                n_clusters: self.machine.n_clusters,
-            });
+            // Honor a constraint-mandated minimum II even for the
+            // trivial schedule.
+            return Ok((
+                Schedule {
+                    ii: min_ii,
+                    ops: BTreeMap::new(),
+                    copies: Vec::new(),
+                    span: min_ii,
+                    n_clusters: self.machine.n_clusters,
+                },
+                SchedStats {
+                    ii: min_ii,
+                    mii: min_ii,
+                    ..SchedStats::default()
+                },
+            ));
         }
         let dense = DenseDeps::new(ddg);
         let ctx = SchedCtx {
@@ -158,32 +224,83 @@ impl<'m> ModuloScheduler<'m> {
         let mut lat = self.cycles_of(&classes);
         let mut rec_solver = RecMiiSolver::from_dense(&dense);
 
-        let mii0 = res_mii(ddg, self.machine).max(rec_solver.rec_mii(&lat));
+        // Every II below the MII is provably infeasible. The
+        // constraint-aware resource bound is what kills the degenerate
+        // blowup: an MDC chain colocated in one cluster used to start
+        // the scan at the machine-wide ResMII and fail one full
+        // placement pass per II until the single-cluster bound was
+        // reached by brute force.
+        let mii0 = res_mii(ddg, self.machine)
+            .max(rec_solver.rec_mii(&lat))
+            .max(constrained_res_mii(ddg, self.machine, constraints))
+            .max(min_ii);
         if mii0 == u32::MAX {
             return Err(ScheduleError::InvalidGraph);
         }
+        // Seed from a prior run of this configuration, keeping the
+        // bound sound (never below the MII).
+        let seeded_at = match self.ii_seed {
+            Some(seed) => {
+                let start = seed.saturating_sub(SEED_II_SLACK);
+                (start > mii0).then_some(start)
+            }
+            None => None,
+        };
+        let start_ii = seeded_at.unwrap_or(mii0);
         // MDC chains can serialize all memory ops of a chain in one
         // cluster, inflating the achievable II up to n_clusters × ResMII.
         let max_ii = mii0
             .saturating_mul(self.machine.n_clusters as u32)
             .saturating_add(ddg.node_count() as u32)
-            .saturating_add(32);
+            .saturating_add(32)
+            .max(start_ii);
 
         // The priority order depends only on the latency assignment, not
         // the II: compute it once for the whole II search.
+        let mut counters = SearchCounters::default();
         let mut order = priority_order(ddg, &dense, &lat);
         let mut found: Option<(u32, Placement)> = None;
-        for ii in mii0..=max_ii {
-            if let Some(p) = self.try_place(ctx, &lat, &order, ii) {
+        let mut used_eject = false;
+        for ii in start_ii..=max_ii {
+            counters.iis_tried += 1;
+            if let Some(p) = self.try_place(ctx, &lat, &order, ii, &mut counters) {
                 found = Some((ii, p));
                 break;
             }
+            if self.ejection {
+                if let Some(p) = self.try_place_eject(ctx, &lat, &order, ii, &mut counters) {
+                    found = Some((ii, p));
+                    used_eject = true;
+                    break;
+                }
+            }
         }
-        let (ii0, mut best) = found.ok_or(ScheduleError::NoFeasibleIi {
-            mii: mii0,
-            max_tried: max_ii,
-        })?;
+        let Some((ii0, mut best)) = found else {
+            return Err(ScheduleError::NoFeasibleIi {
+                mii: mii0,
+                max_tried: max_ii,
+                phase: SearchPhase::Optimistic,
+                attempts: counters.attempts,
+                first_blocked: counters.first_blocked,
+            });
+        };
         let span_budget = best.span.saturating_add(4 * ii0);
+        // A placement pass under relaxed latencies only gets the
+        // ejection fallback if phase 1 needed it at this II — when the
+        // plain pass carried phase 1, relaxation trials stay plain and
+        // byte-identical to the pre-ejection scheduler. Only the
+        // *joint* relaxation trials (at most three) get the fallback:
+        // the per-load refinement multiplies by the load count, and a
+        // full-budget ejection pass per failed refinement trial is the
+        // kind of degenerate search-cost blowup this change exists to
+        // remove.
+        let relax_try = |order: &[NodeId], lat: &NodeMap<u32>, counters: &mut SearchCounters| {
+            self.try_place(ctx, lat, order, ii0, counters).or_else(|| {
+                (used_eject && self.ejection)
+                    .then(|| self.try_place_eject(ctx, lat, order, ii0, counters))
+                    .flatten()
+            })
+        };
 
         // Phase 2: cache-sensitive latency assignment — raise load
         // latencies as far as compute time (II and schedule length) allows.
@@ -207,7 +324,7 @@ impl<'m> ModuloScheduler<'m> {
                 }
                 if rec_solver.feasible_at(&lat, ii0) {
                     order = priority_order(ddg, &dense, &lat);
-                    if let Some(p) = self.try_place(ctx, &lat, &order, ii0) {
+                    if let Some(p) = relax_try(&order, &lat, &mut counters) {
                         // Compute time is dominated by the II; allow the
                         // pipeline fill (span) to grow by a bounded number
                         // of stages, as the paper's latency assignment
@@ -240,7 +357,8 @@ impl<'m> ModuloScheduler<'m> {
                         lat.insert(load, self.machine.latency_of(class));
                         if rec_solver.feasible_at(&lat, ii0) {
                             order = priority_order(ddg, &dense, &lat);
-                            if let Some(p) = self.try_place(ctx, &lat, &order, ii0) {
+                            // Plain pass only — see `relax_try`.
+                            if let Some(p) = self.try_place(ctx, &lat, &order, ii0, &mut counters) {
                                 if p.span <= span_budget {
                                     best = p;
                                     break;
@@ -254,6 +372,15 @@ impl<'m> ModuloScheduler<'m> {
             }
         }
 
+        let stats = SchedStats {
+            ii: ii0,
+            mii: mii0,
+            iis_tried: counters.iis_tried,
+            placement_attempts: counters.attempts,
+            ejections: counters.ejections,
+            seeded_at,
+            max_reg_pressure: counters.max_pressure,
+        };
         let mut schedule = Schedule {
             ii: ii0,
             ops: best
@@ -280,7 +407,7 @@ impl<'m> ModuloScheduler<'m> {
             let perm = best_physical_mapping(ddg, &schedule, prefs, self.machine.n_clusters);
             schedule.permute_clusters(&perm);
         }
-        Ok(schedule)
+        Ok((schedule, stats))
     }
 
     fn cycles_of(&self, classes: &NodeMap<LatencyClass>) -> NodeMap<u32> {
@@ -290,16 +417,14 @@ impl<'m> ModuloScheduler<'m> {
             .collect()
     }
 
-    /// One placement attempt at a fixed II. Returns `None` when any node
-    /// cannot be placed.
-    fn try_place(
-        &self,
-        ctx: SchedCtx<'_>,
-        load_lat: &NodeMap<u32>,
-        order: &[NodeId],
+    fn placer<'a>(
+        &'a self,
+        ctx: SchedCtx<'a>,
+        load_lat: &'a NodeMap<u32>,
         ii: u32,
-    ) -> Option<Placement> {
-        let mut placer = Placer {
+        counters: &'a mut SearchCounters,
+    ) -> Placer<'a> {
+        Placer {
             machine: self.machine,
             ctx,
             load_lat,
@@ -311,14 +436,84 @@ impl<'m> ModuloScheduler<'m> {
             copy_map: CopyTable::new(ctx.ddg.node_count(), self.machine.n_clusters),
             group_cluster: ctx.constraints.group_target.clone(),
             planned: Vec::new(),
-        };
+            ranges: vec![NO_RANGE; ctx.ddg.node_count() * self.machine.n_clusters],
+            stage_regs: vec![0; self.machine.n_clusters],
+            counters,
+        }
+    }
+
+    /// One from-scratch placement pass at a fixed II. Returns `None`
+    /// when any node cannot be placed.
+    fn try_place(
+        &self,
+        ctx: SchedCtx<'_>,
+        load_lat: &NodeMap<u32>,
+        order: &[NodeId],
+        ii: u32,
+        counters: &mut SearchCounters,
+    ) -> Option<Placement> {
+        let mut placer = self.placer(ctx, load_lat, ii, counters);
         for &n in order {
             if !placer.place(n) {
+                placer.counters.first_blocked = Some(n);
                 return None;
             }
         }
         placer.into_placement()
     }
+
+    /// The ejection pass at a fixed II: like [`ModuloScheduler::try_place`],
+    /// but a node that cannot be placed evicts the ops blocking it (see
+    /// `crate::eject`), which re-enter the worklist at the back. Fails
+    /// the II once the ejection budget is spent or a node cannot be
+    /// forced into any cluster.
+    fn try_place_eject(
+        &self,
+        ctx: SchedCtx<'_>,
+        load_lat: &NodeMap<u32>,
+        order: &[NodeId],
+        ii: u32,
+        counters: &mut SearchCounters,
+    ) -> Option<Placement> {
+        let mut budget = eject_budget(ctx.ddg.node_count());
+        let mut placer = self.placer(ctx, load_lat, ii, counters);
+        let mut queue: VecDeque<NodeId> = order.iter().copied().collect();
+        let mut floor: NodeMap<u32> = NodeMap::new();
+        while let Some(n) = queue.pop_front() {
+            if placer.place(n) {
+                continue;
+            }
+            let Some(evicted) = placer.force_place(n, &mut floor) else {
+                placer.counters.first_blocked = Some(n);
+                return None;
+            };
+            placer.counters.ejections += evicted.len() as u64;
+            let cost = evicted.len() as u64;
+            if cost > budget {
+                placer.counters.first_blocked = Some(n);
+                return None;
+            }
+            budget -= cost;
+            queue.extend(evicted);
+        }
+        placer.into_placement()
+    }
+}
+
+/// Accumulated search telemetry, shared by every pass of one
+/// `schedule_with_stats` call.
+#[derive(Debug, Default)]
+struct SearchCounters {
+    /// Candidate `(cluster, cycle)` commit trials.
+    attempts: u64,
+    /// Ops evicted by the ejection passes.
+    ejections: u64,
+    /// IIs attempted.
+    iis_tried: u32,
+    /// Peak accepted per-cluster register pressure.
+    max_pressure: u32,
+    /// First unplaceable node of the most recent failed pass.
+    first_blocked: Option<NodeId>,
 }
 
 /// Dense `(node, cluster) → copy start cycle` table: which clusters
@@ -344,6 +539,10 @@ impl CopyTable {
     fn insert(&mut self, producer: NodeId, cluster: usize, start: u32) {
         self.slots[producer.index() * self.n_clusters + cluster] = Some(start);
     }
+
+    fn remove(&mut self, producer: NodeId, cluster: usize) {
+        self.slots[producer.index() * self.n_clusters + cluster] = None;
+    }
 }
 
 /// A planned (not yet accepted) inter-cluster copy of one commit attempt.
@@ -353,6 +552,10 @@ struct PlannedCopy {
     to: usize,
     start: u32,
 }
+
+/// Sentinel for an absent live range in the placer's flat
+/// `(node × cluster)` range table (costs zero registers).
+const NO_RANGE: (i64, i64) = (i64::MAX, i64::MIN);
 
 /// The mutable state of one placement attempt at a fixed II.
 struct Placer<'a> {
@@ -368,6 +571,15 @@ struct Placer<'a> {
     group_cluster: BTreeMap<u32, usize>,
     /// Reused across commit attempts (cleared each time).
     planned: Vec<PlannedCopy>,
+    /// Live range of each value per cluster (`node × n_clusters +
+    /// cluster`, [`NO_RANGE`] when absent) — the incremental state of
+    /// the stage-aware pressure model.
+    ranges: Vec<(i64, i64)>,
+    /// Per-cluster stage-crossing register demand
+    /// (`Σ range_cost(ranges)` — see `crate::pressure`).
+    stage_regs: Vec<u64>,
+    /// Search telemetry, shared with the surrounding II search.
+    counters: &'a mut SearchCounters,
 }
 
 impl Placer<'_> {
@@ -438,13 +650,14 @@ impl Placer<'_> {
         order
     }
 
-    /// Earliest/latest start for `n` in cluster `c` given current
-    /// placements (as i64: latest may be unbounded, earliest clamped ≥ 0).
-    fn start_bounds(&self, n: NodeId, c: usize) -> Option<(i64, i64)> {
+    /// Earliest start for `n` in cluster `c` from placed predecessors
+    /// only (clamped ≥ 0). Shared by the bounded normal placement and
+    /// the forced placement of the ejection pass, which ignores
+    /// successors and evicts the ones it violates instead.
+    fn pred_est(&self, n: NodeId, c: usize) -> i64 {
         let bus_lat = i64::from(self.bus_lat);
         let ii = i64::from(self.ii);
         let mut est = 0i64;
-        let mut lst = i64::from(u32::MAX / 2);
         for d in self.ctx.dense.in_deps(n) {
             if d.src == n {
                 continue; // self edges are covered by RecMII
@@ -464,6 +677,16 @@ impl Placer<'_> {
             };
             est = est.max(bound);
         }
+        est
+    }
+
+    /// Earliest/latest start for `n` in cluster `c` given current
+    /// placements (as i64: latest may be unbounded, earliest clamped ≥ 0).
+    fn start_bounds(&self, n: NodeId, c: usize) -> Option<(i64, i64)> {
+        let bus_lat = i64::from(self.bus_lat);
+        let ii = i64::from(self.ii);
+        let est = self.pred_est(n, c);
+        let mut lst = i64::from(u32::MAX / 2);
         for d in self.ctx.dense.out_deps(n) {
             if d.dst == n {
                 continue;
@@ -498,6 +721,7 @@ impl Placer<'_> {
         let ddg = self.ctx.ddg;
         let dense = self.ctx.dense;
         let load_lat = self.load_lat;
+        self.counters.attempts += 1;
         let class = ddg.node(n).kind.fu_class();
         if let Some(class) = class {
             if !self.mrt.fu_free(c, class, start) {
@@ -550,11 +774,7 @@ impl Placer<'_> {
                 start: slot,
             });
         }
-        let n_lat = i64::from(if ddg.node(n).is_load() {
-            load_lat.get(n).copied().unwrap_or(1)
-        } else {
-            ddg.node(n).kind.base_latency()
-        });
+        let n_lat = self.out_latency(n);
         for d in dense.out_deps(n) {
             if d.kind != DepKind::RegFlow || d.dst == n {
                 continue;
@@ -590,6 +810,32 @@ impl Placer<'_> {
             });
         }
 
+        // Stage-aware register pressure gate: the placement and its
+        // planned copies must not push any cluster's stage-crossing
+        // register demand past the budget. Checking here — instead of
+        // letting the overflow fester until it shows up as inexplicable
+        // bus-slot failures — is what makes pressure a first-class
+        // placement constraint. The demand is maintained incrementally
+        // (journaled live-range extensions); a rejected placement undoes
+        // its extensions exactly. The placement entry inserted here is
+        // the one that persists on acceptance — only the pressure-reject
+        // path removes it.
+        self.placed.insert(n, (c, start));
+        let mut rlog: Vec<(usize, (i64, i64))> = Vec::new();
+        self.apply_pressure(n, c, start, &mut rlog);
+        let cap = u64::from(self.machine.regs_per_cluster as u32);
+        let peak = self.stage_regs.iter().copied().max().unwrap_or(0);
+        if peak > cap {
+            self.undo_ranges(&mut rlog);
+            self.placed.remove(n);
+            self.mrt.rollback(mark);
+            return false;
+        }
+        self.counters.max_pressure = self
+            .counters
+            .max_pressure
+            .max(u32::try_from(peak).unwrap_or(u32::MAX));
+
         // All feasible: accept the journaled bus reservations.
         self.mrt.commit(mark);
         if let Some(class) = class {
@@ -604,12 +850,386 @@ impl Placer<'_> {
                 start: p.start,
             });
         }
-        self.placed.insert(n, (c, start));
         true
+    }
+
+    /// Cycles after issue at which `n`'s result register is written —
+    /// the producer latency commit charges on outgoing register flow.
+    fn out_latency(&self, n: NodeId) -> i64 {
+        let ddg = self.ctx.ddg;
+        i64::from(if ddg.node(n).is_load() {
+            self.load_lat.get(n).copied().unwrap_or(1)
+        } else {
+            ddg.node(n).kind.base_latency()
+        })
+    }
+
+    /// The model context for the from-scratch pressure mirror in
+    /// `crate::pressure` (debug assertions and eviction recomputes).
+    fn pressure_ctx(&self) -> PressureCtx<'_> {
+        PressureCtx {
+            ddg: self.ctx.ddg,
+            dense: self.ctx.dense,
+            load_lat: self.load_lat,
+            bus_lat: self.bus_lat,
+            ii: self.ii,
+            n_clusters: self.machine.n_clusters,
+        }
+    }
+
+    /// Copy lookup covering both accepted copies and the ones planned by
+    /// the in-flight commit.
+    fn copy_lookup(&self, p: NodeId, k: usize) -> Option<u32> {
+        self.copy_map.get(p, k).or_else(|| {
+            self.planned
+                .iter()
+                .find(|pc| pc.producer == p && pc.to == k)
+                .map(|pc| pc.start)
+        })
+    }
+
+    /// Writes one live-range cell, keeping the per-cluster demand sums
+    /// in step and journaling the previous value into `log`.
+    fn set_range(
+        &mut self,
+        node: NodeId,
+        cluster: usize,
+        new: (i64, i64),
+        log: &mut Vec<(usize, (i64, i64))>,
+    ) {
+        let idx = node.index() * self.machine.n_clusters + cluster;
+        let old = self.ranges[idx];
+        if old == new {
+            return;
+        }
+        log.push((idx, old));
+        let sums = &mut self.stage_regs[cluster];
+        *sums -= range_cost(old.0, old.1, self.ii);
+        *sums += range_cost(new.0, new.1, self.ii);
+        self.ranges[idx] = new;
+    }
+
+    /// Extends (or creates) the live range of `node`'s value in
+    /// `cluster` to cover `[def, last]`.
+    fn extend_range(
+        &mut self,
+        node: NodeId,
+        cluster: usize,
+        def: i64,
+        last: i64,
+        log: &mut Vec<(usize, (i64, i64))>,
+    ) {
+        let idx = node.index() * self.machine.n_clusters + cluster;
+        let (d0, l0) = self.ranges[idx];
+        let new = if (d0, l0) == NO_RANGE {
+            (def, last.max(def))
+        } else {
+            (d0.min(def), l0.max(last))
+        };
+        self.set_range(node, cluster, new, log);
+    }
+
+    /// Applies the live-range updates of committing `n` at `(c, start)`
+    /// (planned copies included) to the incremental pressure state.
+    fn apply_pressure(
+        &mut self,
+        n: NodeId,
+        c: usize,
+        start: u32,
+        log: &mut Vec<(usize, (i64, i64))>,
+    ) {
+        let dense = self.ctx.dense;
+        let ii = i64::from(self.ii);
+        let bus_lat = i64::from(self.bus_lat);
+        // n's own value: home range plus ranges in every cluster its
+        // placed consumers read it from.
+        if dense.out_deps(n).iter().any(|d| d.kind == DepKind::RegFlow) {
+            let def = i64::from(start) + self.out_latency(n);
+            self.extend_range(n, c, def, def, log);
+            for d in dense.out_deps(n) {
+                if d.kind != DepKind::RegFlow {
+                    continue;
+                }
+                let Some(&(qc, qs)) = self.placed.get(d.dst) else {
+                    continue;
+                };
+                let use_at = i64::from(qs) + ii * i64::from(d.distance);
+                if qc == c {
+                    self.extend_range(n, c, def, use_at, log);
+                } else if let Some(s0) = self.copy_lookup(n, qc) {
+                    self.extend_range(n, c, def, i64::from(s0), log);
+                    self.extend_range(n, qc, i64::from(s0) + bus_lat, use_at, log);
+                }
+            }
+        }
+        // Values n reads: extend their ranges to this read (and, for a
+        // copy planned by this commit, the home range to the launch).
+        for d in dense.in_deps(n) {
+            if d.kind != DepKind::RegFlow || d.src == n {
+                continue;
+            }
+            let p = d.src;
+            let Some(&(pc, ps)) = self.placed.get(p) else {
+                continue;
+            };
+            let use_at = i64::from(start) + ii * i64::from(d.distance);
+            let home_def = i64::from(ps) + self.out_latency(p);
+            if pc == c {
+                self.extend_range(p, c, home_def, use_at, log);
+            } else if let Some(s0) = self.copy_lookup(p, c) {
+                self.extend_range(p, pc, home_def, i64::from(s0), log);
+                self.extend_range(p, c, i64::from(s0) + bus_lat, use_at, log);
+            }
+        }
+    }
+
+    /// Recomputes the live range of `p`'s value in `cluster` from
+    /// scratch (after an eviction shrank or removed contributions),
+    /// journaling the overwritten cell.
+    fn recompute_value_range(
+        &mut self,
+        p: NodeId,
+        cluster: usize,
+        log: &mut Vec<(usize, (i64, i64))>,
+    ) {
+        let ctx = self.pressure_ctx();
+        let lookup = |q: NodeId, k: usize| self.copy_map.get(q, k);
+        let new = crate::pressure::value_range(&ctx, &self.placed, &lookup, p, cluster)
+            .unwrap_or(NO_RANGE);
+        self.set_range(p, cluster, new, log);
+    }
+
+    /// Undoes journaled live-range writes, newest first.
+    fn undo_ranges(&mut self, log: &mut Vec<(usize, (i64, i64))>) {
+        while let Some((idx, old)) = log.pop() {
+            let cluster = idx % self.machine.n_clusters;
+            let cur = self.ranges[idx];
+            let sums = &mut self.stage_regs[cluster];
+            *sums -= range_cost(cur.0, cur.1, self.ii);
+            *sums += range_cost(old.0, old.1, self.ii);
+            self.ranges[idx] = old;
+        }
+    }
+
+    /// Forced placement of `n` (the ejection path): pick a start bounded
+    /// by placed predecessors only, evict whatever blocks it — the
+    /// same-slot functional-unit occupant and every placed successor
+    /// whose separation the start would violate — and commit. Returns
+    /// the evicted nodes for re-enqueueing, or `None` when no cluster
+    /// admits `n` even with evictions (e.g. the register buses or the
+    /// pressure budget stay exhausted).
+    fn force_place(&mut self, n: NodeId, floor: &mut NodeMap<u32>) -> Option<Vec<NodeId>> {
+        for c in self.candidate_clusters(n) {
+            // One forced shot per cluster, at the earliest
+            // predecessor-legal slot (Rau's rule): the monotone floor —
+            // "previous start + 1" whenever `n` is forced again at this
+            // II — provides the progress a slot scan would, at a
+            // fraction of the cost on hopeless IIs. A wider scan here
+            // multiplies into every failed II of every latency trial.
+            let est = self.pred_est(n, c).max(0);
+            let base = est.max(i64::from(floor.get(n).copied().unwrap_or(0)));
+            let Ok(start) = u32::try_from(base) else {
+                continue;
+            };
+            let mark = self.mrt.checkpoint();
+            let mut rec = EvictionRecord::default();
+            self.evict_conflicts(n, c, start, &mut rec);
+            if self.commit(n, c, start) {
+                if let Some(&g) = self.ctx.constraints.colocate.get(&n) {
+                    self.group_cluster.entry(g).or_insert(c);
+                }
+                floor.insert(n, start + 1);
+                return Some(rec.evicted().collect());
+            }
+            self.unevict(rec, mark);
+        }
+        None
+    }
+
+    /// Evicts everything that blocks placing `n` at `(c, start)`: enough
+    /// same-class ops in the target modulo slot to free a unit, and
+    /// every placed successor whose dependence the start would violate.
+    /// Predecessor constraints never need evictions — the forced start
+    /// is at or after `pred_est`.
+    fn evict_conflicts(&mut self, n: NodeId, c: usize, start: u32, rec: &mut EvictionRecord) {
+        if let Some(class) = self.ctx.ddg.node(n).kind.fu_class() {
+            while !self.mrt.fu_free(c, class, start) {
+                let slot = start % self.ii;
+                let victim = self
+                    .placed
+                    .iter()
+                    .find(|&(m, &(mc, ms))| {
+                        mc == c
+                            && ms % self.ii == slot
+                            && self.ctx.ddg.node(m).kind.fu_class() == Some(class)
+                    })
+                    .map(|(m, _)| m);
+                match victim {
+                    Some(m) => self.evict(m, rec),
+                    // Unreachable (every FU reservation belongs to a
+                    // placed op), but never loop on it.
+                    None => break,
+                }
+            }
+        }
+        let ii = i64::from(self.ii);
+        let bus_lat = i64::from(self.bus_lat);
+        let n_lat = self.out_latency(n);
+        let mut victims: Vec<NodeId> = Vec::new();
+        for d in self.ctx.dense.out_deps(n) {
+            if d.dst == n {
+                continue;
+            }
+            let Some(&(sc, ss)) = self.placed.get(d.dst) else {
+                continue;
+            };
+            let dist = i64::from(d.distance);
+            let violated = if d.kind == DepKind::RegFlow && sc != c {
+                // Mirror of commit's copy deadline: the transfer must
+                // fit between the value being ready and the consumer
+                // reading it.
+                i64::from(ss) - bus_lat + ii * dist < i64::from(start) + n_lat
+            } else {
+                let lat = i64::from(d.latency(self.load_lat));
+                i64::from(ss) + ii * dist < i64::from(start) + lat
+            };
+            if violated && !victims.contains(&d.dst) {
+                victims.push(d.dst);
+            }
+        }
+        for m in victims {
+            if self.placed.contains_key(m) {
+                self.evict(m, rec);
+            }
+        }
+    }
+
+    /// Removes `m` from the schedule: releases its functional unit,
+    /// drops the copies that moved its value, drops copies *to* it that
+    /// no other consumer in its cluster still needs, and clears its
+    /// colocation-group binding when it was the group's last placed
+    /// member (so a re-placed chain may pick a fresh cluster). Every
+    /// release is journaled; `unevict` plus a rollback restores the
+    /// exact prior state.
+    fn evict(&mut self, m: NodeId, rec: &mut EvictionRecord) {
+        let (mc, ms) = self.placed.remove(m).expect("evicting a placed op");
+        if let Some(class) = self.ctx.ddg.node(m).kind.fu_class() {
+            self.mrt.release_fu(mc, class, ms);
+        }
+        // Copies of m's value (m is the producer).
+        let mut removed: Vec<CopyOp> = Vec::new();
+        self.copies.retain(|cp| {
+            if cp.producer == m {
+                removed.push(*cp);
+                false
+            } else {
+                true
+            }
+        });
+        // Copies into m's cluster that only m consumed.
+        for d in self.ctx.dense.in_deps(m) {
+            if d.kind != DepKind::RegFlow || d.src == m {
+                continue;
+            }
+            let p = d.src;
+            let Some(&(pc, _)) = self.placed.get(p) else {
+                continue;
+            };
+            if pc == mc || self.copy_map.get(p, mc).is_none() {
+                continue;
+            }
+            let needed = self.ctx.dense.out_deps(p).iter().any(|e| {
+                e.kind == DepKind::RegFlow
+                    && e.dst != m
+                    && self.placed.get(e.dst).is_some_and(|&(qc, _)| qc == mc)
+            });
+            if !needed {
+                if let Some(pos) = self
+                    .copies
+                    .iter()
+                    .position(|cp| cp.producer == p && cp.to_cluster == mc)
+                {
+                    removed.push(self.copies.remove(pos));
+                }
+            }
+        }
+        for cp in &removed {
+            self.mrt.release_bus(cp.start);
+            self.copy_map.remove(cp.producer, cp.to_cluster);
+        }
+        // Live-range bookkeeping: m's value disappears everywhere, the
+        // values m read shrink by this use, and producers whose copy was
+        // dropped lose the launch from their home range.
+        for k in 0..self.machine.n_clusters {
+            self.set_range(m, k, NO_RANGE, &mut rec.ranges);
+        }
+        let dense = self.ctx.dense;
+        for &d in dense.in_deps(m) {
+            if d.kind != DepKind::RegFlow || d.src == m {
+                continue;
+            }
+            if self.placed.contains_key(d.src) {
+                self.recompute_value_range(d.src, mc, &mut rec.ranges);
+            }
+        }
+        for cp in &removed {
+            if cp.producer != m && self.placed.contains_key(cp.producer) {
+                self.recompute_value_range(cp.producer, cp.from_cluster, &mut rec.ranges);
+            }
+        }
+        if let Some(&g) = self.ctx.constraints.colocate.get(&m) {
+            if !self.ctx.constraints.group_target.contains_key(&g) {
+                let still_placed = self
+                    .ctx
+                    .constraints
+                    .colocate
+                    .iter()
+                    .any(|(&q, &qg)| qg == g && q != m && self.placed.contains_key(q));
+                if !still_placed {
+                    if let Some(cl) = self.group_cluster.remove(&g) {
+                        rec.groups.push((g, cl));
+                    }
+                }
+            }
+        }
+        rec.copies.append(&mut removed);
+        rec.nodes.push((m, mc, ms));
+    }
+
+    /// Restores everything a rejected ejection chain evicted: the
+    /// reservation table rolls back through its journal (releases
+    /// included), the side tables restore from the record.
+    fn unevict(&mut self, mut rec: EvictionRecord, mark: crate::mrt::Checkpoint) {
+        self.mrt.rollback(mark);
+        self.undo_ranges(&mut rec.ranges);
+        for cp in rec.copies {
+            self.copy_map.insert(cp.producer, cp.to_cluster, cp.start);
+            self.copies.push(cp);
+        }
+        for (g, cl) in rec.groups {
+            self.group_cluster.insert(g, cl);
+        }
+        for (m, mc, ms) in rec.nodes {
+            self.placed.insert(m, (mc, ms));
+        }
     }
 
     /// Finalizes a fully placed attempt.
     fn into_placement(self) -> Option<Placement> {
+        #[cfg(debug_assertions)]
+        {
+            // The incremental pressure accounting must agree with the
+            // from-scratch model on every completed pass.
+            let ctx = self.pressure_ctx();
+            let lookup = |q: NodeId, k: usize| self.copy_map.get(q, k);
+            for c in 0..self.machine.n_clusters {
+                debug_assert_eq!(
+                    crate::pressure::cluster_pressure(&ctx, &self.placed, &lookup, c),
+                    self.stage_regs[c],
+                    "incremental pressure accounting diverged in cluster {c}"
+                );
+            }
+        }
         let span = self
             .placed
             .values()
@@ -1113,6 +1733,173 @@ mod tests {
             .unwrap();
         assert_eq!(s.ops.len(), 0);
         assert_eq!(s.ii, 1);
+    }
+
+    #[test]
+    fn empty_graph_honors_constraint_minimum_ii() {
+        // Regression: the empty-graph early return used to hardcode
+        // ii = 1 without consulting the constraints.
+        let g = Ddg::new();
+        let constraints = SchedConstraints::none().with_min_ii(7);
+        let s = ModuloScheduler::new(&machine())
+            .schedule(&g, &constraints, &PrefMap::new(), Heuristic::MinComs)
+            .unwrap();
+        assert_eq!(s.ii, 7);
+        assert!(s.span >= s.ii);
+        // And a non-empty graph may not undercut it either.
+        let g = simple_graph();
+        let s = ModuloScheduler::new(&machine())
+            .schedule(&g, &constraints, &PrefMap::new(), Heuristic::MinComs)
+            .unwrap();
+        assert!(s.ii >= 7);
+        assert_valid(&g, &s, &machine());
+    }
+
+    #[test]
+    fn register_pressure_cap_is_enforced_during_placement() {
+        // A producer feeding a consumer across a long recurrence-forced
+        // II stretch: with a generous register file the value simply
+        // stays live across stages; with a 1-register cluster budget
+        // the stage-crossing range is rejected during placement and the
+        // schedule must adapt (or the II grow) — never silently
+        // overflow.
+        let mut b = DdgBuilder::new();
+        // A latency-4 self-recurrence at distance 1 forces II ≥ 4.
+        let acc = b.op(OpKind::FpMul, &[]);
+        b.recurrence(acc, acc, 1);
+        // A value consumed far later: producer → long dependent chain.
+        let p = b.op(OpKind::IntAlu, &[]);
+        let mut chain = p;
+        for _ in 0..12 {
+            chain = b.op(OpKind::IntMul, &[chain]);
+        }
+        let _sink = b.op(OpKind::IntAlu, &[p, chain]);
+        let g = b.finish();
+
+        let roomy = machine();
+        let s = ModuloScheduler::new(&roomy)
+            .schedule(
+                &g,
+                &SchedConstraints::none(),
+                &PrefMap::new(),
+                Heuristic::MinComs,
+            )
+            .unwrap();
+        assert_valid(&g, &s, &roomy);
+        let (_, roomy_stats) = ModuloScheduler::new(&roomy)
+            .schedule_with_stats(
+                &g,
+                &SchedConstraints::none(),
+                &PrefMap::new(),
+                Heuristic::MinComs,
+            )
+            .unwrap();
+        assert!(
+            roomy_stats.max_reg_pressure >= 1,
+            "the long-lived value must register as stage-crossing pressure"
+        );
+
+        let tight = machine().with_regs_per_cluster(1);
+        let (ts, tight_stats) = ModuloScheduler::new(&tight)
+            .schedule_with_stats(
+                &g,
+                &SchedConstraints::none(),
+                &PrefMap::new(),
+                Heuristic::MinComs,
+            )
+            .unwrap();
+        assert_valid(&g, &ts, &tight);
+        assert!(
+            tight_stats.max_reg_pressure <= 1,
+            "no accepted placement may exceed the register budget: {}",
+            tight_stats.max_reg_pressure
+        );
+    }
+
+    #[test]
+    fn disabling_ejection_matches_on_easy_graphs() {
+        // Where the plain pass succeeds at the first II, the ejection
+        // scheduler must be byte-identical to the restart-only search.
+        let g = simple_graph();
+        let on = ModuloScheduler::new(&machine())
+            .schedule(
+                &g,
+                &SchedConstraints::none(),
+                &PrefMap::new(),
+                Heuristic::MinComs,
+            )
+            .unwrap();
+        let off = ModuloScheduler::new(&machine())
+            .with_ejection(false)
+            .schedule(
+                &g,
+                &SchedConstraints::none(),
+                &PrefMap::new(),
+                Heuristic::MinComs,
+            )
+            .unwrap();
+        assert_eq!(on, off);
+    }
+
+    #[test]
+    fn stats_report_the_search_effort() {
+        let g = simple_graph();
+        let (s, stats) = ModuloScheduler::new(&machine())
+            .schedule_with_stats(
+                &g,
+                &SchedConstraints::none(),
+                &PrefMap::new(),
+                Heuristic::MinComs,
+            )
+            .unwrap();
+        assert_eq!(stats.ii, s.ii);
+        assert_eq!(stats.mii, 1);
+        assert!(stats.iis_tried >= 1);
+        assert!(stats.placement_attempts >= s.ops.len() as u64);
+        assert_eq!(stats.ejections, 0);
+        assert_eq!(stats.seeded_at, None);
+    }
+
+    #[test]
+    fn seeding_skips_the_low_ii_scan() {
+        // An accurate seed must reproduce the cold result exactly, and
+        // a seed at or below the MII is ignored (the bound stays
+        // sound).
+        let mut b = DdgBuilder::new();
+        for _ in 0..9 {
+            b.load(Width::W4);
+        }
+        let g = b.finish();
+        let cold = ModuloScheduler::new(&machine())
+            .schedule(
+                &g,
+                &SchedConstraints::none(),
+                &PrefMap::new(),
+                Heuristic::MinComs,
+            )
+            .unwrap();
+        let (warm, stats) = ModuloScheduler::new(&machine())
+            .with_ii_seed(Some(cold.ii))
+            .schedule_with_stats(
+                &g,
+                &SchedConstraints::none(),
+                &PrefMap::new(),
+                Heuristic::MinComs,
+            )
+            .unwrap();
+        assert_eq!(warm, cold);
+        assert_eq!(stats.seeded_at, None, "seed − slack is clamped to the MII");
+        let (low, stats) = ModuloScheduler::new(&machine())
+            .with_ii_seed(Some(1))
+            .schedule_with_stats(
+                &g,
+                &SchedConstraints::none(),
+                &PrefMap::new(),
+                Heuristic::MinComs,
+            )
+            .unwrap();
+        assert_eq!(low, cold);
+        assert_eq!(stats.seeded_at, None);
     }
 
     #[test]

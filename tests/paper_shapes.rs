@@ -5,10 +5,163 @@
 
 use distvliw::arch::{AttractionBufferConfig, MachineConfig};
 use distvliw::coherence::{chain_stats, specialize_kernel};
+use distvliw::core::experiments::{sweep_default_suites, sweep_machine};
 use distvliw::core::{Heuristic, Pipeline, Solution};
 
 /// Benchmarks with large chains, where the solutions differ most.
 const CHAINED: [&str; 3] = ["epicdec", "pgpdec", "rasta"];
+
+/// Per-kernel initiation intervals the *seed* (restart-only) scheduler
+/// achieved on the gsmdec + recorded-trace mix across the sweep's
+/// cluster axis, recorded immediately before the ejection scheduler
+/// landed. One line per `(suite, clusters, solution, heuristic)` cell.
+const SEED_IIS: &[&str] = &[
+    "gsmdec 2 Free PrefClus 15,25",
+    "gsmdec 2 Free MinComs 15,25",
+    "gsmdec 2 MDC PrefClus 17,25",
+    "gsmdec 2 MDC MinComs 17,25",
+    "gsmdec 2 DDGT PrefClus 15,25",
+    "gsmdec 2 DDGT MinComs 15,25",
+    "gsmdec 4 Free PrefClus 11,13",
+    "gsmdec 4 Free MinComs 11,13",
+    "gsmdec 4 MDC PrefClus 8,13",
+    "gsmdec 4 MDC MinComs 8,13",
+    "gsmdec 4 DDGT PrefClus 12,13",
+    "gsmdec 4 DDGT MinComs 12,13",
+    "gsmdec 8 Free PrefClus 9,7",
+    "gsmdec 8 Free MinComs 9,7",
+    "gsmdec 8 MDC PrefClus 8,7",
+    "gsmdec 8 MDC MinComs 8,7",
+    "gsmdec 8 DDGT PrefClus 20,7",
+    "gsmdec 8 DDGT MinComs 20,7",
+    "gsmdec 16 Free PrefClus 11,4",
+    "gsmdec 16 Free MinComs 11,4",
+    "gsmdec 16 MDC PrefClus 8,4",
+    "gsmdec 16 MDC MinComs 8,4",
+    "gsmdec 16 DDGT PrefClus 36,4",
+    "gsmdec 16 DDGT MinComs 36,4",
+    "fir8 2 Free PrefClus 9,6",
+    "fir8 2 Free MinComs 9,6",
+    "fir8 2 MDC PrefClus 10,6",
+    "fir8 2 MDC MinComs 9,6",
+    "fir8 2 DDGT PrefClus 11,6",
+    "fir8 2 DDGT MinComs 11,6",
+    "fir8 4 Free PrefClus 5,3",
+    "fir8 4 Free MinComs 5,3",
+    "fir8 4 MDC PrefClus 7,3",
+    "fir8 4 MDC MinComs 6,3",
+    "fir8 4 DDGT PrefClus 6,3",
+    "fir8 4 DDGT MinComs 6,3",
+    "fir8 8 Free PrefClus 5,3",
+    "fir8 8 Free MinComs 5,2",
+    "fir8 8 MDC PrefClus 7,3",
+    "fir8 8 MDC MinComs 6,2",
+    "fir8 8 DDGT PrefClus 7,3",
+    "fir8 8 DDGT MinComs 7,2",
+    "fir8 16 Free PrefClus 5,3",
+    "fir8 16 Free MinComs 5,2",
+    "fir8 16 MDC PrefClus 7,3",
+    "fir8 16 MDC MinComs 6,2",
+    "fir8 16 DDGT PrefClus 11,3",
+    "fir8 16 DDGT MinComs 11,2",
+    "ptrchase 2 Free PrefClus 5",
+    "ptrchase 2 Free MinComs 5",
+    "ptrchase 2 MDC PrefClus 5",
+    "ptrchase 2 MDC MinComs 5",
+    "ptrchase 2 DDGT PrefClus 6",
+    "ptrchase 2 DDGT MinComs 6",
+    "ptrchase 4 Free PrefClus 3",
+    "ptrchase 4 Free MinComs 3",
+    "ptrchase 4 MDC PrefClus 3",
+    "ptrchase 4 MDC MinComs 3",
+    "ptrchase 4 DDGT PrefClus 3",
+    "ptrchase 4 DDGT MinComs 3",
+    "ptrchase 8 Free PrefClus 3",
+    "ptrchase 8 Free MinComs 3",
+    "ptrchase 8 MDC PrefClus 3",
+    "ptrchase 8 MDC MinComs 3",
+    "ptrchase 8 DDGT PrefClus 4",
+    "ptrchase 8 DDGT MinComs 4",
+    "ptrchase 16 Free PrefClus 3",
+    "ptrchase 16 Free MinComs 3",
+    "ptrchase 16 MDC PrefClus 3",
+    "ptrchase 16 MDC MinComs 3",
+    "ptrchase 16 DDGT PrefClus 8",
+    "ptrchase 16 DDGT MinComs 8",
+];
+
+#[test]
+fn ejection_scheduler_never_regresses_an_ii() {
+    // ISSUE 5 acceptance: on the gsmdec + trace mix across 2/4/8/16
+    // clusters, no (suite, solution, heuristic) cell may schedule at a
+    // higher II than the seed scheduler did, at least one MDC/DDGT cell
+    // must be *strictly* better, and ejection counts must surface in
+    // the per-kernel scheduler stats.
+    let base = MachineConfig::paper_baseline();
+    let mut seed: std::collections::BTreeMap<String, Vec<u32>> = std::collections::BTreeMap::new();
+    for line in SEED_IIS {
+        let mut parts = line.split(' ');
+        let key = format!(
+            "{} {} {} {}",
+            parts.next().unwrap(),
+            parts.next().unwrap(),
+            parts.next().unwrap(),
+            parts.next().unwrap()
+        );
+        let iis = parts
+            .next()
+            .unwrap()
+            .split(',')
+            .map(|s| s.parse().unwrap())
+            .collect();
+        seed.insert(key, iis);
+    }
+    let mut checked = 0usize;
+    let mut strictly_better = 0usize;
+    let mut constrained_better = 0usize;
+    let mut ejections = 0u64;
+    for suite in sweep_default_suites() {
+        for n_clusters in [2usize, 4, 8, 16] {
+            let machine = sweep_machine(&base, n_clusters, base.mem_buses);
+            let pipeline = Pipeline::new(machine);
+            for solution in [Solution::Free, Solution::Mdc, Solution::Ddgt] {
+                for heuristic in [Heuristic::PrefClus, Heuristic::MinComs] {
+                    let stats = pipeline.run_suite(&suite, solution, heuristic).unwrap();
+                    let key = format!("{} {n_clusters} {solution} {heuristic}", suite.name);
+                    let want = &seed[&key];
+                    assert_eq!(stats.kernels.len(), want.len(), "{key}");
+                    for (kernel, &seed_ii) in stats.kernels.iter().zip(want) {
+                        assert!(
+                            kernel.ii <= seed_ii,
+                            "{key} kernel {}: II regressed {} > seed {}",
+                            kernel.name,
+                            kernel.ii,
+                            seed_ii
+                        );
+                        checked += 1;
+                        if kernel.ii < seed_ii {
+                            strictly_better += 1;
+                            if solution != Solution::Free {
+                                constrained_better += 1;
+                            }
+                        }
+                        ejections += kernel.sched.ejections;
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(checked, 120, "every seed cell was re-scheduled");
+    assert!(
+        constrained_better > 0,
+        "at least one MDC/DDGT cell must schedule strictly lower than seed \
+         ({strictly_better} cells improved overall)"
+    );
+    assert!(
+        ejections > 0,
+        "the improvements must be visible in the surfaced ejection counts"
+    );
+}
 
 #[test]
 fn ddgt_raises_local_hit_ratio_over_mdc() {

@@ -16,7 +16,8 @@ use distvliw::core::experiments::sweep_machine;
 use distvliw::ir::{
     AddressStream, Ddg, DdgBuilder, DepKind, FuClass, LoopKernel, NodeId, OpKind, PrefMap, Width,
 };
-use distvliw::sched::{Heuristic, ModuloScheduler, Schedule};
+use distvliw::mediabench::eject_stress_kernel;
+use distvliw::sched::{Heuristic, ModuloScheduler, Mrt, Schedule};
 use distvliw::sim::{simulate_kernel, SimOptions};
 use proptest::prelude::*;
 
@@ -210,6 +211,84 @@ fn check_solution(
     Ok(())
 }
 
+/// A long MDC-pinned memory chain at `n_clusters`, scheduled with and
+/// without the ejection fallback. Returns `(eject, restart)` schedule +
+/// stats pairs.
+fn schedule_stress(
+    n_clusters: usize,
+    chain_len: usize,
+) -> (
+    LoopKernel,
+    SchedConstraints,
+    PrefMap,
+    MachineConfig,
+    (Schedule, distvliw::sched::SchedStats),
+    (Schedule, distvliw::sched::SchedStats),
+) {
+    let machine = sweep_machine(
+        &MachineConfig::paper_baseline(),
+        n_clusters,
+        MachineConfig::paper_baseline().mem_buses,
+    );
+    let (kernel, prefs) = eject_stress_kernel(n_clusters, chain_len);
+    let chains = find_chains(&kernel.ddg);
+    let constraints = SchedConstraints::for_mdc(&chains, &kernel.ddg, Some(&prefs), n_clusters);
+    let eject = ModuloScheduler::new(&machine)
+        .schedule_with_stats(&kernel.ddg, &constraints, &prefs, Heuristic::PrefClus)
+        .expect("stress kernel schedules with ejection");
+    let restart = ModuloScheduler::new(&machine)
+        .with_ejection(false)
+        .schedule_with_stats(&kernel.ddg, &constraints, &prefs, Heuristic::PrefClus)
+        .expect("stress kernel schedules without ejection");
+    (kernel, constraints, prefs, machine, eject, restart)
+}
+
+#[test]
+fn ejection_beats_restart_on_pinned_memory_chains() {
+    // The adversarial shape of the ISSUE: a chain colocated (and
+    // profile-pinned) in cluster 0 at its constrained MII, with a
+    // higher-priority intruder load occupying the one memory slot the
+    // chain needs. Restart-only must surrender the II; ejection evicts
+    // the intruder and keeps it — a *strictly* lower II at 8 and 16
+    // clusters.
+    for n_clusters in [8usize, 16] {
+        let chain_len = n_clusters; // constrained MII == chain length
+        let (kernel, _, _, machine, (es, estat), (rs, rstat)) =
+            schedule_stress(n_clusters, chain_len);
+        assert!(
+            es.ii < rs.ii,
+            "{n_clusters} clusters: ejection II {} must beat restart II {}",
+            es.ii,
+            rs.ii
+        );
+        assert_eq!(es.ii, chain_len as u32, "chain fits at its bound");
+        assert!(estat.ejections > 0, "the win must come from ejection");
+        assert_eq!(rstat.ejections, 0);
+        // Both schedules stay legal.
+        assert!(respects_deps(&kernel.ddg, &es));
+        assert!(respects_deps(&kernel.ddg, &rs));
+        respects_mrt(&machine, &kernel.ddg, &es).unwrap();
+        respects_mrt(&machine, &kernel.ddg, &rs).unwrap();
+    }
+}
+
+#[test]
+fn ii_seed_reproduces_the_cold_search_with_less_work() {
+    // Seeding with the achieved II must reproduce the exact same
+    // schedule while skipping the re-failing II range below it.
+    let (kernel, constraints, prefs, machine, (cold, cold_stat), _) = schedule_stress(8, 8);
+    let (warm, warm_stat) = ModuloScheduler::new(&machine)
+        .with_ii_seed(Some(cold.ii))
+        .schedule_with_stats(&kernel.ddg, &constraints, &prefs, Heuristic::PrefClus)
+        .expect("seeded search schedules");
+    assert_eq!(warm, cold, "a warm seed must not change the schedule");
+    assert_eq!(
+        warm_stat.seeded_at,
+        Some(cold.ii.saturating_sub(2)).filter(|&s| s > warm_stat.mii)
+    );
+    assert!(warm_stat.placement_attempts <= cold_stat.placement_attempts);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -244,6 +323,89 @@ proptest! {
         }
         let constraints = SchedConstraints::for_ddgt(&report);
         check_solution(&machine, &k, &k.ddg, &constraints, Heuristic::MinComs)?;
+    }
+
+    #[test]
+    fn ejection_never_returns_a_higher_ii(case in arb_case()) {
+        // For every random kernel, at every swept scale, under MDC
+        // colocation (the constraint family that used to trigger the
+        // degenerate II blowup): the ejection scheduler must never do
+        // worse than the restart-only search, and its schedules must
+        // stay legal.
+        let (kernel, n_clusters) = case;
+        let machine = sweep_machine(
+            &MachineConfig::paper_baseline(),
+            n_clusters,
+            MachineConfig::paper_baseline().mem_buses,
+        );
+        let chains = find_chains(&kernel.ddg);
+        let constraints = SchedConstraints::for_mdc(&chains, &kernel.ddg, None, n_clusters);
+        for heuristic in [Heuristic::PrefClus, Heuristic::MinComs] {
+            let eject = ModuloScheduler::new(&machine)
+                .schedule(&kernel.ddg, &constraints, &PrefMap::new(), heuristic)
+                .expect("ejection scheduler places random kernels");
+            let restart = ModuloScheduler::new(&machine)
+                .with_ejection(false)
+                .schedule(&kernel.ddg, &constraints, &PrefMap::new(), heuristic)
+                .expect("restart-only scheduler places random kernels");
+            prop_assert!(
+                eject.ii <= restart.ii,
+                "{n_clusters} clusters/{heuristic}: ejection II {} vs restart II {}",
+                eject.ii,
+                restart.ii
+            );
+            prop_assert!(respects_deps(&kernel.ddg, &eject));
+            if let Err(e) = respects_mrt(&machine, &kernel.ddg, &eject) {
+                return Err(TestCaseError::fail(format!(
+                    "{n_clusters}-cluster ejection MRT violation: {e}"
+                )));
+            }
+        }
+    }
+
+    #[test]
+    fn mrt_rollback_is_byte_identical_after_rejected_ejection_chains(
+        ops in proptest::collection::vec((0usize..4, 0u32..8, 0usize..3), 1..40),
+        ii in 1u32..9,
+    ) {
+        // Drive the reservation table through a random committed state,
+        // then a random ejection chain (targeted releases interleaved
+        // with fresh reservations), then reject it: the table must come
+        // back *byte-identical* to the checkpoint snapshot.
+        let machine = MachineConfig::paper_baseline();
+        let mut mrt = Mrt::new(&machine, ii);
+        let classes = [FuClass::Integer, FuClass::Fp, FuClass::Memory];
+        let mut committed: Vec<(usize, FuClass, u32)> = Vec::new();
+        let (seed, chain) = ops.split_at(ops.len() / 2);
+        for &(cluster, cycle, class) in seed {
+            let class = classes[class];
+            if mrt.fu_free(cluster, class, cycle) {
+                mrt.reserve_fu(cluster, class, cycle);
+                committed.push((cluster, class, cycle));
+            } else if mrt.bus_free(cycle) {
+                mrt.reserve_bus(cycle);
+            }
+        }
+        let before = mrt.cells();
+        let mark = mrt.checkpoint();
+        for (i, &(cluster, cycle, class)) in chain.iter().enumerate() {
+            // Alternate targeted releases of committed cells with new
+            // reservations, like a real ejection chain does.
+            if i % 2 == 0 && !committed.is_empty() {
+                let (c, cl, cy) = committed[i % committed.len()];
+                mrt.release_fu(c, cl, cy);
+                committed.retain(|&e| e != (c, cl, cy));
+            } else {
+                let class = classes[class];
+                if mrt.fu_free(cluster, class, cycle) {
+                    mrt.reserve_fu(cluster, class, cycle);
+                } else if mrt.bus_free(cycle) {
+                    mrt.reserve_bus(cycle);
+                }
+            }
+        }
+        mrt.rollback(mark);
+        prop_assert_eq!(mrt.cells(), before, "rejected chain must restore the table exactly");
     }
 
     #[test]
