@@ -341,6 +341,42 @@ impl MachineConfig {
         out
     }
 
+    /// A canonical byte encoding of only the fields the modulo scheduler
+    /// reads: cluster count, functional-unit mix, register buses,
+    /// registers per cluster, the interleaving factor (which fixes the
+    /// home cluster of every address, and with it the profile
+    /// preferences), and the three latencies behind
+    /// [`MachineConfig::latency_of`] (cache, memory-bus and next-level).
+    ///
+    /// Two configurations with equal projections produce byte-identical
+    /// schedules — and identical search telemetry — for any kernel,
+    /// because the scheduler never reads the remaining fields (memory-bus
+    /// *count*, cache geometry, next-level ports, Attraction Buffers are
+    /// simulation-only). The sweep runner keys its schedule artifacts on
+    /// this projection so grid cells that differ only in sim-only axes
+    /// share one compile.
+    #[must_use]
+    pub fn sched_canonical_bytes(&self) -> Vec<u8> {
+        /// Projection encoding version; bump when the scheduler starts
+        /// reading a new field.
+        const VERSION: u8 = 1;
+        let mut out = Vec::with_capacity(96);
+        out.push(VERSION);
+        let mut u64le = |v: u64| out.extend_from_slice(&v.to_le_bytes());
+        u64le(self.n_clusters as u64);
+        u64le(self.fu.integer as u64);
+        u64le(self.fu.fp as u64);
+        u64le(self.fu.memory as u64);
+        u64le(self.reg_buses.count as u64);
+        u64le(u64::from(self.reg_buses.latency));
+        u64le(self.regs_per_cluster as u64);
+        u64le(self.interleave_bytes);
+        u64le(u64::from(self.cache.latency));
+        u64le(u64::from(self.mem_buses.latency));
+        u64le(u64::from(self.next_level.latency));
+        out
+    }
+
     /// Bytes of each cache block held by one cluster ("subblock", paper
     /// Section 2.1).
     #[must_use]
@@ -571,6 +607,73 @@ mod tests {
         for v in &variants {
             let bytes = v.canonical_bytes();
             assert_ne!(bytes, base_bytes, "{v:?} aliases the baseline");
+            assert!(!seen.contains(&bytes), "{v:?} aliases another variant");
+            seen.push(bytes);
+        }
+    }
+
+    #[test]
+    fn sched_projection_ignores_sim_only_fields() {
+        let base = MachineConfig::paper_baseline();
+        let proj = base.sched_canonical_bytes();
+        assert_eq!(proj, base.sched_canonical_bytes(), "stable");
+
+        // Simulation-only perturbations keep the projection: the
+        // scheduler never reads these, so their schedules are shared.
+        let mut sim_only: Vec<MachineConfig> = Vec::new();
+        let mut m = base.clone();
+        m.mem_buses.count = 2;
+        sim_only.push(m);
+        let mut m = base.clone();
+        m.cache.total_bytes = 16 * 1024;
+        sim_only.push(m);
+        let mut m = base.clone();
+        m.cache.block_bytes = 64;
+        sim_only.push(m);
+        let mut m = base.clone();
+        m.cache.assoc = 4;
+        sim_only.push(m);
+        let mut m = base.clone();
+        m.next_level.ports = 2;
+        sim_only.push(m);
+        sim_only.push(
+            base.clone()
+                .with_attraction_buffers(AttractionBufferConfig::paper()),
+        );
+        for v in &sim_only {
+            assert_eq!(v.sched_canonical_bytes(), proj, "{v:?} must share");
+            assert_ne!(v.canonical_bytes(), base.canonical_bytes());
+        }
+
+        // Scheduler-visible perturbations must each change it.
+        let mut sched_visible: Vec<MachineConfig> = Vec::new();
+        let mut m = base.clone();
+        m.n_clusters = 8;
+        sched_visible.push(m);
+        let mut m = base.clone();
+        m.fu.memory = 2;
+        sched_visible.push(m);
+        let mut m = base.clone();
+        m.reg_buses.count = 2;
+        sched_visible.push(m);
+        let mut m = base.clone();
+        m.reg_buses.latency = 4;
+        sched_visible.push(m);
+        let mut m = base.clone();
+        m.mem_buses.latency = 4;
+        sched_visible.push(m);
+        let mut m = base.clone();
+        m.cache.latency = 2;
+        sched_visible.push(m);
+        let mut m = base.clone();
+        m.next_level.latency = 20;
+        sched_visible.push(m);
+        sched_visible.push(base.clone().with_interleave(2));
+        sched_visible.push(base.clone().with_regs_per_cluster(128));
+        let mut seen = vec![proj.clone()];
+        for v in &sched_visible {
+            let bytes = v.sched_canonical_bytes();
+            assert_ne!(bytes, proj, "{v:?} must differ");
             assert!(!seen.contains(&bytes), "{v:?} aliases another variant");
             seen.push(bytes);
         }

@@ -19,7 +19,9 @@ use std::time::Instant;
 use criterion::{results_json, BenchResult};
 use distvliw_arch::MachineConfig;
 use distvliw_coherence::{find_chains, transform, SchedConstraints};
-use distvliw_core::experiments::sweep_machine;
+use distvliw_core::experiments::{
+    sweep, sweep_default_suites, sweep_machine, sweep_naive, SweepSpec,
+};
 use distvliw_core::{Heuristic, Pipeline, Solution};
 use distvliw_ir::profile::preferred_clusters;
 use distvliw_mediabench::eject_stress_kernel;
@@ -202,6 +204,27 @@ fn main() {
                 std::hint::black_box(stats);
             },
         ));
+    }
+
+    // Sweep grid: the default cluster×bus grid through the naive
+    // per-cell path (every cell compiles and simulates from cold) and
+    // the factored schedule-once/sim-many path. Both legs run
+    // back-to-back in the same process, so perfcheck's same-run
+    // `naive/factored` speedup gate is immune to machine drift between
+    // bench runs; each id is also regression-gated against the baseline
+    // like any other timing.
+    {
+        let base = MachineConfig::paper_baseline();
+        let suites = sweep_default_suites();
+        let spec = SweepSpec::default();
+        results.push(time_median("sweep/default/naive", 5, || {
+            let rows = sweep_naive(&base, &suites, &spec).unwrap();
+            std::hint::black_box(rows);
+        }));
+        results.push(time_median("sweep/default/factored", 5, || {
+            let run = sweep(&base, &suites, &spec).unwrap();
+            std::hint::black_box(run);
+        }));
     }
 
     std::fs::write(&out, results_json(&results)).expect("write bench json");

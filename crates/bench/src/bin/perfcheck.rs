@@ -21,6 +21,22 @@
 //! is visible in CI logs, but they never fail the gate — an ejection
 //! count moving means the scheduler worked differently, which the
 //! golden schedule snapshots already adjudicate.
+//!
+//! Besides the cross-run ratio, perfcheck enforces one *same-run*
+//! invariant: for every `<prefix>/factored` id whose sibling
+//! `<prefix>/naive` appears in the CURRENT file, the naive/factored
+//! median speedup must reach [`MIN_PAIR_SPEEDUP`]. Both legs come from
+//! one bench process seconds apart, so the gate is immune to the
+//! machine drift that makes absolute medians on shared runners swing by
+//! 1.5× between runs. The threshold is set from measurement, not
+//! aspiration: the factored sweep's structural work reduction on the
+//! default grid is 72 compiled schedule units instead of 180 and 108
+//! simulated units instead of 180 (hybrid rows are derived, the
+//! bus-count axis reuses schedules), which measures 2.0–2.1× serial on
+//! a single core; 1.5 leaves drift margin below that. On multi-core
+//! hosts `core::par` fans the independent cells out and the end-to-end
+//! speedup grows with the worker count — the gate intentionally
+//! encodes only the serial, structural floor.
 
 use std::process::ExitCode;
 
@@ -29,6 +45,10 @@ use criterion::{results_from_json, BenchResult};
 /// Default failure threshold: current/baseline median ratio above this
 /// fails the gate.
 const DEFAULT_MAX_RATIO: f64 = 1.3;
+
+/// Minimum same-run `<prefix>/naive` over `<prefix>/factored` median
+/// speedup (see the module docs for how this floor was measured).
+const MIN_PAIR_SPEEDUP: f64 = 1.5;
 
 fn load(path: &str) -> Result<Vec<BenchResult>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -102,14 +122,45 @@ fn main() -> ExitCode {
         }
     }
 
+    // Same-run speedup pairs: `<prefix>/factored` must beat its
+    // `<prefix>/naive` sibling from the same bench process by
+    // MIN_PAIR_SPEEDUP. Both medians come out of the CURRENT file only,
+    // so this gate cannot be masked (or spuriously tripped) by machine
+    // drift against an old baseline.
+    for fac in &current {
+        let Some(prefix) = fac.id.strip_suffix("/factored") else {
+            continue;
+        };
+        let naive_id = format!("{prefix}/naive");
+        let Some(naive) = current.iter().find(|c| c.id == naive_id) else {
+            continue;
+        };
+        compared += 1;
+        let speedup = naive.median_ns / fac.median_ns;
+        let verdict = if speedup < MIN_PAIR_SPEEDUP {
+            failed = true;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "{prefix:<32} same-run speedup {speedup:>5.2}x (naive {:.3} ms / factored {:.3} ms, floor {MIN_PAIR_SPEEDUP}x)  {verdict}",
+            naive.median_ns / 1e6,
+            fac.median_ns / 1e6,
+        );
+    }
+
     if compared == 0 {
         eprintln!("no benchmark ids in common between {current_path} and {baseline_path}");
         return ExitCode::FAILURE;
     }
     if failed {
-        eprintln!("perf regression: some medians exceed {max_ratio}x of baseline");
+        eprintln!(
+            "perf regression: some medians exceed {max_ratio}x of baseline \
+             or a same-run pair fell below {MIN_PAIR_SPEEDUP}x"
+        );
         return ExitCode::FAILURE;
     }
-    println!("perf check passed ({compared} benchmarks within {max_ratio}x)");
+    println!("perf check passed ({compared} checks within thresholds)");
     ExitCode::SUCCESS
 }

@@ -201,13 +201,17 @@ fn imbalance_report(machine: &MachineConfig) -> Result<String, distvliw_core::Pi
 
 /// The cluster-count × memory-bus sensitivity sweep over the default
 /// workload mix (one synthetic benchmark plus the bundled recorded
-/// traces), all four solutions per grid point.
+/// traces), all four solutions per grid point. Runs the factored
+/// schedule-once/sim-many path and appends its reuse counters, so a
+/// sched-axis fallback to recompilation is visible in the report.
 fn sweep_report(machine: &MachineConfig) -> Result<String, distvliw_core::PipelineError> {
-    let rows = sweep(machine, &sweep_default_suites(), &SweepSpec::default())?;
-    Ok(render::render_sweep(
-        &rows,
+    let run = sweep(machine, &sweep_default_suites(), &SweepSpec::default())?;
+    let mut out = render::render_sweep(
+        &run.rows,
         "Sensitivity sweep: cluster count × memory buses (PrefClus; gsmdec + recorded traces)",
-    ))
+    );
+    out.push_str(&render::render_sweep_reuse(&run.reuse));
+    Ok(out)
 }
 
 #[cfg(test)]

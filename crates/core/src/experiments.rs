@@ -2,6 +2,8 @@
 //! evaluation (Sections 4–6). Each driver returns typed rows; the
 //! [`crate::report`] module renders them as text tables.
 
+use std::collections::{HashMap, HashSet};
+
 use distvliw_arch::{AccessClass, AttractionBufferConfig, BusConfig, MachineConfig};
 use distvliw_coherence::{chain_stats, specialize_kernel, ChainStats};
 use distvliw_ir::Suite;
@@ -9,7 +11,8 @@ use distvliw_mediabench::{figure_suites, suite, trace_suites};
 use distvliw_sched::Heuristic;
 use distvliw_sim::ClusterUsage;
 
-use crate::pipeline::{Pipeline, PipelineError, Solution, SuiteStats};
+use crate::par;
+use crate::pipeline::{Pipeline, PipelineError, Solution, SuiteArtifact, SuiteStats};
 
 /// Fraction of memory accesses per class (Figure 6 bar segments).
 #[derive(Debug, Clone, Copy, Default)]
@@ -621,25 +624,251 @@ pub fn sweep_row(
         row.violations += stats.total.coherence_violations;
         row.accesses += stats.total.accesses.total();
         row.cluster += &stats.cluster;
-        row.sched.placement_attempts += stats.sched.placement_attempts;
-        row.sched.ejections += stats.sched.ejections;
-        row.sched.iis_tried += stats.sched.iis_tried;
-        row.sched.seeded_kernels += stats.sched.seeded_kernels;
-        row.sched.max_reg_pressure = row.sched.max_reg_pressure.max(stats.sched.max_reg_pressure);
+        row.sched += &stats.sched;
     }
     row
 }
 
-/// Runs the sensitivity sweep: for every cluster count × bus point of
-/// `spec` and every solution of [`SWEEP_SOLUTIONS`], compiles and
-/// simulates all `suites` on [`sweep_machine`] and aggregates one
-/// [`SweepRow`]. Rows come back in `(cluster count, bus point,
-/// solution)` nesting order.
+/// Reuse telemetry of one factored [`sweep`] run: how many suite
+/// schedules were actually compiled, how many grid cells replayed an
+/// artifact compiled for an earlier bus point, and how many compiles
+/// were *fallbacks* — a sim axis that turned out to be scheduler-visible
+/// (bus latency feeds the scheduler's remote-access latencies), so the
+/// runner had to recompile instead of reusing. The sweep report surfaces
+/// these so dropped reuse is never silent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepReuse {
+    /// Suite-level schedule artifacts compiled (one per distinct
+    /// scheduler projection × solution × suite).
+    pub schedules_compiled: u64,
+    /// Concrete grid cells served by an artifact compiled for an
+    /// earlier grid point (bus count is sim-only, so these cells paid
+    /// for simulation only).
+    pub schedules_reused: u64,
+    /// Compiles forced because a `(cluster count, solution, suite)`
+    /// combination met a *second* scheduler projection — the sched-axis
+    /// fallback counter (bus latency changes the projection; bus count
+    /// never does).
+    pub sched_axis_recompiles: u64,
+}
+
+/// The result of a factored [`sweep`]: the grid rows in `(cluster
+/// count, bus point, solution)` nesting order plus the reuse telemetry.
+#[derive(Debug, Clone)]
+pub struct SweepRun {
+    /// Grid rows, ordered exactly like the naive [`sweep_naive`] rows.
+    pub rows: Vec<SweepRow>,
+    /// Schedule-artifact reuse counters.
+    pub reuse: SweepReuse,
+}
+
+/// The concrete (compiled) solutions of every sweep cell; the trailing
+/// [`Solution::Hybrid`] row of [`SWEEP_SOLUTIONS`] is derived from the
+/// MDC and DDGT runs per loop ([`crate::derive_hybrid`]).
+const SWEEP_CONCRETE: [Solution; 3] = [Solution::Free, Solution::Mdc, Solution::Ddgt];
+
+/// Wraps a cell failure with its grid coordinates.
+fn cell_error(
+    n_clusters: usize,
+    mem_buses: BusConfig,
+    solution: Solution,
+    suite: &str,
+    source: PipelineError,
+) -> PipelineError {
+    PipelineError::Cell {
+        n_clusters,
+        mem_buses,
+        solution,
+        suite: suite.to_string(),
+        source: Box::new(source),
+    }
+}
+
+/// Runs the sensitivity sweep, factored into a schedule-once/sim-many
+/// pipeline: for every cluster count × bus point of `spec` and every
+/// solution of [`SWEEP_SOLUTIONS`], the grid cell's suite statistics
+/// come from a schedule artifact ([`Pipeline::compile_suite`]) keyed by
+/// the machine's scheduler projection
+/// ([`distvliw_arch::MachineConfig::sched_canonical_bytes`]), the
+/// solution and the suite — so cells that differ only in sim-only axes
+/// (memory-bus *count*) replay one schedule under
+/// [`Pipeline::simulate_artifact`] instead of recompiling, and the
+/// hybrid rows are derived per loop from the MDC and DDGT cells
+/// ([`crate::derive_hybrid`]) without any extra compile or simulation.
+/// Compiles and simulations fan out over [`crate::par`], compiles
+/// coarsest-first (the largest cluster counts are the most expensive
+/// searches, so they start first); results merge deterministically back
+/// into `(cluster count, bus point, solution)` row order.
+///
+/// Every cell schedules from a cold pipeline (fresh II-seed store, as
+/// [`Pipeline::run_matrix`] does), so the surfaced search-effort
+/// counters are reproducible and byte-identical to the per-cell
+/// reference [`sweep_naive`] — the equivalence the
+/// `tests/sweep_equivalence.rs` suite pins.
 ///
 /// # Errors
 ///
-/// Propagates the first pipeline failure.
+/// Reports the first failing cell in row order, wrapped with its
+/// `(clusters, bus, solution, suite)` coordinates
+/// ([`PipelineError::Cell`]).
 pub fn sweep(
+    base: &MachineConfig,
+    suites: &[Suite],
+    spec: &SweepSpec,
+) -> Result<SweepRun, PipelineError> {
+    struct Unit {
+        machine: MachineConfig,
+        solution: Solution,
+        suite_idx: usize,
+    }
+
+    let points: Vec<(usize, BusConfig, MachineConfig)> = spec
+        .cluster_counts
+        .iter()
+        .flat_map(|&n| {
+            spec.mem_buses
+                .iter()
+                .map(move |&bus| (n, bus, sweep_machine(base, n, bus)))
+        })
+        .collect();
+
+    // Deduplicate compile work: one unit per (scheduler projection,
+    // solution, suite). Bus count never reaches the scheduler, so a
+    // later bus point usually maps onto an existing unit; bus *latency*
+    // is scheduler-visible, so its cells recompile — counted as the
+    // sched-axis fallback rather than silently absorbed.
+    let mut units: Vec<Unit> = Vec::new();
+    let mut unit_of: HashMap<(Vec<u8>, usize), usize> = HashMap::new();
+    let mut seen_triples: HashSet<(usize, usize, usize)> = HashSet::new();
+    let mut reuse = SweepReuse::default();
+    // Cell → unit, in (point, solution, suite) enumeration order.
+    let mut cell_units: Vec<usize> = Vec::new();
+    for (n_clusters, _, machine) in &points {
+        for (sol_idx, &solution) in SWEEP_CONCRETE.iter().enumerate() {
+            for (suite_idx, suite) in suites.iter().enumerate() {
+                let proj = machine
+                    .clone()
+                    .with_interleave(suite.interleave_bytes)
+                    .sched_canonical_bytes();
+                let key = (proj, sol_idx * suites.len() + suite_idx);
+                let unit_idx = match unit_of.get(&key) {
+                    Some(&idx) => {
+                        reuse.schedules_reused += 1;
+                        idx
+                    }
+                    None => {
+                        let triple = (*n_clusters, sol_idx, suite_idx);
+                        if !seen_triples.insert(triple) {
+                            reuse.sched_axis_recompiles += 1;
+                        }
+                        reuse.schedules_compiled += 1;
+                        let idx = units.len();
+                        units.push(Unit {
+                            machine: machine.clone(),
+                            solution,
+                            suite_idx,
+                        });
+                        unit_of.insert(key, idx);
+                        idx
+                    }
+                };
+                cell_units.push(unit_idx);
+            }
+        }
+    }
+
+    // Compile phase: cold pipelines, coarsest-first for load balance
+    // (schedule search cost grows with cluster count), results mapped
+    // back to unit order.
+    let mut order: Vec<usize> = (0..units.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(units[i].machine.n_clusters));
+    let compiled = par::par_map(&order, |&i| {
+        let unit = &units[i];
+        let pipeline = Pipeline::new(unit.machine.clone());
+        (
+            i,
+            pipeline.compile_suite(&suites[unit.suite_idx], unit.solution, spec.heuristic),
+        )
+    });
+    let mut artifacts: Vec<Option<Result<SuiteArtifact, PipelineError>>> =
+        (0..units.len()).map(|_| None).collect();
+    for (i, result) in compiled {
+        artifacts[i] = Some(result);
+    }
+    // Surface the first failing cell in row order, with coordinates.
+    for (cell_idx, &unit_idx) in cell_units.iter().enumerate() {
+        let suite_idx = cell_idx % suites.len();
+        let sol_idx = (cell_idx / suites.len()) % SWEEP_CONCRETE.len();
+        let point_idx = cell_idx / (suites.len() * SWEEP_CONCRETE.len());
+        if let Some(Err(e)) = artifacts[unit_idx].as_ref() {
+            let (n_clusters, mem_buses, _) = points[point_idx];
+            return Err(cell_error(
+                n_clusters,
+                mem_buses,
+                SWEEP_CONCRETE[sol_idx],
+                &suites[suite_idx].name,
+                e.clone(),
+            ));
+        }
+    }
+    let artifacts: Vec<SuiteArtifact> = artifacts
+        .into_iter()
+        .map(|a| {
+            a.expect("every unit compiled")
+                .expect("errors surfaced above")
+        })
+        .collect();
+
+    // Sim phase: every concrete cell replays its artifact on the grid
+    // point's machine. Simulation cannot fail, so the fan-out is a plain
+    // deterministic map.
+    let pipelines: Vec<Pipeline> = points
+        .iter()
+        .map(|(_, _, machine)| Pipeline::new(machine.clone()))
+        .collect();
+    let cells: Vec<(usize, usize)> = cell_units
+        .iter()
+        .enumerate()
+        .map(|(cell_idx, &unit_idx)| (cell_idx / (suites.len() * SWEEP_CONCRETE.len()), unit_idx))
+        .collect();
+    let sims: Vec<SuiteStats> = par::par_map(&cells, |&(point_idx, unit_idx)| {
+        pipelines[point_idx].simulate_artifact(&artifacts[unit_idx])
+    });
+
+    // Merge back into (cluster count, bus point, solution) row order,
+    // deriving the hybrid rows from the MDC and DDGT cells.
+    let per_point = SWEEP_CONCRETE.len() * suites.len();
+    let mut rows = Vec::with_capacity(points.len() * SWEEP_SOLUTIONS.len());
+    for (point_idx, (n_clusters, mem_buses, _)) in points.iter().enumerate() {
+        let point_sims = &sims[point_idx * per_point..(point_idx + 1) * per_point];
+        let of = |sol_idx: usize| &point_sims[sol_idx * suites.len()..(sol_idx + 1) * suites.len()];
+        for (sol_idx, &solution) in SWEEP_CONCRETE.iter().enumerate() {
+            let refs: Vec<&SuiteStats> = of(sol_idx).iter().collect();
+            rows.push(sweep_row(*n_clusters, *mem_buses, solution, &refs));
+        }
+        let hybrid: Vec<SuiteStats> = of(1)
+            .iter()
+            .zip(of(2))
+            .map(|(mdc, ddgt)| crate::derive_hybrid(mdc, ddgt))
+            .collect();
+        let refs: Vec<&SuiteStats> = hybrid.iter().collect();
+        rows.push(sweep_row(*n_clusters, *mem_buses, Solution::Hybrid, &refs));
+    }
+    Ok(SweepRun { rows, reuse })
+}
+
+/// The naive per-cell reference sweep: every `(cluster count, bus
+/// point, solution, suite)` cell runs the full
+/// [`Pipeline::run_suite`] compile+simulate path from a cold pipeline —
+/// no artifact reuse, no derived hybrid. This is the semantic
+/// definition the factored [`sweep`] is tested byte-identical against,
+/// and the baseline leg of the `sweep/*` bench ids.
+///
+/// # Errors
+///
+/// Reports the first failing cell in row order, wrapped with its
+/// coordinates ([`PipelineError::Cell`]).
+pub fn sweep_naive(
     base: &MachineConfig,
     suites: &[Suite],
     spec: &SweepSpec,
@@ -648,11 +877,20 @@ pub fn sweep(
     for &n_clusters in &spec.cluster_counts {
         for &mem_buses in &spec.mem_buses {
             let machine = sweep_machine(base, n_clusters, mem_buses);
-            let pipeline = Pipeline::new(machine);
             for solution in SWEEP_SOLUTIONS {
                 let mut per_suite = Vec::with_capacity(suites.len());
                 for suite in suites {
-                    per_suite.push(pipeline.run_suite(suite, solution, spec.heuristic)?);
+                    // A cold pipeline per cell keeps the search-effort
+                    // telemetry reproducible (the `run_matrix`
+                    // rationale): no cell's II seeds warm another's.
+                    let pipeline = Pipeline::new(machine.clone());
+                    per_suite.push(
+                        pipeline
+                            .run_suite(suite, solution, spec.heuristic)
+                            .map_err(|e| {
+                                cell_error(n_clusters, mem_buses, solution, &suite.name, e)
+                            })?,
+                    );
                 }
                 let refs: Vec<&SuiteStats> = per_suite.iter().collect();
                 rows.push(sweep_row(n_clusters, mem_buses, solution, &refs));
@@ -733,7 +971,12 @@ mod tests {
             heuristic: Heuristic::PrefClus,
         };
         let suites = trace_suites();
-        let rows = sweep(&MachineConfig::paper_baseline(), &suites, &spec).unwrap();
+        let run = sweep(&MachineConfig::paper_baseline(), &suites, &spec).unwrap();
+        // One bus point: every concrete cell compiles, nothing reuses.
+        assert_eq!(run.reuse.schedules_compiled, (2 * 3 * suites.len()) as u64);
+        assert_eq!(run.reuse.schedules_reused, 0);
+        assert_eq!(run.reuse.sched_axis_recompiles, 0);
+        let rows = run.rows;
         assert_eq!(rows.len(), 2 * SWEEP_SOLUTIONS.len());
         for row in &rows {
             assert!(row.total_cycles > 0);

@@ -32,6 +32,6 @@ pub mod report;
 pub use distvliw_sched::{Heuristic, SchedStats};
 pub use distvliw_sim::ClusterUsage;
 pub use pipeline::{
-    KernelRun, MatrixCell, Pipeline, PipelineError, PipelineOptions, SchedTotals, Solution,
-    SuiteStats,
+    derive_hybrid, KernelArtifact, KernelRun, MatrixCell, Pipeline, PipelineError, PipelineOptions,
+    SchedTotals, Solution, SuiteArtifact, SuiteStats,
 };

@@ -78,6 +78,22 @@ pub enum PipelineError {
         /// Description of the defect.
         error: String,
     },
+    /// A sweep cell failed: the underlying error wrapped with the grid
+    /// coordinates of the first cell (in row order) it surfaced in, so a
+    /// failure deep in a 10k-cell grid names its cell instead of only
+    /// its kernel.
+    Cell {
+        /// Cluster count of the failing grid point.
+        n_clusters: usize,
+        /// Memory-bus configuration of the failing grid point.
+        mem_buses: distvliw_arch::BusConfig,
+        /// Coherence solution of the failing cell.
+        solution: Solution,
+        /// Suite the failing kernel belongs to.
+        suite: String,
+        /// The underlying pipeline failure.
+        source: Box<PipelineError>,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -89,11 +105,31 @@ impl fmt::Display for PipelineError {
             PipelineError::Kernel { kernel, error } => {
                 write!(f, "invalid kernel `{kernel}`: {error}")
             }
+            PipelineError::Cell {
+                n_clusters,
+                mem_buses,
+                solution,
+                suite,
+                source,
+            } => {
+                write!(
+                    f,
+                    "sweep cell ({n_clusters} clusters, {}@{} buses, {solution}, {suite}): {source}",
+                    mem_buses.count, mem_buses.latency
+                )
+            }
         }
     }
 }
 
-impl std::error::Error for PipelineError {}
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Cell { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, Copy)]
@@ -170,6 +206,20 @@ impl SchedTotals {
     }
 }
 
+/// Folds another aggregate in: counters add, the register-pressure peak
+/// takes the maximum — the same fold the private per-kernel `absorb`
+/// applies, so a new counter field added here cannot be silently
+/// dropped from one of the two sums.
+impl std::ops::AddAssign<&SchedTotals> for SchedTotals {
+    fn add_assign(&mut self, other: &SchedTotals) {
+        self.placement_attempts += other.placement_attempts;
+        self.ejections += other.ejections;
+        self.iis_tried += other.iis_tried;
+        self.seeded_kernels += other.seeded_kernels;
+        self.max_reg_pressure = self.max_reg_pressure.max(other.max_reg_pressure);
+    }
+}
+
 /// One `(suite, solution, heuristic)` cell of an experiment grid run by
 /// [`Pipeline::run_matrix`].
 #[derive(Debug, Clone)]
@@ -221,6 +271,41 @@ impl std::ops::Deref for SuiteStats {
     fn deref(&self) -> &SimStats {
         &self.total
     }
+}
+
+/// One kernel's compile-phase output: the (specialized, transformed)
+/// kernel the simulator must execute together with its schedule and the
+/// search telemetry that produced it. Everything here is a pure function
+/// of the kernel, the coherence solution, the heuristic and the
+/// machine's *scheduler projection*
+/// ([`MachineConfig::sched_canonical_bytes`]), so one artifact replays
+/// under every memory-system variant that shares the projection.
+#[derive(Debug, Clone)]
+pub struct KernelArtifact {
+    /// The kernel as scheduled: specialization applied when the pipeline
+    /// options ask for it, and the DDGT graph transformation applied for
+    /// [`Solution::Ddgt`] (store replicas and synchronization edges are
+    /// part of the graph the schedule refers to).
+    pub kernel: LoopKernel,
+    /// The modulo schedule.
+    pub schedule: Schedule,
+    /// Scheduler search telemetry of the (cold) compile.
+    pub sched: SchedStats,
+}
+
+/// The compile phase of a whole suite: one [`KernelArtifact`] per kernel,
+/// in suite order, plus the interleave the suite was compiled under.
+/// Produced by [`Pipeline::compile_suite`], replayed by
+/// [`Pipeline::simulate_artifact`].
+#[derive(Debug, Clone)]
+pub struct SuiteArtifact {
+    /// Suite name.
+    pub name: String,
+    /// The suite's interleaving factor the compile machine used (paper
+    /// Table 1); the sim machine applies the same one.
+    pub interleave_bytes: u64,
+    /// Per-kernel artifacts, in suite order.
+    pub kernels: Vec<KernelArtifact>,
 }
 
 /// Profile-guided II seeds: achieved IIs recorded per full scheduling
@@ -497,6 +582,22 @@ impl Pipeline {
             });
         }
 
+        let artifact = self.compile_kernel_on(machine, kernel, solution, heuristic)?;
+        Ok(self.simulate_kernel_artifact(machine, &artifact))
+    }
+
+    /// The compile phase for one kernel: validation, optional
+    /// specialization, the profile and coherence passes, and the modulo
+    /// schedule. `solution` must be concrete ([`Solution::Hybrid`] is a
+    /// selection over MDC and DDGT runs, not a compilation).
+    fn compile_kernel_on(
+        &self,
+        machine: &MachineConfig,
+        kernel: &LoopKernel,
+        solution: Solution,
+        heuristic: Heuristic,
+    ) -> Result<KernelArtifact, PipelineError> {
+        debug_assert!(solution != Solution::Hybrid, "hybrid is not compiled");
         kernel.validate().map_err(|e| PipelineError::Kernel {
             kernel: kernel.name.clone(),
             error: e.to_string(),
@@ -526,7 +627,7 @@ impl Pipeline {
                 let report = transform(&mut kernel.ddg, machine.n_clusters);
                 SchedConstraints::for_ddgt(&report)
             }
-            Solution::Hybrid => unreachable!("handled above"),
+            Solution::Hybrid => unreachable!("hybrid is not compiled"),
         };
 
         // Cluster-aware modulo scheduling, seeded with the II a prior
@@ -550,19 +651,134 @@ impl Pipeline {
             })?;
         self.seeds.record(key, schedule.ii);
 
-        // Cycle-level simulation.
-        let (stats, cluster) =
-            simulate_kernel_detailed(machine, &kernel, &schedule, self.options.sim);
-        Ok(KernelRun {
-            name: kernel.name.clone(),
-            ii: schedule.ii,
-            span: schedule.span,
-            static_comm_ops: schedule.comm_ops(),
+        Ok(KernelArtifact {
+            kernel,
+            schedule,
             sched,
-            stats,
-            cluster,
         })
     }
+
+    /// The sim phase for one compiled kernel: cycle-level simulation of
+    /// the artifact's schedule on `machine`, which may differ from the
+    /// compile machine in simulation-only fields (memory-bus count,
+    /// cache geometry, Attraction Buffers — anything outside
+    /// [`MachineConfig::sched_canonical_bytes`]).
+    fn simulate_kernel_artifact(
+        &self,
+        machine: &MachineConfig,
+        artifact: &KernelArtifact,
+    ) -> KernelRun {
+        let (stats, cluster) = simulate_kernel_detailed(
+            machine,
+            &artifact.kernel,
+            &artifact.schedule,
+            self.options.sim,
+        );
+        KernelRun {
+            name: artifact.kernel.name.clone(),
+            ii: artifact.schedule.ii,
+            span: artifact.schedule.span,
+            static_comm_ops: artifact.schedule.comm_ops(),
+            sched: artifact.sched,
+            stats,
+            cluster,
+        }
+    }
+
+    /// The compile phase of [`Pipeline::run_suite`]: schedules every
+    /// kernel of `suite` under the given concrete solution and
+    /// heuristic (kernels compile concurrently, artifacts come back in
+    /// suite order) without simulating anything. The artifact replays
+    /// via [`Pipeline::simulate_artifact`] on any machine whose
+    /// scheduler projection ([`MachineConfig::sched_canonical_bytes`],
+    /// after applying the suite's interleave) equals this pipeline's —
+    /// the sweep runner uses this to compile once per projection and
+    /// simulate per bus point.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Solution::Hybrid`]: the hybrid is a per-loop
+    /// *selection* over the MDC and DDGT runs (see [`derive_hybrid`]),
+    /// not a compilation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first kernel (in suite order) that fails validation
+    /// or scheduling.
+    pub fn compile_suite(
+        &self,
+        suite: &Suite,
+        solution: Solution,
+        heuristic: Heuristic,
+    ) -> Result<SuiteArtifact, PipelineError> {
+        assert!(
+            solution != Solution::Hybrid,
+            "hybrid is derived from MDC and DDGT runs, not compiled"
+        );
+        let machine = self.machine.clone().with_interleave(suite.interleave_bytes);
+        let compiled = par::par_map(&suite.kernels, |kernel| {
+            self.compile_kernel_on(&machine, kernel, solution, heuristic)
+        });
+        let mut kernels = Vec::with_capacity(compiled.len());
+        for artifact in compiled {
+            kernels.push(artifact?);
+        }
+        Ok(SuiteArtifact {
+            name: suite.name.clone(),
+            interleave_bytes: suite.interleave_bytes,
+            kernels,
+        })
+    }
+
+    /// The sim phase of [`Pipeline::run_suite`]: replays a compiled
+    /// suite artifact on this pipeline's machine (with the artifact's
+    /// interleave applied) and merges the per-kernel results exactly
+    /// like `run_suite` — `compile_suite` + `simulate_artifact` on the
+    /// same machine is byte-identical to one `run_suite` call.
+    #[must_use]
+    pub fn simulate_artifact(&self, artifact: &SuiteArtifact) -> SuiteStats {
+        let machine = self
+            .machine
+            .clone()
+            .with_interleave(artifact.interleave_bytes);
+        let runs = par::par_map(&artifact.kernels, |kernel| {
+            Ok(self.simulate_kernel_artifact(&machine, kernel))
+        });
+        Self::merge_runs(&artifact.name, runs).expect("simulation cannot fail")
+    }
+}
+
+/// Derives the per-loop hybrid (paper Section 6) from the pure MDC and
+/// DDGT runs of the same suite: kernel by kernel, the cheaper run wins
+/// (ties go to MDC, matching `Pipeline::run_suite(Hybrid)`), and the
+/// winners fold into suite statistics exactly like a direct hybrid run.
+/// Shared by the factored sweep and the serving layer's `GET /sweep` so
+/// neither re-compiles or re-simulates anything for the hybrid rows.
+///
+/// # Panics
+///
+/// Panics if the two runs disagree on kernel count (they must come from
+/// the same suite).
+#[must_use]
+pub fn derive_hybrid(mdc: &SuiteStats, ddgt: &SuiteStats) -> SuiteStats {
+    assert_eq!(
+        mdc.kernels.len(),
+        ddgt.kernels.len(),
+        "hybrid derivation needs runs of the same suite"
+    );
+    let winners = mdc
+        .kernels
+        .iter()
+        .zip(&ddgt.kernels)
+        .map(|(m, d)| {
+            Ok(if m.stats.total_cycles() <= d.stats.total_cycles() {
+                m.clone()
+            } else {
+                d.clone()
+            })
+        })
+        .collect();
+    Pipeline::merge_runs(&mdc.name, winners).expect("winners cannot fail")
 }
 
 #[cfg(test)]

@@ -7,8 +7,8 @@ use distvliw_arch::AccessClass;
 use distvliw_sim::ClusterUsage;
 
 use crate::experiments::{
-    exec_amean, fig6_amean, CaseStudy, ExecRow, Fig6Row, NobalRow, SweepRow, Table3Row, Table4Row,
-    Table5Row, SWEEP_SOLUTIONS,
+    exec_amean, fig6_amean, CaseStudy, ExecRow, Fig6Row, NobalRow, SweepReuse, SweepRow, Table3Row,
+    Table4Row, Table5Row, SWEEP_SOLUTIONS,
 };
 
 fn pct(x: f64) -> String {
@@ -270,6 +270,21 @@ pub fn render_sweep(rows: &[SweepRow], title: &str) -> String {
         let _ = writeln!(out, " {:>10} {:>9}", first.violations, ejections);
     }
     out
+}
+
+/// Renders the factored sweep's schedule-reuse counters as a one-line
+/// footer for the sweep report: how many suite schedules were compiled,
+/// how many cells replayed an existing artifact, and how many compiles
+/// were sched-axis fallbacks (a sim axis — bus latency — that is
+/// scheduler-visible forced a recompile instead of a reuse). Surfacing
+/// the fallback count here is what keeps the factored runner honest: it
+/// can never silently degrade to per-cell recompiles.
+#[must_use]
+pub fn render_sweep_reuse(reuse: &SweepReuse) -> String {
+    format!(
+        "schedule reuse: {} compiled, {} cells reused, {} sched-axis fallback recompiles\n",
+        reuse.schedules_compiled, reuse.schedules_reused, reuse.sched_axis_recompiles
+    )
 }
 
 /// Renders a case study.

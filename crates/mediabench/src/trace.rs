@@ -493,7 +493,7 @@ fn sanitize_name(name: &str) -> String {
 impl Trace {
     /// Renders the trace in canonical form: parsing the output and
     /// rendering again is byte-identical. Names are sanitized to single
-    /// tokens ([`sanitize_name`]), so the output re-parses even when a
+    /// tokens (`sanitize_name`), so the output re-parses even when a
     /// recorded suite carried a name the format cannot hold.
     #[must_use]
     pub fn render(&self) -> String {

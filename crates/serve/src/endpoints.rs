@@ -10,7 +10,7 @@ use distvliw_arch::{AccessClass, AttractionBufferConfig, MachineConfig};
 use distvliw_core::experiments::{
     sweep_machine, sweep_row, table3, table5, SweepSpec, SWEEP_DEFAULT_SUITE_NAMES, SWEEP_SOLUTIONS,
 };
-use distvliw_core::{Heuristic, PipelineError, Solution, SuiteStats};
+use distvliw_core::{derive_hybrid, Heuristic, PipelineError, Solution, SuiteStats};
 use distvliw_ir::Suite;
 
 use crate::engine::{machine_with_overrides, CellSpec, ServeEngine};
@@ -417,8 +417,13 @@ fn nobal_json(engine: &ServeEngine) -> Result<Json, ApiError> {
 /// [`sweep_row`] fold as `distvliw_core::experiments::sweep`, so the
 /// served numbers are identical to a direct pipeline sweep — the only
 /// difference is that every `(suite, machine, solution)` cell is
-/// memoized, deduplicated and sharded like any other request.
+/// memoized, deduplicated and sharded like any other request. Like the
+/// factored sweep runner, only the three concrete solutions are
+/// computed; the Hybrid rows are derived per loop from the MDC and
+/// DDGT cells ([`derive_hybrid`]), which drops a quarter of the grid's
+/// compile+simulate work without changing a byte of the response.
 fn sweep_json(engine: &ServeEngine) -> Result<Json, ApiError> {
+    const CONCRETE: [Solution; 3] = [Solution::Free, Solution::Mdc, Solution::Ddgt];
     let spec = SweepSpec::default();
     let suites: Vec<&Suite> = SWEEP_DEFAULT_SUITE_NAMES
         .iter()
@@ -440,9 +445,9 @@ fn sweep_json(engine: &ServeEngine) -> Result<Json, ApiError> {
             ));
         }
     }
-    let mut specs = Vec::with_capacity(machines.len() * SWEEP_SOLUTIONS.len() * suites.len());
+    let mut specs = Vec::with_capacity(machines.len() * CONCRETE.len() * suites.len());
     for (_, _, machine) in &machines {
-        for solution in SWEEP_SOLUTIONS {
+        for solution in CONCRETE {
             for suite in &suites {
                 specs.push(CellSpec {
                     suite,
@@ -459,9 +464,22 @@ fn sweep_json(engine: &ServeEngine) -> Result<Json, ApiError> {
     let mut rows = Vec::new();
     for ((n_clusters, mem_buses, _), point) in machines
         .iter()
-        .zip(cells.chunks(SWEEP_SOLUTIONS.len() * suites.len()))
+        .zip(cells.chunks(CONCRETE.len() * suites.len()))
     {
-        for (solution, per_suite) in SWEEP_SOLUTIONS.iter().zip(point.chunks(suites.len())) {
+        // The derived hybrid suites must outlive the row loop below.
+        let hybrid: Vec<SuiteStats> = point[suites.len()..2 * suites.len()]
+            .iter()
+            .zip(&point[2 * suites.len()..])
+            .map(|(mdc, ddgt)| derive_hybrid(mdc, ddgt))
+            .collect();
+        let mut point_rows: Vec<(Solution, Vec<&SuiteStats>)> = CONCRETE
+            .iter()
+            .zip(point.chunks(suites.len()))
+            .map(|(&solution, chunk)| (solution, chunk.to_vec()))
+            .collect();
+        point_rows.push((Solution::Hybrid, hybrid.iter().collect()));
+        debug_assert_eq!(point_rows.len(), SWEEP_SOLUTIONS.len());
+        for (solution, per_suite) in &point_rows {
             let row = sweep_row(*n_clusters, *mem_buses, *solution, per_suite);
             let shares: Vec<Json> = (0..row.n_clusters)
                 .map(|c| Json::U64(row.cluster.accesses_of(c)))

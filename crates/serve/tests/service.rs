@@ -262,7 +262,8 @@ fn sweep_is_cached_and_matches_a_direct_pipeline_sweep() {
         &sweep_default_suites(),
         &spec,
     )
-    .unwrap();
+    .unwrap()
+    .rows;
     let served = json::parse(std::str::from_utf8(&warm.body).unwrap()).unwrap();
     let rows = served.get("rows").unwrap().as_array().unwrap();
     assert_eq!(

@@ -29,7 +29,7 @@ use distvliw_sched::Schedule;
 
 use crate::memsys::{AccessResult, BatchAccess, MemorySystem};
 use crate::stats::{ClusterUsage, SimStats};
-use crate::violation::ViolationDetector;
+use crate::violation::{hazard_possible, SiteRange, ViolationDetector};
 
 /// Simulation options.
 #[derive(Debug, Clone, Copy)]
@@ -59,12 +59,14 @@ enum Event {
 
 /// How one scheduled node executes, resolved once before the main loop so
 /// the per-cycle path never consults the DDG or the address-image maps.
-#[derive(Debug, Clone)]
-enum ExecKind {
+/// Address streams are borrowed from the kernel — no per-simulation
+/// clone.
+#[derive(Debug, Clone, Copy)]
+enum ExecKind<'a> {
     /// A load from the given address stream.
     Load {
         /// The execution-input address stream of the load's access site.
-        stream: AddressStream,
+        stream: &'a AddressStream,
         /// Access width in bytes.
         width: u64,
     },
@@ -72,7 +74,7 @@ enum ExecKind {
     /// commit in the accessed address's home cluster.
     Store {
         /// The execution-input address stream of the store's access site.
-        stream: AddressStream,
+        stream: &'a AddressStream,
         /// Access width in bytes.
         width: u64,
         /// Whether the home-cluster check gates execution.
@@ -85,6 +87,26 @@ enum ExecKind {
     },
 }
 
+/// The `[min, max]` byte addresses `stream` touches over iterations
+/// `0..iters`, or `None` when wrapping arithmetic makes the interval
+/// unbounded (the precheck then assumes the full address space).
+fn stream_addr_bounds(stream: &AddressStream, iters: u64) -> Option<(u64, u64)> {
+    match stream {
+        AddressStream::Affine { base, stride } => {
+            // Affine streams are monotone in the iteration index, so when
+            // the last address doesn't wrap the endpoints bound the whole
+            // interval.
+            let span = stride.checked_mul(i64::try_from(iters.saturating_sub(1)).ok()?)?;
+            let last = base.checked_add_signed(span)?;
+            Some(((*base).min(last), (*base).max(last)))
+        }
+        AddressStream::Indexed(table) => {
+            let used = &table[..table.len().min(usize::try_from(iters).ok()?)];
+            Some((*used.iter().min()?, *used.iter().max()?))
+        }
+    }
+}
+
 /// A flat ring of `iteration → ready-time` cells per slot, tag-checked so
 /// a stale or never-written cell reads as "not produced" (ready time 0) —
 /// exactly the semantics of a missing hash-map entry. The ring `window`
@@ -95,21 +117,26 @@ enum ExecKind {
 struct RingTable {
     vals: Vec<u64>,
     tags: Vec<u64>,
-    window: usize,
+    /// Ring length minus one; the length is rounded up to a power of two
+    /// so the per-access ring index is a mask instead of a modulo. A
+    /// larger ring only reduces cell aliasing, and aliased cells are
+    /// already tag-checked, so the rounding cannot change any lookup.
+    window_mask: u64,
 }
 
 impl RingTable {
     fn new(slots: usize, window: usize) -> Self {
+        let window = window.next_power_of_two();
         RingTable {
             vals: vec![0; slots * window],
             tags: vec![u64::MAX; slots * window],
-            window,
+            window_mask: window as u64 - 1,
         }
     }
 
     #[inline]
     fn idx(&self, slot: usize, iter: u64) -> usize {
-        slot * self.window + (iter % self.window as u64) as usize
+        slot * (self.window_mask as usize + 1) + (iter & self.window_mask) as usize
     }
 
     /// The value recorded for `(slot, iter)`, or 0 when none was.
@@ -218,7 +245,9 @@ pub fn simulate_kernel_detailed(
     // once so the hot loop is pure array indexing.
     let mut cluster = vec![0usize; n_nodes];
     let mut seq = vec![0u64; n_nodes];
-    let mut exec: Vec<ExecKind> = vec![ExecKind::Alu { latency: 0 }; n_nodes];
+    let mut exec: Vec<ExecKind<'_>> = vec![ExecKind::Alu { latency: 0 }; n_nodes];
+    // Memory sites summarized for the static hazard precheck.
+    let mut sites: Vec<SiteRange> = Vec::new();
     for (&n, op) in &schedule.ops {
         let ni = n.index();
         cluster[ni] = op.cluster;
@@ -229,16 +258,14 @@ pub fn simulate_kernel_detailed(
                 stream: kernel
                     .exec
                     .get(node.mem_id().expect("load has a site"))
-                    .expect("load has a bound address stream")
-                    .clone(),
+                    .expect("load has a bound address stream"),
                 width: node.mem.expect("load has a site").width.bytes(),
             },
             OpKind::Store => ExecKind::Store {
                 stream: kernel
                     .exec
                     .get(node.mem_id().expect("store has a site"))
-                    .expect("store has a bound address stream")
-                    .clone(),
+                    .expect("store has a bound address stream"),
                 width: node.mem.expect("store has a site").width.bytes(),
                 gated: in_group[ni],
             },
@@ -246,7 +273,24 @@ pub fn simulate_kernel_detailed(
                 latency: u64::from(kind.base_latency()),
             },
         };
+        if let ExecKind::Load { stream, width } | ExecKind::Store { stream, width, .. } = exec[ni] {
+            let gated = matches!(exec[ni], ExecKind::Store { gated: true, .. });
+            let (lo_addr, hi_addr) = stream_addr_bounds(stream, iters).unwrap_or((0, u64::MAX));
+            sites.push(SiteRange {
+                is_store: matches!(exec[ni], ExecKind::Store { .. }),
+                cluster: (!gated).then_some(op.cluster),
+                lo_addr,
+                hi_addr,
+                width,
+            });
+        }
     }
+
+    // Static hazard precheck: when no cross-cluster (load, store) pair
+    // can ever touch a common granule the detector is provably a no-op,
+    // so skip recording entirely — the reported counts (all zero) are
+    // byte-identical to running it.
+    let detect = options.detect_violations && hazard_possible(&sites);
 
     // Register-flow inputs flattened to CSR, routing pre-resolved.
     let mut input_lists: Vec<Vec<RfInput>> = vec![Vec::new(); n_nodes];
@@ -291,6 +335,10 @@ pub fn simulate_kernel_detailed(
     // table and the violation detector.
     let mut batch_meta: Vec<(usize, u64, u64)> = Vec::new();
     let mut batch_results: Vec<Option<AccessResult>> = Vec::new();
+    // The events firing this cycle with their iteration, collected during
+    // the stall walk so the execute pass scans one flat slice instead of
+    // re-walking the phase's rows.
+    let mut fire: Vec<(Event, u64)> = Vec::new();
 
     for t in 0..total_rows {
         let active = &phase_rows[(t % ii) as usize];
@@ -301,10 +349,12 @@ pub fn simulate_kernel_detailed(
         // Phase 1: stall-on-use — the row issues only once every operand
         // of every issuing operation has arrived. Rows are ascending, so
         // the first not-yet-reached row (pipeline fill) ends the walk;
-        // drained rows (iteration past the trip) are skipped.
+        // drained rows (iteration past the trip) are skipped. Firing
+        // events are collected as they are checked, so the execute pass
+        // below consumes one flat slice.
         let now = t + stall;
         let mut need = now;
-        let mut any = false;
+        fire.clear();
         for &s in active {
             if s > t {
                 break;
@@ -313,8 +363,8 @@ pub fn simulate_kernel_detailed(
             if i >= iters {
                 continue;
             }
-            any = true;
             for &ev in &rows[s as usize] {
+                fire.push((ev, i));
                 match ev {
                     Event::Op(n) => {
                         let ni = n.index();
@@ -337,7 +387,7 @@ pub fn simulate_kernel_detailed(
                 }
             }
         }
-        if !any {
+        if fire.is_empty() {
             continue;
         }
         stall += need - now;
@@ -347,55 +397,46 @@ pub fn simulate_kernel_detailed(
         // memory accesses — in event order — into one contiguous batch.
         batch.clear();
         batch_meta.clear();
-        for &s in active {
-            if s > t {
-                break;
-            }
-            let i = (t - s) / ii;
-            if i >= iters {
-                continue;
-            }
-            for &ev in &rows[s as usize] {
-                match ev {
-                    Event::Op(n) => {
-                        let ni = n.index();
-                        match &exec[ni] {
-                            ExecKind::Alu { latency } => ready.set(ni, i, now + latency),
-                            ExecKind::Load { stream, width } => {
-                                batch.push(BatchAccess {
-                                    cluster: cluster[ni],
-                                    addr: stream.addr_at(i),
-                                    store: false,
-                                    executes: true,
-                                });
-                                batch_meta.push((ni, i, *width));
-                            }
-                            ExecKind::Store {
-                                stream,
-                                width,
-                                gated,
-                            } => {
-                                let addr = stream.addr_at(i);
-                                let executes = !gated || machine.home_cluster(addr) == cluster[ni];
-                                batch.push(BatchAccess {
-                                    cluster: cluster[ni],
-                                    addr,
-                                    store: true,
-                                    executes,
-                                });
-                                batch_meta.push((ni, i, *width));
-                            }
+        for &(ev, i) in &fire {
+            match ev {
+                Event::Op(n) => {
+                    let ni = n.index();
+                    match &exec[ni] {
+                        ExecKind::Alu { latency } => ready.set(ni, i, now + latency),
+                        ExecKind::Load { stream, width } => {
+                            batch.push(BatchAccess {
+                                cluster: cluster[ni],
+                                addr: stream.addr_at(i),
+                                store: false,
+                                executes: true,
+                            });
+                            batch_meta.push((ni, i, *width));
+                        }
+                        ExecKind::Store {
+                            stream,
+                            width,
+                            gated,
+                        } => {
+                            let addr = stream.addr_at(i);
+                            let executes = !gated || machine.home_cluster(addr) == cluster[ni];
+                            batch.push(BatchAccess {
+                                cluster: cluster[ni],
+                                addr,
+                                store: true,
+                                executes,
+                            });
+                            batch_meta.push((ni, i, *width));
                         }
                     }
-                    Event::Copy(k) => {
-                        let c = &schedule.copies[k];
-                        copy_ready.set(
-                            c.producer.index() * n_clusters + c.to_cluster,
-                            i,
-                            now + bus_lat,
-                        );
-                        comm_ops += 1;
-                    }
+                }
+                Event::Copy(k) => {
+                    let c = &schedule.copies[k];
+                    copy_ready.set(
+                        c.producer.index() * n_clusters + c.to_cluster,
+                        i,
+                        now + bus_lat,
+                    );
+                    comm_ops += 1;
                 }
             }
         }
@@ -410,14 +451,14 @@ pub fn simulate_kernel_detailed(
                 let po = i * body_seq_span + seq[ni];
                 if req.store {
                     if let Some(res) = res {
-                        if options.detect_violations {
+                        if detect {
                             detector.record_store(req.addr, width, po, res.observed, req.cluster);
                         }
                     }
                 } else {
                     let res = res.as_ref().expect("loads always produce a result");
                     ready.set(ni, i, res.ready);
-                    if options.detect_violations {
+                    if detect {
                         detector.record_load(req.addr, width, po, res.observed, req.cluster);
                     }
                 }

@@ -10,9 +10,20 @@ use crate::stats::AccessCounts;
 /// for the per-cluster cache modules (which hold their own cluster's
 /// subblocks, keyed by block number) and for Attraction Buffers (which
 /// hold *remote* subblocks, keyed by block and home).
+///
+/// Ways are stored flat (`set * assoc + way`) with a per-set occupancy
+/// count, so a probe walks one contiguous slice instead of chasing a
+/// per-set `Vec`; occupied ways keep insertion order and eviction
+/// replaces in place, preserving the exact tie-breaking (first minimum)
+/// of the nested-`Vec` layout.
 #[derive(Debug, Clone)]
 pub struct SubblockCache {
-    sets: Vec<Vec<Entry>>,
+    ways: Vec<Entry>,
+    used: Vec<u32>,
+    /// `sets - 1` when the set count is a power of two (mask instead of
+    /// modulo on the indexing path), `None` otherwise.
+    set_mask: Option<u64>,
+    n_sets: usize,
     assoc: usize,
     tick: u64,
 }
@@ -33,7 +44,16 @@ impl SubblockCache {
     pub fn new(sets: usize, assoc: usize) -> Self {
         assert!(sets > 0 && assoc > 0, "cache dimensions must be positive");
         SubblockCache {
-            sets: vec![Vec::new(); sets],
+            ways: vec![
+                Entry {
+                    key: (0, 0),
+                    lru: 0
+                };
+                sets * assoc
+            ],
+            used: vec![0; sets],
+            set_mask: sets.is_power_of_two().then(|| sets as u64 - 1),
+            n_sets: sets,
             assoc,
             tick: 0,
         }
@@ -47,15 +67,27 @@ impl SubblockCache {
             .0
             .wrapping_add(key.1 as u64)
             .wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        (mixed % self.sets.len() as u64) as usize
+        match self.set_mask {
+            Some(mask) => (mixed & mask) as usize,
+            None => (mixed % self.n_sets as u64) as usize,
+        }
+    }
+
+    /// The occupied ways of `key`'s set, plus the set's base way index.
+    #[inline]
+    fn set_slice(&mut self, key: (u64, usize)) -> (usize, &mut [Entry]) {
+        let set = self.set_of(key);
+        let base = set * self.assoc;
+        let used = self.used[set] as usize;
+        (set, &mut self.ways[base..base + used])
     }
 
     /// Whether `key` is cached; refreshes LRU on hit.
     pub fn probe(&mut self, key: (u64, usize)) -> bool {
         self.tick += 1;
-        let set = self.set_of(key);
         let tick = self.tick;
-        if let Some(e) = self.sets[set].iter_mut().find(|e| e.key == key) {
+        let (_, ways) = self.set_slice(key);
+        if let Some(e) = ways.iter_mut().find(|e| e.key == key) {
             e.lru = tick;
             return true;
         }
@@ -65,24 +97,30 @@ impl SubblockCache {
     /// Whether `key` is cached, without touching LRU state.
     #[must_use]
     pub fn contains(&self, key: (u64, usize)) -> bool {
-        self.sets[self.set_of(key)].iter().any(|e| e.key == key)
+        let set = self.set_of(key);
+        let base = set * self.assoc;
+        self.ways[base..base + self.used[set] as usize]
+            .iter()
+            .any(|e| e.key == key)
     }
 
     /// Inserts `key`, evicting the LRU way if the set is full. Returns the
     /// evicted key, if any.
     pub fn insert(&mut self, key: (u64, usize)) -> Option<(u64, usize)> {
         self.tick += 1;
-        let set = self.set_of(key);
         let tick = self.tick;
-        if let Some(e) = self.sets[set].iter_mut().find(|e| e.key == key) {
+        let (set, ways) = self.set_slice(key);
+        if let Some(e) = ways.iter_mut().find(|e| e.key == key) {
             e.lru = tick;
             return None;
         }
-        if self.sets[set].len() < self.assoc {
-            self.sets[set].push(Entry { key, lru: tick });
+        let used = ways.len();
+        if used < self.assoc {
+            self.ways[set * self.assoc + used] = Entry { key, lru: tick };
+            self.used[set] += 1;
             return None;
         }
-        let victim = self.sets[set]
+        let victim = self.ways[set * self.assoc..set * self.assoc + used]
             .iter_mut()
             .min_by_key(|e| e.lru)
             .expect("set is full, so nonempty");
@@ -93,15 +131,13 @@ impl SubblockCache {
 
     /// Empties the cache (Attraction Buffer flush at loop boundaries).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.used.fill(0);
     }
 
     /// Number of resident entries.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.used.iter().map(|&u| u as usize).sum()
     }
 
     /// Whether the cache is empty.
@@ -193,9 +229,17 @@ pub struct MemorySystem {
     /// In-flight remote reads: (requesting cluster, subblock) → data-back
     /// time.
     pending_remote: FxHashMap<(usize, SubblockId), u64>,
+    /// `(block shift, interleave shift, home mask)` when block size,
+    /// interleave and cluster count are all powers of two: address →
+    /// subblock translation by shift/mask instead of divide (bit-equal,
+    /// since `x / 2^k == x >> k` and `x % 2^k == x & (2^k - 1)` for
+    /// unsigned `x`).
+    shift_map: Option<(u32, u32, u64)>,
     /// Scratch for batched address translation (reused across
     /// [`MemorySystem::run_batch`] calls).
     sb_scratch: Vec<SubblockId>,
+    /// Scratch for batched access classification.
+    lane_scratch: Vec<Lane>,
     /// Access classification counters.
     pub counts: AccessCounts,
     /// Dense per-requesting-cluster classification counters (same totals
@@ -216,6 +260,48 @@ pub struct AccessResult {
     pub observed: u64,
     /// Classification for the Figure 6 statistics.
     pub class: AccessClass,
+}
+
+/// The lane a batched access executes through, decided purely from the
+/// request and its subblock's home — no memory-system state — so a whole
+/// slice can be classified up front in one branch-free pass and the
+/// stateful apply loop dispatches on the precomputed tag. The
+/// state-dependent refinements (Attraction-Buffer hit, request combining,
+/// module hit/miss) stay inside the remote/local lanes, exactly where the
+/// sequential path resolves them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lane {
+    /// Load whose home is the issuing cluster.
+    LoadLocal = 0,
+    /// Load served across the bus (or AB / combined on the way).
+    LoadRemote = 1,
+    /// Nullified DDGT store replica: refreshes an AB copy at most.
+    StoreNull = 2,
+    /// Architectural store into the issuing cluster's own module.
+    StoreLocal = 3,
+    /// Architectural store carried over the bus to a remote home.
+    StoreRemote = 4,
+}
+
+impl Lane {
+    /// Classifies one access. Straight-line arithmetic over the three
+    /// predicates plus a table lookup, so the batch pass compiles
+    /// branch-free.
+    #[inline]
+    fn of(store: bool, executes: bool, local: bool) -> Lane {
+        const LANES: [Lane; 5] = [
+            Lane::LoadLocal,
+            Lane::LoadRemote,
+            Lane::StoreNull,
+            Lane::StoreLocal,
+            Lane::StoreRemote,
+        ];
+        let s = usize::from(store);
+        let e = usize::from(executes);
+        let r = usize::from(!local);
+        // loads: 0 + remote; stores: 2 + executes * (1 + remote).
+        LANES[s * (2 + e * (1 + r)) + (1 - s) * r]
+    }
 }
 
 /// One element of a batched cycle window: everything the memory system
@@ -265,7 +351,18 @@ impl MemorySystem {
             next_level: ResourcePool::new(machine.next_level.ports, 1),
             pending_fill: FxHashMap::default(),
             pending_remote: FxHashMap::default(),
+            shift_map: (machine.cache.block_bytes.is_power_of_two()
+                && machine.interleave_bytes.is_power_of_two()
+                && machine.n_clusters.is_power_of_two())
+            .then(|| {
+                (
+                    machine.cache.block_bytes.trailing_zeros(),
+                    machine.interleave_bytes.trailing_zeros(),
+                    machine.n_clusters as u64 - 1,
+                )
+            }),
             sb_scratch: Vec::new(),
+            lane_scratch: Vec::new(),
             counts: AccessCounts::new(),
             counts_by_cluster: vec![AccessCounts::new(); machine.n_clusters],
             machine: machine.clone(),
@@ -319,12 +416,28 @@ impl MemorySystem {
         self.counts_by_cluster[cluster].record(class);
     }
 
+    /// Address → subblock, via the shift/mask fast path when the machine
+    /// geometry allows it (identical results to
+    /// [`MachineConfig::subblock_of`]).
+    #[inline]
+    fn translate(&self, addr: u64) -> SubblockId {
+        match self.shift_map {
+            Some((block_shift, il_shift, home_mask)) => SubblockId {
+                block: addr >> block_shift,
+                home: ((addr >> il_shift) & home_mask) as usize,
+            },
+            None => self.machine.subblock_of(addr),
+        }
+    }
+
     /// Performs every access of one cycle window, in slice order, against
-    /// the same issue time `now`. Address → subblock translation runs
-    /// once over the whole slice, then each cache/bus model consumes the
-    /// pre-translated accesses. Results land in `out` (cleared first),
-    /// one per request, in request order; loads always produce `Some`,
-    /// stores mirror [`MemorySystem::store`]. State updates and
+    /// the same issue time `now`. Address → subblock translation and lane
+    /// classification each run branch-free over the whole slice, then the
+    /// stateful apply loop consumes the pre-classified accesses in
+    /// request order (bus arbitration and LRU state are order-sensitive,
+    /// so the apply order must match the sequential path). Results land
+    /// in `out` (cleared first), one per request; loads always produce
+    /// `Some`, stores mirror [`MemorySystem::store`]. State updates and
     /// classifications are exactly those of the equivalent sequence of
     /// individual [`MemorySystem::load`] / [`MemorySystem::store`] calls.
     pub fn run_batch(
@@ -336,33 +449,97 @@ impl MemorySystem {
         out.clear();
         out.reserve(batch.len());
         let mut sbs = std::mem::take(&mut self.sb_scratch);
+        let mut lanes = std::mem::take(&mut self.lane_scratch);
         sbs.clear();
-        sbs.extend(batch.iter().map(|a| self.machine.subblock_of(a.addr)));
-        for (a, &sb) in batch.iter().zip(&sbs) {
-            out.push(if a.store {
-                self.store_sb(a.cluster, sb, now, a.executes)
-            } else {
-                Some(self.load_sb(a.cluster, sb, now))
-            });
+        lanes.clear();
+        sbs.extend(batch.iter().map(|a| self.translate(a.addr)));
+        lanes.extend(
+            batch
+                .iter()
+                .zip(&sbs)
+                .map(|(a, sb)| Lane::of(a.store, a.executes, sb.home == a.cluster)),
+        );
+        for ((a, &sb), &lane) in batch.iter().zip(&sbs).zip(&lanes) {
+            out.push(self.apply(lane, a.cluster, sb, now));
         }
         self.sb_scratch = sbs;
+        self.lane_scratch = lanes;
+    }
+
+    /// Executes one pre-classified access. Single source of truth for
+    /// both the batched and the sequential entry points.
+    fn apply(
+        &mut self,
+        lane: Lane,
+        cluster: usize,
+        sb: SubblockId,
+        now: u64,
+    ) -> Option<AccessResult> {
+        match lane {
+            Lane::LoadLocal => {
+                let result = self.local_access(cluster, sb, now);
+                self.record(cluster, result.class);
+                Some(result)
+            }
+            Lane::LoadRemote => Some(self.load_remote(cluster, sb, now)),
+            Lane::StoreNull => {
+                // Nullified replica: update the local AB copy if present
+                // so later local reads see fresh data (paper Section 5.3).
+                self.refresh_ab(cluster, sb);
+                None
+            }
+            Lane::StoreLocal => {
+                let result = self.local_access(cluster, sb, now);
+                // Keep a resident local AB copy coherent with the update.
+                self.refresh_ab(cluster, sb);
+                self.record(cluster, result.class);
+                Some(result)
+            }
+            Lane::StoreRemote => {
+                // Remote write: one bus transfer carrying address+data,
+                // then the home module performs the (possibly allocating)
+                // write.
+                let depart = self.mem_buses.acquire(now);
+                let at_home = depart + u64::from(self.machine.mem_buses.latency);
+                let home = self.local_access(sb.home, sb, at_home);
+                let class = match home.class {
+                    AccessClass::LocalHit | AccessClass::Combined => AccessClass::RemoteHit,
+                    _ => AccessClass::RemoteMiss,
+                };
+                let result = AccessResult {
+                    ready: home.ready,
+                    observed: home.observed,
+                    class,
+                };
+                self.refresh_ab(cluster, sb);
+                self.record(cluster, result.class);
+                Some(result)
+            }
+        }
+    }
+
+    /// LRU-refreshes a resident Attraction-Buffer copy of `sb`, if any.
+    fn refresh_ab(&mut self, cluster: usize, sb: SubblockId) {
+        if let Some(ab) = self.abs[cluster].as_mut() {
+            if ab.contains((sb.block, sb.home)) {
+                ab.probe((sb.block, sb.home));
+            }
+        }
     }
 
     /// Performs a load from `cluster` at `addr` issued at `now`.
     /// Returns data-ready time and classification, updating all state.
     pub fn load(&mut self, cluster: usize, addr: u64, now: u64) -> AccessResult {
-        let sb = self.machine.subblock_of(addr);
-        self.load_sb(cluster, sb, now)
+        let sb = self.translate(addr);
+        let lane = Lane::of(false, true, sb.home == cluster);
+        self.apply(lane, cluster, sb, now)
+            .expect("loads always produce a result")
     }
 
-    /// [`MemorySystem::load`] with the subblock already translated.
-    fn load_sb(&mut self, cluster: usize, sb: SubblockId, now: u64) -> AccessResult {
+    /// The remote-load lane: AB lookup, request combining, or the full
+    /// bus round trip to the home module.
+    fn load_remote(&mut self, cluster: usize, sb: SubblockId, now: u64) -> AccessResult {
         let cache_lat = u64::from(self.machine.cache.latency);
-        if sb.home == cluster {
-            let result = self.local_access(cluster, sb, now);
-            self.record(cluster, result.class);
-            return result;
-        }
         // Attraction Buffer lookup: a resident remote subblock is served
         // locally (paper Section 5.1).
         if let Some(ab) = self.abs[cluster].as_mut() {
@@ -424,54 +601,9 @@ impl MemorySystem {
         now: u64,
         executes: bool,
     ) -> Option<AccessResult> {
-        let sb = self.machine.subblock_of(addr);
-        self.store_sb(cluster, sb, now, executes)
-    }
-
-    /// [`MemorySystem::store`] with the subblock already translated.
-    fn store_sb(
-        &mut self,
-        cluster: usize,
-        sb: SubblockId,
-        now: u64,
-        executes: bool,
-    ) -> Option<AccessResult> {
-        if !executes {
-            // Nullified replica: update the local AB copy if present so
-            // later local reads see fresh data (paper Section 5.3).
-            if let Some(ab) = self.abs[cluster].as_mut() {
-                if ab.contains((sb.block, sb.home)) {
-                    ab.probe((sb.block, sb.home));
-                }
-            }
-            return None;
-        }
-        let result = if sb.home == cluster {
-            self.local_access(cluster, sb, now)
-        } else {
-            // Remote write: one bus transfer carrying address+data, then
-            // the home module performs the (possibly allocating) write.
-            let depart = self.mem_buses.acquire(now);
-            let at_home = depart + u64::from(self.machine.mem_buses.latency);
-            let home = self.local_access(sb.home, sb, at_home);
-            let class = match home.class {
-                AccessClass::LocalHit | AccessClass::Combined => AccessClass::RemoteHit,
-                _ => AccessClass::RemoteMiss,
-            };
-            AccessResult {
-                ready: home.ready,
-                observed: home.observed,
-                class,
-            }
-        };
-        // Keep a resident local AB copy coherent with the update.
-        if let Some(ab) = self.abs[cluster].as_mut() {
-            if ab.contains((sb.block, sb.home)) {
-                ab.probe((sb.block, sb.home));
-            }
-        }
-        self.record(cluster, result.class);
-        Some(result)
+        let sb = self.translate(addr);
+        let lane = Lane::of(true, executes, sb.home == cluster);
+        self.apply(lane, cluster, sb, now)
     }
 
     /// Access within the home module: hit, miss (with next-level fill and
@@ -490,6 +622,11 @@ impl MemorySystem {
                     class: AccessClass::Combined,
                 };
             }
+            // The fill has landed: drop the entry so the map holds only
+            // in-flight fills (a stale entry is never observed — it
+            // always falls through to the probe below — so removing it
+            // only keeps lookups cheap).
+            self.pending_fill.remove(&sb);
         }
         if self.modules[cluster].probe((sb.block, cluster)) {
             let t = now + cache_lat;

@@ -91,13 +91,74 @@ impl Window {
     }
 }
 
+/// One scheduled memory site summarized for [`hazard_possible`]: the
+/// address interval it can touch across the simulated iterations and the
+/// cluster it issues from (`None` when the issuing cluster depends on the
+/// address, i.e. a DDGT home-gated store).
+#[derive(Debug, Clone, Copy)]
+pub struct SiteRange {
+    /// Store (true) or load (false).
+    pub is_store: bool,
+    /// The issuing cluster, when statically known.
+    pub cluster: Option<usize>,
+    /// Smallest byte address the site can access.
+    pub lo_addr: u64,
+    /// Largest byte address the site can access.
+    pub hi_addr: u64,
+    /// Access width in bytes.
+    pub width: u64,
+}
+
+impl SiteRange {
+    /// The inclusive granule interval this site can touch.
+    fn granule_range(&self) -> (u64, u64) {
+        (
+            self.lo_addr / GRANULE,
+            self.hi_addr
+                .saturating_add(self.width.max(1))
+                .saturating_sub(1)
+                / GRANULE,
+        )
+    }
+}
+
+/// Whether any (load, store) pair of `sites` could race: their granule
+/// intervals overlap and they can issue from different clusters (a gated
+/// store's cluster is address-dependent, so it conflicts with any load).
+/// When this returns `false`, running the detector is provably a no-op —
+/// same-cluster pairs are exempt and disjoint granules never meet in one
+/// window — so the engine can skip recording entirely and still report
+/// byte-identical (zero) violation counts.
+#[must_use]
+pub fn hazard_possible(sites: &[SiteRange]) -> bool {
+    sites.iter().filter(|s| s.is_store).any(|store| {
+        let (slo, shi) = store.granule_range();
+        sites.iter().filter(|s| !s.is_store).any(|load| {
+            let (llo, lhi) = load.granule_range();
+            let overlap = slo <= lhi && llo <= shi;
+            let cross_cluster = match (store.cluster, load.cluster) {
+                (Some(s), Some(l)) => s != l,
+                _ => true,
+            };
+            overlap && cross_cluster
+        })
+    })
+}
+
+/// The store and load windows of one granule, stored together so each
+/// recorded access does a single hash lookup (check the opposite window,
+/// push into its own) instead of one per map.
+#[derive(Debug, Clone, Copy, Default)]
+struct GranuleWindows {
+    stores: Window,
+    loads: Window,
+}
+
 /// Counts memory-ordering violations.
 #[derive(Debug, Clone, Default)]
 pub struct ViolationDetector {
-    /// granule → recent stores.
-    stores: FxHashMap<u64, Window>,
-    /// granule → recent loads.
-    loads: FxHashMap<u64, Window>,
+    /// granule → recent stores and loads.
+    windows: FxHashMap<u64, GranuleWindows>,
     violations: u64,
     /// Violations attributed to the issuing cluster of the access that
     /// detected them (dense, no map).
@@ -137,16 +198,13 @@ impl ViolationDetector {
     ) {
         let mut violated = false;
         for g in granules(addr, width) {
-            if let Some(loads) = self.loads.get(&g) {
-                violated |= loads
-                    .as_slice()
-                    .iter()
-                    .any(|&(p, read, c)| c != cluster && p < po && read >= write_time);
-            }
-            self.stores
-                .entry(g)
-                .or_default()
-                .push((po, write_time, cluster));
+            let w = self.windows.entry(g).or_default();
+            violated |= w
+                .loads
+                .as_slice()
+                .iter()
+                .any(|&(p, read, c)| c != cluster && p < po && read >= write_time);
+            w.stores.push((po, write_time, cluster));
         }
         self.violations += u64::from(violated);
         if violated {
@@ -161,23 +219,18 @@ impl ViolationDetector {
     pub fn record_load(&mut self, addr: u64, width: u64, po: u64, read_time: u64, cluster: usize) {
         let mut violated = false;
         for g in granules(addr, width) {
-            if let Some(window) = self.stores.get(&g) {
-                let stale = window
-                    .as_slice()
-                    .iter()
-                    .filter(|&&(p, _, _)| p < po)
-                    .max_by_key(|&&(p, _, _)| p)
-                    .is_some_and(|&(_, write, c)| c != cluster && write > read_time);
-                let overwritten = window
-                    .as_slice()
-                    .iter()
-                    .any(|&(p, write, c)| c != cluster && p > po && write <= read_time);
-                violated |= stale || overwritten;
-            }
-            self.loads
-                .entry(g)
-                .or_default()
-                .push((po, read_time, cluster));
+            let w = self.windows.entry(g).or_default();
+            let window = w.stores.as_slice();
+            let stale = window
+                .iter()
+                .filter(|&&(p, _, _)| p < po)
+                .max_by_key(|&&(p, _, _)| p)
+                .is_some_and(|&(_, write, c)| c != cluster && write > read_time);
+            let overwritten = window
+                .iter()
+                .any(|&(p, write, c)| c != cluster && p > po && write <= read_time);
+            violated |= stale || overwritten;
+            w.loads.push((po, read_time, cluster));
         }
         self.violations += u64::from(violated);
         if violated {
