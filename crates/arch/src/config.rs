@@ -4,6 +4,20 @@ use std::fmt;
 
 use crate::latency::LatencyClass;
 
+/// Version of [`MachineConfig::canonical_bytes`]; bump when the encoded
+/// field set or order changes. Every consumer that stores canonical
+/// encodings durably (the serving layer's on-disk state, see
+/// `docs/persistence.md`) folds this into its era fingerprint, so a bump
+/// here invalidates every persisted store instead of letting stale
+/// encodings alias fresh ones.
+pub const CANONICAL_BYTES_VERSION: u8 = 2;
+
+/// Version of [`MachineConfig::sched_canonical_bytes`]; bump when the
+/// scheduler starts reading a new field. Part of the same durable-state
+/// era as [`CANONICAL_BYTES_VERSION`] (the II-seed store keys embed this
+/// projection).
+pub const SCHED_CANONICAL_BYTES_VERSION: u8 = 1;
+
 /// A set of identical shared buses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BusConfig {
@@ -305,14 +319,13 @@ impl MachineConfig {
     /// Two configurations encode to the same bytes **iff** they compare
     /// equal: every field — including the Attraction-Buffer option — is
     /// appended in a fixed order as fixed-width little-endian integers,
-    /// with a leading format version so a future field addition changes
-    /// every key instead of silently aliasing old entries.
+    /// with a leading format version ([`CANONICAL_BYTES_VERSION`]) so a
+    /// future field addition changes every key instead of silently
+    /// aliasing old entries.
     #[must_use]
     pub fn canonical_bytes(&self) -> Vec<u8> {
-        /// Encoding version; bump when the field set or order changes.
-        const VERSION: u8 = 2;
         let mut out = Vec::with_capacity(96);
-        out.push(VERSION);
+        out.push(CANONICAL_BYTES_VERSION);
         let mut u64le = |v: u64| out.extend_from_slice(&v.to_le_bytes());
         u64le(self.n_clusters as u64);
         u64le(self.fu.integer as u64);
@@ -357,11 +370,8 @@ impl MachineConfig {
     /// share one compile.
     #[must_use]
     pub fn sched_canonical_bytes(&self) -> Vec<u8> {
-        /// Projection encoding version; bump when the scheduler starts
-        /// reading a new field.
-        const VERSION: u8 = 1;
         let mut out = Vec::with_capacity(96);
-        out.push(VERSION);
+        out.push(SCHED_CANONICAL_BYTES_VERSION);
         let mut u64le = |v: u64| out.extend_from_slice(&v.to_le_bytes());
         u64le(self.n_clusters as u64);
         u64le(self.fu.integer as u64);

@@ -31,7 +31,7 @@ mod mapping;
 
 pub use config::{
     AttractionBufferConfig, BusConfig, CacheConfig, ConfigError, FuMix, MachineConfig,
-    NextLevelConfig,
+    NextLevelConfig, CANONICAL_BYTES_VERSION, SCHED_CANONICAL_BYTES_VERSION,
 };
 pub use latency::{AccessClass, LatencyClass};
 pub use mapping::SubblockId;

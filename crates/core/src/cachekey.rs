@@ -16,6 +16,13 @@ use distvliw_sched::Heuristic;
 
 use crate::pipeline::{PipelineOptions, Solution};
 
+/// Version of the [`cell_key`] encoding; bump when the encoded field set
+/// changes. Like [`distvliw_arch::CANONICAL_BYTES_VERSION`], this is
+/// part of the durable-state era: the serving layer's on-disk stores
+/// hold raw cell keys, so a format change here must invalidate them
+/// (see `docs/persistence.md`) rather than let old keys alias new ones.
+pub const CELL_KEY_VERSION: u8 = 3;
+
 /// A content-addressed cache key: the canonical encoding of one
 /// experiment cell plus its precomputed 64-bit FNV-1a hash.
 ///
@@ -205,10 +212,8 @@ pub fn cell_key_from_fingerprint(
     solution: Solution,
     heuristic: Heuristic,
 ) -> CacheKey {
-    /// Key-format version; bump when the encoded field set changes.
-    const VERSION: u8 = 3;
     let mut out = Vec::with_capacity(160);
-    out.push(VERSION);
+    out.push(CELL_KEY_VERSION);
 
     out.extend_from_slice(fingerprint);
 

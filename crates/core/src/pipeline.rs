@@ -314,12 +314,31 @@ pub struct SuiteArtifact {
 /// re-scanning from the MII. Shared across the pipeline's clones and
 /// threads; the scheduler is deterministic, so a warm seed reproduces
 /// the cold result exactly while skipping the provably re-failing IIs.
+///
+/// The store is durable-state aware: [`IiSeedStore::snapshot`] and
+/// [`IiSeedStore::absorb`] give the serving layer lossless save/load
+/// hooks, and [`IiSeedStore::drain_dirty`] yields only the entries
+/// recorded (or changed) since the last drain, so a persistence layer
+/// can append incrementally instead of rewriting the whole store per
+/// compile. Keys are the 128-bit full-configuration fingerprints of
+/// `seed_key`; a persisted store must be era-tagged by the caller (the
+/// fingerprint embeds `MachineConfig::canonical_bytes`, so any encoding
+/// change silently changes every key — see `docs/persistence.md`).
 #[derive(Debug, Default)]
-struct IiSeedStore {
+pub struct IiSeedStore {
     map: Mutex<HashMap<[u8; 16], u32>>,
+    /// Keys recorded with a new or changed value since the last
+    /// [`IiSeedStore::drain_dirty`], in record order.
+    dirty: Mutex<Vec<[u8; 16]>>,
 }
 
 impl IiSeedStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        IiSeedStore::default()
+    }
+
     fn get(&self, key: [u8; 16]) -> Option<u32> {
         self.map
             .lock()
@@ -329,15 +348,89 @@ impl IiSeedStore {
     }
 
     fn record(&self, key: [u8; 16], ii: u32) {
+        let mut map = self
+            .map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if map.insert(key, ii) != Some(ii) {
+            self.dirty
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(key);
+        }
+    }
+
+    /// Number of recorded seeds.
+    #[must_use]
+    pub fn len(&self) -> usize {
         self.map
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .insert(key, ii);
+            .len()
+    }
+
+    /// Whether no seed has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every `(key, ii)` pair, sorted by key so a persisted snapshot is
+    /// deterministic across runs.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<([u8; 16], u32)> {
+        let mut entries: Vec<([u8; 16], u32)> = self
+            .map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        entries.sort_unstable_by_key(|entry| entry.0);
+        entries
+    }
+
+    /// Loads `(key, ii)` pairs (later entries win on duplicate keys, so
+    /// replaying an append-ordered log lands on the freshest value).
+    /// Loaded entries do **not** mark the store dirty: they are already
+    /// durable.
+    pub fn absorb(&self, entries: &[([u8; 16], u32)]) {
+        let mut map = self
+            .map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for (key, ii) in entries {
+            map.insert(*key, *ii);
+        }
+    }
+
+    /// The `(key, ii)` pairs recorded since the last drain, clearing the
+    /// dirty set. Values are read at drain time, so a key recorded twice
+    /// between drains yields its freshest II (and appears once per
+    /// record, which an append log tolerates by last-wins replay).
+    #[must_use]
+    pub fn drain_dirty(&self) -> Vec<([u8; 16], u32)> {
+        let keys: Vec<[u8; 16]> = std::mem::take(
+            &mut *self
+                .dirty
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        let map = self
+            .map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        keys.iter()
+            .filter_map(|k| map.get(k).map(|ii| (*k, *ii)))
+            .collect()
     }
 }
 
 /// The full-configuration key of one scheduling problem. Everything the
-/// scheduler's output depends on is encoded — machine bytes, graph
+/// scheduler's output depends on is encoded — the machine's *scheduler
+/// projection* ([`MachineConfig::sched_canonical_bytes`], the same
+/// invariant the sweep's compile-once factoring relies on, so machines
+/// differing only in simulation fields share their seeds), graph
 /// topology (the same `op_tag`/`dep_tag` encoding the result-cache
 /// digest uses), constraints, profile preferences, heuristic and
 /// options — then compressed to the cache layer's 128-bit two-FNV
@@ -353,7 +446,7 @@ fn seed_key(
     heuristic: Heuristic,
     relax_latencies: bool,
 ) -> [u8; 16] {
-    let mut bytes = machine.canonical_bytes();
+    let mut bytes = machine.sched_canonical_bytes();
     let u64le = |bytes: &mut Vec<u8>, v: u64| bytes.extend_from_slice(&v.to_le_bytes());
     u64le(&mut bytes, ddg.node_count() as u64);
     for (_, op) in ddg.iter() {
@@ -413,11 +506,28 @@ impl Pipeline {
     /// Panics if the machine configuration is invalid.
     #[must_use]
     pub fn new(machine: MachineConfig) -> Self {
+        Self::with_parts(
+            machine,
+            PipelineOptions::default(),
+            Arc::new(IiSeedStore::new()),
+        )
+    }
+
+    /// The single constructor every pipeline goes through — `new`, the
+    /// seed-store builder and `run_matrix`'s detached per-cell pipelines
+    /// all funnel here, so there is exactly one place a seed store is
+    /// attached and a persisted store cannot be silently bypassed by a
+    /// second construction path.
+    fn with_parts(
+        machine: MachineConfig,
+        options: PipelineOptions,
+        seeds: Arc<IiSeedStore>,
+    ) -> Self {
         machine.validate().expect("valid machine configuration");
         Pipeline {
             machine,
-            options: PipelineOptions::default(),
-            seeds: Arc::new(IiSeedStore::default()),
+            options,
+            seeds,
         }
     }
 
@@ -426,6 +536,34 @@ impl Pipeline {
     pub fn with_options(mut self, options: PipelineOptions) -> Self {
         self.options = options;
         self
+    }
+
+    /// Replaces the II-seed store with a shared (possibly persisted)
+    /// one. The scheduler is deterministic, so a warm store changes only
+    /// search *effort* (fewer `iis_tried`, a nonzero `seeded_at`), never
+    /// a schedule byte — pinned by `warm_seed_store_reproduces_cold_run`.
+    #[must_use]
+    pub fn with_seed_store(mut self, seeds: Arc<IiSeedStore>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// The pipeline's II-seed store (shared by all clones), for
+    /// persistence layers that save it across restarts.
+    #[must_use]
+    pub fn seed_store(&self) -> &Arc<IiSeedStore> {
+        &self.seeds
+    }
+
+    /// A pipeline with this one's machine and options but a fresh,
+    /// empty seed store — the detached cell `run_matrix` schedules on so
+    /// concurrent cells report thread-timing-independent effort numbers.
+    fn detached(&self) -> Self {
+        Self::with_parts(
+            self.machine.clone(),
+            self.options,
+            Arc::new(IiSeedStore::new()),
+        )
     }
 
     /// The machine this pipeline targets.
@@ -523,11 +661,7 @@ impl Pipeline {
             // telemetry depend on thread timing. Schedules are
             // deterministic either way; this keeps the *effort* numbers
             // per cell reproducible and equal to a cold `run_suite`.
-            let cell = Pipeline {
-                machine: self.machine.clone(),
-                options: self.options,
-                seeds: Arc::new(IiSeedStore::default()),
-            };
+            let cell = self.detached();
             let mut runs = Vec::with_capacity(suite.kernels.len());
             for kernel in &suite.kernels {
                 let run = cell.run_kernel_on(&machine, kernel, solution, heuristic);
@@ -901,6 +1035,112 @@ mod tests {
             assert_eq!(got.total_cycles(), direct.total_cycles(), "{}", cell.suite);
             assert_eq!(got.kernels.len(), direct.kernels.len());
         }
+    }
+
+    #[test]
+    fn warm_seed_store_reproduces_cold_run() {
+        // A pipeline handed another run's seed store must produce
+        // byte-identical schedules and simulations — only the search
+        // *effort* may differ (fewer IIs tried, nonzero seeded counts).
+        // This is the invariant that makes persisting the store safe.
+        let suite = distvliw_mediabench::suite("gsmdec").unwrap();
+        let cold_pipeline = Pipeline::new(machine());
+        let cold = cold_pipeline
+            .run_suite(&suite, Solution::Mdc, Heuristic::PrefClus)
+            .unwrap();
+        assert!(!cold_pipeline.seed_store().is_empty());
+
+        let warm_pipeline =
+            Pipeline::new(machine()).with_seed_store(cold_pipeline.seed_store().clone());
+        let warm = warm_pipeline
+            .run_suite(&suite, Solution::Mdc, Heuristic::PrefClus)
+            .unwrap();
+        assert_eq!(warm.total, cold.total);
+        assert_eq!(warm.cluster, cold.cluster);
+        for (w, c) in warm.kernels.iter().zip(&cold.kernels) {
+            assert_eq!(w.name, c.name);
+            assert_eq!(w.ii, c.ii, "{}", w.name);
+            assert_eq!(w.span, c.span, "{}", w.name);
+            assert_eq!(w.static_comm_ops, c.static_comm_ops, "{}", w.name);
+            assert_eq!(w.stats, c.stats, "{}", w.name);
+            assert!(
+                w.sched.iis_tried <= c.sched.iis_tried,
+                "{}: a warm search never tries more IIs",
+                w.name
+            );
+        }
+        // The warm run re-recorded identical seeds: the store is stable.
+        assert_eq!(
+            warm_pipeline.seed_store().snapshot(),
+            cold_pipeline.seed_store().snapshot()
+        );
+    }
+
+    #[test]
+    fn seeds_shared_across_sim_only_machine_variants() {
+        // The seed key embeds the machine's *scheduler projection*
+        // (`sched_canonical_bytes`), not the full canonical encoding, so
+        // a machine differing only in a simulation field — memory-bus
+        // count here — resumes the II search from the other variant's
+        // seeds. epicenc/MDC schedules its chained kernel well above the
+        // MII, which makes the resumption observable as a nonzero
+        // `seeded_kernels`.
+        let suite = distvliw_mediabench::suite("epicenc").unwrap();
+        let cold_pipeline = Pipeline::new(machine());
+        let cold = cold_pipeline
+            .run_suite(&suite, Solution::Mdc, Heuristic::PrefClus)
+            .unwrap();
+        assert_eq!(cold.sched.seeded_kernels, 0, "cold run has no seeds");
+        assert!(
+            cold.kernels.iter().any(|k| k.sched.ii > k.sched.mii + 2),
+            "a kernel scheduling above MII+slack is what makes seeding observable"
+        );
+
+        let mut variant = machine();
+        variant.mem_buses.count += 1;
+        let warm_pipeline =
+            Pipeline::new(variant).with_seed_store(cold_pipeline.seed_store().clone());
+        let warm = warm_pipeline
+            .run_suite(&suite, Solution::Mdc, Heuristic::PrefClus)
+            .unwrap();
+        assert!(
+            warm.sched.seeded_kernels > 0,
+            "the bus variant must resume from the persisted-style seeds"
+        );
+        // Seeding changes search effort only: the schedules themselves
+        // are identical (the simulation differs — more buses).
+        for (w, c) in warm.kernels.iter().zip(&cold.kernels) {
+            assert_eq!(w.ii, c.ii, "{}", w.name);
+            assert_eq!(w.span, c.span, "{}", w.name);
+            assert_eq!(w.static_comm_ops, c.static_comm_ops, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn seed_store_snapshot_absorb_round_trips() {
+        let store = IiSeedStore::new();
+        store.record([1; 16], 10);
+        store.record([2; 16], 20);
+        store.record([1; 16], 8); // update wins
+        let snap = store.snapshot();
+        assert_eq!(snap, vec![([1; 16], 8), ([2; 16], 20)]);
+
+        let restored = IiSeedStore::new();
+        restored.absorb(&snap);
+        assert_eq!(restored.snapshot(), snap);
+        assert_eq!(restored.len(), 2);
+        // Absorbed entries are durable already: nothing is dirty.
+        assert!(restored.drain_dirty().is_empty());
+
+        // Dirty tracking: only changes since the last drain, last value.
+        let dirty = store.drain_dirty();
+        assert_eq!(dirty.len(), 3, "three records (one key twice)");
+        assert!(dirty.contains(&([1; 16], 8)));
+        assert!(store.drain_dirty().is_empty());
+        store.record([2; 16], 20); // same value: not dirty
+        assert!(store.drain_dirty().is_empty());
+        store.record([2; 16], 19);
+        assert_eq!(store.drain_dirty(), vec![([2; 16], 19)]);
     }
 
     #[test]

@@ -3,9 +3,11 @@
 //!
 //! ```text
 //! cargo run --release -p distvliw-serve --bin serve -- \
-//!     [--addr 127.0.0.1:7411] [--cache-capacity 256]
+//!     [--addr 127.0.0.1:7411] [--cache-capacity 256] [--state-dir DIR]
 //! ```
 //!
+//! With `--state-dir` the result cache and II-seed store persist across
+//! restarts (crash-safe log-structured files; see `docs/persistence.md`).
 //! The worker fan-out honours `DISTVLIW_THREADS` like every other bin.
 
 use std::process::ExitCode;
@@ -17,6 +19,7 @@ use distvliw_serve::Server;
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:7411".to_string();
     let mut capacity: usize = 256;
+    let mut state_dir: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -28,15 +31,39 @@ fn main() -> ExitCode {
                 Some(v) if v > 0 => capacity = v,
                 _ => return usage("--cache-capacity needs a positive integer"),
             },
+            "--state-dir" => match args.next() {
+                Some(v) => state_dir = Some(v.into()),
+                None => return usage("--state-dir needs a path"),
+            },
             "--help" | "-h" => {
-                println!("usage: serve [--addr HOST:PORT] [--cache-capacity N]");
+                println!("usage: serve [--addr HOST:PORT] [--cache-capacity N] [--state-dir DIR]");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument `{other}`")),
         }
     }
 
-    let engine = ServeEngine::new(MachineConfig::paper_baseline(), capacity);
+    let mut engine = ServeEngine::new(MachineConfig::paper_baseline(), capacity);
+    if let Some(dir) = &state_dir {
+        engine = match engine.with_state_dir(dir) {
+            Ok(engine) => engine,
+            Err(e) => {
+                eprintln!("cannot open state dir {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(p) = engine.stats().persist {
+            println!(
+                "state: {} cells, {} seeds restored from {} ({} records / {} bytes discarded, {} stale stores)",
+                p.loaded_cells,
+                p.loaded_seeds,
+                dir.display(),
+                p.discarded_records,
+                p.discarded_bytes,
+                p.stale_stores,
+            );
+        }
+    }
     let server = match Server::bind(&addr, engine) {
         Ok(server) => server,
         Err(e) => {
@@ -58,6 +85,6 @@ fn main() -> ExitCode {
 }
 
 fn usage(msg: &str) -> ExitCode {
-    eprintln!("{msg}\nusage: serve [--addr HOST:PORT] [--cache-capacity N]");
+    eprintln!("{msg}\nusage: serve [--addr HOST:PORT] [--cache-capacity N] [--state-dir DIR]");
     ExitCode::FAILURE
 }

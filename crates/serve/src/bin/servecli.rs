@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! servecli BASE get PATH              # print one response body
-//! servecli BASE smoke [--shutdown]    # CI smoke: health, figure, repeat-hit
+//! servecli BASE smoke [--shutdown] [--expect-warm]  # CI smoke
+//! servecli BASE state                 # persistence counters
 //! servecli BASE load PATH [-n N] [-c C]  # latency percentiles under load
 //! servecli BASE shutdown              # stop the daemon
 //! ```
@@ -10,10 +11,15 @@
 //! `smoke` drives `/healthz`, a figure endpoint and a repeated request,
 //! asserting via `/stats` that the repeat was served from the result
 //! cache and that warm bytes equal cold bytes; any failure exits
-//! nonzero. `load` replays N concurrent requests (C persistent
-//! connections) against a warm cache and reports latency percentiles,
-//! demonstrating that cache hits cost microseconds while the cold run
-//! costs the full pipeline.
+//! nonzero. With `--expect-warm` it additionally asserts the *first*
+//! figure fetch computed zero cells — the restart check for a daemon
+//! booted from a persisted `--state-dir`. `state` reports the
+//! persistence counters (cells/seeds restored at boot, records and
+//! bytes discarded at recovery, appends/compactions/flushes since).
+//! `load` replays N concurrent requests (C persistent connections)
+//! against a warm cache and reports latency percentiles, demonstrating
+//! that cache hits cost microseconds while the cold run costs the full
+//! pipeline.
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -32,7 +38,12 @@ fn main() -> ExitCode {
             Some(path) => cmd_get(&base, path),
             None => usage(),
         },
-        Some("smoke") => cmd_smoke(&base, rest.iter().any(|a| a == "--shutdown")),
+        Some("smoke") => cmd_smoke(
+            &base,
+            rest.iter().any(|a| a == "--shutdown"),
+            rest.iter().any(|a| a == "--expect-warm"),
+        ),
+        Some("state") => cmd_state(&base),
         Some("load") => {
             let path = match rest.get(1) {
                 Some(p) if !p.starts_with('-') => p.clone(),
@@ -62,7 +73,9 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: servecli BASE get PATH\n       servecli BASE smoke [--shutdown]\n       \
+        "usage: servecli BASE get PATH\n       \
+         servecli BASE smoke [--shutdown] [--expect-warm]\n       \
+         servecli BASE state\n       \
          servecli BASE load PATH [-n N] [-c C]\n       servecli BASE shutdown"
     );
     ExitCode::FAILURE
@@ -129,9 +142,47 @@ fn wait_healthy(base: &str) -> Result<(), String> {
     Err("server did not become healthy within 15s".to_string())
 }
 
+/// `servecli BASE state`: print the persistence counters from `/stats`.
+fn cmd_state(base: &str) -> ExitCode {
+    if let Err(e) = wait_healthy(base) {
+        return fail(&e);
+    }
+    let resp = match client::get(base, "/stats") {
+        Ok(resp) if resp.status == 200 => resp,
+        Ok(resp) => return fail(&format!("/stats returned {}", resp.status)),
+        Err(e) => return fail(&format!("GET /stats failed: {e}")),
+    };
+    let text = String::from_utf8_lossy(&resp.body).to_string();
+    let v = match json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => return fail(&format!("bad /stats json: {e}")),
+    };
+    let Some(p) = v.get("persist").filter(|p| !matches!(p, json::Json::Null)) else {
+        println!("state: no state dir (persistence disabled)");
+        return ExitCode::SUCCESS;
+    };
+    let field = |name: &str| p.get(name).and_then(json::Json::as_u64).unwrap_or(0);
+    println!(
+        "state: loaded {} cells, {} seeds; discarded {} records / {} bytes ({} stale stores)",
+        field("loaded_cells"),
+        field("loaded_seeds"),
+        field("discarded_records"),
+        field("discarded_bytes"),
+        field("stale_stores"),
+    );
+    println!(
+        "state: since boot {} appends, {} compactions, {} flushes, {} write errors",
+        field("appended_records"),
+        field("compactions"),
+        field("flushes"),
+        field("write_errors"),
+    );
+    ExitCode::SUCCESS
+}
+
 /// The CI smoke sequence; see the module docs.
-fn cmd_smoke(base: &str, shutdown: bool) -> ExitCode {
-    let outcome = smoke(base);
+fn cmd_smoke(base: &str, shutdown: bool, expect_warm: bool) -> ExitCode {
+    let outcome = smoke(base, expect_warm);
     let code = match outcome {
         Ok(()) => {
             println!("smoke: ok");
@@ -149,7 +200,7 @@ fn cmd_smoke(base: &str, shutdown: bool) -> ExitCode {
     code
 }
 
-fn smoke(base: &str) -> Result<(), String> {
+fn smoke(base: &str, expect_warm: bool) -> Result<(), String> {
     wait_healthy(base)?;
     println!("smoke: /healthz ok");
 
@@ -162,8 +213,16 @@ fn smoke(base: &str) -> Result<(), String> {
     if mid.computed < before.computed {
         return Err("computed_cells went backwards".to_string());
     }
+    if expect_warm && mid.computed != before.computed {
+        return Err(format!(
+            "first /fig6 after restart recomputed {} cells; expected the persisted \
+             state to serve it entirely from the cache",
+            mid.computed - before.computed
+        ));
+    }
     println!(
-        "smoke: /fig6 cold ok ({} bytes, {} cells computed)",
+        "smoke: /fig6 {} ok ({} bytes, {} cells computed)",
+        if expect_warm { "warm-boot" } else { "cold" },
         cold.body.len(),
         mid.computed - before.computed
     );

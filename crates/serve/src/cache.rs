@@ -79,14 +79,17 @@ impl<V: Clone> ResultCache<V> {
     }
 
     /// Inserts (or refreshes) `key`, evicting the least recently used
-    /// entry if the cache is full.
-    pub fn insert(&mut self, key: CacheKey, value: V) {
+    /// entry if the cache is full. Returns the evicted key, if any —
+    /// the persistence layer compacts its log when an eviction changes
+    /// the live set.
+    pub fn insert(&mut self, key: CacheKey, value: V) -> Option<CacheKey> {
         self.tick += 1;
         if let Some(entry) = self.map.get_mut(&key) {
             entry.value = value;
             entry.lru = self.tick;
-            return;
+            return None;
         }
+        let mut evicted = None;
         if self.map.len() >= self.capacity {
             // O(n) victim scan: capacities are small (hundreds of
             // cells), and this runs only on insert-past-capacity.
@@ -98,6 +101,7 @@ impl<V: Clone> ResultCache<V> {
                 .expect("full cache is nonempty");
             self.map.remove(&victim);
             self.stats.evictions += 1;
+            evicted = Some(victim);
         }
         self.stats.insertions += 1;
         self.map.insert(
@@ -107,6 +111,44 @@ impl<V: Clone> ResultCache<V> {
                 lru: self.tick,
             },
         );
+        evicted
+    }
+
+    /// Inserts `key` without touching the hit/miss/insertion counters —
+    /// for restoring persisted entries at boot, so `/stats` still
+    /// reflects only this process's traffic. Respects capacity (excess
+    /// preloads evict silently, without counting) and assigns recency
+    /// in call order: preload least-recently-used entries first.
+    pub fn preload(&mut self, key: CacheKey, value: V) {
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.lru)
+                .map(|(k, _)| k.clone())
+                .expect("full cache is nonempty");
+            self.map.remove(&victim);
+        }
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                lru: self.tick,
+            },
+        );
+    }
+
+    /// Every resident entry, least recently used first — the order a
+    /// compaction writes them, so a reload replays recency faithfully.
+    #[must_use]
+    pub fn entries_by_recency(&self) -> Vec<(CacheKey, V)> {
+        let mut entries: Vec<(&CacheKey, &Entry<V>)> = self.map.iter().collect();
+        entries.sort_by_key(|(_, e)| e.lru);
+        entries
+            .into_iter()
+            .map(|(k, e)| (k.clone(), e.value.clone()))
+            .collect()
     }
 
     /// Looks up `key` refreshing recency but **without** counting a hit

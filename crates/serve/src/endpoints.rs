@@ -135,6 +135,24 @@ fn stats(engine: &ServeEngine) -> Json {
         ),
         ("computed_cells", Json::U64(s.computed_cells)),
         ("deduped_requests", Json::U64(s.deduped_requests)),
+        ("seeded_kernels", Json::U64(s.seeded_kernels)),
+        (
+            "persist",
+            match s.persist {
+                None => Json::Null,
+                Some(p) => Json::obj(vec![
+                    ("loaded_cells", Json::U64(p.loaded_cells)),
+                    ("loaded_seeds", Json::U64(p.loaded_seeds)),
+                    ("discarded_records", Json::U64(p.discarded_records)),
+                    ("discarded_bytes", Json::U64(p.discarded_bytes)),
+                    ("stale_stores", Json::U64(p.stale_stores)),
+                    ("appended_records", Json::U64(p.appended_records)),
+                    ("compactions", Json::U64(p.compactions)),
+                    ("flushes", Json::U64(p.flushes)),
+                    ("write_errors", Json::U64(p.write_errors)),
+                ]),
+            },
+        ),
         (
             "cluster",
             Json::obj(vec![

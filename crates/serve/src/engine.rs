@@ -10,17 +10,24 @@
 //! endpoints too (Figure 6 and Figure 7 reuse each other's
 //! MDC/DDGT-PrefClus runs).
 
+use std::io;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use distvliw_arch::MachineConfig;
-use distvliw_core::cachekey::{cell_key_from_fingerprint, digest_fingerprint, suite_digest};
-use distvliw_core::{par, Heuristic, Pipeline, PipelineError, PipelineOptions, Solution};
+use distvliw_core::cachekey::{
+    cell_key_from_fingerprint, digest_fingerprint, suite_digest, CacheKey,
+};
+use distvliw_core::{
+    par, Heuristic, IiSeedStore, Pipeline, PipelineError, PipelineOptions, Solution,
+};
 use distvliw_ir::Suite;
 use distvliw_sim::ClusterUsage;
 
 use crate::cache::{CacheStats, ResultCache, SingleFlight};
+use crate::persist::{self, LogWriter};
 
 /// A computed cell, shared between the cache and concurrent requesters.
 pub type CellResult = Arc<Result<distvliw_core::SuiteStats, PipelineError>>;
@@ -37,6 +44,41 @@ pub struct CellSpec<'a> {
     pub solution: Solution,
     /// Cluster-assignment heuristic.
     pub heuristic: Heuristic,
+}
+
+/// Persistence counters, as served by `/stats` and `servecli state`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PersistStats {
+    /// Cell results restored into the cache at boot (after last-wins
+    /// dedup).
+    pub loaded_cells: u64,
+    /// II seeds restored into the seed store at boot.
+    pub loaded_seeds: u64,
+    /// Persisted records thrown away at boot: stale-era records, frames
+    /// behind a corrupt one, and checksum-valid records whose payload
+    /// failed to decode.
+    pub discarded_records: u64,
+    /// Bytes truncated at boot (torn/corrupt tails, stale stores).
+    pub discarded_bytes: u64,
+    /// Stores rejected wholesale for a stale era fingerprint (0–2).
+    pub stale_stores: u64,
+    /// Records appended to the logs since boot.
+    pub appended_records: u64,
+    /// Atomic compact-and-rewrite passes of the cell log since boot.
+    pub compactions: u64,
+    /// Explicit flushes (periodic and shutdown) since boot.
+    pub flushes: u64,
+    /// Persistence writes that failed with an I/O error (serving
+    /// continues; the warm state just stops growing).
+    pub write_errors: u64,
+}
+
+/// The open state logs plus their counters, behind one lock. Lock
+/// ordering: the cache lock is always taken **before** this one.
+struct PersistState {
+    cells: LogWriter,
+    seeds: LogWriter,
+    stats: PersistStats,
 }
 
 /// Aggregate engine counters, as served by `/stats`.
@@ -56,6 +98,11 @@ pub struct EngineStats {
     pub deduped_requests: u64,
     /// Per-cluster usage aggregated over every computed cell.
     pub cluster: ClusterUsage,
+    /// Kernels whose II search started from a profitable persisted or
+    /// recorded seed (summed over computed cells).
+    pub seeded_kernels: u64,
+    /// Persistence counters, when the engine runs with a state dir.
+    pub persist: Option<PersistStats>,
     /// Milliseconds since the engine was created.
     pub uptime_ms: u64,
 }
@@ -72,9 +119,16 @@ pub struct ServeEngine {
     figure_names: Vec<String>,
     cache: Mutex<ResultCache<CellResult>>,
     flight: SingleFlight<CellResult>,
+    /// One shared II-seed store for every pipeline this engine spawns,
+    /// so a cell computed on one machine variant seeds the II search of
+    /// scheduler-equivalent variants — and so the store can be persisted
+    /// across restarts.
+    seeds: Arc<IiSeedStore>,
+    persist: Option<Mutex<PersistState>>,
     usage: Mutex<ClusterUsage>,
     computed: AtomicU64,
     deduped: AtomicU64,
+    seeded: AtomicU64,
     started: Instant,
 }
 
@@ -110,11 +164,102 @@ impl ServeEngine {
             figure_names,
             cache: Mutex::new(ResultCache::new(cache_capacity)),
             flight: SingleFlight::new(),
+            seeds: Arc::new(IiSeedStore::new()),
+            persist: None,
             usage: Mutex::new(ClusterUsage::default()),
             computed: AtomicU64::new(0),
             deduped: AtomicU64::new(0),
+            seeded: AtomicU64::new(0),
             started: Instant::now(),
         }
+    }
+
+    /// Attaches durable state under `dir` (created if missing): the
+    /// cell cache loads from `cells.log`, the II-seed store from
+    /// `seeds.log`, and both logs are kept current as the engine runs
+    /// (append per insert, atomic compaction on eviction, fsync on
+    /// flush). Corrupt or stale stores are recovered, never fatal —
+    /// see [`PersistStats`] for what was kept.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures creating or opening the logs (not
+    /// corruption, which is healed in place).
+    pub fn with_state_dir(mut self, dir: &Path) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let era = persist::era_bytes();
+        let (mut cells, cell_records, cell_report) =
+            LogWriter::open(dir.join("cells.log"), persist::KIND_CELLS, &era)?;
+        let (mut seeds_log, seed_records, seed_report) =
+            LogWriter::open(dir.join("seeds.log"), persist::KIND_SEEDS, &era)?;
+
+        let mut stats = PersistStats {
+            discarded_records: cell_report.discarded_records + seed_report.discarded_records,
+            discarded_bytes: cell_report.discarded_bytes + seed_report.discarded_bytes,
+            stale_stores: u64::from(cell_report.stale) + u64::from(seed_report.stale),
+            ..PersistStats::default()
+        };
+
+        // Replay cells in file order (LRU-first snapshot, then appends):
+        // `preload` keeps the boot invisible to the traffic counters
+        // while last-wins dedup and capacity eviction apply as usual.
+        let mut undecodable = 0u64;
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            for (key, value) in cell_records {
+                match persist::suite_stats_from_bytes(&value) {
+                    Some(suite) => {
+                        cache.preload(CacheKey::from_bytes(key), Arc::new(Ok(suite)));
+                    }
+                    // Checksum-valid but undecodable: a payload this
+                    // era's codec never wrote. Drop it, heal below.
+                    None => undecodable += 1,
+                }
+            }
+            stats.loaded_cells = cache.len() as u64;
+            if undecodable > 0 {
+                let entries = cache.entries_by_recency();
+                if cells.rewrite(encode_live(&entries)).is_err() {
+                    stats.write_errors += 1;
+                } else {
+                    stats.compactions += 1;
+                }
+            }
+        }
+
+        let mut seeds = Vec::with_capacity(seed_records.len());
+        let mut undecodable_seeds = 0u64;
+        for (key, value) in seed_records {
+            match (
+                <[u8; 16]>::try_from(key.as_slice()),
+                <[u8; 4]>::try_from(value.as_slice()),
+            ) {
+                (Ok(key), Ok(ii)) => seeds.push((key, u32::from_le_bytes(ii))),
+                _ => undecodable_seeds += 1,
+            }
+        }
+        self.seeds.absorb(&seeds);
+        stats.loaded_seeds = self.seeds.len() as u64;
+        if undecodable_seeds > 0 {
+            let live = self.seeds.snapshot();
+            let rewrite = seeds_log.rewrite(
+                live.iter()
+                    .map(|(k, ii)| (k.as_slice(), ii.to_le_bytes().to_vec())),
+            );
+            if rewrite.is_err() {
+                stats.write_errors += 1;
+            } else {
+                stats.compactions += 1;
+            }
+        }
+        stats.discarded_records += undecodable + undecodable_seeds;
+
+        self.persist = Some(Mutex::new(PersistState {
+            cells,
+            seeds: seeds_log,
+            stats,
+        }));
+        Ok(self)
     }
 
     /// The machine endpoint cells default to.
@@ -166,20 +311,26 @@ impl ServeEngine {
             if let Some(value) = self.cache.lock().expect("cache lock").get_uncounted(&key) {
                 return value;
             }
-            let pipeline = Pipeline::new(spec.machine.clone()).with_options(self.options);
+            let pipeline = Pipeline::new(spec.machine.clone())
+                .with_options(self.options)
+                .with_seed_store(self.seeds.clone());
             let result: CellResult =
                 Arc::new(pipeline.run_suite(spec.suite, spec.solution, spec.heuristic));
             if let Ok(stats) = result.as_ref() {
                 *self.usage.lock().expect("usage lock") += &stats.cluster;
+                self.seeded
+                    .fetch_add(stats.sched.seeded_kernels, Ordering::Relaxed);
             }
             self.computed.fetch_add(1, Ordering::Relaxed);
             // Publish to the cache *before* the flight slot is retired,
             // so a racer arriving between retirement and publication
             // cannot start a duplicate computation.
-            self.cache
-                .lock()
-                .expect("cache lock")
-                .insert(key.clone(), result.clone());
+            let mut cache = self.cache.lock().expect("cache lock");
+            let evicted = cache.insert(key.clone(), result.clone());
+            // Persist under the cache lock (cache → persist ordering),
+            // so the log mirrors insertion order exactly.
+            self.persist_insert(&cache, &key, &result, evicted.is_some());
+            drop(cache);
             result
         });
         if !leader {
@@ -198,6 +349,82 @@ impl ServeEngine {
         par::par_map(specs, |spec| self.run_cell(*spec))
     }
 
+    /// Mirrors one cache insertion into the logs: newly dirtied II
+    /// seeds and the cell value are appended; an eviction triggers an
+    /// atomic compact-and-rewrite of the cell log instead, so the log
+    /// stays an exact LRU-ordered snapshot of the live set. Callers
+    /// hold the cache lock (cache → persist ordering). Write failures
+    /// are counted, not fatal.
+    fn persist_insert(
+        &self,
+        cache: &ResultCache<CellResult>,
+        key: &CacheKey,
+        value: &CellResult,
+        evicted: bool,
+    ) {
+        let Some(persist) = &self.persist else { return };
+        let mut p = persist.lock().expect("persist lock");
+        for (seed_key, ii) in self.seeds.drain_dirty() {
+            if p.seeds.append(&seed_key, &ii.to_le_bytes()).is_err() {
+                p.stats.write_errors += 1;
+            } else {
+                p.stats.appended_records += 1;
+            }
+        }
+        if evicted {
+            let entries = cache.entries_by_recency();
+            if p.cells.rewrite(encode_live(&entries)).is_err() {
+                p.stats.write_errors += 1;
+            } else {
+                p.stats.compactions += 1;
+            }
+        } else if let Ok(stats) = value.as_ref() {
+            // Only Ok cells persist; a failed cell is recomputed (and
+            // may succeed) after a restart.
+            if p.cells
+                .append(key.bytes(), &persist::suite_stats_bytes(stats))
+                .is_err()
+            {
+                p.stats.write_errors += 1;
+            } else {
+                p.stats.appended_records += 1;
+            }
+        }
+    }
+
+    /// Flushes the durable state: appends any dirty II seeds and fsyncs
+    /// both logs. With `compact`, additionally rewrites the cell log to
+    /// the current LRU-ordered live set, capturing recency drift from
+    /// cache hits since the last eviction — used on clean shutdown.
+    /// No-op without a state dir; write failures are counted, not
+    /// fatal.
+    pub fn flush_state(&self, compact: bool) {
+        let Some(persist) = &self.persist else { return };
+        let cache = self.cache.lock().expect("cache lock");
+        let mut p = persist.lock().expect("persist lock");
+        for (seed_key, ii) in self.seeds.drain_dirty() {
+            if p.seeds.append(&seed_key, &ii.to_le_bytes()).is_err() {
+                p.stats.write_errors += 1;
+            } else {
+                p.stats.appended_records += 1;
+            }
+        }
+        if compact {
+            let entries = cache.entries_by_recency();
+            if p.cells.rewrite(encode_live(&entries)).is_err() {
+                p.stats.write_errors += 1;
+            } else {
+                p.stats.compactions += 1;
+            }
+        } else if p.cells.sync().is_err() {
+            p.stats.write_errors += 1;
+        }
+        if p.seeds.sync().is_err() {
+            p.stats.write_errors += 1;
+        }
+        p.stats.flushes += 1;
+    }
+
     /// A snapshot of the engine counters.
     ///
     /// # Panics
@@ -213,9 +440,26 @@ impl ServeEngine {
             computed_cells: self.computed.load(Ordering::Relaxed),
             deduped_requests: self.deduped.load(Ordering::Relaxed),
             cluster: self.usage.lock().expect("usage lock").clone(),
+            seeded_kernels: self.seeded.load(Ordering::Relaxed),
+            persist: self
+                .persist
+                .as_ref()
+                .map(|p| p.lock().expect("persist lock").stats),
             uptime_ms: self.started.elapsed().as_millis() as u64,
         }
     }
+}
+
+/// Adapts an `entries_by_recency` snapshot into the record iterator a
+/// cell-log rewrite wants, dropping `Err` cells (only successful runs
+/// persist).
+fn encode_live(entries: &[(CacheKey, CellResult)]) -> impl Iterator<Item = (&[u8], Vec<u8>)> {
+    entries
+        .iter()
+        .filter_map(|(key, value)| match value.as_ref() {
+            Ok(stats) => Some((key.bytes(), persist::suite_stats_bytes(stats))),
+            Err(_) => None,
+        })
 }
 
 /// Applies JSON machine overrides (see `docs/serving.md`) on top of

@@ -37,6 +37,7 @@ pub mod endpoints;
 pub mod engine;
 pub mod http;
 pub mod json;
+pub mod persist;
 
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -96,6 +97,23 @@ impl Server {
     pub fn run(self) -> io::Result<()> {
         let addr = self.local_addr();
         let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        // Periodic state flush: dirty II seeds reach the log (and both
+        // logs reach disk) within a few seconds even if the process is
+        // later killed uncleanly. Exits with the shutdown flag.
+        let flusher = {
+            let engine = self.engine.clone();
+            let shutdown = self.shutdown.clone();
+            std::thread::spawn(move || {
+                let mut ticks = 0u32;
+                while !shutdown.load(Ordering::SeqCst) {
+                    std::thread::sleep(std::time::Duration::from_millis(250));
+                    ticks += 1;
+                    if ticks.is_multiple_of(20) {
+                        engine.flush_state(false);
+                    }
+                }
+            })
+        };
         for conn in self.listener.incoming() {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -123,6 +141,10 @@ impl Server {
         for handler in handlers {
             let _ = handler.join();
         }
+        let _ = flusher.join();
+        // Clean shutdown compacts the cell log, so recency drift from
+        // cache hits since the last eviction survives the restart.
+        self.engine.flush_state(true);
         Ok(())
     }
 }

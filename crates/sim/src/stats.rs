@@ -33,6 +33,20 @@ impl AccessCounts {
         self.0.iter().sum()
     }
 
+    /// The raw per-class counters, indexed like [`AccessClass::ALL`].
+    /// With [`AccessCounts::from_array`], the lossless round-trip the
+    /// serving layer's on-disk codec relies on.
+    #[must_use]
+    pub fn as_array(&self) -> [u64; 5] {
+        self.0
+    }
+
+    /// Reconstructs counters from [`AccessCounts::as_array`] output.
+    #[must_use]
+    pub fn from_array(counts: [u64; 5]) -> Self {
+        AccessCounts(counts)
+    }
+
     /// Fraction of accesses in `class` (0 when empty).
     #[must_use]
     pub fn fraction(&self, class: AccessClass) -> f64 {
