@@ -716,6 +716,7 @@ pub fn sweep(
     suites: &[Suite],
     spec: &SweepSpec,
 ) -> Result<SweepRun, PipelineError> {
+    let sweep_start = std::time::Instant::now();
     struct Unit {
         machine: MachineConfig,
         solution: Solution,
@@ -784,6 +785,9 @@ pub fn sweep(
     order.sort_by_key(|&i| std::cmp::Reverse(units[i].machine.n_clusters));
     let compiled = par::par_map(&order, |&i| {
         let unit = &units[i];
+        let mut span = distvliw_obs::Span::enter("sweep.compile_unit");
+        span.field_str("suite", suites[unit.suite_idx].name.clone());
+        span.field_u64("n_clusters", unit.machine.n_clusters as u64);
         let pipeline = Pipeline::new(unit.machine.clone());
         (
             i,
@@ -832,6 +836,9 @@ pub fn sweep(
         .map(|(cell_idx, &unit_idx)| (cell_idx / (suites.len() * SWEEP_CONCRETE.len()), unit_idx))
         .collect();
     let sims: Vec<SuiteStats> = par::par_map(&cells, |&(point_idx, unit_idx)| {
+        let mut span = distvliw_obs::Span::enter("sweep.sim_cell");
+        span.field_u64("point", point_idx as u64);
+        span.field_u64("unit", unit_idx as u64);
         pipelines[point_idx].simulate_artifact(&artifacts[unit_idx])
     });
 
@@ -854,6 +861,17 @@ pub fn sweep(
         let refs: Vec<&SuiteStats> = hybrid.iter().collect();
         rows.push(sweep_row(*n_clusters, *mem_buses, Solution::Hybrid, &refs));
     }
+    let reg = distvliw_obs::global();
+    reg.counter(
+        "sweep_cells_simulated_total",
+        "Concrete sweep cells simulated",
+    )
+    .add(cells.len() as u64);
+    reg.histogram(
+        "sweep_duration_us",
+        "Wall time of one factored sweep in microseconds",
+    )
+    .record_micros(sweep_start.elapsed());
     Ok(SweepRun { rows, reuse })
 }
 

@@ -39,6 +39,11 @@ where
     if workers <= 1 || items.len() <= 1 {
         return items.iter().map(f).collect();
     }
+    // Worker threads inherit the caller's trace context so spans opened
+    // inside `f` (compile, sim, sweep cells) stay attached to the
+    // requesting trace; this is the single propagation point for every
+    // fan-out in the workspace.
+    let ctx = distvliw_obs::trace::current_ctx();
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, R)>();
     // The slot unwrap happens *after* the scope closes: if a worker
@@ -50,12 +55,15 @@ where
             let tx = tx.clone();
             let next = &next;
             let f = &f;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                if tx.send((i, f(item))).is_err() {
-                    break;
-                }
+            let ctx = ctx.clone();
+            scope.spawn(move || {
+                distvliw_obs::trace::with_ctx(ctx, || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    if tx.send((i, f(item))).is_err() {
+                        break;
+                    }
+                });
             });
         }
         drop(tx);

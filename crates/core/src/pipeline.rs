@@ -732,6 +732,8 @@ impl Pipeline {
         heuristic: Heuristic,
     ) -> Result<KernelArtifact, PipelineError> {
         debug_assert!(solution != Solution::Hybrid, "hybrid is not compiled");
+        let mut span = distvliw_obs::Span::enter("compile");
+        span.field_str("kernel", kernel.name.clone());
         kernel.validate().map_err(|e| PipelineError::Kernel {
             kernel: kernel.name.clone(),
             error: e.to_string(),
@@ -784,6 +786,7 @@ impl Pipeline {
                 error,
             })?;
         self.seeds.record(key, schedule.ii);
+        span.field_u64("ii", u64::from(schedule.ii));
 
         Ok(KernelArtifact {
             kernel,
@@ -802,6 +805,8 @@ impl Pipeline {
         machine: &MachineConfig,
         artifact: &KernelArtifact,
     ) -> KernelRun {
+        let mut span = distvliw_obs::Span::enter("sim");
+        span.field_str("kernel", artifact.kernel.name.clone());
         let (stats, cluster) = simulate_kernel_detailed(
             machine,
             &artifact.kernel,

@@ -1,0 +1,37 @@
+//! `distvliw-obs`: the process-wide observability layer.
+//!
+//! Everything the rest of the workspace reports about a running process
+//! funnels through this crate (std-only, like the `third_party/`
+//! dependency stand-ins):
+//!
+//! * **Metrics** ([`metrics`]): a registry of monotonic counters,
+//!   gauges and fixed-bucket log-scale histograms. Handles are cheap
+//!   atomics (lock-free on the record path); snapshots are
+//!   deterministic (name-sorted) and render in the Prometheus text
+//!   exposition format for `GET /metrics`.
+//! * **Tracing** ([`trace`]): a lightweight [`trace::Span`] guard API
+//!   recording `(name, start, duration, parent, key=val fields)` into
+//!   a bounded per-thread ring buffer, plus an optional per-request
+//!   [`trace::TraceSink`] so one request's span tree can be gathered
+//!   without scanning the global rings. The context (trace id, parent
+//!   span, sink) propagates across worker threads explicitly via
+//!   [`trace::with_ctx`].
+//! * **Logging** ([`logger`]): a structured JSON-lines logger with two
+//!   channels — `access` (one line per served request) and `event`
+//!   (warnings such as accept-error backoff or connection reaps) —
+//!   behind a process-global, no-op-until-installed sink.
+//!
+//! Instrumentation is observational only: nothing here feeds back into
+//! scheduling or simulation, so golden outputs stay byte-identical
+//! with the layer compiled in and enabled. See `docs/observability.md`
+//! for the metric catalog and span taxonomy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod logger;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{global, Counter, Gauge, Histogram, Registry};
+pub use trace::{Span, SpanRecord, TraceSink};

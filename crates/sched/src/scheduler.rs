@@ -186,6 +186,66 @@ impl<'m> ModuloScheduler<'m> {
         prefs: &PrefMap,
         heuristic: Heuristic,
     ) -> Result<(Schedule, SchedStats), ScheduleError> {
+        let start = std::time::Instant::now();
+        let mut span = distvliw_obs::Span::enter("sched.schedule");
+        span.field_u64("nodes", ddg.node_count() as u64);
+        let result = self.schedule_inner(ddg, constraints, prefs, heuristic);
+        let reg = distvliw_obs::global();
+        reg.histogram(
+            "sched_schedule_duration_us",
+            "Wall time of one schedule() call in microseconds",
+        )
+        .record_micros(start.elapsed());
+        match &result {
+            Ok((_, stats)) => {
+                span.field_u64("ii", u64::from(stats.ii));
+                span.field_u64("mii", u64::from(stats.mii));
+                span.field_u64("iis_tried", u64::from(stats.iis_tried));
+                span.field_u64("ejections", stats.ejections);
+                reg.counter("sched_schedules_total", "Completed schedule() calls")
+                    .inc();
+                reg.counter(
+                    "sched_iis_tried_total",
+                    "Candidate initiation intervals tried across all searches",
+                )
+                .add(u64::from(stats.iis_tried));
+                reg.counter(
+                    "sched_placement_attempts_total",
+                    "Node placement attempts across all searches",
+                )
+                .add(stats.placement_attempts);
+                reg.counter(
+                    "sched_ejections_total",
+                    "Nodes ejected by the backtracking placement fallback",
+                )
+                .add(stats.ejections);
+                if stats.seeded_at.is_some() {
+                    reg.counter(
+                        "sched_seeded_schedules_total",
+                        "Schedules whose II search opened from a stored seed",
+                    )
+                    .inc();
+                }
+            }
+            Err(_) => {
+                span.field_str("error", "unschedulable");
+                reg.counter(
+                    "sched_schedule_failures_total",
+                    "schedule() calls returning an error",
+                )
+                .inc();
+            }
+        }
+        result
+    }
+
+    fn schedule_inner(
+        &self,
+        ddg: &Ddg,
+        constraints: &SchedConstraints,
+        prefs: &PrefMap,
+        heuristic: Heuristic,
+    ) -> Result<(Schedule, SchedStats), ScheduleError> {
         let min_ii = constraints.min_ii.max(1);
         if ddg.has_zero_distance_cycle() {
             return Err(ScheduleError::InvalidGraph);
@@ -263,17 +323,25 @@ impl<'m> ModuloScheduler<'m> {
         let mut used_eject = false;
         for ii in start_ii..=max_ii {
             counters.iis_tried += 1;
+            let mut trial_span = distvliw_obs::Span::enter("sched.ii_trial");
+            trial_span.field_u64("ii", u64::from(ii));
             if let Some(p) = self.try_place(ctx, &lat, &order, ii, &mut counters) {
+                trial_span.field_str("outcome", "placed");
                 found = Some((ii, p));
                 break;
             }
             if self.ejection {
-                if let Some(p) = self.try_place_eject(ctx, &lat, &order, ii, &mut counters) {
+                let eject_span = distvliw_obs::Span::enter("sched.eject");
+                let placed = self.try_place_eject(ctx, &lat, &order, ii, &mut counters);
+                drop(eject_span);
+                if let Some(p) = placed {
+                    trial_span.field_str("outcome", "ejected");
                     found = Some((ii, p));
                     used_eject = true;
                     break;
                 }
             }
+            trial_span.field_str("outcome", "infeasible");
         }
         let Some((ii0, mut best)) = found else {
             return Err(ScheduleError::NoFeasibleIi {

@@ -3,12 +3,16 @@
 //!
 //! ```text
 //! cargo run --release -p distvliw-serve --bin serve -- \
-//!     [--addr 127.0.0.1:7411] [--cache-capacity 256] [--state-dir DIR]
+//!     [--addr 127.0.0.1:7411] [--cache-capacity 256] [--state-dir DIR] \
+//!     [--access-log PATH|-] [--slow-ms N]
 //! ```
 //!
 //! With `--state-dir` the result cache and II-seed store persist across
 //! restarts (crash-safe log-structured files; see `docs/persistence.md`).
-//! The worker fan-out honours `DISTVLIW_THREADS` like every other bin.
+//! `--access-log` writes one structured JSON line per request (`-` for
+//! stdout); `--slow-ms` warns on requests over the threshold (see
+//! `docs/observability.md`). The worker fan-out honours
+//! `DISTVLIW_THREADS` like every other bin.
 
 use std::process::ExitCode;
 
@@ -20,6 +24,8 @@ fn main() -> ExitCode {
     let mut addr = "127.0.0.1:7411".to_string();
     let mut capacity: usize = 256;
     let mut state_dir: Option<std::path::PathBuf> = None;
+    let mut access_log: Option<String> = None;
+    let mut slow_ms: u64 = 30_000;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -35,13 +41,33 @@ fn main() -> ExitCode {
                 Some(v) => state_dir = Some(v.into()),
                 None => return usage("--state-dir needs a path"),
             },
+            "--access-log" => match args.next() {
+                Some(v) => access_log = Some(v),
+                None => return usage("--access-log needs a path (or `-` for stdout)"),
+            },
+            "--slow-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => slow_ms = v,
+                None => return usage("--slow-ms needs a non-negative integer"),
+            },
             "--help" | "-h" => {
-                println!("usage: serve [--addr HOST:PORT] [--cache-capacity N] [--state-dir DIR]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument `{other}`")),
         }
     }
+
+    // Anchor span timestamps at process start, install the structured
+    // logger and the slow-request threshold before any request runs.
+    distvliw_obs::trace::init();
+    if let Err(e) = distvliw_obs::logger::init(access_log.as_deref()) {
+        eprintln!(
+            "cannot open access log {}: {e}",
+            access_log.as_deref().unwrap_or("-")
+        );
+        return ExitCode::FAILURE;
+    }
+    distvliw_serve::endpoints::set_slow_request_ms(slow_ms);
 
     let mut engine = ServeEngine::new(MachineConfig::paper_baseline(), capacity);
     if let Some(dir) = &state_dir {
@@ -84,7 +110,9 @@ fn main() -> ExitCode {
     }
 }
 
+const USAGE: &str = "usage: serve [--addr HOST:PORT] [--cache-capacity N] [--state-dir DIR] [--access-log PATH|-] [--slow-ms N]";
+
 fn usage(msg: &str) -> ExitCode {
-    eprintln!("{msg}\nusage: serve [--addr HOST:PORT] [--cache-capacity N] [--state-dir DIR]");
+    eprintln!("{msg}\n{USAGE}");
     ExitCode::FAILURE
 }

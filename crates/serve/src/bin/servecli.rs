@@ -4,7 +4,9 @@
 //! servecli BASE get PATH              # print one response body
 //! servecli BASE smoke [--shutdown] [--expect-warm]  # CI smoke
 //! servecli BASE state                 # persistence counters
-//! servecli BASE load PATH [-n N] [-c C]  # latency percentiles under load
+//! servecli BASE load PATH [-n N] [-c C] [--json]  # latency under load
+//! servecli BASE metrics [--require NAME,NAME,...]  # scrape /metrics
+//! servecli BASE trace [-n N]          # recent spans from /debug/trace
 //! servecli BASE shutdown              # stop the daemon
 //! ```
 //!
@@ -17,13 +19,17 @@
 //! persistence counters (cells/seeds restored at boot, records and
 //! bytes discarded at recovery, appends/compactions/flushes since).
 //! `load` replays N concurrent requests (C persistent connections)
-//! against a warm cache and reports latency percentiles, demonstrating
-//! that cache hits cost microseconds while the cold run costs the full
-//! pipeline.
+//! against a warm cache and reports latency percentiles from a merged
+//! `distvliw_obs` histogram (`--json` for machine-readable output),
+//! demonstrating that cache hits cost microseconds while the cold run
+//! costs the full pipeline. `metrics` scrapes and validates the
+//! Prometheus exposition, failing if any `--require`d family is absent;
+//! `trace` prints the most recent spans from the global rings.
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
+use distvliw_obs::Histogram;
 use distvliw_serve::client::{self, Client};
 use distvliw_serve::json;
 
@@ -51,8 +57,13 @@ fn main() -> ExitCode {
             };
             let mut n = 100usize;
             let mut c = 8usize;
+            let mut json_out = false;
             let mut it = rest.iter().skip(2);
             while let Some(flag) = it.next() {
+                if flag == "--json" {
+                    json_out = true;
+                    continue;
+                }
                 let value = it.next().and_then(|v| v.parse::<usize>().ok());
                 match (flag.as_str(), value) {
                     ("-n", Some(v)) if v > 0 => n = v,
@@ -60,7 +71,34 @@ fn main() -> ExitCode {
                     _ => return usage(),
                 }
             }
-            cmd_load(&base, &path, n, c)
+            cmd_load(&base, &path, n, c, json_out)
+        }
+        Some("metrics") => {
+            let mut required: Vec<String> = Vec::new();
+            let mut it = rest.iter().skip(1);
+            while let Some(flag) = it.next() {
+                match (flag.as_str(), it.next()) {
+                    ("--require", Some(list)) => {
+                        required.extend(list.split(',').map(str::to_string));
+                    }
+                    _ => return usage(),
+                }
+            }
+            cmd_metrics(&base, &required)
+        }
+        Some("trace") => {
+            let mut n = 64usize;
+            let mut it = rest.iter().skip(1);
+            while let Some(flag) = it.next() {
+                match (
+                    flag.as_str(),
+                    it.next().and_then(|v| v.parse::<usize>().ok()),
+                ) {
+                    ("-n", Some(v)) if v > 0 => n = v,
+                    _ => return usage(),
+                }
+            }
+            cmd_trace(&base, n)
         }
         Some("shutdown") => match client::post(&base, "/shutdown", "") {
             Ok(resp) if resp.status == 200 => ExitCode::SUCCESS,
@@ -76,7 +114,9 @@ fn usage() -> ExitCode {
         "usage: servecli BASE get PATH\n       \
          servecli BASE smoke [--shutdown] [--expect-warm]\n       \
          servecli BASE state\n       \
-         servecli BASE load PATH [-n N] [-c C]\n       servecli BASE shutdown"
+         servecli BASE load PATH [-n N] [-c C] [--json]\n       \
+         servecli BASE metrics [--require NAME,NAME,...]\n       \
+         servecli BASE trace [-n N]\n       servecli BASE shutdown"
     );
     ExitCode::FAILURE
 }
@@ -204,6 +244,23 @@ fn smoke(base: &str, expect_warm: bool) -> Result<(), String> {
     wait_healthy(base)?;
     println!("smoke: /healthz ok");
 
+    // Build/uptime metadata: every deployment question starts with
+    // "which build is this and how long has it been up?".
+    {
+        let resp = client::get(base, "/stats").map_err(|e| format!("GET /stats failed: {e}"))?;
+        let text = String::from_utf8_lossy(&resp.body).to_string();
+        let v = json::parse(&text).map_err(|e| format!("bad /stats json: {e}"))?;
+        if v.get("uptime_secs").and_then(json::Json::as_u64).is_none() {
+            return Err("/stats missing uptime_secs".to_string());
+        }
+        let version = v
+            .get("build")
+            .and_then(|b| b.get("version"))
+            .and_then(json::Json::as_str)
+            .ok_or("/stats missing build.version")?;
+        println!("smoke: /stats build version {version} ok");
+    }
+
     let before = read_stats(base)?;
     let cold = client::get(base, "/fig6").map_err(|e| format!("GET /fig6 failed: {e}"))?;
     if cold.status != 200 {
@@ -267,8 +324,8 @@ fn smoke(base: &str, expect_warm: bool) -> Result<(), String> {
 }
 
 /// Replays `n` requests over `c` persistent connections and reports
-/// latency percentiles.
-fn cmd_load(base: &str, path: &str, n: usize, c: usize) -> ExitCode {
+/// latency percentiles from a merged `distvliw_obs` histogram.
+fn cmd_load(base: &str, path: &str, n: usize, c: usize, json_out: bool) -> ExitCode {
     if let Err(e) = wait_healthy(base) {
         return fail(&e);
     }
@@ -286,7 +343,9 @@ fn cmd_load(base: &str, path: &str, n: usize, c: usize) -> ExitCode {
         Err(e) => return fail(&e),
     };
     let workers = c.min(n);
-    let mut all_latencies: Vec<Duration> = Vec::with_capacity(n);
+    // Per-worker histograms, merged after the joins; merging fixed
+    // log-scale buckets is exact (identical to one shared histogram).
+    let latencies = Histogram::new();
     let mut failures: Vec<String> = Vec::new();
     std::thread::scope(|scope| {
         let reference = &reference;
@@ -295,33 +354,33 @@ fn cmd_load(base: &str, path: &str, n: usize, c: usize) -> ExitCode {
                 // Split n as evenly as possible across workers.
                 let quota = n / workers + usize::from(w < n % workers);
                 scope.spawn(move || {
-                    let mut latencies = Vec::with_capacity(quota);
+                    let hist = Histogram::new();
                     let mut client = match Client::connect(base) {
                         Ok(client) => client,
-                        Err(e) => return (latencies, Some(format!("connect: {e}"))),
+                        Err(e) => return (hist, Some(format!("connect: {e}"))),
                     };
                     for _ in 0..quota {
                         let t = Instant::now();
                         match client.get(path) {
                             Ok(resp) if resp.status == 200 && &resp.body == reference => {
-                                latencies.push(t.elapsed());
+                                hist.record_micros(t.elapsed());
                             }
                             Ok(resp) if resp.status != 200 => {
-                                return (latencies, Some(format!("status {}", resp.status)));
+                                return (hist, Some(format!("status {}", resp.status)));
                             }
                             Ok(_) => {
-                                return (latencies, Some("body mismatch".to_string()));
+                                return (hist, Some("body mismatch".to_string()));
                             }
-                            Err(e) => return (latencies, Some(format!("request: {e}"))),
+                            Err(e) => return (hist, Some(format!("request: {e}"))),
                         }
                     }
-                    (latencies, None)
+                    (hist, None)
                 })
             })
             .collect();
         for handle in handles {
-            let (latencies, error) = handle.join().expect("load worker");
-            all_latencies.extend(latencies);
+            let (hist, error) = handle.join().expect("load worker");
+            latencies.merge_from(&hist);
             if let Some(e) = error {
                 failures.push(e);
             }
@@ -335,28 +394,147 @@ fn cmd_load(base: &str, path: &str, n: usize, c: usize) -> ExitCode {
         Err(e) => return fail(&e),
     };
 
-    all_latencies.sort();
-    let pct = |q: f64| -> f64 {
-        let idx =
-            ((q * all_latencies.len() as f64).ceil() as usize).clamp(1, all_latencies.len()) - 1;
-        all_latencies[idx].as_secs_f64() * 1e3
-    };
-    println!(
-        "load {path}: n={} c={workers}  cold={cold_ms:.1}ms  p50={:.2}ms p90={:.2}ms p99={:.2}ms max={:.2}ms",
-        all_latencies.len(),
-        pct(0.50),
-        pct(0.90),
-        pct(0.99),
-        pct(1.0),
-    );
-    println!(
-        "stats delta: +{} cache hits, +{} computed cells",
-        after.hits.saturating_sub(before.hits),
-        after.computed.saturating_sub(before.computed)
-    );
+    let pct_us = |q: f64| -> u64 { latencies.quantile(q) };
+    let ms = |us: u64| us as f64 / 1e3;
+    let hits_delta = after.hits.saturating_sub(before.hits);
+    let computed_delta = after.computed.saturating_sub(before.computed);
+    if json_out {
+        let obj = json::Json::obj(vec![
+            ("path", json::Json::str(path)),
+            ("n", json::Json::U64(latencies.count())),
+            ("c", json::Json::U64(workers as u64)),
+            ("cold_ms", json::Json::F64(cold_ms)),
+            ("p50_us", json::Json::U64(pct_us(0.50))),
+            ("p90_us", json::Json::U64(pct_us(0.90))),
+            ("p99_us", json::Json::U64(pct_us(0.99))),
+            ("max_us", json::Json::U64(pct_us(1.0))),
+            (
+                "mean_us",
+                json::Json::U64(latencies.sum() / latencies.count().max(1)),
+            ),
+            ("cache_hits_delta", json::Json::U64(hits_delta)),
+            ("computed_cells_delta", json::Json::U64(computed_delta)),
+        ]);
+        println!("{}", obj.render());
+    } else {
+        println!(
+            "load {path}: n={} c={workers}  cold={cold_ms:.1}ms  p50={:.2}ms p90={:.2}ms p99={:.2}ms max={:.2}ms",
+            latencies.count(),
+            ms(pct_us(0.50)),
+            ms(pct_us(0.90)),
+            ms(pct_us(0.99)),
+            ms(pct_us(1.0)),
+        );
+        println!("stats delta: +{hits_delta} cache hits, +{computed_delta} computed cells");
+    }
     if after.computed != before.computed {
         return fail("warm-cache load recomputed cells; expected pure cache hits");
     }
-    println!("all responses 200 and byte-identical to the warm reference");
+    if !json_out {
+        println!("all responses 200 and byte-identical to the warm reference");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `servecli BASE metrics`: scrape `/metrics`, validate the Prometheus
+/// text exposition line-by-line, and fail if a required family is
+/// missing.
+fn cmd_metrics(base: &str, required: &[String]) -> ExitCode {
+    if let Err(e) = wait_healthy(base) {
+        return fail(&e);
+    }
+    let resp = match client::get(base, "/metrics") {
+        Ok(resp) if resp.status == 200 => resp,
+        Ok(resp) => return fail(&format!("/metrics returned {}", resp.status)),
+        Err(e) => return fail(&format!("GET /metrics failed: {e}")),
+    };
+    let text = String::from_utf8_lossy(&resp.body).to_string();
+    let mut families: Vec<String> = Vec::new();
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            match (parts.next(), parts.next()) {
+                (Some(name), Some("counter" | "gauge" | "histogram")) => {
+                    families.push(name.to_string());
+                }
+                _ => return fail(&format!("bad TYPE line {}: {line}", i + 1)),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        // Sample line: `name{labels} value` — the value must parse.
+        let value = line.rsplit(' ').next().unwrap_or("");
+        if value.parse::<f64>().is_err() {
+            return fail(&format!("unparseable sample on line {}: {line}", i + 1));
+        }
+        samples += 1;
+    }
+    let missing: Vec<&str> = required
+        .iter()
+        .map(String::as_str)
+        .filter(|r| !families.iter().any(|f| f == r))
+        .collect();
+    if !missing.is_empty() {
+        return fail(&format!(
+            "missing required metric families: {}",
+            missing.join(", ")
+        ));
+    }
+    println!(
+        "metrics: {} families, {samples} samples{}",
+        families.len(),
+        if required.is_empty() {
+            String::new()
+        } else {
+            format!(", all {} required present", required.len())
+        }
+    );
+    ExitCode::SUCCESS
+}
+
+/// `servecli BASE trace`: print the most recent spans from the
+/// daemon's global rings.
+fn cmd_trace(base: &str, n: usize) -> ExitCode {
+    if let Err(e) = wait_healthy(base) {
+        return fail(&e);
+    }
+    let resp = match client::get(base, &format!("/debug/trace?n={n}")) {
+        Ok(resp) if resp.status == 200 => resp,
+        Ok(resp) => return fail(&format!("/debug/trace returned {}", resp.status)),
+        Err(e) => return fail(&format!("GET /debug/trace failed: {e}")),
+    };
+    let text = String::from_utf8_lossy(&resp.body).to_string();
+    let v = match json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => return fail(&format!("bad /debug/trace json: {e}")),
+    };
+    let Some(spans) = v.get("spans").and_then(json::Json::as_array) else {
+        return fail("/debug/trace missing spans array");
+    };
+    for span in spans {
+        let s = |k: &str| {
+            span.get(k)
+                .and_then(json::Json::as_str)
+                .unwrap_or("?")
+                .to_string()
+        };
+        let u = |k: &str| span.get(k).and_then(json::Json::as_u64).unwrap_or(0);
+        println!(
+            "{:>12}us +{:>9}us  {} (id={} parent={} trace={})",
+            u("start_us"),
+            u("dur_us"),
+            s("name"),
+            u("id"),
+            u("parent"),
+            u("trace"),
+        );
+    }
+    println!("trace: {} spans", spans.len());
     ExitCode::SUCCESS
 }

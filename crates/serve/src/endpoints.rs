@@ -6,25 +6,250 @@
 //! [`ServeEngine::run_cells`] so repeated and overlapping requests are
 //! served from the result cache.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
 use distvliw_arch::{AccessClass, AttractionBufferConfig, MachineConfig};
 use distvliw_core::experiments::{
     sweep_machine, sweep_row, table3, table5, SweepSpec, SWEEP_DEFAULT_SUITE_NAMES, SWEEP_SOLUTIONS,
 };
 use distvliw_core::{derive_hybrid, Heuristic, PipelineError, Solution, SuiteStats};
 use distvliw_ir::Suite;
+use distvliw_obs::logger;
+use distvliw_obs::trace::{self, SpanRecord, TraceCtx, TraceSink};
 
 use crate::engine::{machine_with_overrides, CellSpec, ServeEngine};
 use crate::http::{Request, Response};
 use crate::json::{self, Json};
 
+/// Requests slower than this (total wall millis) emit a `slow_request`
+/// warning through the structured logger. `u64::MAX` disables the
+/// check; `serve --slow-ms` sets it.
+static SLOW_REQUEST_MS: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// Sets the slow-request warning threshold in milliseconds.
+pub fn set_slow_request_ms(ms: u64) {
+    SLOW_REQUEST_MS.store(ms, Ordering::Relaxed);
+}
+
+/// Handles one request with full observability: a per-request trace
+/// context (so every phase span lands in this request's tree), the
+/// HTTP-layer metrics, the JSON access-log line, the slow-request
+/// warning, and — with `?trace=1` — the request's own span tree wrapped
+/// around the response body. `parse_start`/`parse_dur` time the framing
+/// read, which happened before this function could open a context.
+#[must_use]
+pub fn serve_request(
+    engine: &ServeEngine,
+    request: &Request,
+    parse_start: Instant,
+    parse_dur: Duration,
+) -> Response {
+    let start = Instant::now();
+    let wants_trace = request.query_param("trace").is_some_and(|v| v == "1");
+    // The sink is only needed when somebody will read the collected
+    // spans; without it, spans still reach the global rings.
+    let sink = (wants_trace || logger::access_enabled()).then(TraceSink::new);
+    let ctx = sink
+        .as_ref()
+        .map_or_else(TraceCtx::default, TraceCtx::for_sink);
+    let mut response = trace::with_ctx(ctx, || {
+        let mut root = trace::Span::enter("request");
+        root.field_str("method", request.method.clone());
+        root.field_str("path", request.path.clone());
+        trace::record("parse", parse_start, parse_dur, Vec::new());
+        let response = handle(engine, request);
+        root.field_u64("status", u64::from(response.status));
+        response
+    });
+    let total = parse_dur + start.elapsed();
+
+    let reg = distvliw_obs::global();
+    let label = route_label(&request.path);
+    reg.counter_with(
+        "serve_http_requests_total",
+        "Requests served, by (normalized) path",
+        &[("path", &label)],
+    )
+    .inc();
+    reg.histogram(
+        "serve_http_request_duration_us",
+        "Total request wall time (parse through render) in microseconds",
+    )
+    .record_micros(total);
+    reg.counter(
+        "serve_http_response_bytes_total",
+        "Response body bytes written",
+    )
+    .add(response.body.len() as u64);
+
+    let slow_ms = SLOW_REQUEST_MS.load(Ordering::Relaxed);
+    if total.as_millis() as u64 >= slow_ms {
+        reg.counter(
+            "serve_http_slow_requests_total",
+            "Requests slower than the configured threshold",
+        )
+        .inc();
+        logger::event(
+            "warn",
+            "slow_request",
+            &[
+                ("method", request.method.as_str().into()),
+                ("path", request.path.as_str().into()),
+                ("total_ms", (total.as_millis() as u64).into()),
+                ("threshold_ms", slow_ms.into()),
+            ],
+        );
+    }
+
+    if let Some(sink) = sink {
+        let (records, dropped) = sink.take();
+        let phase = |name: &str| -> u64 {
+            records
+                .iter()
+                .filter(|r| r.name == name)
+                .map(|r| r.dur_ns / 1_000)
+                .sum()
+        };
+        if logger::access_enabled() {
+            let outcome = if records.iter().any(|r| r.name == "compile") {
+                "computed"
+            } else if records.iter().any(|r| r.name == "flight_wait") {
+                "flight"
+            } else if records.iter().any(|r| {
+                r.name == "cache_lookup"
+                    && r.fields.iter().any(|(k, v)| {
+                        *k == "outcome" && matches!(v, trace::FieldValue::Str(s) if s == "hit")
+                    })
+            }) {
+                "hit"
+            } else {
+                "none"
+            };
+            logger::access(&[
+                ("method", request.method.as_str().into()),
+                ("path", request.path.as_str().into()),
+                ("status", u64::from(response.status).into()),
+                ("cache", outcome.into()),
+                ("bytes", (response.body.len() as u64).into()),
+                ("total_us", (total.as_micros() as u64).into()),
+                ("parse_us", phase("parse").into()),
+                ("cache_lookup_us", phase("cache_lookup").into()),
+                ("flight_wait_us", phase("flight_wait").into()),
+                ("compile_us", phase("compile").into()),
+                ("sim_us", phase("sim").into()),
+                ("persist_us", phase("persist").into()),
+            ]);
+        }
+        if wants_trace && response.content_type == "application/json" {
+            let tree = span_tree(&records);
+            let mut body = Vec::with_capacity(response.body.len() + 256);
+            body.extend_from_slice(b"{\"trace\":");
+            body.extend_from_slice(tree.render().as_bytes());
+            body.extend_from_slice(b",\"dropped_spans\":");
+            body.extend_from_slice(dropped.to_string().as_bytes());
+            body.extend_from_slice(b",\"response\":");
+            body.extend_from_slice(&response.body);
+            body.push(b'}');
+            response.body = body;
+        }
+    }
+    response
+}
+
+/// Collapses request paths onto the route set so the per-path counter
+/// stays bounded under 404 scans.
+fn route_label(path: &str) -> String {
+    match path {
+        "/" | "/healthz" | "/stats" | "/metrics" | "/debug/trace" | "/fig6" | "/fig7" | "/fig9"
+        | "/table3" | "/table4" | "/table5" | "/nobal" | "/sweep" | "/matrix" | "/shutdown" => {
+            path.to_string()
+        }
+        _ => "other".to_string(),
+    }
+}
+
+/// Renders one span as JSON (durations in microseconds).
+fn span_json(r: &SpanRecord, children: Json) -> Json {
+    let fields: Vec<(String, Json)> = r
+        .fields
+        .iter()
+        .map(|(k, v)| {
+            let v = match v {
+                trace::FieldValue::U64(n) => Json::U64(*n),
+                trace::FieldValue::Str(s) => Json::str(s.clone()),
+            };
+            ((*k).to_string(), v)
+        })
+        .collect();
+    let mut pairs = vec![
+        ("name", Json::str(r.name)),
+        ("start_us", Json::U64(r.start_us)),
+        ("dur_us", Json::U64(r.dur_ns / 1_000)),
+    ];
+    if !fields.is_empty() {
+        pairs.push(("fields", Json::Obj(fields)));
+    }
+    match children {
+        Json::Arr(c) if c.is_empty() => {}
+        c => pairs.push(("children", c)),
+    }
+    Json::obj(pairs)
+}
+
+/// Assembles one request's flat span records into a parent→child tree,
+/// children ordered by start time, roots at the top level.
+fn span_tree(records: &[SpanRecord]) -> Json {
+    let known: std::collections::BTreeSet<u64> = records.iter().map(|r| r.id).collect();
+    let mut by_parent: std::collections::BTreeMap<u64, Vec<&SpanRecord>> =
+        std::collections::BTreeMap::new();
+    for r in records {
+        let parent = if known.contains(&r.parent) {
+            r.parent
+        } else {
+            0
+        };
+        by_parent.entry(parent).or_default().push(r);
+    }
+    for children in by_parent.values_mut() {
+        children.sort_by_key(|r| (r.start_us, r.id));
+    }
+    fn render(id: u64, by_parent: &std::collections::BTreeMap<u64, Vec<&SpanRecord>>) -> Json {
+        Json::Arr(
+            by_parent
+                .get(&id)
+                .map(|children| {
+                    children
+                        .iter()
+                        .map(|r| span_json(r, render(r.id, by_parent)))
+                        .collect()
+                })
+                .unwrap_or_default(),
+        )
+    }
+    render(0, &by_parent)
+}
+
 /// Handles one request against the engine. Unknown paths get 404,
 /// wrong methods 405, malformed bodies 400.
 #[must_use]
 pub fn handle(engine: &ServeEngine, request: &Request) -> Response {
+    if request.path == "/metrics" {
+        return if request.method == "GET" {
+            Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4",
+                body: metrics_text(engine).into_bytes(),
+            }
+        } else {
+            ApiError::MethodNotAllowed.into_response()
+        };
+    }
     let result = match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/") => Ok(index()),
         ("GET", "/healthz") => Ok(healthz()),
         ("GET", "/stats") => Ok(stats(engine)),
+        ("GET", "/debug/trace") => Ok(debug_trace(request)),
         ("GET", "/fig6") => fig6(engine),
         ("GET", "/fig7") => exec_rows(engine, engine.machine(), "fig7"),
         ("GET", "/fig9") => {
@@ -42,8 +267,8 @@ pub fn handle(engine: &ServeEngine, request: &Request) -> Response {
         ("POST", "/matrix") => matrix(engine, &request.body),
         (
             _,
-            "/" | "/healthz" | "/stats" | "/fig6" | "/fig7" | "/fig9" | "/table3" | "/table4"
-            | "/table5" | "/nobal" | "/sweep" | "/matrix",
+            "/" | "/healthz" | "/stats" | "/debug/trace" | "/fig6" | "/fig7" | "/fig9" | "/table3"
+            | "/table4" | "/table5" | "/nobal" | "/sweep" | "/matrix",
         ) => Err(ApiError::MethodNotAllowed),
         _ => Err(ApiError::NotFound),
     };
@@ -86,6 +311,8 @@ fn index() -> Json {
                 [
                     "GET /healthz",
                     "GET /stats",
+                    "GET /metrics",
+                    "GET /debug/trace",
                     "GET /fig6",
                     "GET /fig7",
                     "GET /fig9",
@@ -109,8 +336,155 @@ fn healthz() -> Json {
     Json::obj(vec![("status", Json::str("ok"))])
 }
 
+/// Appends one counter-style family in Prometheus text format.
+fn push_family(out: &mut String, name: &str, kind: &str, help: &str, value: u64) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+    );
+}
+
+/// The `/metrics` exposition: the process-global registry (sched, sim,
+/// sweep and HTTP families, in deterministic sorted order) followed by
+/// the engine-owned families, collected from [`ServeEngine::stats`] at
+/// scrape time so they have exactly one source of truth.
+fn metrics_text(engine: &ServeEngine) -> String {
+    let mut out = distvliw_obs::global().render_prometheus();
+    let s = engine.stats();
+    let c = |out: &mut String, name, help, value| push_family(out, name, "counter", help, value);
+    let g = |out: &mut String, name, help, value| push_family(out, name, "gauge", help, value);
+    c(
+        &mut out,
+        "serve_cache_hits_total",
+        "Cell-cache lookup hits",
+        s.cache.hits,
+    );
+    c(
+        &mut out,
+        "serve_cache_misses_total",
+        "Cell-cache lookup misses",
+        s.cache.misses,
+    );
+    c(
+        &mut out,
+        "serve_cache_evictions_total",
+        "Cell-cache LRU evictions",
+        s.cache.evictions,
+    );
+    c(
+        &mut out,
+        "serve_cache_insertions_total",
+        "Cell-cache insertions",
+        s.cache.insertions,
+    );
+    g(
+        &mut out,
+        "serve_cache_entries",
+        "Resident cell-cache entries",
+        s.cache_entries as u64,
+    );
+    g(
+        &mut out,
+        "serve_cache_capacity",
+        "Configured cell-cache capacity",
+        s.cache_capacity as u64,
+    );
+    c(
+        &mut out,
+        "serve_cells_computed_total",
+        "Cells computed by the pipeline (cache misses that led the flight)",
+        s.computed_cells,
+    );
+    c(
+        &mut out,
+        "serve_flight_deduped_requests_total",
+        "Requests served by piggybacking on an identical in-flight computation",
+        s.deduped_requests,
+    );
+    c(
+        &mut out,
+        "serve_seeded_kernels_total",
+        "Kernels whose II search opened from a profitable seed",
+        s.seeded_kernels,
+    );
+    if let Some(p) = s.persist {
+        c(
+            &mut out,
+            "serve_persist_appended_records_total",
+            "Records appended to the state logs",
+            p.appended_records,
+        );
+        c(
+            &mut out,
+            "serve_persist_compactions_total",
+            "Atomic compact-and-rewrite passes of the cell log",
+            p.compactions,
+        );
+        c(
+            &mut out,
+            "serve_persist_flushes_total",
+            "Explicit state flushes (periodic and shutdown)",
+            p.flushes,
+        );
+        c(
+            &mut out,
+            "serve_persist_write_errors_total",
+            "State-log writes that failed with an I/O error",
+            p.write_errors,
+        );
+    }
+    g(
+        &mut out,
+        "serve_uptime_seconds",
+        "Seconds since the engine started",
+        s.uptime_ms / 1000,
+    );
+    out
+}
+
+/// `GET /debug/trace?n=K`: the `K` most recently finished spans across
+/// all threads (default 64), oldest first.
+fn debug_trace(request: &Request) -> Json {
+    let n = request
+        .query_param("n")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(64)
+        .min(65_536);
+    let spans = trace::recent(n);
+    Json::obj(vec![
+        ("count", Json::U64(spans.len() as u64)),
+        (
+            "spans",
+            Json::Arr(
+                spans
+                    .iter()
+                    .map(|r| {
+                        let mut pairs = vec![
+                            ("id", Json::U64(r.id)),
+                            ("parent", Json::U64(r.parent)),
+                            ("trace", Json::U64(r.trace)),
+                        ];
+                        if let Json::Obj(more) = span_json(r, Json::Arr(Vec::new())) {
+                            pairs.extend(more.iter().map(|(k, v)| (k.as_str(), v.clone())));
+                            Json::obj(pairs)
+                        } else {
+                            Json::obj(pairs)
+                        }
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 fn stats(engine: &ServeEngine) -> Json {
     let s = engine.stats();
+    let counters: Vec<(String, Json)> = distvliw_obs::global()
+        .counter_snapshot()
+        .into_iter()
+        .map(|(name, value)| (name, Json::U64(value)))
+        .collect();
     let accesses: Vec<Json> = (0..s.cluster.accesses.len())
         .map(|c| Json::U64(s.cluster.accesses_of(c)))
         .collect();
@@ -164,6 +538,18 @@ fn stats(engine: &ServeEngine) -> Json {
             ]),
         ),
         ("uptime_ms", Json::U64(s.uptime_ms)),
+        ("uptime_secs", Json::U64(s.uptime_ms / 1000)),
+        (
+            "build",
+            Json::obj(vec![
+                ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+                (
+                    "git",
+                    Json::str(option_env!("DISTVLIW_GIT_DESCRIBE").unwrap_or("unknown")),
+                ),
+            ]),
+        ),
+        ("counters", Json::Obj(counters)),
     ])
 }
 

@@ -299,9 +299,16 @@ impl ServeEngine {
             spec.solution,
             spec.heuristic,
         );
-        if let Some(value) = self.cache.lock().expect("cache lock").get(&key) {
+        let cached = {
+            let mut span = distvliw_obs::Span::enter("cache_lookup");
+            let value = self.cache.lock().expect("cache lock").get(&key);
+            span.field_str("outcome", if value.is_some() { "hit" } else { "miss" });
+            value
+        };
+        if let Some(value) = cached {
             return value;
         }
+        let flight_start = Instant::now();
         let (value, leader) = self.flight.work(key.bytes(), || {
             // Double-check under the flight: a requester that missed the
             // cache above but reached here after the previous leader
@@ -325,16 +332,26 @@ impl ServeEngine {
             // Publish to the cache *before* the flight slot is retired,
             // so a racer arriving between retirement and publication
             // cannot start a duplicate computation.
+            let persist_span = distvliw_obs::Span::enter("persist");
             let mut cache = self.cache.lock().expect("cache lock");
             let evicted = cache.insert(key.clone(), result.clone());
             // Persist under the cache lock (cache → persist ordering),
             // so the log mirrors insertion order exactly.
             self.persist_insert(&cache, &key, &result, evicted.is_some());
             drop(cache);
+            drop(persist_span);
             result
         });
         if !leader {
             self.deduped.fetch_add(1, Ordering::Relaxed);
+            // The wait is only known retroactively: the span covers the
+            // time this request was blocked on the leader's computation.
+            distvliw_obs::trace::record(
+                "flight_wait",
+                flight_start,
+                flight_start.elapsed(),
+                Vec::new(),
+            );
         }
         value
     }

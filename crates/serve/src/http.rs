@@ -22,6 +22,8 @@ pub struct Request {
     pub method: String,
     /// The path component of the request target (query string stripped).
     pub path: String,
+    /// The query string (text after `?`, empty when absent).
+    pub query: String,
     /// Header `(name, value)` pairs in arrival order.
     pub headers: Vec<(String, String)>,
     /// The request body (empty without `Content-Length`).
@@ -36,6 +38,17 @@ impl Request {
             .iter()
             .find(|(k, _)| k.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
+    }
+
+    /// The value of query parameter `name` (`""` for a bare `?name`),
+    /// or `None` when absent. No percent-decoding — the service's
+    /// parameters are plain tokens.
+    #[must_use]
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
     }
 
     /// Whether the client asked to close the connection after this
@@ -126,7 +139,10 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
     if !version.starts_with("HTTP/1.") {
         return Err(bad("unsupported HTTP version"));
     }
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
 
     let mut headers = Vec::new();
     loop {
@@ -146,6 +162,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
     let mut request = Request {
         method,
         path,
+        query,
         headers,
         body: Vec::new(),
     };
@@ -197,6 +214,9 @@ mod tests {
             .unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/fig6");
+        assert_eq!(req.query, "x=1");
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.query_param("y"), None);
         assert_eq!(req.header("host"), Some("a"));
         assert!(req.wants_close());
         assert!(req.body.is_empty());

@@ -120,14 +120,31 @@ impl Server {
             }
             let conn = match conn {
                 Ok(conn) => conn,
-                Err(_) => {
+                Err(e) => {
                     // Transient accept failure (e.g. EMFILE under fd
                     // exhaustion): back off instead of busy-spinning
                     // the accept loop at full CPU.
+                    distvliw_obs::global()
+                        .counter(
+                            "serve_accept_errors_total",
+                            "Accept failures answered with a 20ms backoff",
+                        )
+                        .inc();
+                    distvliw_obs::logger::event(
+                        "warn",
+                        "accept_error",
+                        &[
+                            ("error", e.to_string().into()),
+                            ("backoff_ms", 20u64.into()),
+                        ],
+                    );
                     std::thread::sleep(std::time::Duration::from_millis(20));
                     continue;
                 }
             };
+            distvliw_obs::global()
+                .counter("serve_connections_total", "Connections accepted")
+                .inc();
             let engine = self.engine.clone();
             let shutdown = self.shutdown.clone();
             handlers.retain(|h| !h.is_finished());
@@ -186,7 +203,21 @@ fn serve_connection(
                     if e.kind() == io::ErrorKind::WouldBlock
                         || e.kind() == io::ErrorKind::TimedOut =>
                 {
-                    if shutdown.load(Ordering::SeqCst) || idle_since.elapsed() >= IDLE_LIMIT {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return Ok(());
+                    }
+                    if idle_since.elapsed() >= IDLE_LIMIT {
+                        distvliw_obs::global()
+                            .counter(
+                                "serve_connections_reaped_total",
+                                "Idle keep-alive connections reaped at the idle limit",
+                            )
+                            .inc();
+                        distvliw_obs::logger::event(
+                            "info",
+                            "conn_reaped",
+                            &[("idle_secs", IDLE_LIMIT.as_secs().into())],
+                        );
                         return Ok(());
                     }
                 }
@@ -196,6 +227,7 @@ fn serve_connection(
         // Request phase: the whole exchange reads under the wider
         // window; a timeout here ends the connection.
         timeouts.set_read_timeout(Some(REQUEST_WINDOW))?;
+        let parse_start = std::time::Instant::now();
         let request = match read_request(&mut reader) {
             Ok(Some(request)) => request,
             Ok(None) => return Ok(()),
@@ -232,7 +264,8 @@ fn serve_connection(
             }
             return Ok(());
         }
-        let response = endpoints::handle(engine, &request);
+        let response =
+            endpoints::serve_request(engine, &request, parse_start, parse_start.elapsed());
         let close = request.wants_close();
         write_response(&mut writer, &response, close)?;
         if close {

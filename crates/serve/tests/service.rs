@@ -348,6 +348,233 @@ fn matrix_accepts_bundled_trace_suites() {
     shutdown(&base, handle);
 }
 
+/// Collects `(name, dur_us)` over a `?trace=1` span tree.
+fn walk_spans(span: &json::Json, out: &mut Vec<(String, u64)>) {
+    let name = span.get("name").unwrap().as_str().unwrap().to_string();
+    let dur = span.get("dur_us").unwrap().as_u64().unwrap();
+    out.push((name, dur));
+    if let Some(children) = span.get("children").and_then(json::Json::as_array) {
+        for child in children {
+            walk_spans(child, out);
+        }
+    }
+}
+
+#[test]
+fn trace_query_reports_phase_spans_and_cache_hits_skip_compute() {
+    let (base, handle) = spawn_server();
+
+    // Cold: the tree must show the compute phases under the request
+    // root, and the wrapped response must equal the plain one.
+    let cold = client::post(
+        &base,
+        "/matrix?trace=1",
+        r#"{"suites":["gsmdec"],"solutions":["mdc"],"heuristics":["prefclus"]}"#,
+    )
+    .unwrap();
+    assert_eq!(cold.status, 200);
+    let v = json::parse(std::str::from_utf8(&cold.body).unwrap()).unwrap();
+    assert!(v.get("dropped_spans").unwrap().as_u64().unwrap() == 0);
+    let tree = v.get("trace").unwrap().as_array().unwrap();
+    let mut spans = Vec::new();
+    for root in tree {
+        walk_spans(root, &mut spans);
+    }
+    let total = |name: &str| -> u64 {
+        spans
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, d)| *d)
+            .sum()
+    };
+    let count = |name: &str| spans.iter().filter(|(n, _)| n == name).count();
+    assert_eq!(count("request"), 1, "exactly one root request span");
+    assert_eq!(count("parse"), 1);
+    assert!(count("cache_lookup") >= 1);
+    assert!(count("compile") >= 1, "cold run must compile");
+    assert!(count("sim") >= 1, "cold run must simulate");
+    assert!(total("compile") > 0 && total("sim") > 0);
+
+    // Warm repeat of the same body: pure cache hit — zero compile/sim
+    // time, and the inner response byte-identical to the cold inner.
+    let warm = client::post(
+        &base,
+        "/matrix?trace=1",
+        r#"{"suites":["gsmdec"],"solutions":["mdc"],"heuristics":["prefclus"]}"#,
+    )
+    .unwrap();
+    assert_eq!(warm.status, 200);
+    let w = json::parse(std::str::from_utf8(&warm.body).unwrap()).unwrap();
+    let tree = w.get("trace").unwrap().as_array().unwrap();
+    let mut spans = Vec::new();
+    for root in tree {
+        walk_spans(root, &mut spans);
+    }
+    assert!(
+        !spans.iter().any(|(n, _)| n == "compile" || n == "sim"),
+        "cache hit must not compile or simulate, got {spans:?}"
+    );
+    assert!(
+        spans
+            .iter()
+            .any(|(n, _)| n == "cache_lookup" || n == "flight_wait"),
+        "cache hit must record its lookup"
+    );
+    assert_eq!(
+        v.get("response").unwrap().render(),
+        w.get("response").unwrap().render(),
+        "traced warm response must wrap the identical inner body"
+    );
+
+    // Without ?trace=1 the body is NOT wrapped.
+    let plain = client::post(
+        &base,
+        "/matrix",
+        r#"{"suites":["gsmdec"],"solutions":["mdc"],"heuristics":["prefclus"]}"#,
+    )
+    .unwrap();
+    let p = json::parse(std::str::from_utf8(&plain.body).unwrap()).unwrap();
+    assert!(p.get("trace").is_none());
+    assert!(p.get("cells").is_some());
+
+    shutdown(&base, handle);
+}
+
+#[test]
+fn metrics_exposition_has_families_from_every_layer() {
+    let (base, handle) = spawn_server();
+
+    // Drive one computing request so sched/sim counters exist.
+    let resp = client::post(
+        &base,
+        "/matrix",
+        r#"{"suites":["fir8"],"solutions":["mdc"],"heuristics":["prefclus"]}"#,
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200);
+
+    let resp = client::get(&base, "/metrics").unwrap();
+    assert_eq!(resp.status, 200);
+    let text = std::str::from_utf8(&resp.body).unwrap();
+
+    let mut families = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            families.push(parts.next().unwrap().to_string());
+            assert!(
+                matches!(parts.next(), Some("counter" | "gauge" | "histogram")),
+                "bad TYPE line: {line}"
+            );
+        } else if !line.starts_with('#') && !line.is_empty() {
+            let value = line.rsplit(' ').next().unwrap();
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparseable sample line: {line}"
+            );
+        }
+    }
+    for required in [
+        // serve layer
+        "serve_http_requests_total",
+        "serve_http_request_duration_us",
+        "serve_cache_hits_total",
+        "serve_cache_misses_total",
+        "serve_cache_entries",
+        "serve_cells_computed_total",
+        "serve_uptime_seconds",
+        // sched layer
+        "sched_schedules_total",
+        "sched_iis_tried_total",
+        "sched_schedule_duration_us",
+        // sim layer
+        "sim_kernels_total",
+        "sim_cycles_total",
+        "sim_kernel_duration_us",
+    ] {
+        assert!(
+            families.iter().any(|f| f == required),
+            "missing family {required}; have {families:?}"
+        );
+    }
+    assert!(families.len() >= 15, "want >=15 families, got {families:?}");
+
+    // The snapshot is deterministic: two scrapes expose the same
+    // families in the same order (sample values may advance).
+    let again = client::get(&base, "/metrics").unwrap();
+    let families_again: Vec<&str> = std::str::from_utf8(&again.body)
+        .unwrap()
+        .lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|r| r.split_whitespace().next())
+        .collect();
+    assert_eq!(families, families_again);
+
+    // GET only.
+    let resp = client::post(&base, "/metrics", "").unwrap();
+    assert_eq!(resp.status, 405);
+
+    shutdown(&base, handle);
+}
+
+#[test]
+fn debug_trace_returns_recent_spans() {
+    let (base, handle) = spawn_server();
+
+    for _ in 0..3 {
+        let resp = client::get(&base, "/healthz").unwrap();
+        assert_eq!(resp.status, 200);
+    }
+    let resp = client::get(&base, "/debug/trace?n=8").unwrap();
+    assert_eq!(resp.status, 200);
+    let v = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+    let spans = v.get("spans").unwrap().as_array().unwrap();
+    assert!(!spans.is_empty() && spans.len() <= 8);
+    assert_eq!(
+        v.get("count").unwrap().as_u64().unwrap(),
+        spans.len() as u64
+    );
+    for span in spans {
+        assert!(span.get("id").unwrap().as_u64().unwrap() > 0);
+        assert!(span.get("name").unwrap().as_str().is_some());
+        assert!(span.get("start_us").unwrap().as_u64().is_some());
+    }
+    // The request spans recorded by the pings above are visible.
+    let has_request = spans
+        .iter()
+        .any(|s| s.get("name").unwrap().as_str() == Some("request"));
+    assert!(has_request, "global rings must hold the request spans");
+
+    shutdown(&base, handle);
+}
+
+#[test]
+fn stats_reports_uptime_build_and_counters() {
+    let (base, handle) = spawn_server();
+
+    let resp = client::get(&base, "/stats").unwrap();
+    assert_eq!(resp.status, 200);
+    let v = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+    assert!(v.get("uptime_secs").unwrap().as_u64().is_some());
+    let build = v.get("build").unwrap();
+    assert_eq!(
+        build.get("version").unwrap().as_str(),
+        Some(env!("CARGO_PKG_VERSION"))
+    );
+    assert!(build.get("git").unwrap().as_str().is_some());
+    // The registry snapshot is an object of integer counters.
+    let counters = v.get("counters").unwrap();
+    assert!(
+        counters
+            .get("serve_connections_total")
+            .and_then(json::Json::as_u64)
+            .is_some_and(|n| n >= 1),
+        "this very request rode an accepted connection"
+    );
+
+    shutdown(&base, handle);
+}
+
 #[test]
 fn fig6_fractions_match_experiments_module() {
     // The serve-side figure assembly must agree with the reference

@@ -205,6 +205,8 @@ pub fn simulate_kernel_detailed(
     schedule: &Schedule,
     options: SimOptions,
 ) -> (SimStats, ClusterUsage) {
+    let sim_start = std::time::Instant::now();
+    let mut sim_span = distvliw_obs::Span::enter("sim.kernel");
     let ddg = &kernel.ddg;
     let ii = u64::from(schedule.ii.max(1));
     let span = u64::from(schedule.span);
@@ -328,6 +330,7 @@ pub fn simulate_kernel_detailed(
     let total_rows = (iters - 1) * ii + span;
     let mut stall = 0u64;
     let mut comm_ops = 0u64;
+    let mut batches = 0u64;
     let bus_lat = u64::from(machine.reg_buses.latency);
 
     let mut batch: Vec<BatchAccess> = Vec::new();
@@ -446,6 +449,7 @@ pub fn simulate_kernel_detailed(
         // violation detector sees the sequence an access-at-a-time engine
         // would have produced.
         if !batch.is_empty() {
+            batches += 1;
             ms.run_batch(now, &batch, &mut batch_results);
             for ((req, res), &(ni, i, width)) in batch.iter().zip(&batch_results).zip(&batch_meta) {
                 let po = i * body_seq_span + seq[ni];
@@ -466,6 +470,7 @@ pub fn simulate_kernel_detailed(
         }
     }
 
+    let raw_bus_busy = ms.bus_busy_cycles();
     let mut stats = SimStats {
         compute_cycles: total_rows,
         stall_cycles: stall,
@@ -496,6 +501,43 @@ pub fn simulate_kernel_detailed(
         stats.iterations = trip;
     }
     let invocations = kernel.invocations.max(1);
+
+    // Observability: the simulated-work counters report what this call
+    // actually walked (pre-extrapolation), so they track simulator cost
+    // rather than modeled time.
+    sim_span.field_u64("ii", ii);
+    sim_span.field_u64("iterations", iters);
+    sim_span.field_u64("cycles", total_rows + stall);
+    sim_span.field_u64("batches", batches);
+    let reg = distvliw_obs::global();
+    reg.counter("sim_kernels_total", "Kernel simulations completed")
+        .inc();
+    reg.counter(
+        "sim_cycles_total",
+        "Cycles walked by the event loop (compute + stall, pre-extrapolation)",
+    )
+    .add(total_rows + stall);
+    reg.counter(
+        "sim_stall_cycles_total",
+        "Stall-on-use cycles observed (pre-extrapolation)",
+    )
+    .add(stall);
+    reg.counter(
+        "sim_batches_total",
+        "Memory-system batch windows executed via run_batch",
+    )
+    .add(batches);
+    reg.counter(
+        "sim_bus_busy_cycles_total",
+        "Memory-bus busy cycles accumulated (pre-extrapolation)",
+    )
+    .add(raw_bus_busy);
+    reg.histogram(
+        "sim_kernel_duration_us",
+        "Wall time of one kernel simulation in microseconds",
+    )
+    .record_micros(sim_start.elapsed());
+
     (stats.scaled(invocations), usage.scaled(invocations))
 }
 
