@@ -35,3 +35,20 @@ pub mod trace;
 
 pub use metrics::{global, Counter, Gauge, Histogram, Registry};
 pub use trace::{Span, SpanRecord, TraceSink};
+
+/// The number of OS threads in this process, read from
+/// `/proc/self/status` (`0` where procfs is unavailable). The serving
+/// layer exposes it so load tests can assert the event-loop server
+/// stays at its fixed thread budget instead of growing a thread per
+/// connection.
+#[must_use]
+pub fn process_threads() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}

@@ -344,7 +344,22 @@ impl Registry {
     ///
     /// Panics if `name` was registered with a different metric kind.
     pub fn gauge(&self, name: &'static str, help: &'static str) -> Gauge {
-        match self.series(name, help, &[], || Series::Gauge(Gauge::new())) {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) the gauge `name` with `labels` (e.g.
+    /// the serve layer's per-state connection gauge family).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` was registered with a different metric kind.
+    pub fn gauge_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Gauge {
+        match self.series(name, help, labels, || Series::Gauge(Gauge::new())) {
             Series::Gauge(g) => g,
             _ => panic!("metric `{name}` already registered with a different kind"),
         }

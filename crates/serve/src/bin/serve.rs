@@ -4,20 +4,25 @@
 //! ```text
 //! cargo run --release -p distvliw-serve --bin serve -- \
 //!     [--addr 127.0.0.1:7411] [--cache-capacity 256] [--state-dir DIR] \
-//!     [--access-log PATH|-] [--slow-ms N]
+//!     [--access-log PATH|-] [--slow-ms N] \
+//!     [--workers N] [--max-conns N] [--queue-depth N]
 //! ```
 //!
 //! With `--state-dir` the result cache and II-seed store persist across
 //! restarts (crash-safe log-structured files; see `docs/persistence.md`).
 //! `--access-log` writes one structured JSON line per request (`-` for
 //! stdout); `--slow-ms` warns on requests over the threshold (see
-//! `docs/observability.md`). The worker fan-out honours
+//! `docs/observability.md`). `--workers`, `--max-conns` and
+//! `--queue-depth` size the event-driven connection layer (see
+//! `docs/serving.md`); overload beyond the caps is answered `503` with
+//! `retry-after`. The per-request compute fan-out honours
 //! `DISTVLIW_THREADS` like every other bin.
 
 use std::process::ExitCode;
 
 use distvliw_arch::MachineConfig;
 use distvliw_serve::engine::ServeEngine;
+use distvliw_serve::event::EventConfig;
 use distvliw_serve::Server;
 
 fn main() -> ExitCode {
@@ -26,6 +31,7 @@ fn main() -> ExitCode {
     let mut state_dir: Option<std::path::PathBuf> = None;
     let mut access_log: Option<String> = None;
     let mut slow_ms: u64 = 30_000;
+    let mut config = EventConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -48,6 +54,18 @@ fn main() -> ExitCode {
             "--slow-ms" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(v) => slow_ms = v,
                 None => return usage("--slow-ms needs a non-negative integer"),
+            },
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => config.workers = v,
+                _ => return usage("--workers needs a positive integer"),
+            },
+            "--max-conns" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => config.max_conns = v,
+                _ => return usage("--max-conns needs a positive integer"),
+            },
+            "--queue-depth" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => config.queue_depth = v,
+                _ => return usage("--queue-depth needs a positive integer"),
             },
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -90,14 +108,20 @@ fn main() -> ExitCode {
             );
         }
     }
-    let server = match Server::bind(&addr, engine) {
+    let server = match Server::bind_with(&addr, engine, config) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("cannot bind {addr}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    println!("distvliw-serve listening on http://{}", server.local_addr());
+    println!(
+        "distvliw-serve listening on http://{} ({} workers, {} max conns, queue depth {})",
+        server.local_addr(),
+        config.workers,
+        config.max_conns,
+        config.queue_depth,
+    );
     match server.run() {
         Ok(()) => {
             println!("distvliw-serve shut down");
@@ -110,7 +134,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: serve [--addr HOST:PORT] [--cache-capacity N] [--state-dir DIR] [--access-log PATH|-] [--slow-ms N]";
+const USAGE: &str = "usage: serve [--addr HOST:PORT] [--cache-capacity N] [--state-dir DIR] [--access-log PATH|-] [--slow-ms N] [--workers N] [--max-conns N] [--queue-depth N]";
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("{msg}\n{USAGE}");

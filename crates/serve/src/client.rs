@@ -5,13 +5,33 @@
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 
-/// One response: status code and body.
+/// One response: status code, headers and body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClientResponse {
     /// HTTP status code.
     pub status: u16,
+    /// Response headers, lower-cased names, in wire order.
+    pub headers: Vec<(String, String)>,
     /// Response body bytes.
     pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The first header with this (case-insensitive) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the server asked to close this connection.
+    #[must_use]
+    pub fn closes(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
 }
 
 /// A persistent connection to one server.
@@ -99,6 +119,7 @@ fn read_response<R: BufRead>(reader: &mut R) -> io::Result<ClientResponse> {
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| bad("malformed status line"))?;
     let mut content_length: Option<usize> = None;
+    let mut headers = Vec::new();
     loop {
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 {
@@ -109,15 +130,22 @@ fn read_response<R: BufRead>(reader: &mut R) -> io::Result<ClientResponse> {
             break;
         }
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().ok();
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().ok();
             }
+            headers.push((name, value));
         }
     }
     let len = content_length.ok_or_else(|| bad("missing content-length"))?;
     let mut body = vec![0u8; len];
     reader.read_exact(&mut body)?;
-    Ok(ClientResponse { status, body })
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
 }
 
 /// One-shot GET on a fresh connection.
@@ -155,5 +183,7 @@ mod tests {
         let resp = read_response(&mut BufReader::new(&raw[..])).unwrap();
         assert_eq!(resp.status, 200);
         assert_eq!(resp.body, b"{}");
+        assert_eq!(resp.header("Content-Type"), Some("application/json"));
+        assert!(!resp.closes());
     }
 }

@@ -240,6 +240,7 @@ pub fn handle(engine: &ServeEngine, request: &Request) -> Response {
                 status: 200,
                 content_type: "text/plain; version=0.0.4",
                 body: metrics_text(engine).into_bytes(),
+                extra_headers: Vec::new(),
             }
         } else {
             ApiError::MethodNotAllowed.into_response()
@@ -440,6 +441,12 @@ fn metrics_text(engine: &ServeEngine) -> String {
         "Seconds since the engine started",
         s.uptime_ms / 1000,
     );
+    g(
+        &mut out,
+        "serve_process_threads",
+        "OS threads in this process (loop + workers + flusher; 0 without procfs)",
+        distvliw_obs::process_threads(),
+    );
     out
 }
 
@@ -539,6 +546,7 @@ fn stats(engine: &ServeEngine) -> Json {
         ),
         ("uptime_ms", Json::U64(s.uptime_ms)),
         ("uptime_secs", Json::U64(s.uptime_ms / 1000)),
+        ("threads", Json::U64(distvliw_obs::process_threads())),
         (
             "build",
             Json::obj(vec![

@@ -11,6 +11,13 @@
 //! figure regenerations are incremental instead of recomputing the
 //! whole grid.
 //!
+//! Connections are served by an event-driven layer ([`event`]): one
+//! poll(2) readiness loop owns every socket, a fixed worker pool pulls
+//! parsed requests from a bounded queue, and overload is answered `503`
+//! with `retry-after` instead of unbounded thread growth. Sizing is a
+//! [`event::EventConfig`] (`--workers`, `--max-conns`, `--queue-depth`
+//! on the `serve` bin).
+//!
 //! Endpoints: `GET /fig6 /fig7 /fig9 /table3 /table4 /table5 /nobal
 //! /sweep /healthz /stats`, `POST /matrix` (arbitrary grids, with
 //! machine overrides) and `POST /shutdown`. `GET /sweep` serves the
@@ -28,45 +35,59 @@
 //! server.run().expect("serve");
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one `#[allow(unsafe_code)]` in the
+// workspace is the poll(2) FFI declaration in `event::sys`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod client;
 pub mod endpoints;
 pub mod engine;
+pub mod event;
 pub mod http;
 pub mod json;
 pub mod persist;
 
-use std::io::{self, BufReader};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use engine::ServeEngine;
-use http::{read_request, write_response, Response};
+use event::EventConfig;
 
-/// The accept loop: owns the listener and the engine, serves until a
-/// `POST /shutdown` arrives.
+/// The serving front door: owns the listener and the engine, runs the
+/// event loop until a `POST /shutdown` arrives.
 pub struct Server {
     listener: TcpListener,
     engine: Arc<ServeEngine>,
     shutdown: Arc<AtomicBool>,
+    config: EventConfig,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:7411`; port 0 picks an ephemeral
-    /// port).
+    /// port) with default [`EventConfig`] sizing.
     ///
     /// # Errors
     ///
     /// Propagates bind failures.
     pub fn bind(addr: &str, engine: ServeEngine) -> io::Result<Server> {
+        Server::bind_with(addr, engine, EventConfig::default())
+    }
+
+    /// Binds `addr` with explicit connection-layer sizing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind_with(addr: &str, engine: ServeEngine, config: EventConfig) -> io::Result<Server> {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             engine: Arc::new(engine),
             shutdown: Arc::new(AtomicBool::new(false)),
+            config,
         })
     }
 
@@ -87,16 +108,21 @@ impl Server {
         &self.engine
     }
 
-    /// Serves connections until shutdown. Each connection gets a thread;
-    /// requests on one connection are served in order with keep-alive.
+    /// The connection-layer sizing this server runs with.
+    #[must_use]
+    pub fn config(&self) -> EventConfig {
+        self.config
+    }
+
+    /// Serves connections until shutdown: runs the [`event`] readiness
+    /// loop on the calling thread with `config.workers` compute threads
+    /// behind the bounded queue.
     ///
     /// # Errors
     ///
-    /// Propagates accept failures (per-connection I/O errors only end
-    /// that connection).
+    /// Propagates listener failures (an escalated accept failure ends
+    /// the loop; per-connection I/O errors only end that connection).
     pub fn run(self) -> io::Result<()> {
-        let addr = self.local_addr();
-        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
         // Periodic state flush: dirty II seeds reach the log (and both
         // logs reach disk) within a few seconds even if the process is
         // later killed uncleanly. Exits with the shutdown flag.
@@ -114,162 +140,15 @@ impl Server {
                 }
             })
         };
-        for conn in self.listener.incoming() {
-            if self.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            let conn = match conn {
-                Ok(conn) => conn,
-                Err(e) => {
-                    // Transient accept failure (e.g. EMFILE under fd
-                    // exhaustion): back off instead of busy-spinning
-                    // the accept loop at full CPU.
-                    distvliw_obs::global()
-                        .counter(
-                            "serve_accept_errors_total",
-                            "Accept failures answered with a 20ms backoff",
-                        )
-                        .inc();
-                    distvliw_obs::logger::event(
-                        "warn",
-                        "accept_error",
-                        &[
-                            ("error", e.to_string().into()),
-                            ("backoff_ms", 20u64.into()),
-                        ],
-                    );
-                    std::thread::sleep(std::time::Duration::from_millis(20));
-                    continue;
-                }
-            };
-            distvliw_obs::global()
-                .counter("serve_connections_total", "Connections accepted")
-                .inc();
-            let engine = self.engine.clone();
-            let shutdown = self.shutdown.clone();
-            handlers.retain(|h| !h.is_finished());
-            handlers.push(std::thread::spawn(move || {
-                let _ = serve_connection(&engine, conn, &shutdown, addr);
-            }));
-        }
-        // Drain: in-flight requests finish writing their responses
-        // before the process exits; idle keep-alive connections notice
-        // the shutdown flag within one read-timeout tick.
-        for handler in handlers {
-            let _ = handler.join();
-        }
+        let result = event::run(&self.listener, &self.engine, &self.shutdown, &self.config);
+        // The loop only returns once drained (in-flight responses
+        // written, workers joined); make sure the flusher sees the
+        // flag even when the loop exited on an error.
+        self.shutdown.store(true, Ordering::SeqCst);
         let _ = flusher.join();
         // Clean shutdown compacts the cell log, so recency drift from
         // cache hits since the last eviction survives the restart.
         self.engine.flush_state(true);
-        Ok(())
-    }
-}
-
-/// Serves one connection until close, error, or server shutdown.
-fn serve_connection(
-    engine: &ServeEngine,
-    conn: TcpStream,
-    shutdown: &AtomicBool,
-    addr: SocketAddr,
-) -> io::Result<()> {
-    // Responses are written as one buffered burst; Nagle would otherwise
-    // pair with the peer's delayed ACK and add tens of milliseconds to
-    // every cached exchange.
-    conn.set_nodelay(true)?;
-    // Between requests the socket ticks every second, so an idle
-    // keep-alive connection both notices a shutdown promptly and is
-    // reaped after `IDLE_LIMIT` rather than pinning its handler thread
-    // (and two fds) forever. `fill_buf` consumes nothing, so a tick
-    // can never corrupt framing; once a request's first bytes arrive,
-    // the per-read window widens to `REQUEST_WINDOW` and a stall
-    // mid-request closes the connection instead of resuming mid-stream.
-    const READ_TICK: std::time::Duration = std::time::Duration::from_secs(1);
-    const IDLE_LIMIT: std::time::Duration = std::time::Duration::from_secs(60);
-    const REQUEST_WINDOW: std::time::Duration = std::time::Duration::from_secs(30);
-    let timeouts = conn.try_clone()?;
-    let mut writer = io::BufWriter::new(conn.try_clone()?);
-    let mut reader = BufReader::new(conn);
-    loop {
-        // Idle phase: wait for the first bytes of the next request.
-        timeouts.set_read_timeout(Some(READ_TICK))?;
-        let idle_since = std::time::Instant::now();
-        loop {
-            use std::io::BufRead as _;
-            match reader.fill_buf() {
-                Ok([]) => return Ok(()), // clean close between requests
-                Ok(_) => break,
-                Err(e)
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut =>
-                {
-                    if shutdown.load(Ordering::SeqCst) {
-                        return Ok(());
-                    }
-                    if idle_since.elapsed() >= IDLE_LIMIT {
-                        distvliw_obs::global()
-                            .counter(
-                                "serve_connections_reaped_total",
-                                "Idle keep-alive connections reaped at the idle limit",
-                            )
-                            .inc();
-                        distvliw_obs::logger::event(
-                            "info",
-                            "conn_reaped",
-                            &[("idle_secs", IDLE_LIMIT.as_secs().into())],
-                        );
-                        return Ok(());
-                    }
-                }
-                Err(e) => return Err(e),
-            }
-        }
-        // Request phase: the whole exchange reads under the wider
-        // window; a timeout here ends the connection.
-        timeouts.set_read_timeout(Some(REQUEST_WINDOW))?;
-        let parse_start = std::time::Instant::now();
-        let request = match read_request(&mut reader) {
-            Ok(Some(request)) => request,
-            Ok(None) => return Ok(()),
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                let resp = Response::json(
-                    400,
-                    json::Json::obj(vec![("error", json::Json::str(e.to_string()))]).render(),
-                );
-                let _ = write_response(&mut writer, &resp, true);
-                return Ok(());
-            }
-            Err(e) => return Err(e),
-        };
-        // Shutdown is handled at the connection layer: the engine stays
-        // a pure request → response function.
-        if request.path == "/shutdown" {
-            let resp = if request.method == "POST" {
-                shutdown.store(true, Ordering::SeqCst);
-                Response::json(
-                    200,
-                    json::Json::obj(vec![("status", json::Json::str("shutting down"))]).render(),
-                )
-            } else {
-                Response::json(
-                    405,
-                    json::Json::obj(vec![("error", json::Json::str("method not allowed"))])
-                        .render(),
-                )
-            };
-            write_response(&mut writer, &resp, true)?;
-            if shutdown.load(Ordering::SeqCst) {
-                // Poke the accept loop so it observes the flag.
-                let _ = TcpStream::connect(addr);
-            }
-            return Ok(());
-        }
-        let response =
-            endpoints::serve_request(engine, &request, parse_start, parse_start.elapsed());
-        let close = request.wants_close();
-        write_response(&mut writer, &response, close)?;
-        if close {
-            return Ok(());
-        }
+        result
     }
 }

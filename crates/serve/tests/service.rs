@@ -7,18 +7,28 @@
 //! `/stats`), and `/matrix` cells agree exactly with a direct
 //! `Pipeline::run_matrix` on the same configurations.
 
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
 use distvliw_arch::MachineConfig;
 use distvliw_core::{Heuristic, Pipeline, Solution};
 use distvliw_serve::client::{self, Client};
 use distvliw_serve::engine::ServeEngine;
+use distvliw_serve::event::EventConfig;
 use distvliw_serve::json;
 use distvliw_serve::Server;
 
 /// Spawns a server on an ephemeral port; returns its base URL and the
-/// accept-loop thread (joined after `/shutdown`).
+/// event-loop thread (joined after `/shutdown`).
 fn spawn_server() -> (String, std::thread::JoinHandle<()>) {
+    spawn_server_with(EventConfig::default())
+}
+
+/// Spawns a server with explicit connection-layer sizing.
+fn spawn_server_with(config: EventConfig) -> (String, std::thread::JoinHandle<()>) {
     let engine = ServeEngine::new(MachineConfig::paper_baseline(), 256);
-    let server = Server::bind("127.0.0.1:0", engine).expect("bind ephemeral port");
+    let server = Server::bind_with("127.0.0.1:0", engine, config).expect("bind ephemeral port");
     let base = format!("http://{}", server.local_addr());
     let handle = std::thread::spawn(move || server.run().expect("server run"));
     (base, handle)
@@ -571,6 +581,175 @@ fn stats_reports_uptime_build_and_counters() {
             .is_some_and(|n| n >= 1),
         "this very request rode an accepted connection"
     );
+
+    shutdown(&base, handle);
+}
+
+#[test]
+fn connection_cap_answers_503_with_retry_after_and_bounded_threads() {
+    let (base, handle) = spawn_server_with(EventConfig {
+        workers: 2,
+        max_conns: 4,
+        queue_depth: 8,
+    });
+
+    // Fill the connection table with admitted keep-alive clients; a
+    // completed request on each proves the server has accepted all
+    // four (connect alone only reaches the backlog).
+    let mut admitted: Vec<Client> = (0..4).map(|_| Client::connect(&base).unwrap()).collect();
+    let reference = admitted[0].get("/table3").unwrap();
+    assert_eq!(reference.status, 200);
+    for conn in admitted.iter_mut().skip(1) {
+        let resp = conn.get("/table3").unwrap();
+        assert_eq!(resp.status, 200);
+    }
+
+    let threads_before = distvliw_obs::process_threads();
+
+    // Every connection beyond the cap is answered an immediate 503
+    // with retry-after and closed — without reading a request.
+    let host = client::host_of(&base);
+    for _ in 0..8 {
+        let mut raw = TcpStream::connect(&host).unwrap();
+        let mut bytes = Vec::new();
+        raw.read_to_end(&mut bytes).unwrap();
+        let text = String::from_utf8_lossy(&bytes);
+        assert!(
+            text.starts_with("HTTP/1.1 503 "),
+            "overflow connection must be answered 503, got: {text}"
+        );
+        assert!(text.contains("retry-after: 1"), "{text}");
+        assert!(text.contains("connection: close"), "{text}");
+    }
+
+    // The admitted connections are untouched by the overflow and keep
+    // serving byte-identical responses.
+    for conn in &mut admitted {
+        let resp = conn.get("/table3").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.headers, reference.headers);
+        assert_eq!(resp.body, reference.body);
+    }
+
+    // No thread-per-connection: 8 overflow + 4 admitted connections
+    // must not have grown the process thread budget (loop + workers
+    // are fixed at startup; a small tolerance absorbs unrelated churn
+    // from tests running in parallel in this process).
+    let threads_after = distvliw_obs::process_threads();
+    assert!(
+        threads_after <= threads_before + 4,
+        "thread count grew with connections: {threads_before} -> {threads_after}"
+    );
+
+    // Free the table before /shutdown needs a fresh connection, and
+    // give the loop a beat to observe the closes.
+    drop(admitted);
+    let mut ok = false;
+    for _ in 0..100 {
+        if let Ok(resp) = client::post(&base, "/shutdown", "") {
+            if resp.status == 200 {
+                ok = true;
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(ok, "shutdown must be admitted once the table drains");
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn queue_overflow_is_answered_503_and_the_connection_survives() {
+    let (base, handle) = spawn_server_with(EventConfig {
+        workers: 1,
+        max_conns: 64,
+        queue_depth: 1,
+    });
+
+    // Occupy the single worker with a slow cold sweep and the single
+    // queue slot with a cold matrix cell.
+    let base_a = base.clone();
+    let slow = std::thread::spawn(move || client::get(&base_a, "/sweep").unwrap());
+    std::thread::sleep(Duration::from_millis(200));
+    let base_b = base.clone();
+    let queued = std::thread::spawn(move || {
+        client::post(
+            &base_b,
+            "/matrix",
+            r#"{"suites":["gsmdec"],"solutions":["mdc"],"heuristics":["prefclus"]}"#,
+        )
+        .unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(200));
+
+    // The next request finds the queue full: 503, retry-after, and the
+    // connection stays usable for the retry.
+    let mut probe = Client::connect(&base).unwrap();
+    let resp = probe.get("/healthz").unwrap();
+    if resp.status == 503 {
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert!(
+            !resp.closes(),
+            "queue-full rejection must keep the connection open"
+        );
+        let mut ok = false;
+        for _ in 0..100 {
+            std::thread::sleep(Duration::from_millis(100));
+            let retry = probe.get("/healthz").unwrap();
+            if retry.status == 200 {
+                ok = true;
+                break;
+            }
+            assert_eq!(retry.status, 503, "only overload 503s are acceptable");
+        }
+        assert!(ok, "the probe must eventually be admitted");
+    } else {
+        // The compute won the race and drained the queue first; the
+        // request must then simply have succeeded.
+        assert_eq!(resp.status, 200);
+    }
+
+    assert_eq!(slow.join().expect("sweep client").status, 200);
+    assert_eq!(queued.join().expect("matrix client").status, 200);
+    shutdown(&base, handle);
+}
+
+#[test]
+fn http_1_0_and_chunked_requests_are_answered_correctly_end_to_end() {
+    let (base, handle) = spawn_server();
+    let host = client::host_of(&base);
+
+    // An HTTP/1.0 request without `Connection: keep-alive` is answered
+    // and the connection closed (it used to hang until the idle reap).
+    let mut raw = TcpStream::connect(&host).unwrap();
+    raw.write_all(b"GET /healthz HTTP/1.0\r\n\r\n").unwrap();
+    let mut bytes = Vec::new();
+    raw.read_to_end(&mut bytes).unwrap();
+    let text = String::from_utf8_lossy(&bytes);
+    assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+    assert!(text.contains("connection: close"), "{text}");
+
+    // `Connection: keep-alive, close` must close per RFC 7230 §6.1.
+    let mut raw = TcpStream::connect(&host).unwrap();
+    raw.write_all(b"GET /healthz HTTP/1.1\r\nconnection: keep-alive, close\r\n\r\n")
+        .unwrap();
+    let mut bytes = Vec::new();
+    raw.read_to_end(&mut bytes).unwrap();
+    let text = String::from_utf8_lossy(&bytes);
+    assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+    assert!(text.contains("connection: close"), "{text}");
+
+    // Chunked request bodies are rejected up front with 501.
+    let mut raw = TcpStream::connect(&host).unwrap();
+    raw.write_all(
+        b"POST /matrix HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n4\r\nwat!\r\n0\r\n\r\n",
+    )
+    .unwrap();
+    let mut bytes = Vec::new();
+    raw.read_to_end(&mut bytes).unwrap();
+    let text = String::from_utf8_lossy(&bytes);
+    assert!(text.starts_with("HTTP/1.1 501 "), "{text}");
+    assert!(text.contains("connection: close"), "{text}");
 
     shutdown(&base, handle);
 }
