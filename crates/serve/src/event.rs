@@ -255,6 +255,27 @@ enum After {
     Close,
 }
 
+/// Outcome of one write-flush attempt inside [`Loop::pump`].
+enum FlushStep {
+    /// The socket's send buffer is full; wait for `POLLOUT`.
+    Blocked,
+    Close,
+    /// Out buffer fully flushed; the connection was recycled to
+    /// `Idle` and buffered pipelined bytes may be dispatchable.
+    Done,
+}
+
+/// Outcome of one dispatch attempt inside [`Loop::pump`].
+enum DispatchStep {
+    /// Nothing further to drive right now: request incomplete, or
+    /// handed to the worker pool (`Computing`).
+    Wait,
+    /// Answer inline — parse error, `/shutdown`, queue-full 503 —
+    /// with the given close-after-write flag.
+    Respond(Response, bool),
+    Close,
+}
+
 /// All loop-owned mutable state, factored so helpers can borrow it
 /// without fighting the borrow checker over `self`-splitting.
 struct Loop {
@@ -308,11 +329,18 @@ impl Loop {
         }
     }
 
-    /// Queues `response` on the connection's write buffer and pushes
-    /// as much as the socket accepts right now (the common case: the
-    /// whole response fits in the send buffer and the connection goes
-    /// straight back to `Idle` without another poll round-trip).
+    /// Queues `response` on the connection's write buffer and pumps
+    /// the connection (the common case: the whole response fits in the
+    /// send buffer and the connection goes straight back to `Idle`
+    /// without another poll round-trip).
     fn start_write(&mut self, token: usize, response: &Response, close: bool) {
+        self.queue_response(token, response, close);
+        if matches!(self.pump(token), After::Close) {
+            self.close(token);
+        }
+    }
+
+    fn queue_response(&mut self, token: usize, response: &Response, close: bool) {
         let Some(conn) = self.conn_mut(token) else {
             return;
         };
@@ -321,41 +349,63 @@ impl Loop {
         conn.close_after_write = close;
         conn.state = ConnState::Writing;
         conn.since = Instant::now();
-        if matches!(self.flush_write(token), After::Close) {
-            self.close(token);
+    }
+
+    /// Drives one connection as far as it can go without fresh
+    /// readiness: flushes pending response bytes and dispatches
+    /// buffered pipelined requests, alternating **iteratively**. Each
+    /// inline-answered request (queue-full 503, parse 4xx/501) loops
+    /// back here rather than recursing, so a client that pipelines
+    /// thousands of tiny requests cannot grow the loop thread's stack
+    /// by one frame per buffered request.
+    fn pump(&mut self, token: usize) -> After {
+        loop {
+            let conn_state = match self.conn_mut(token) {
+                Some(c) => c.state,
+                None => return After::Keep,
+            };
+            match conn_state {
+                ConnState::Writing => match self.flush_step(token) {
+                    FlushStep::Blocked => return After::Keep,
+                    FlushStep::Close => return After::Close,
+                    FlushStep::Done => {}
+                },
+                ConnState::Idle | ConnState::Reading => match self.dispatch_step(token) {
+                    DispatchStep::Wait => return After::Keep,
+                    DispatchStep::Respond(resp, close) => {
+                        self.queue_response(token, &resp, close);
+                    }
+                    DispatchStep::Close => return After::Close,
+                },
+                ConnState::Computing => return After::Keep,
+            }
         }
     }
 
-    /// Writes pending out-buffer bytes until done or `WouldBlock`.
-    fn flush_write(&mut self, token: usize) -> After {
+    /// Writes pending out-buffer bytes until done or `WouldBlock`; on
+    /// completion the connection is recycled to `Idle`.
+    fn flush_step(&mut self, token: usize) -> FlushStep {
         let Some(conn) = self.conn_mut(token) else {
-            return After::Keep;
+            return FlushStep::Blocked;
         };
         while conn.out_pos < conn.out.len() {
             match conn.stream.write(&conn.out[conn.out_pos..]) {
-                Ok(0) => return After::Close,
+                Ok(0) => return FlushStep::Close,
                 Ok(n) => conn.out_pos += n,
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return After::Keep,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return FlushStep::Blocked,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(_) => return After::Close,
+                Err(_) => return FlushStep::Close,
             }
         }
         if conn.close_after_write {
-            return After::Close;
+            return FlushStep::Close;
         }
-        // Response flushed: recycle for the next request. Pipelined
-        // bytes may already be buffered — dispatch them immediately.
         conn.out.clear();
         conn.out_pos = 0;
         conn.state = ConnState::Idle;
         conn.since = Instant::now();
         conn.read_started = None;
-        if conn.buf.iter().any(|&b| b != b'\r' && b != b'\n') {
-            conn.state = ConnState::Reading;
-            conn.read_started = Some(Instant::now());
-            return self.try_dispatch(token);
-        }
-        After::Keep
+        FlushStep::Done
     }
 
     /// Drains readable bytes into the connection buffer, then tries to
@@ -385,44 +435,57 @@ impl Loop {
                 Err(_) => return After::Close,
             }
         }
-        if self
-            .conn_mut(token)
-            .is_some_and(|c| c.state == ConnState::Reading)
-        {
-            self.try_dispatch(token)
-        } else {
-            After::Keep
-        }
+        self.pump(token)
     }
 
     /// Parses the front of the connection buffer; on a complete
-    /// request, hands it to the worker queue (or answers 503/4xx/501
-    /// inline). `/shutdown` is handled here at the connection layer,
-    /// exactly like the threaded layer did — the engine stays a pure
-    /// request → response function.
-    fn try_dispatch(&mut self, token: usize) -> After {
+    /// request, hands it to the worker queue (or asks [`Loop::pump`]
+    /// to answer 503/4xx/501 inline). `/shutdown` is handled here at
+    /// the connection layer, exactly like the threaded layer did — the
+    /// engine stays a pure request → response function.
+    fn dispatch_step(&mut self, token: usize) -> DispatchStep {
         let generation = match self.slots.get(token) {
             Some(slot) => slot.generation,
-            None => return After::Keep,
+            None => return DispatchStep::Wait,
         };
         let Some(conn) = self.conn_mut(token) else {
-            return After::Keep;
+            return DispatchStep::Wait;
         };
         let (request, used) = match parse_request(&conn.buf) {
-            Ok(Parse::Partial) => return After::Keep,
+            Ok(Parse::Partial) => {
+                // Drain the blank-line prefix parse_request skips
+                // (stray CRLFs between pipelined requests): left in
+                // place, a client streaming bare CRLFs would grow the
+                // buffer for the whole request window and every
+                // readiness event would re-scan it from the start.
+                let blank = conn
+                    .buf
+                    .iter()
+                    .take_while(|&&b| b == b'\r' || b == b'\n')
+                    .count();
+                conn.buf.drain(..blank);
+                if conn.state == ConnState::Idle && !conn.buf.is_empty() {
+                    conn.state = ConnState::Reading;
+                    conn.since = Instant::now();
+                    conn.read_started = Some(Instant::now());
+                }
+                return DispatchStep::Wait;
+            }
             Ok(Parse::Complete(request, used)) => (request, used),
             Err(e) => {
                 let resp = Response::json(
                     e.status,
                     Json::obj(vec![("error", Json::str(e.msg))]).render(),
                 );
-                self.start_write(token, &resp, true);
-                return After::Keep;
+                return DispatchStep::Respond(resp, true);
             }
         };
         conn.buf.drain(..used);
         let parse_start = conn.read_started.unwrap_or_else(Instant::now);
         let parse_dur = parse_start.elapsed();
+        // This request is consumed; the next one (if pipelined) gets
+        // its own first-byte clock.
+        conn.read_started = None;
 
         if request.path == "/shutdown" {
             let resp = if request.method == "POST" {
@@ -437,8 +500,7 @@ impl Loop {
                     Json::obj(vec![("error", Json::str("method not allowed"))]).render(),
                 )
             };
-            self.start_write(token, &resp, true);
-            return After::Keep;
+            return DispatchStep::Respond(resp, true);
         }
 
         let close = request.wants_close();
@@ -461,7 +523,7 @@ impl Loop {
                     conn.state = ConnState::Computing;
                     conn.since = Instant::now();
                 }
-                After::Keep
+                DispatchStep::Wait
             }
             Err(TrySendError::Full(job)) => {
                 // Backpressure: the queue is the admission bound. The
@@ -485,13 +547,12 @@ impl Loop {
                     ],
                 );
                 let resp = Response::overloaded("request queue full", RETRY_AFTER_SECS);
-                self.start_write(token, &resp, job.close);
-                After::Keep
+                DispatchStep::Respond(resp, job.close)
             }
             // Workers only exit after the loop drops the sender.
             Err(TrySendError::Disconnected(_)) => {
                 self.queue_depth.add(-1);
-                After::Close
+                DispatchStep::Close
             }
         }
     }
@@ -617,7 +678,11 @@ pub(crate) fn run(
     let mut draining = false;
     let mut accept_failures: u32 = 0;
     let mut fds: Vec<sys::PollFd> = Vec::new();
-    let mut tokens: Vec<usize> = Vec::new();
+    // Parallel to `fds`: the slot token each pollfd belongs to plus
+    // the slot generation at poll time, so readiness captured for a
+    // connection that was closed and its slot reused within the same
+    // iteration is never applied to the new occupant.
+    let mut tokens: Vec<(usize, u64)> = Vec::new();
     let result = loop {
         if shutdown.load(Ordering::SeqCst) && !draining {
             draining = true;
@@ -655,14 +720,14 @@ pub(crate) fn run(
             events: sys::POLLIN,
             revents: 0,
         });
-        tokens.push(usize::MAX);
+        tokens.push((usize::MAX, 0));
         if !draining {
             fds.push(sys::PollFd {
                 fd: sys::raw_fd(listener),
                 events: sys::POLLIN,
                 revents: 0,
             });
-            tokens.push(usize::MAX - 1);
+            tokens.push((usize::MAX - 1, 0));
         }
         let mut next_deadline: Option<Instant> = None;
         for (token, slot) in state.slots.iter().enumerate() {
@@ -682,7 +747,7 @@ pub(crate) fn run(
                     events,
                     revents: 0,
                 });
-                tokens.push(token);
+                tokens.push((token, slot.generation));
             }
         }
         let now = Instant::now();
@@ -712,12 +777,16 @@ pub(crate) fn run(
         if !draining {
             let listener_ready = tokens
                 .iter()
-                .position(|&t| t == usize::MAX - 1)
+                .position(|&(t, _)| t == usize::MAX - 1)
                 .is_some_and(|i| fds[i].revents != 0);
             if listener_ready {
                 match accept_ready(listener, &mut state, config) {
+                    // Backlog drained without a hard error: the
+                    // listener is healthy, so the consecutive-failure
+                    // count starts over (scattered transient failures
+                    // across a long uptime must never add up to the
+                    // fatal limit).
                     Ok(()) => accept_failures = 0,
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
                     Err(e) => {
                         accept_failures += 1;
                         reg.counter(
@@ -755,8 +824,15 @@ pub(crate) fn run(
 
         // 4. Connection readiness.
         for i in 0..fds.len() {
-            let token = tokens[i];
+            let (token, generation) = tokens[i];
             if token >= usize::MAX - 1 || fds[i].revents == 0 {
+                continue;
+            }
+            // Steps 2–3 may have closed this connection and reused its
+            // slot (completion write that closed, or a fresh accept in
+            // this very iteration); the generation pins the captured
+            // readiness to the connection it was polled for.
+            if state.slots.get(token).map(|s| s.generation) != Some(generation) {
                 continue;
             }
             let revents = fds[i].revents;
@@ -775,7 +851,7 @@ pub(crate) fn run(
                     state.handle_readable(token)
                 }
                 ConnState::Writing if revents & (sys::POLLOUT | sys::POLLHUP) != 0 => {
-                    state.flush_write(token)
+                    state.pump(token)
                 }
                 ConnState::Writing if revents & sys::POLLERR != 0 => After::Close,
                 _ => After::Keep,
@@ -833,12 +909,16 @@ pub(crate) fn run(
 }
 
 /// Accepts every pending connection; connections over `max_conns` are
-/// answered an immediate 503 with `retry-after` and closed. Returns
-/// the first hard accept error (WouldBlock means the backlog is
-/// drained and is returned as such).
+/// answered an immediate 503 with `retry-after` and closed. `Ok(())`
+/// means the backlog was drained (accept returned `WouldBlock`);
+/// `Err` is a hard accept failure.
 fn accept_ready(listener: &TcpListener, state: &mut Loop, config: &EventConfig) -> io::Result<()> {
     loop {
-        let (stream, _) = listener.accept()?;
+        let (stream, _) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) => return Err(e),
+        };
         let _ = stream.set_nodelay(true);
         if stream.set_nonblocking(true).is_err() {
             continue;

@@ -714,6 +714,108 @@ fn queue_overflow_is_answered_503_and_the_connection_survives() {
     shutdown(&base, handle);
 }
 
+/// Occurrences of `needle` in `haystack` (responses are counted by
+/// their status-line prefix; the JSON bodies never contain it).
+fn count_occurrences(haystack: &[u8], needle: &[u8]) -> usize {
+    haystack
+        .windows(needle.len())
+        .filter(|w| *w == needle)
+        .count()
+}
+
+#[test]
+fn pipelined_inline_responses_are_answered_iteratively() {
+    let (base, handle) = spawn_server_with(EventConfig {
+        workers: 1,
+        max_conns: 64,
+        queue_depth: 1,
+    });
+
+    // Occupy the single worker with a slow cold sweep and the single
+    // queue slot with a cold matrix cell, so pipelined requests are
+    // answered inline (queue-full 503) by the loop thread itself.
+    let base_a = base.clone();
+    let slow = std::thread::spawn(move || client::get(&base_a, "/sweep").unwrap());
+    std::thread::sleep(Duration::from_millis(200));
+    let base_b = base.clone();
+    let queued = std::thread::spawn(move || {
+        client::post(
+            &base_b,
+            "/matrix",
+            r#"{"suites":["gsmdec"],"solutions":["mdc"],"heuristics":["prefclus"]}"#,
+        )
+        .unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(200));
+
+    // One burst of pipelined keep-alive requests. The loop must answer
+    // every one of them — iteratively, not one stack frame per
+    // buffered request (the old recursive flush→dispatch chain grew
+    // the loop thread's stack with each inline answer).
+    const N: usize = 1000;
+    let host = client::host_of(&base);
+    let mut raw = TcpStream::connect(&host).unwrap();
+    let mut burst = Vec::new();
+    for _ in 0..N {
+        burst.extend_from_slice(b"GET /healthz HTTP/1.1\r\n\r\n");
+    }
+    raw.write_all(&burst).unwrap();
+
+    raw.set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let mut bytes = Vec::new();
+    let mut chunk = [0u8; 64 * 1024];
+    while count_occurrences(&bytes, b"HTTP/1.1 ") < N {
+        let n = raw.read(&mut chunk).unwrap();
+        assert!(
+            n > 0,
+            "server closed the connection after {} of {N} responses",
+            count_occurrences(&bytes, b"HTTP/1.1 ")
+        );
+        bytes.extend_from_slice(&chunk[..n]);
+    }
+    let ok = count_occurrences(&bytes, b"HTTP/1.1 200 ");
+    let rejected = count_occurrences(&bytes, b"HTTP/1.1 503 ");
+    assert_eq!(
+        ok + rejected,
+        N,
+        "every pipelined request must be answered 200 or overload-503"
+    );
+    assert_eq!(
+        count_occurrences(&bytes, b"connection: close"),
+        0,
+        "inline answers on a keep-alive connection must not close it"
+    );
+
+    drop(raw);
+    assert_eq!(slow.join().expect("sweep client").status, 200);
+    assert_eq!(queued.join().expect("matrix client").status, 200);
+    shutdown(&base, handle);
+}
+
+#[test]
+fn bare_crlf_stream_is_skipped_before_a_real_request() {
+    let (base, handle) = spawn_server();
+    let host = client::host_of(&base);
+
+    // Stray blank lines between requests are skipped per RFC 7230
+    // §3.5 — including a large run split across many reads (the event
+    // loop drains them instead of buffering them for the whole
+    // request window).
+    let mut raw = TcpStream::connect(&host).unwrap();
+    for _ in 0..16 {
+        raw.write_all(&b"\r\n".repeat(2048)).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    raw.write_all(b"GET /healthz HTTP/1.0\r\n\r\n").unwrap();
+    let mut bytes = Vec::new();
+    raw.read_to_end(&mut bytes).unwrap();
+    let text = String::from_utf8_lossy(&bytes);
+    assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+
+    shutdown(&base, handle);
+}
+
 #[test]
 fn http_1_0_and_chunked_requests_are_answered_correctly_end_to_end() {
     let (base, handle) = spawn_server();
