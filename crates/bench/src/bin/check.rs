@@ -1,0 +1,216 @@
+//! Golden-grid verification: runs the independent static checker
+//! (`distvliw-check`) over every configuration the golden snapshot
+//! tests pin, and reports a per-violation-kind summary.
+//!
+//! Three grids, mirroring the tier-1 test files exactly:
+//!
+//! * **parity** — the 312 4-cluster configurations of
+//!   `tests/golden_parity.rs`: every bundled Mediabench kernel × both
+//!   heuristics × {free, mdc, ddgt} × {relaxed, strict} latencies.
+//! * **scale** — the 84 large-machine configurations of
+//!   `tests/golden_scale.rs`: 8- and 16-cluster sweep machines over the
+//!   pinned mixed workload.
+//! * **seed-ii** — the 120 sweep cells of `tests/paper_shapes.rs`
+//!   (`ejection_scheduler_never_regresses_an_ii`): the default sweep
+//!   suites × {2, 4, 8, 16} clusters × both heuristics × all three
+//!   solutions, every kernel in every cell.
+//!
+//! Every schedule these grids produce must verify clean; any violation
+//! is a scheduler bug (or a checker bug — see docs/checking.md for how
+//! to adjudicate). Exits nonzero when any configuration fails.
+//!
+//! Usage: `cargo run --release -p distvliw-bench --bin check`
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use distvliw_arch::MachineConfig;
+use distvliw_check::check_schedule;
+use distvliw_coherence::{find_chains, transform, SchedConstraints};
+use distvliw_core::experiments::{sweep_default_suites, sweep_machine};
+use distvliw_ir::profile::preferred_clusters;
+use distvliw_ir::{LoopKernel, Suite};
+use distvliw_mediabench as mediabench;
+use distvliw_sched::{Heuristic, ModuloScheduler};
+
+/// How many failing configurations to print in full before eliding.
+const MAX_REPORTS: usize = 20;
+
+/// Accumulated results across all grids.
+#[derive(Default)]
+struct Tally {
+    /// Configurations checked (one compiled schedule each).
+    configs: usize,
+    /// Configurations with at least one violation.
+    dirty: usize,
+    /// Total violations by kind name.
+    by_kind: BTreeMap<&'static str, usize>,
+    /// Pretty-printed reports of failing configurations.
+    reports: Vec<String>,
+}
+
+impl Tally {
+    /// Schedules one (kernel, solution, heuristic, relax) configuration
+    /// the same way the golden tests do and verifies it.
+    fn check_config(
+        &mut self,
+        machine: &MachineConfig,
+        label: &str,
+        kernel: &LoopKernel,
+        solution: &str,
+        heuristic: Heuristic,
+        relax: bool,
+    ) {
+        let prefs = preferred_clusters(kernel, machine.n_clusters, |a| machine.home_cluster(a));
+        let mut kernel = kernel.clone();
+        let constraints = match solution {
+            "free" => SchedConstraints::none(),
+            "mdc" => {
+                let chains = find_chains(&kernel.ddg);
+                let pref_arg = (heuristic == Heuristic::PrefClus).then_some(&prefs);
+                SchedConstraints::for_mdc(&chains, &kernel.ddg, pref_arg, machine.n_clusters)
+            }
+            _ => {
+                let report = transform(&mut kernel.ddg, machine.n_clusters);
+                SchedConstraints::for_ddgt(&report)
+            }
+        };
+        let schedule = ModuloScheduler::new(machine)
+            .with_latency_relaxation(relax)
+            .schedule(&kernel.ddg, &constraints, &prefs, heuristic)
+            .expect("golden-grid kernels always schedule");
+        let report = check_schedule(&kernel.ddg, machine, &constraints, heuristic, &schedule);
+        self.configs += 1;
+        if !report.is_clean() {
+            self.dirty += 1;
+            for (kind, n) in report.counts() {
+                *self.by_kind.entry(kind.name()).or_insert(0) += n;
+            }
+            self.reports.push(format!(
+                "{label} {}/{solution}/{heuristic} relax={relax}: {report}",
+                kernel.name
+            ));
+        }
+    }
+}
+
+/// Grid 1: the 4-cluster parity grid of `tests/golden_parity.rs`.
+fn parity_grid(tally: &mut Tally) -> usize {
+    let before = tally.configs;
+    for suite in mediabench::suites() {
+        let machine = MachineConfig::paper_baseline().with_interleave(suite.interleave_bytes);
+        for kernel in &suite.kernels {
+            for heuristic in [Heuristic::PrefClus, Heuristic::MinComs] {
+                for solution in ["free", "mdc", "ddgt"] {
+                    for relax in [true, false] {
+                        tally.check_config(
+                            &machine,
+                            &format!("parity {}", suite.name),
+                            kernel,
+                            solution,
+                            heuristic,
+                            relax,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    tally.configs - before
+}
+
+/// The pinned workload of `tests/golden_scale.rs`.
+fn pinned_suites() -> Vec<Suite> {
+    let mut suites = vec![
+        mediabench::suite("gsmdec").expect("bundled benchmark"),
+        mediabench::suite("jpegenc").expect("bundled benchmark"),
+    ];
+    suites.extend(mediabench::trace_suites());
+    suites
+}
+
+/// Grid 2: the 8/16-cluster scale grid of `tests/golden_scale.rs`.
+fn scale_grid(tally: &mut Tally) -> usize {
+    let before = tally.configs;
+    let base = MachineConfig::paper_baseline();
+    for n_clusters in [8usize, 16] {
+        for suite in pinned_suites() {
+            let machine = sweep_machine(&base, n_clusters, base.mem_buses)
+                .with_interleave(suite.interleave_bytes);
+            for kernel in &suite.kernels {
+                for heuristic in [Heuristic::PrefClus, Heuristic::MinComs] {
+                    for solution in ["free", "mdc", "ddgt"] {
+                        tally.check_config(
+                            &machine,
+                            &format!("scale n={n_clusters} {}", suite.name),
+                            kernel,
+                            solution,
+                            heuristic,
+                            true,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    tally.configs - before
+}
+
+/// Grid 3: the 120 seed-II configurations of `tests/paper_shapes.rs`
+/// (`ejection_scheduler_never_regresses_an_ii`) — every kernel in every
+/// (suite, cluster count, solution, heuristic) sweep cell.
+fn seed_ii_grid(tally: &mut Tally) -> usize {
+    let before = tally.configs;
+    let base = MachineConfig::paper_baseline();
+    for suite in sweep_default_suites() {
+        for n_clusters in [2usize, 4, 8, 16] {
+            let machine = sweep_machine(&base, n_clusters, base.mem_buses)
+                .with_interleave(suite.interleave_bytes);
+            for solution in ["free", "mdc", "ddgt"] {
+                for heuristic in [Heuristic::PrefClus, Heuristic::MinComs] {
+                    for kernel in &suite.kernels {
+                        tally.check_config(
+                            &machine,
+                            &format!("seed-ii n={n_clusters} {}", suite.name),
+                            kernel,
+                            solution,
+                            heuristic,
+                            true,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    tally.configs - before
+}
+
+fn main() -> ExitCode {
+    let mut tally = Tally::default();
+
+    let parity = parity_grid(&mut tally);
+    println!("parity grid:  {parity} configurations");
+    let scale = scale_grid(&mut tally);
+    println!("scale grid:   {scale} configurations");
+    let seed_ii = seed_ii_grid(&mut tally);
+    println!("seed-ii grid: {seed_ii} configurations");
+
+    println!("checked {} schedules total", tally.configs);
+    if tally.dirty == 0 {
+        println!("check: clean");
+        return ExitCode::SUCCESS;
+    }
+
+    eprintln!("check: {} configurations with violations", tally.dirty);
+    eprintln!("violations by kind:");
+    for (kind, n) in &tally.by_kind {
+        eprintln!("  {kind}: {n}");
+    }
+    for report in tally.reports.iter().take(MAX_REPORTS) {
+        eprintln!("{report}");
+    }
+    if tally.reports.len() > MAX_REPORTS {
+        eprintln!("… and {} more", tally.reports.len() - MAX_REPORTS);
+    }
+    ExitCode::FAILURE
+}

@@ -1,0 +1,464 @@
+//! Mutation-kill matrix for the static checker, plus a property test
+//! that unmutated schedules always verify clean.
+//!
+//! Every [`ViolationKind`] gets a targeted corruption: start from a
+//! schedule the real scheduler produced (so every other invariant
+//! holds), break exactly one invariant, and assert the checker reports
+//! *only* that kind. A checker pass that silently stopped firing — or
+//! started firing on legal schedules — fails this matrix. Mutations
+//! that legitimately change the flat schedule length also re-derive the
+//! span (the same way the checker does), so the span pass never
+//! pollutes another kind's kill.
+//!
+//! The protocol is documented in `docs/checking.md`.
+
+use std::collections::BTreeMap;
+
+use distvliw_arch::MachineConfig;
+use distvliw_check::{check_schedule, CheckReport, ViolationKind};
+use distvliw_coherence::{find_chains, transform, SchedConstraints};
+use distvliw_ir::{DdgBuilder, DepKind, NodeId, OpKind, PrefMap, Width};
+use distvliw_sched::{CopyOp, Heuristic, ModuloScheduler, Schedule};
+use proptest::prelude::*;
+
+fn machine() -> MachineConfig {
+    MachineConfig::paper_baseline()
+}
+
+fn sched(
+    b: DdgBuilder,
+    constraints: &SchedConstraints,
+    heuristic: Heuristic,
+) -> (distvliw_ir::Ddg, Schedule) {
+    let ddg = b.finish();
+    let s = ModuloScheduler::new(&machine())
+        .with_latency_relaxation(false)
+        .schedule(&ddg, constraints, &PrefMap::new(), heuristic)
+        .expect("mutation fixtures schedule");
+    (ddg, s)
+}
+
+/// Re-derives the span exactly as the checker's span pass does, so a
+/// mutation that legally moves the last cycle can keep the span
+/// consistent and kill only its own kind.
+fn patch_span(m: &MachineConfig, s: &mut Schedule) {
+    s.span = s
+        .ops
+        .values()
+        .map(|op| op.start + 1)
+        .chain(s.copies.iter().map(|cp| cp.start + m.reg_buses.latency))
+        .max()
+        .unwrap_or(1)
+        .max(s.ii);
+}
+
+/// The mutated schedule must be caught, and *only* by `kind`.
+fn assert_only(report: &CheckReport, kind: ViolationKind) {
+    assert!(
+        !report.is_clean(),
+        "{kind}: mutation survived — checker saw a clean schedule"
+    );
+    let counts = report.counts();
+    assert!(
+        counts.contains_key(&kind),
+        "{kind}: expected kind missing, got {report}"
+    );
+    assert_eq!(
+        counts.len(),
+        1,
+        "{kind}: mutation killed by the wrong kinds too: {report}"
+    );
+}
+
+/// A load → alu chain (the alu result unused), scheduled MinComs so the
+/// whole chain shares one cluster.
+fn chain_fixture() -> (distvliw_ir::Ddg, Schedule, NodeId, NodeId) {
+    let mut b = DdgBuilder::new();
+    let load = b.load(Width::W4);
+    let alu = b.op(OpKind::IntAlu, &[load]);
+    let (ddg, s) = sched(b, &SchedConstraints::none(), Heuristic::MinComs);
+    assert_eq!(
+        s.ops[&load].cluster, s.ops[&alu].cluster,
+        "MinComs keeps the two-op chain on one cluster"
+    );
+    (ddg, s, load, alu)
+}
+
+/// Two stores (no register inputs, distinct memory ids) colocated into
+/// group 1, optionally targeted, scheduled PrefClus.
+fn colocated_stores(
+    target: Option<usize>,
+) -> (distvliw_ir::Ddg, Schedule, SchedConstraints, NodeId, NodeId) {
+    let mut b = DdgBuilder::new();
+    let sa = b.store(Width::W4, &[]);
+    let sb = b.store(Width::W4, &[]);
+    let mut constraints = SchedConstraints::none();
+    constraints.colocate = BTreeMap::from([(sa, 1), (sb, 1)]);
+    if let Some(t) = target {
+        constraints.group_target = BTreeMap::from([(1, t)]);
+    }
+    let (ddg, s) = sched(b, &constraints, Heuristic::PrefClus);
+    assert_eq!(s.ops[&sa].cluster, s.ops[&sb].cluster);
+    (ddg, s, constraints, sa, sb)
+}
+
+fn mutate_missing_node() -> (CheckReport, ViolationKind) {
+    let mut b = DdgBuilder::new();
+    let load = b.load(Width::W4);
+    let alu = b.op(OpKind::IntAlu, &[load]);
+    let _st = b.store(Width::W4, &[alu]);
+    let (ddg, mut s) = sched(b, &SchedConstraints::none(), Heuristic::MinComs);
+    s.ops.remove(&load);
+    s.copies.retain(|cp| cp.producer != load);
+    let m = machine();
+    patch_span(&m, &mut s);
+    let r = check_schedule(&ddg, &m, &SchedConstraints::none(), Heuristic::MinComs, &s);
+    (r, ViolationKind::MissingNode)
+}
+
+fn mutate_bad_cluster() -> (CheckReport, ViolationKind) {
+    let (ddg, mut s, _, alu) = chain_fixture();
+    s.ops.get_mut(&alu).unwrap().cluster = 99;
+    let m = machine();
+    let r = check_schedule(&ddg, &m, &SchedConstraints::none(), Heuristic::MinComs, &s);
+    (r, ViolationKind::BadCluster)
+}
+
+fn mutate_fu_overflow() -> (CheckReport, ViolationKind) {
+    let mut b = DdgBuilder::new();
+    let a = b.op(OpKind::IntAlu, &[]);
+    let c = b.op(OpKind::IntAlu, &[]);
+    let (ddg, mut s) = sched(b, &SchedConstraints::none(), Heuristic::MinComs);
+    let at = s.ops[&a];
+    let op = s.ops.get_mut(&c).unwrap();
+    op.cluster = at.cluster;
+    op.start = at.start;
+    let m = machine();
+    patch_span(&m, &mut s);
+    let r = check_schedule(&ddg, &m, &SchedConstraints::none(), Heuristic::MinComs, &s);
+    (r, ViolationKind::FuOverflow)
+}
+
+fn mutate_bus_overflow() -> (CheckReport, ViolationKind) {
+    let (ddg, mut s, _, alu) = chain_fixture();
+    let m = machine();
+    let from = s.ops[&alu].cluster;
+    let ready = s.ops[&alu].start + OpKind::IntAlu.base_latency();
+    for _ in 0..=m.reg_buses.count {
+        s.copies.push(CopyOp {
+            producer: alu,
+            from_cluster: from,
+            to_cluster: (from + 1) % m.n_clusters,
+            start: ready,
+        });
+    }
+    patch_span(&m, &mut s);
+    let r = check_schedule(&ddg, &m, &SchedConstraints::none(), Heuristic::MinComs, &s);
+    (r, ViolationKind::BusOverflow)
+}
+
+fn mutate_dep_violation() -> (CheckReport, ViolationKind) {
+    let (ddg, mut s, load, alu) = chain_fixture();
+    s.ops.get_mut(&alu).unwrap().start = s.ops[&load].start;
+    let m = machine();
+    patch_span(&m, &mut s);
+    let r = check_schedule(&ddg, &m, &SchedConstraints::none(), Heuristic::MinComs, &s);
+    (r, ViolationKind::DepViolation)
+}
+
+fn mutate_missing_copy() -> (CheckReport, ViolationKind) {
+    let mut b = DdgBuilder::new();
+    let load = b.load(Width::W4);
+    let alu = b.op(OpKind::IntAlu, &[load]);
+    let sa = b.store(Width::W4, &[alu]);
+    let sb = b.store(Width::W4, &[alu]);
+    let mut constraints = SchedConstraints::none();
+    constraints.pinned = BTreeMap::from([(sa, 0), (sb, 1)]);
+    let (ddg, mut s) = sched(b, &constraints, Heuristic::PrefClus);
+    // One of the pinned stores reads `alu` across clusters; drop the
+    // copy that feeds it.
+    let remote = [sa, sb]
+        .into_iter()
+        .find(|st| s.ops[st].cluster != s.ops[&alu].cluster)
+        .expect("stores pinned to clusters 0 and 1 cannot both colocate with alu");
+    let before = s.copies.len();
+    let target = s.ops[&remote].cluster;
+    s.copies
+        .retain(|cp| !(cp.producer == alu && cp.to_cluster == target));
+    assert!(s.copies.len() < before, "fixture must have routed a copy");
+    let m = machine();
+    patch_span(&m, &mut s);
+    let r = check_schedule(&ddg, &m, &constraints, Heuristic::PrefClus, &s);
+    (r, ViolationKind::MissingCopy)
+}
+
+fn mutate_sync_violation() -> (CheckReport, ViolationKind) {
+    let mut b = DdgBuilder::new();
+    let load = b.load(Width::W4);
+    let alu = b.op(OpKind::IntAlu, &[load]);
+    let fp = b.op(OpKind::FpAlu, &[]);
+    b.dep(alu, fp, DepKind::Sync, 0);
+    let (ddg, mut s) = sched(b, &SchedConstraints::none(), Heuristic::MinComs);
+    let sync_floor = s.ops[&alu].start;
+    assert!(sync_floor >= 1, "alu issues after its load");
+    s.ops.get_mut(&fp).unwrap().start = sync_floor - 1;
+    let m = machine();
+    patch_span(&m, &mut s);
+    let r = check_schedule(&ddg, &m, &SchedConstraints::none(), Heuristic::MinComs, &s);
+    (r, ViolationKind::SyncViolation)
+}
+
+fn mutate_colocation_split() -> (CheckReport, ViolationKind) {
+    let (ddg, mut s, constraints, _, sb) = colocated_stores(None);
+    let m = machine();
+    let op = s.ops.get_mut(&sb).unwrap();
+    op.cluster = (op.cluster + 1) % m.n_clusters;
+    let r = check_schedule(&ddg, &m, &constraints, Heuristic::PrefClus, &s);
+    (r, ViolationKind::ColocationSplit)
+}
+
+fn mutate_group_target_missed() -> (CheckReport, ViolationKind) {
+    let (ddg, mut s, constraints, sa, sb) = colocated_stores(Some(2));
+    assert_eq!(s.ops[&sa].cluster, 2, "PrefClus honors the group target");
+    let m = machine();
+    // Move the whole group together: still colocated, but off target.
+    for n in [sa, sb] {
+        s.ops.get_mut(&n).unwrap().cluster = 3;
+    }
+    let r = check_schedule(&ddg, &m, &constraints, Heuristic::PrefClus, &s);
+    (r, ViolationKind::GroupTargetMissed)
+}
+
+fn mutate_pin_violation_literal() -> (CheckReport, ViolationKind) {
+    let mut b = DdgBuilder::new();
+    let st = b.store(Width::W4, &[]);
+    let mut constraints = SchedConstraints::none();
+    constraints.pinned = BTreeMap::from([(st, 2)]);
+    let (ddg, mut s) = sched(b, &constraints, Heuristic::PrefClus);
+    assert_eq!(s.ops[&st].cluster, 2);
+    s.ops.get_mut(&st).unwrap().cluster = 3;
+    let r = check_schedule(&ddg, &machine(), &constraints, Heuristic::PrefClus, &s);
+    (r, ViolationKind::PinViolation)
+}
+
+fn mutate_pin_violation_relabeling() -> (CheckReport, ViolationKind) {
+    // Under MinComs pins hold up to an injective relabeling; folding
+    // two pins onto one cluster breaks injectivity. min_ii 2 leaves a
+    // free memory slot so the fold is resource-legal.
+    let mut b = DdgBuilder::new();
+    let sa = b.store(Width::W4, &[]);
+    let sb = b.store(Width::W4, &[]);
+    let mut constraints = SchedConstraints::none().with_min_ii(2);
+    constraints.pinned = BTreeMap::from([(sa, 0), (sb, 1)]);
+    let (ddg, mut s) = sched(b, &constraints, Heuristic::MinComs);
+    assert_ne!(s.ops[&sa].cluster, s.ops[&sb].cluster);
+    let home = s.ops[&sa];
+    let op = s.ops.get_mut(&sb).unwrap();
+    op.cluster = home.cluster;
+    op.start = home.start + 1;
+    let m = machine();
+    patch_span(&m, &mut s);
+    let r = check_schedule(&ddg, &m, &constraints, Heuristic::MinComs, &s);
+    (r, ViolationKind::PinViolation)
+}
+
+fn mutate_min_ii_violated() -> (CheckReport, ViolationKind) {
+    let mut b = DdgBuilder::new();
+    let _st = b.store(Width::W4, &[]);
+    let constraints = SchedConstraints::none().with_min_ii(4);
+    let (ddg, mut s) = sched(b, &constraints, Heuristic::PrefClus);
+    assert_eq!(s.ii, 4);
+    s.ii = 3;
+    let m = machine();
+    patch_span(&m, &mut s);
+    let r = check_schedule(&ddg, &m, &constraints, Heuristic::PrefClus, &s);
+    (r, ViolationKind::MinIiViolated)
+}
+
+fn mutate_pressure_exceeded() -> (CheckReport, ViolationKind) {
+    let mut b = DdgBuilder::new();
+    let load = b.load(Width::W4);
+    let alu = b.op(OpKind::IntAlu, &[load]);
+    let tail = b.op(OpKind::IntAlu, &[alu]);
+    let (ddg, mut s) = sched(b, &SchedConstraints::none(), Heuristic::MinComs);
+    let m = machine();
+    // Stretch alu's live range past the register budget. The offset is
+    // a multiple of the II, so the modulo slot (and thus the FU
+    // occupancy) is unchanged, and reads only move later — every
+    // dependence stays satisfied.
+    let offset = (m.regs_per_cluster as u32 + 2) * s.ii;
+    s.ops.get_mut(&tail).unwrap().start += offset;
+    patch_span(&m, &mut s);
+    let r = check_schedule(&ddg, &m, &SchedConstraints::none(), Heuristic::MinComs, &s);
+    (r, ViolationKind::PressureExceeded)
+}
+
+fn mutate_span_mismatch() -> (CheckReport, ViolationKind) {
+    let (ddg, mut s, _, _) = chain_fixture();
+    s.span += 1;
+    let r = check_schedule(
+        &ddg,
+        &machine(),
+        &SchedConstraints::none(),
+        Heuristic::MinComs,
+        &s,
+    );
+    (r, ViolationKind::SpanMismatch)
+}
+
+/// The matrix: one targeted mutation per violation kind (two for pins,
+/// covering both heuristics' semantics). Each must be killed by exactly
+/// its own kind, and collectively they must cover every kind the
+/// checker can emit.
+#[test]
+fn every_violation_kind_is_killed_by_exactly_its_mutation() {
+    let matrix: Vec<(CheckReport, ViolationKind)> = vec![
+        mutate_missing_node(),
+        mutate_bad_cluster(),
+        mutate_fu_overflow(),
+        mutate_bus_overflow(),
+        mutate_dep_violation(),
+        mutate_missing_copy(),
+        mutate_sync_violation(),
+        mutate_colocation_split(),
+        mutate_group_target_missed(),
+        mutate_pin_violation_literal(),
+        mutate_pin_violation_relabeling(),
+        mutate_min_ii_violated(),
+        mutate_pressure_exceeded(),
+        mutate_span_mismatch(),
+    ];
+    let mut covered: Vec<ViolationKind> = Vec::new();
+    for (report, kind) in &matrix {
+        assert_only(report, *kind);
+        covered.push(*kind);
+    }
+    covered.sort();
+    covered.dedup();
+    assert_eq!(
+        covered,
+        ViolationKind::ALL.to_vec(),
+        "the matrix must cover every violation kind"
+    );
+}
+
+/// A paper-baseline machine rescaled to `n_clusters` (the same block
+/// stretch `core::experiments::sweep_machine` applies, restated here so
+/// the checker crate stays below `core` in the dependency order).
+fn scaled_machine(n_clusters: usize) -> MachineConfig {
+    let mut m = MachineConfig::paper_baseline();
+    m.n_clusters = n_clusters;
+    let stripe = n_clusters as u64 * m.interleave_bytes;
+    if !m.cache.block_bytes.is_multiple_of(stripe) {
+        m.cache.block_bytes = m.cache.block_bytes.max(stripe);
+    }
+    m.validate().expect("scaled machine is valid");
+    m
+}
+
+/// Strategy: a random well-formed DDG — loads, stores over shared
+/// memory ids, arithmetic consumers, a sprinkle of loop-carried
+/// recurrences.
+fn arb_ddg() -> impl Strategy<Value = distvliw_ir::Ddg> {
+    (
+        1usize..8, // memory ops
+        0usize..8, // arithmetic ops
+        proptest::collection::vec(any::<u8>(), 16),
+    )
+        .prop_map(|(n_mem, n_arith, entropy)| {
+            let mut b = DdgBuilder::new();
+            let mut loads: Vec<NodeId> = Vec::new();
+            let mut mems: Vec<NodeId> = Vec::new();
+            for i in 0..n_mem {
+                let pick = entropy[i % entropy.len()];
+                if pick % 3 == 0 && !loads.is_empty() {
+                    let src = loads[usize::from(pick / 3) % loads.len()];
+                    mems.push(b.store(Width::W4, &[src]));
+                } else {
+                    let l = b.load(Width::W4);
+                    loads.push(l);
+                    mems.push(l);
+                }
+            }
+            let mut values = loads.clone();
+            for i in 0..n_arith {
+                let pick = usize::from(entropy[(i + 7) % entropy.len()]);
+                let srcs: Vec<NodeId> = values
+                    .get(pick % values.len().max(1))
+                    .copied()
+                    .into_iter()
+                    .collect();
+                let v = b.op(
+                    if i % 3 == 0 {
+                        OpKind::IntMul
+                    } else {
+                        OpKind::IntAlu
+                    },
+                    &srcs,
+                );
+                values.push(v);
+            }
+            // Conservative memory edges between neighbouring mem ops,
+            // alternating loop-carried distance.
+            let g = b.graph();
+            let mut edges = Vec::new();
+            for w in mems.windows(2) {
+                let (a, c) = (w[0], w[1]);
+                let kind = match (g.node(a).is_store(), g.node(c).is_store()) {
+                    (true, true) => DepKind::MemOut,
+                    (true, false) => DepKind::MemFlow,
+                    (false, true) => DepKind::MemAnti,
+                    (false, false) => continue,
+                };
+                edges.push((a, c, kind));
+            }
+            for (i, (a, c, kind)) in edges.into_iter().enumerate() {
+                b.dep(a, c, kind, (i % 2) as u32);
+            }
+            b.finish()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Unmutated schedules verify clean at every swept scale, for every
+    /// solution family and both heuristics — the checker's false-positive
+    /// guard, complementing the kill matrix's false-negative guard.
+    #[test]
+    fn unmutated_schedules_verify_clean(ddg in arb_ddg(), ci in 0usize..4, relax in any::<bool>()) {
+        let n_clusters = [2usize, 4, 8, 16][ci];
+        let m = scaled_machine(n_clusters);
+        for heuristic in [Heuristic::PrefClus, Heuristic::MinComs] {
+            // Free.
+            let free = SchedConstraints::none();
+            let s = ModuloScheduler::new(&m)
+                .with_latency_relaxation(relax)
+                .schedule(&ddg, &free, &PrefMap::new(), heuristic)
+                .expect("random DDGs schedule");
+            let r = check_schedule(&ddg, &m, &free, heuristic, &s);
+            prop_assert!(r.is_clean(), "free/{heuristic} n={n_clusters}: {r}");
+
+            // MDC colocation.
+            let chains = find_chains(&ddg);
+            let mdc = SchedConstraints::for_mdc(&chains, &ddg, None, n_clusters);
+            let s = ModuloScheduler::new(&m)
+                .with_latency_relaxation(relax)
+                .schedule(&ddg, &mdc, &PrefMap::new(), heuristic)
+                .expect("random DDGs schedule under MDC");
+            let r = check_schedule(&ddg, &m, &mdc, heuristic, &s);
+            prop_assert!(r.is_clean(), "mdc/{heuristic} n={n_clusters}: {r}");
+
+            // DDGT replication + sync (pins and sync edges exercised).
+            let mut t = ddg.clone();
+            let report = transform(&mut t, n_clusters);
+            let ddgt = SchedConstraints::for_ddgt(&report);
+            let s = ModuloScheduler::new(&m)
+                .with_latency_relaxation(relax)
+                .schedule(&t, &ddgt, &PrefMap::new(), heuristic)
+                .expect("random DDGs schedule under DDGT");
+            let r = check_schedule(&t, &m, &ddgt, heuristic, &s);
+            prop_assert!(r.is_clean(), "ddgt/{heuristic} n={n_clusters}: {r}");
+        }
+    }
+}

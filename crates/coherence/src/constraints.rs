@@ -86,6 +86,31 @@ impl SchedConstraints {
         self.colocate.contains_key(&n) || self.pinned.contains_key(&n)
     }
 
+    /// The colocation groups as group → members (members in `NodeId`
+    /// order) — the pure inverse of the per-node `colocate` map, used by
+    /// the static checker to re-verify the MDC postcondition without
+    /// touching scheduler state.
+    #[must_use]
+    pub fn colocation_groups(&self) -> BTreeMap<u32, Vec<NodeId>> {
+        let mut groups: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
+        for (&n, &g) in &self.colocate {
+            groups.entry(g).or_default().push(n);
+        }
+        groups
+    }
+
+    /// The pinned nodes as cluster → pinned nodes (nodes in `NodeId`
+    /// order) — the pure inverse of the per-node `pinned` map. Under
+    /// DDGT this is one replica instance per cluster.
+    #[must_use]
+    pub fn pin_groups(&self) -> BTreeMap<usize, Vec<NodeId>> {
+        let mut groups: BTreeMap<usize, Vec<NodeId>> = BTreeMap::new();
+        for (&n, &cluster) in &self.pinned {
+            groups.entry(cluster).or_default().push(n);
+        }
+        groups
+    }
+
     /// Returns the constraints with a mandated minimum II.
     #[must_use]
     pub fn with_min_ii(mut self, min_ii: u32) -> Self {
@@ -159,6 +184,25 @@ mod tests {
         let c = SchedConstraints::for_mdc(&chains, &g, None, 4);
         assert!(!c.is_constrained(l1));
         assert!(!c.is_constrained(l2));
+    }
+
+    #[test]
+    fn group_inverses_round_trip() {
+        let (g, l, s) = chained_graph();
+        let chains = find_chains(&g);
+        let c = SchedConstraints::for_mdc(&chains, &g, None, 4);
+        let groups = c.colocation_groups();
+        assert_eq!(groups.len(), 1);
+        let members = groups.values().next().unwrap();
+        assert_eq!(members, &vec![l, s]);
+        assert!(c.pin_groups().is_empty());
+
+        let (mut g2, _, _) = chained_graph();
+        let report = transform(&mut g2, 4);
+        let c2 = SchedConstraints::for_ddgt(&report);
+        let pins = c2.pin_groups();
+        assert_eq!(pins.len(), 4, "one replica instance per cluster");
+        assert!(pins.values().all(|nodes| nodes.len() == 1));
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! modulo scheduler consumes.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod constraints;
 pub mod ddgt;

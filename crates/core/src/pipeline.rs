@@ -78,6 +78,15 @@ pub enum PipelineError {
         /// Description of the defect.
         error: String,
     },
+    /// The static checker rejected an emitted schedule — the scheduler
+    /// produced something the independent verifier (`distvliw-check`)
+    /// can prove illegal, which is always a scheduler bug.
+    Check {
+        /// Kernel name.
+        kernel: String,
+        /// Per-kind summary plus every violation, pretty-printed.
+        report: String,
+    },
     /// A sweep cell failed: the underlying error wrapped with the grid
     /// coordinates of the first cell (in row order) it surfaced in, so a
     /// failure deep in a 10k-cell grid names its cell instead of only
@@ -104,6 +113,9 @@ impl fmt::Display for PipelineError {
             }
             PipelineError::Kernel { kernel, error } => {
                 write!(f, "invalid kernel `{kernel}`: {error}")
+            }
+            PipelineError::Check { kernel, report } => {
+                write!(f, "schedule for `{kernel}` failed verification: {report}")
             }
             PipelineError::Cell {
                 n_clusters,
@@ -141,6 +153,12 @@ pub struct PipelineOptions {
     pub specialize: bool,
     /// Cache-sensitive latency assignment in the scheduler.
     pub relax_latencies: bool,
+    /// Run the independent static verifier (`distvliw-check`) on every
+    /// compiled schedule and fail the compile on any violation. Debug
+    /// builds verify unconditionally (every test run exercises the
+    /// checker); this flag extends the guarantee to release builds — the
+    /// `check` bin and `serve --check` turn it on.
+    pub check: bool,
 }
 
 impl Default for PipelineOptions {
@@ -149,6 +167,7 @@ impl Default for PipelineOptions {
             sim: SimOptions::default(),
             specialize: false,
             relax_latencies: true,
+            check: false,
         }
     }
 }
@@ -787,6 +806,33 @@ impl Pipeline {
             })?;
         self.seeds.record(key, schedule.ii);
         span.field_u64("ii", u64::from(schedule.ii));
+
+        // Translation validation: re-verify the schedule from first
+        // principles with the independent checker. Debug builds always
+        // check (every test run doubles as a checker run); release
+        // builds check when `options.check` is set.
+        if self.options.check || cfg!(debug_assertions) {
+            let report = distvliw_check::check_schedule(
+                &kernel.ddg,
+                machine,
+                &constraints,
+                heuristic,
+                &schedule,
+            );
+            distvliw_obs::global()
+                .counter(
+                    "check_violations_total",
+                    "schedule-checker violations found by the pipeline hook",
+                )
+                .add(report.len() as u64);
+            if !report.is_clean() {
+                debug_assert!(false, "checker rejected `{}`: {report}", kernel.name);
+                return Err(PipelineError::Check {
+                    kernel: kernel.name.clone(),
+                    report: report.to_string(),
+                });
+            }
+        }
 
         Ok(KernelArtifact {
             kernel,

@@ -75,6 +75,19 @@ impl Schedule {
         self.copies.len()
     }
 
+    /// The copy that moves `producer`'s value into `cluster`, if one was
+    /// materialized. The scheduler plans at most one copy per
+    /// `(producer, destination cluster)` pair — every consumer in that
+    /// cluster reads the same transfer — so the first match is the only
+    /// one. A read accessor for external verifiers; the scheduler itself
+    /// resolves copies through its `CopyTable`.
+    #[must_use]
+    pub fn copy_to(&self, producer: NodeId, cluster: usize) -> Option<&CopyOp> {
+        self.copies
+            .iter()
+            .find(|cp| cp.producer == producer && cp.to_cluster == cluster)
+    }
+
     /// Steady-state compute cycles for `iterations` iterations of the
     /// loop: the pipeline fills for `span` cycles and then completes one
     /// iteration every `ii` cycles.

@@ -5,7 +5,7 @@
 //! cargo run --release -p distvliw-serve --bin serve -- \
 //!     [--addr 127.0.0.1:7411] [--cache-capacity 256] [--state-dir DIR] \
 //!     [--access-log PATH|-] [--slow-ms N] \
-//!     [--workers N] [--max-conns N] [--queue-depth N]
+//!     [--workers N] [--max-conns N] [--queue-depth N] [--check]
 //! ```
 //!
 //! With `--state-dir` the result cache and II-seed store persist across
@@ -15,8 +15,10 @@
 //! `docs/observability.md`). `--workers`, `--max-conns` and
 //! `--queue-depth` size the event-driven connection layer (see
 //! `docs/serving.md`); overload beyond the caps is answered `503` with
-//! `retry-after`. The per-request compute fan-out honours
-//! `DISTVLIW_THREADS` like every other bin.
+//! `retry-after`. `--check` runs the independent static schedule
+//! verifier on every compiled cell, failing the cell rather than
+//! serving an illegal schedule (`docs/checking.md`). The per-request
+//! compute fan-out honours `DISTVLIW_THREADS` like every other bin.
 
 use std::process::ExitCode;
 
@@ -31,6 +33,7 @@ fn main() -> ExitCode {
     let mut state_dir: Option<std::path::PathBuf> = None;
     let mut access_log: Option<String> = None;
     let mut slow_ms: u64 = 30_000;
+    let mut check = false;
     let mut config = EventConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -67,6 +70,7 @@ fn main() -> ExitCode {
                 Some(v) if v > 0 => config.queue_depth = v,
                 _ => return usage("--queue-depth needs a positive integer"),
             },
+            "--check" => check = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -87,7 +91,7 @@ fn main() -> ExitCode {
     }
     distvliw_serve::endpoints::set_slow_request_ms(slow_ms);
 
-    let mut engine = ServeEngine::new(MachineConfig::paper_baseline(), capacity);
+    let mut engine = ServeEngine::new(MachineConfig::paper_baseline(), capacity).with_check(check);
     if let Some(dir) = &state_dir {
         engine = match engine.with_state_dir(dir) {
             Ok(engine) => engine,
@@ -134,7 +138,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: serve [--addr HOST:PORT] [--cache-capacity N] [--state-dir DIR] [--access-log PATH|-] [--slow-ms N] [--workers N] [--max-conns N] [--queue-depth N]";
+const USAGE: &str = "usage: serve [--addr HOST:PORT] [--cache-capacity N] [--state-dir DIR] [--access-log PATH|-] [--slow-ms N] [--workers N] [--max-conns N] [--queue-depth N] [--check]";
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("{msg}\n{USAGE}");

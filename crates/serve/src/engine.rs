@@ -174,6 +174,16 @@ impl ServeEngine {
         }
     }
 
+    /// Runs the independent static checker (`distvliw-check`) on every
+    /// schedule this engine compiles, failing the cell instead of
+    /// serving an illegal schedule (`serve --check`; see
+    /// docs/checking.md). Debug builds always check.
+    #[must_use]
+    pub fn with_check(mut self, check: bool) -> Self {
+        self.options.check = check;
+        self
+    }
+
     /// Attaches durable state under `dir` (created if missing): the
     /// cell cache loads from `cells.log`, the II-seed store from
     /// `seeds.log`, and both logs are kept current as the engine runs

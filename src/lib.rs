@@ -12,6 +12,8 @@
 //!   transformations and code specialization,
 //! * [`sched`] — the swing modulo scheduler with PrefClus/MinComs cluster
 //!   assignment,
+//! * [`check`] — the independent static schedule verifier
+//!   (translation validation for every emitted schedule),
 //! * [`sim`] — the cycle-level stall-on-use simulator,
 //! * [`mediabench`] — synthetic Mediabench-like benchmark suites,
 //! * [`core`] — the end-to-end pipeline and the experiment drivers that
@@ -38,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub use distvliw_arch as arch;
+pub use distvliw_check as check;
 pub use distvliw_coherence as coherence;
 pub use distvliw_core as core;
 pub use distvliw_ir as ir;

@@ -177,6 +177,15 @@ fn check_solution(
         .schedule(ddg, constraints, &PrefMap::new(), heuristic)
         .expect("random kernels schedule");
     prop_assert!(respects_deps(ddg, &s));
+    // The independent verifier must agree with the inline invariants:
+    // one disagreement means either the scheduler or the checker is
+    // wrong, and both are pinned here.
+    let report = distvliw::check::check_schedule(ddg, machine, constraints, heuristic, &s);
+    prop_assert!(
+        report.is_clean(),
+        "{}-cluster checker violation: {report}",
+        machine.n_clusters
+    );
     if let Err(e) = respects_mrt(machine, ddg, &s) {
         return Err(TestCaseError::fail(format!(
             "{}-cluster MRT violation: {e}",
